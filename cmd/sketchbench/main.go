@@ -1,0 +1,306 @@
+// Command sketchbench regenerates the paper's evaluation artifacts: Table 1
+// (covariance-sketch communication costs), Table 2 (distributed PCA), and
+// the figure-style sweeps F1–F10 described in DESIGN.md.
+//
+// Usage:
+//
+//	sketchbench -experiment all
+//	sketchbench -experiment table1 -s 32 -d 128 -k 5 -eps 0.05
+//	sketchbench -experiment f2 -seed 7
+//
+// Output is aligned text; "theory" columns are the paper's formulas with
+// unit constants, "words" are measured at the transport layer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run: all, table1, table2, f1..f10")
+		seed       = flag.Int64("seed", 1, "random seed")
+		n          = flag.Int("n", 1<<13, "global row count")
+		d          = flag.Int("d", 64, "column dimension")
+		s          = flag.Int("s", 16, "number of servers")
+		k          = flag.Int("k", 5, "rank parameter")
+		eps        = flag.Float64("eps", 0.1, "accuracy epsilon")
+		format     = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+	csvOut = *format == "csv"
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "sketchbench: unknown format %q\n", *format)
+		os.Exit(1)
+	}
+	cfg := bench.Config{Seed: *seed, N: *n, D: *d, S: *s, K: *k, Eps: *eps}
+	if err := run(strings.ToLower(*experiment), cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "sketchbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, cfg bench.Config) error {
+	runners := []struct {
+		name string
+		fn   func(bench.Config) error
+	}{
+		{"table1", table1},
+		{"table2", table2},
+		{"f1", f1},
+		{"f2", f2},
+		{"f3", f3},
+		{"f4", f4},
+		{"f5", f5},
+		{"f6", f6},
+		{"f7", f7},
+		{"f8", f8},
+		{"f9", f9},
+		{"f10", f10},
+		{"a1", a1},
+		{"a2", a2},
+		{"a3", a3},
+		{"a4", a4},
+		{"a5", a5},
+		{"p1", p1},
+		{"m1", m1},
+	}
+	if experiment == "all" {
+		for _, r := range runners {
+			if err := r.fn(cfg); err != nil {
+				return fmt.Errorf("%s: %w", r.name, err)
+			}
+		}
+		return nil
+	}
+	for _, r := range runners {
+		if r.name == experiment {
+			return r.fn(cfg)
+		}
+	}
+	return fmt.Errorf("unknown experiment %q", experiment)
+}
+
+// csvOut switches row/series rendering to CSV.
+var csvOut bool
+
+func header(title string) {
+	if csvOut {
+		fmt.Printf("# %s\n", title)
+		return
+	}
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func printRows(rows []bench.Row) {
+	if csvOut {
+		fmt.Print(bench.RowsCSV(rows))
+		return
+	}
+	fmt.Print(bench.FormatRows(rows))
+}
+
+func printSeries(xlabel string, series []bench.Series) {
+	if csvOut {
+		fmt.Print(bench.SeriesCSV(xlabel, series))
+		return
+	}
+	fmt.Print(bench.FormatSeries(xlabel, series))
+}
+
+func table1(cfg bench.Config) error {
+	header("Table 1: covariance sketch communication (words) and guarantees")
+	rows, err := bench.Table1(cfg)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+	return nil
+}
+
+func table2(cfg bench.Config) error {
+	header("Table 2: distributed PCA communication (words) and quality ratio")
+	rows, err := bench.Table2(cfg)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+	return nil
+}
+
+func f1(cfg bench.Config) error {
+	header("F1: headline s=d, error ‖A‖F²/d — words vs d (new is d^2.5·√log d)")
+	series, err := bench.HeadlineD25([]int{16, 24, 32, 48, 64}, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	printSeries("d", series)
+	return nil
+}
+
+func f2(cfg bench.Config) error {
+	header("F2: words vs s (deterministic linear vs randomized √s)")
+	series, err := bench.CommVsServers([]int{2, 4, 8, 16, 32, 64, 128}, cfg.D, cfg.Eps, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	printSeries("s", series)
+	return nil
+}
+
+func f3(cfg bench.Config) error {
+	header("F3: words vs 1/ε (sampling's quadratic blowup)")
+	series, err := bench.CommVsEpsilon([]float64{0.4, 0.3, 0.2, 0.1, 0.05}, cfg.S, cfg.D, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	printSeries("1/eps", series)
+	return nil
+}
+
+func f4(cfg bench.Config) error {
+	header("F4: error vs communication frontier (relative coverr)")
+	series, err := bench.ErrorFrontier([]float64{0.4, 0.3, 0.2, 0.1, 0.05}, cfg.S, cfg.D, 0.8, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	printSeries("words", series)
+	return nil
+}
+
+func f5(cfg bench.Config) error {
+	header("F5: Thm5 linear vs Thm6 quadratic sampling function (words & rel. error)")
+	series, err := bench.SamplingFunctionAblation([]int{16, 32, 64, 128, 256}, cfg.S, cfg.Eps, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	printSeries("d", series)
+	return nil
+}
+
+func f6(cfg bench.Config) error {
+	header("F6: §3.3 bit complexity — quantization and the rank≤2k exact protocol")
+	rows, err := bench.BitComplexity(cfg)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+	return nil
+}
+
+func f7(cfg bench.Config) error {
+	header("F7: PCA quality ratio vs k (Lemma 1 / Lemma 8)")
+	series, err := bench.PCAQuality([]int{2, 3, 5, 8, 12}, cfg)
+	if err != nil {
+		return err
+	}
+	printSeries("k", series)
+	return nil
+}
+
+func f8(cfg bench.Config) error {
+	header("F8: lower-bound machinery — Lemma 3 probability, Lemma 2 gap vs d")
+	series, err := bench.LowerBoundSeparation([]int{8, 12, 16, 24, 32}, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	printSeries("d", series)
+	return nil
+}
+
+func f9(cfg bench.Config) error {
+	header("F9: per-server working space (words)")
+	rows, err := bench.StreamingSpace(cfg)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+	return nil
+}
+
+func f10(cfg bench.Config) error {
+	header("F10: mergeability — merged vs direct FD error across random partitions")
+	series, err := bench.Mergeability(cfg, 8)
+	if err != nil {
+		return err
+	}
+	printSeries("trial", series)
+	return nil
+}
+
+func a1(cfg bench.Config) error {
+	header("A1: Bernoulli vs i.i.d. sampling inside SVS (max rel. error)")
+	rows, err := bench.BernoulliVsIID(cfg, 5)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+	return nil
+}
+
+func a2(cfg bench.Config) error {
+	header("A2: final FD re-compression of Q (size vs extra error)")
+	rows, err := bench.FinalCompressAblation(cfg)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+	return nil
+}
+
+func a3(cfg bench.Config) error {
+	header("A3: FD buffer factor (runtime at identical guarantee)")
+	rows, err := bench.BufferFactorAblation(cfg)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+	return nil
+}
+
+func a4(cfg bench.Config) error {
+	header("A4: FD shrink factorization — Jacobi vs Gram vs randomized")
+	rows, err := bench.SVDMethodAblation(cfg)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+	return nil
+}
+
+func a5(cfg bench.Config) error {
+	header("A5: sparse-input FD ([15] regime) — update path and shrink factorization")
+	for _, density := range []float64{0.05, 0.2} {
+		rows, err := bench.SparseInputAblation(cfg, density)
+		if err != nil {
+			return err
+		}
+		printRows(rows)
+	}
+	return nil
+}
+
+func p1(cfg bench.Config) error {
+	header("P1: distributed power iteration — quality and words vs rounds")
+	series, err := bench.PowerIterationCurve(cfg, []int{1, 2, 4, 8, 16})
+	if err != nil {
+		return err
+	}
+	printSeries("rounds", series)
+	return nil
+}
+
+func m1(cfg bench.Config) error {
+	header("M1: continuous tracking ([17] model) — policies incl. the §1.5 SVS question")
+	rows, err := bench.MonitoringComparison(cfg, 256)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+	return nil
+}

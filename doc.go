@@ -1,0 +1,32 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Zengfeng Huang, Xuemin Lin, Wenjie Zhang, Ying Zhang.
+//	"Efficient Matrix Sketching over Distributed Data." PODS 2017.
+//
+// The library computes covariance sketches B of a row-partitioned matrix A
+// (small matrices with ‖AᵀA − BᵀB‖₂ bounded) while minimizing the number of
+// words communicated between servers and a coordinator, and applies them to
+// distributed PCA and low-rank approximation.
+//
+// Packages (all under internal/):
+//
+//   - matrix, linalg    — dense linear algebra substrate (SVD, QR, eigen)
+//   - fd                — Frequent Directions streaming sketch (Theorem 1/2)
+//   - core              — the paper's contribution: SVS sampling
+//     (Algorithm 1, Theorems 4–6), Decomp (Lemma 6) and
+//     the adaptive (ε,k)-sketch (§3.2, Theorem 7)
+//   - rowsample         — squared-norm row-sampling baseline [10]
+//   - comm              — word/bit accounting, wire codec, §3.3 quantizer
+//   - distributed       — server/coordinator protocols over channels or TCP
+//   - pca               — distributed PCA (§4, Lemma 8, Theorem 9)
+//   - lowerbound        — §2.1 lower-bound machinery and cost formulas
+//   - monitoring        — continuous tracking in the [17] model (§1.5
+//     open question), with SVS-compressed deltas
+//   - workload          — synthetic matrix generators and partitioners
+//   - bench             — the experiment harness behind bench_test.go and
+//     cmd/sketchbench
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

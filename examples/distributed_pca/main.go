@@ -1,0 +1,67 @@
+// Distributed PCA (Theorem 9): rows of a clustered dataset are spread over
+// 16 servers; the sketch-and-solve pipeline recovers near-optimal principal
+// components at a fraction of the deterministic baseline's communication.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/distributed"
+	"repro/internal/pca"
+	"repro/internal/workload"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	n, d, k, s := 8192, 96, 4, 16
+	eps := 0.15
+
+	// Points from k well-separated Gaussian clusters: the top-k principal
+	// components capture the cluster-center subspace.
+	a := workload.ClusteredGaussians(rng, n, d, k, 30, 1.0)
+	parts := workload.Split(a, s, workload.RoundRobin, nil)
+	fmt.Printf("input: %d×%d over %d servers, k=%d, ε=%.2f\n\n", n, d, s, k, eps)
+
+	type result struct {
+		name string
+		res  *distributed.Result
+	}
+	params := distributed.PCAParams{K: k, Eps: eps}
+	var runs []result
+
+	r1, err := distributed.RunPCAFDMerge(parts, params, distributed.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	runs = append(runs, result{"FD-merge PCA (baseline [22])", r1})
+
+	r2, err := distributed.RunBWZ(parts, params, distributed.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	runs = append(runs, result{"batch solve (stand-in for [5])", r2})
+
+	r3, err := distributed.RunPCASketchSolve(parts, params, distributed.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	runs = append(runs, result{"Thm9: sketch + coordinator SVD", r3})
+
+	r4, err := distributed.RunPCACombined(parts, params, distributed.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	runs = append(runs, result{"Thm9: sketch + distributed solve", r4})
+
+	fmt.Printf("%-34s %12s %14s\n", "algorithm", "words", "quality ratio")
+	for _, r := range runs {
+		ratio, err := pca.QualityRatio(a, r.res.PCs, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s %12.0f %14.4f\n", r.name, r.res.Words, ratio)
+	}
+	fmt.Printf("\n(quality ratio = ‖A−AVVᵀ‖F² / ‖A−[A]_k‖F²; 1.0 is optimal, the\n guarantee is ≤ 1+O(ε))\n")
+}

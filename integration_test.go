@@ -1,0 +1,198 @@
+package repro
+
+// End-to-end integration tests across modules: workload generation → file
+// round trip → row partitioning → distributed protocols (in-memory and TCP)
+// → sketch verification → PCA — the full pipeline a user of this library
+// would run, asserted against the paper's guarantees.
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/distributed"
+	"repro/internal/fd"
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+	"repro/internal/pca"
+	"repro/internal/workload"
+)
+
+func TestEndToEndSketchPipeline(t *testing.T) {
+	// 1. Generate a workload and persist it, as cmd/genmatrix would.
+	rng := rand.New(rand.NewSource(100))
+	a := workload.LowRankPlusNoise(rng, 1024, 32, 4, 60, 0.75, 0.3)
+	path := filepath.Join(t.TempDir(), "a.dskm")
+	if err := workload.SaveMatrix(path, a); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := workload.LoadMatrix(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Equal(a) {
+		t.Fatal("file round trip lost data")
+	}
+
+	// 2. Partition and run every covariance-sketch protocol; all must meet
+	// their guarantee on the same input.
+	eps, k := 0.2, 4
+	parts := workload.Split(loaded, 8, workload.RoundRobin, nil)
+	cfg := distributed.Config{Seed: 42}
+
+	det, err := distributed.RunFDMerge(parts, eps, k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSketch(t, "fd-merge", a, det.Sketch, eps, k)
+
+	ad, err := distributed.RunAdaptive(parts, distributed.AdaptiveParams{Eps: eps, K: k}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSketch(t, "adaptive", a, ad.Sketch, 3*eps, k)
+
+	svs, err := distributed.RunSVS(parts, eps, 0.1, false, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSketch(t, "svs", a, svs.Sketch, 4*eps, 0)
+
+	// 3. The paper's separation on this input: randomized cheaper than
+	// deterministic in both regimes.
+	if ad.Words >= det.Words {
+		t.Errorf("adaptive %v words not below FD merge %v", ad.Words, det.Words)
+	}
+
+	// 4. PCA from the adaptive sketch (Theorem 9 via Lemma 8).
+	v, err := pca.SketchPCs(ad.Sketch, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := pca.QualityRatio(a, v, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio > 1+6*eps {
+		t.Errorf("PCA ratio %v from adaptive sketch", ratio)
+	}
+
+	// 5. Low-rank approximation via Lemma 1 from the deterministic sketch.
+	pe, err := core.ProjectionError(a, det.Sketch, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := linalg.TailEnergy(a, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := core.CovErr(a, det.Sketch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe > tail+2*float64(k)*ce+1e-9 {
+		t.Errorf("Lemma 1 violated end-to-end: %v > %v + 2k·%v", pe, tail, ce)
+	}
+}
+
+func assertSketch(t *testing.T, name string, a, b *matrix.Dense, eps float64, k int) {
+	t.Helper()
+	ok, ce, bound, err := core.IsEpsKSketch(a, b, eps, k)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if !ok {
+		t.Errorf("%s: coverr %v > budget %v", name, ce, bound)
+	}
+}
+
+func TestEndToEndTCPPipeline(t *testing.T) {
+	// The same pipeline over real sockets: a coordinator and 3 servers in
+	// separate goroutines with independent meters, speaking the wire codec.
+	rng := rand.New(rand.NewSource(101))
+	a := workload.ClusteredGaussians(rng, 600, 24, 3, 25, 1.0)
+	parts := workload.Split(a, 3, workload.Contiguous, nil)
+	eps, k := 0.2, 3
+
+	coord, err := distributed.NewTCPCoordinator("127.0.0.1:0", 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			srv, err := distributed.DialTCPServer(coord.Addr(), id, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer srv.Close()
+			p := distributed.AdaptiveParams{Eps: eps, K: k}
+			if err := distributed.ServerAdaptive(srv.Node(), parts[id], 3, p, distributed.Config{Seed: int64(id)}); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	if err := coord.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	sketch, err := distributed.CoordAdaptive(coord.Node(), 3, distributed.AdaptiveParams{Eps: eps, K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	ok, ce, bound, err := core.IsEpsKSketch(a, sketch, 3*eps, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("TCP adaptive sketch: %v > %v", ce, bound)
+	}
+}
+
+func TestEndToEndStreamingMemoryModel(t *testing.T) {
+	// The one-pass claim: a server processes its rows strictly as a stream
+	// with bounded buffer, and the final merged result still meets the
+	// guarantee — the distributed streaming model of §1.
+	rng := rand.New(rand.NewSource(102))
+	a := workload.PowerLawSpectrum(rng, 900, 20, 1.0, 15)
+	eps := 0.15
+	parts := workload.Split(a, 3, workload.Contiguous, nil)
+	merged := fd.New(20, fd.SketchSize(eps, 0), fd.Options{})
+	for _, p := range parts {
+		local := fd.New(20, fd.SketchSize(eps, 0), fd.Options{})
+		stream := workload.NewRowStream(p)
+		for row, ok := stream.Next(); ok; row, ok = stream.Next() {
+			if err := local.Update(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if local.WorkingSpaceRows() > 2*fd.SketchSize(eps, 0) {
+			t.Fatal("working space exceeds O(1/ε) rows")
+		}
+		if err := merged.Merge(local); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := merged.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := core.CovErr(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce > eps*a.Frob2() {
+		t.Fatalf("streaming pipeline coverr %v > ε‖A‖F² = %v", ce, eps*a.Frob2())
+	}
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// RowsCSV renders rows as CSV with a header, for piping into plotting
+// tools.
+func RowsCSV(rows []Row) string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write([]string{"experiment", "algorithm", "s", "d", "k", "eps", "words", "theory_words", "error", "budget", "ok", "note"})
+	for _, r := range rows {
+		_ = w.Write([]string{
+			r.Experiment, r.Algorithm,
+			strconv.Itoa(r.S), strconv.Itoa(r.D), strconv.Itoa(r.K),
+			fmt.Sprintf("%g", r.Eps),
+			fmt.Sprintf("%g", r.Words), fmt.Sprintf("%g", r.TheoryW),
+			fmt.Sprintf("%g", r.CovErr), fmt.Sprintf("%g", r.Budget),
+			strconv.FormatBool(r.OK), r.Note,
+		})
+	}
+	w.Flush()
+	return b.String()
+}
+
+// SeriesCSV renders sweeps as CSV: one x column and one column per series.
+func SeriesCSV(xlabel string, series []Series) string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	header := []string{xlabel}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	_ = w.Write(header)
+	if len(series) > 0 {
+		for i := range series[0].X {
+			rec := []string{fmt.Sprintf("%g", series[0].X[i])}
+			for _, s := range series {
+				if i < len(s.Y) {
+					rec = append(rec, fmt.Sprintf("%g", s.Y[i]))
+				} else {
+					rec = append(rec, "")
+				}
+			}
+			_ = w.Write(rec)
+		}
+	}
+	w.Flush()
+	return b.String()
+}

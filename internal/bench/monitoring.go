@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/matrix"
+	"repro/internal/monitoring"
+	"repro/internal/workload"
+)
+
+// MonitoringComparison is experiment M1: continuous tracking (the
+// distributed monitoring model of [17], the paper's §1.5 open question).
+// For each upload policy it reports the total communication over the whole
+// stream, the worst audited relative error, and the naive stream-everything
+// baseline. PolicySVSDelta is the empirical answer to "can SVS improve
+// monitoring": its uploads are SVS-compressed deltas.
+func MonitoringComparison(cfg Config, rowsPerServer int) ([]Row, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	streams := make([]*matrix.Dense, cfg.S)
+	for i := range streams {
+		streams[i] = workload.LowRankPlusNoise(rng, rowsPerServer, cfg.D, cfg.K, 30, 0.8, 0.3)
+	}
+	var rows []Row
+	naive := 0.0
+	for _, policy := range []monitoring.Policy{
+		monitoring.PolicyFullSketch,
+		monitoring.PolicyDelta,
+		monitoring.PolicySVSDelta,
+	} {
+		mcfg := monitoring.Config{Eps: cfg.Eps, S: cfg.S, D: cfg.D, Policy: policy, Seed: cfg.Seed}
+		res, err := monitoring.Simulate(mcfg, streams, rowsPerServer*cfg.S/16)
+		if err != nil {
+			return nil, fmt.Errorf("M1 %v: %w", policy, err)
+		}
+		naive = res.NaiveWords
+		budget := cfg.Eps
+		if policy == monitoring.PolicySVSDelta {
+			budget = 2 * cfg.Eps // probabilistic slack
+		}
+		rows = append(rows, Row{
+			Experiment: "M1", Algorithm: "tracking " + policy.String(),
+			S: cfg.S, D: cfg.D, K: cfg.K, Eps: cfg.Eps,
+			Words:  res.TotalWords,
+			CovErr: res.MaxRelErr, Budget: budget,
+			OK:   res.MaxRelErr <= budget,
+			Note: fmt.Sprintf("%d uploads, %d broadcasts", res.Uploads, res.Broadcasts),
+		})
+	}
+	rows = append(rows, Row{
+		Experiment: "M1", Algorithm: "tracking naive (stream all)",
+		S: cfg.S, D: cfg.D, K: cfg.K, Eps: cfg.Eps,
+		Words: naive, OK: true, Note: "exact, trivial upper envelope",
+	})
+	return rows, nil
+}

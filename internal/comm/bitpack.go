@@ -1,0 +1,63 @@
+package comm
+
+import "fmt"
+
+// Bit packing for quantized matrices: values are stored at their true width
+// (BitsPerEntry, sign-extended two's complement) so the bytes on the wire
+// match the §3.3 accounting instead of shipping 64-bit integers.
+
+// packBits packs each value's low `bits` bits contiguously (LSB-first).
+// Values must fit in `bits` bits as signed integers.
+func packBits(values []int64, bits int) ([]byte, error) {
+	if bits <= 0 || bits > 64 {
+		return nil, fmt.Errorf("comm: packBits width %d out of range", bits)
+	}
+	lo, hi := int64(-1)<<(bits-1), int64(1)<<(bits-1)-1
+	if bits == 64 {
+		lo, hi = -1<<63, 1<<63-1
+	}
+	out := make([]byte, (len(values)*bits+7)/8)
+	bitPos := 0
+	for _, v := range values {
+		if v < lo || v > hi {
+			return nil, fmt.Errorf("comm: value %d does not fit in %d bits", v, bits)
+		}
+		u := uint64(v) & (^uint64(0) >> (64 - uint(bits)))
+		for b := 0; b < bits; b++ {
+			if u>>(uint(b))&1 == 1 {
+				out[bitPos>>3] |= 1 << (uint(bitPos) & 7)
+			}
+			bitPos++
+		}
+	}
+	return out, nil
+}
+
+// unpackBits reverses packBits for n values of the given width,
+// sign-extending each.
+func unpackBits(data []byte, n, bits int) ([]int64, error) {
+	if bits <= 0 || bits > 64 {
+		return nil, fmt.Errorf("comm: unpackBits width %d out of range", bits)
+	}
+	need := (n*bits + 7) / 8
+	if len(data) < need {
+		return nil, fmt.Errorf("comm: packed data %d bytes, need %d", len(data), need)
+	}
+	out := make([]int64, n)
+	bitPos := 0
+	for i := 0; i < n; i++ {
+		var u uint64
+		for b := 0; b < bits; b++ {
+			if data[bitPos>>3]>>(uint(bitPos)&7)&1 == 1 {
+				u |= 1 << uint(b)
+			}
+			bitPos++
+		}
+		// Sign extend.
+		if bits < 64 && u>>(uint(bits)-1)&1 == 1 {
+			u |= ^uint64(0) << uint(bits)
+		}
+		out[i] = int64(u)
+	}
+	return out, nil
+}

@@ -1,0 +1,267 @@
+// Package comm provides the communication-accounting layer: typed messages
+// between servers and the coordinator, a binary codec for sending them over
+// real sockets, a word/bit meter matching the paper's cost model, and the
+// §3.3 quantizer that rounds sketch entries to O(log(nd/ε)) bits.
+//
+// Cost model (paper §1.2): communication is measured in machine words of
+// O(log(nd/ε)) bits; every entry of the input matrix fits in one word. We
+// count one float64 scalar or matrix entry as one word (64 bits) and a
+// quantized entry as its actual bit width, so quantized protocols report
+// fractional word savings exactly.
+package comm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// CoordinatorID is the conventional endpoint ID of the coordinator.
+const CoordinatorID = -1
+
+// WordBits is the size of one machine word in the cost model.
+const WordBits = 64
+
+// Message is one protocol message. Any subset of the payload fields may be
+// set; cost accounting covers exactly the fields present.
+type Message struct {
+	// Kind tags the protocol step (e.g. "frob2", "sketch", "pcs").
+	Kind string
+	// From and To are endpoint IDs (CoordinatorID for the coordinator).
+	From, To int
+	// Scalars carries float64 values (one word each).
+	Scalars []float64
+	// Ints carries integer values (one word each).
+	Ints []int64
+	// Matrix carries a dense matrix (one word per entry).
+	Matrix *matrix.Dense
+	// Quantized carries a quantized matrix (BitsPerEntry bits per entry).
+	Quantized *QuantizedMatrix
+}
+
+// Bits returns the payload size of the message in bits under the paper's
+// cost model. Headers/kind tags are control overhead and not counted, as in
+// the paper's word complexity.
+func (m *Message) Bits() int64 {
+	bits := int64(len(m.Scalars)+len(m.Ints)) * WordBits
+	if m.Matrix != nil {
+		r, c := m.Matrix.Dims()
+		bits += int64(r) * int64(c) * WordBits
+	}
+	if m.Quantized != nil {
+		bits += m.Quantized.Bits()
+	}
+	return bits
+}
+
+// Words returns the payload size in (possibly fractional) machine words.
+func (m *Message) Words() float64 { return float64(m.Bits()) / WordBits }
+
+const (
+	msgMagic = uint32(0x444d5347) // "DMSG"
+
+	fieldScalars   = uint8(1)
+	fieldInts      = uint8(2)
+	fieldMatrix    = uint8(3)
+	fieldQuantized = uint8(4)
+	fieldEnd       = uint8(0)
+)
+
+// Encode serializes the message to w (little-endian framing).
+func (m *Message) Encode(w io.Writer) error {
+	var buf bytes.Buffer
+	write := func(v any) {
+		// bytes.Buffer writes never fail.
+		_ = binary.Write(&buf, binary.LittleEndian, v)
+	}
+	write(msgMagic)
+	kind := []byte(m.Kind)
+	write(uint16(len(kind)))
+	buf.Write(kind)
+	write(int32(m.From))
+	write(int32(m.To))
+	if m.Scalars != nil {
+		write(fieldScalars)
+		write(uint32(len(m.Scalars)))
+		for _, v := range m.Scalars {
+			write(math.Float64bits(v))
+		}
+	}
+	if m.Ints != nil {
+		write(fieldInts)
+		write(uint32(len(m.Ints)))
+		for _, v := range m.Ints {
+			write(v)
+		}
+	}
+	if m.Matrix != nil {
+		write(fieldMatrix)
+		r, c := m.Matrix.Dims()
+		write(uint32(r))
+		write(uint32(c))
+		for _, v := range m.Matrix.Data() {
+			write(math.Float64bits(v))
+		}
+	}
+	if m.Quantized != nil {
+		q := m.Quantized
+		packed, err := packBits(q.Values, q.BitsPerEntry)
+		if err != nil {
+			return fmt.Errorf("comm: pack quantized: %w", err)
+		}
+		write(fieldQuantized)
+		write(uint32(q.Rows))
+		write(uint32(q.Cols))
+		write(math.Float64bits(q.Step))
+		write(uint8(q.BitsPerEntry))
+		write(uint32(len(q.Values)))
+		buf.Write(packed)
+	}
+	write(fieldEnd)
+	frame := buf.Bytes()
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(frame))); err != nil {
+		return fmt.Errorf("comm: write frame length: %w", err)
+	}
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("comm: write frame: %w", err)
+	}
+	return nil
+}
+
+// maxFrameBytes bounds a single message frame (1 GiB).
+const maxFrameBytes = 1 << 30
+
+// Decode reads one message from r.
+func Decode(r io.Reader) (*Message, error) {
+	var frameLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &frameLen); err != nil {
+		return nil, err // io.EOF propagates cleanly for closed connections
+	}
+	if frameLen > maxFrameBytes {
+		return nil, fmt.Errorf("comm: frame of %d bytes exceeds limit", frameLen)
+	}
+	frame := make([]byte, frameLen)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, fmt.Errorf("comm: read frame: %w", err)
+	}
+	buf := bytes.NewReader(frame)
+	read := func(v any) error { return binary.Read(buf, binary.LittleEndian, v) }
+
+	var magic uint32
+	if err := read(&magic); err != nil {
+		return nil, err
+	}
+	if magic != msgMagic {
+		return nil, fmt.Errorf("comm: bad magic %#x", magic)
+	}
+	var kindLen uint16
+	if err := read(&kindLen); err != nil {
+		return nil, err
+	}
+	kind := make([]byte, kindLen)
+	if _, err := io.ReadFull(buf, kind); err != nil {
+		return nil, err
+	}
+	var from, to int32
+	if err := read(&from); err != nil {
+		return nil, err
+	}
+	if err := read(&to); err != nil {
+		return nil, err
+	}
+	m := &Message{Kind: string(kind), From: int(from), To: int(to)}
+	for {
+		var field uint8
+		if err := read(&field); err != nil {
+			return nil, err
+		}
+		switch field {
+		case fieldEnd:
+			return m, nil
+		case fieldScalars:
+			var n uint32
+			if err := read(&n); err != nil {
+				return nil, err
+			}
+			m.Scalars = make([]float64, n)
+			for i := range m.Scalars {
+				var b uint64
+				if err := read(&b); err != nil {
+					return nil, err
+				}
+				m.Scalars[i] = math.Float64frombits(b)
+			}
+		case fieldInts:
+			var n uint32
+			if err := read(&n); err != nil {
+				return nil, err
+			}
+			m.Ints = make([]int64, n)
+			for i := range m.Ints {
+				if err := read(&m.Ints[i]); err != nil {
+					return nil, err
+				}
+			}
+		case fieldMatrix:
+			var r32, c32 uint32
+			if err := read(&r32); err != nil {
+				return nil, err
+			}
+			if err := read(&c32); err != nil {
+				return nil, err
+			}
+			if uint64(r32)*uint64(c32) > maxFrameBytes/8 {
+				return nil, fmt.Errorf("comm: matrix %d×%d too large", r32, c32)
+			}
+			mm := matrix.New(int(r32), int(c32))
+			data := mm.Data()
+			for i := range data {
+				var b uint64
+				if err := read(&b); err != nil {
+					return nil, err
+				}
+				data[i] = math.Float64frombits(b)
+			}
+			m.Matrix = mm
+		case fieldQuantized:
+			q := &QuantizedMatrix{}
+			var r32, c32, n uint32
+			var stepBits uint64
+			var bpe uint8
+			if err := read(&r32); err != nil {
+				return nil, err
+			}
+			if err := read(&c32); err != nil {
+				return nil, err
+			}
+			if err := read(&stepBits); err != nil {
+				return nil, err
+			}
+			if err := read(&bpe); err != nil {
+				return nil, err
+			}
+			if err := read(&n); err != nil {
+				return nil, err
+			}
+			q.Rows, q.Cols = int(r32), int(c32)
+			q.Step = math.Float64frombits(stepBits)
+			q.BitsPerEntry = int(bpe)
+			packed := make([]byte, (int(n)*q.BitsPerEntry+7)/8)
+			if _, err := io.ReadFull(buf, packed); err != nil {
+				return nil, err
+			}
+			vals, err := unpackBits(packed, int(n), q.BitsPerEntry)
+			if err != nil {
+				return nil, err
+			}
+			q.Values = vals
+			m.Quantized = q
+		default:
+			return nil, fmt.Errorf("comm: unknown field tag %d", field)
+		}
+	}
+}

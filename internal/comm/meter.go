@@ -1,0 +1,116 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Meter accumulates communication cost per directed link and in total.
+// It is safe for concurrent use (protocol goroutines share one meter).
+type Meter struct {
+	mu       sync.Mutex
+	linkBits map[[2]int]int64
+	bits     int64
+	messages int64
+	rounds   int64
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter {
+	return &Meter{linkBits: make(map[[2]int]int64)}
+}
+
+// Record charges one message to the meter.
+func (m *Meter) Record(msg *Message) {
+	b := msg.Bits()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.linkBits[[2]int{msg.From, msg.To}] += b
+	m.bits += b
+	m.messages++
+}
+
+// AddRound increments the round counter; protocols call it once per
+// synchronous communication round.
+func (m *Meter) AddRound() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rounds++
+}
+
+// Bits returns the total bits sent.
+func (m *Meter) Bits() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bits
+}
+
+// Words returns the total cost in (fractional) machine words.
+func (m *Meter) Words() float64 {
+	return float64(m.Bits()) / WordBits
+}
+
+// Messages returns the number of messages recorded.
+func (m *Meter) Messages() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.messages
+}
+
+// Rounds returns the number of rounds recorded.
+func (m *Meter) Rounds() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rounds
+}
+
+// LinkWords returns the words sent from endpoint `from` to endpoint `to`.
+func (m *Meter) LinkWords(from, to int) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return float64(m.linkBits[[2]int{from, to}]) / WordBits
+}
+
+// Reset zeroes all counters.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.linkBits = make(map[[2]int]int64)
+	m.bits, m.messages, m.rounds = 0, 0, 0
+}
+
+// Summary renders the per-link breakdown for diagnostics.
+func (m *Meter) Summary() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	type link struct {
+		from, to int
+		bits     int64
+	}
+	links := make([]link, 0, len(m.linkBits))
+	for k, v := range m.linkBits {
+		links = append(links, link{k[0], k[1], v})
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].from != links[j].from {
+			return links[i].from < links[j].from
+		}
+		return links[i].to < links[j].to
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "total: %.1f words in %d messages, %d rounds\n",
+		float64(m.bits)/WordBits, m.messages, m.rounds)
+	for _, l := range links {
+		fmt.Fprintf(&b, "  %s -> %s: %.1f words\n", endpointName(l.from), endpointName(l.to), float64(l.bits)/WordBits)
+	}
+	return b.String()
+}
+
+func endpointName(id int) string {
+	if id == CoordinatorID {
+		return "coord"
+	}
+	return fmt.Sprintf("s%d", id)
+}

@@ -1,0 +1,108 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// QuantizedMatrix is a matrix rounded to an integer grid of spacing Step:
+// entry (i,j) ≈ Values[i·Cols+j]·Step. BitsPerEntry is the width needed to
+// represent every value (sign included), the per-entry communication cost.
+type QuantizedMatrix struct {
+	Rows, Cols   int
+	Step         float64
+	BitsPerEntry int
+	Values       []int64
+}
+
+// Bits returns the total payload size in bits.
+func (q *QuantizedMatrix) Bits() int64 {
+	return int64(q.Rows) * int64(q.Cols) * int64(q.BitsPerEntry)
+}
+
+// Words returns the payload size in fractional machine words.
+func (q *QuantizedMatrix) Words() float64 { return float64(q.Bits()) / WordBits }
+
+// Dequantize reconstructs the rounded matrix.
+func (q *QuantizedMatrix) Dequantize() *matrix.Dense {
+	m := matrix.New(q.Rows, q.Cols)
+	data := m.Data()
+	for i, v := range q.Values {
+		data[i] = float64(v) * q.Step
+	}
+	return m
+}
+
+// Quantizer rounds matrices to additive precision Step, implementing the
+// §3.3 rounding: entries of a sketch Q are bounded by poly(nd/ε) and
+// ‖A−[A]_k‖F² ≥ poly⁻¹(nd/ε) (Lemma 7), so rounding to an additive
+// poly⁻¹(nd/ε) grid keeps the guarantee while each entry fits in
+// O(log(nd/ε)) bits.
+type Quantizer struct {
+	// Step is the grid spacing (the additive precision).
+	Step float64
+}
+
+// NewQuantizer returns a quantizer with the given additive precision.
+func NewQuantizer(step float64) *Quantizer {
+	if step <= 0 || math.IsNaN(step) || math.IsInf(step, 0) {
+		panic(fmt.Sprintf("comm: invalid quantizer step %v", step))
+	}
+	return &Quantizer{Step: step}
+}
+
+// StepFor returns the §3.3 precision poly⁻¹(nd/ε) for the given problem
+// size: 1/(n·d/ε)^c with c = 1 (the analysis allows any fixed power; the
+// benchmarks measure the resulting error directly).
+func StepFor(n, d int, eps float64) float64 {
+	if n <= 0 || d <= 0 || eps <= 0 {
+		panic(fmt.Sprintf("comm: invalid StepFor(%d,%d,%v)", n, d, eps))
+	}
+	return eps / (float64(n) * float64(d))
+}
+
+// Quantize rounds m to the grid. The max rounding error per entry is Step/2.
+func (z *Quantizer) Quantize(m *matrix.Dense) (*QuantizedMatrix, error) {
+	r, c := m.Dims()
+	q := &QuantizedMatrix{Rows: r, Cols: c, Step: z.Step, Values: make([]int64, r*c)}
+	maxAbs := int64(0)
+	for i, v := range m.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("comm: cannot quantize non-finite entry %v", v)
+		}
+		scaled := math.Round(v / z.Step)
+		if scaled > math.MaxInt64/2 || scaled < math.MinInt64/2 {
+			return nil, fmt.Errorf("comm: entry %v overflows the quantization grid (step %v)", v, z.Step)
+		}
+		iv := int64(scaled)
+		q.Values[i] = iv
+		if iv < 0 {
+			iv = -iv
+		}
+		if iv > maxAbs {
+			maxAbs = iv
+		}
+	}
+	q.BitsPerEntry = bitsFor(maxAbs)
+	return q, nil
+}
+
+// bitsFor returns the number of bits to represent integers in
+// [-maxAbs, maxAbs]: magnitude bits + 1 sign bit, at least 1.
+func bitsFor(maxAbs int64) int {
+	bits := 1
+	for v := maxAbs; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+// RoundTripError returns the worst-case additive spectral-norm perturbation
+// of the Gram matrix from quantizing an r×c matrix with entries bounded by
+// maxAbs: ‖QᵀQ − Q̃ᵀQ̃‖₂ ≤ ‖QᵀQ−Q̃ᵀQ̃‖F ≤ r·c·step·(2·maxAbs + step).
+// Used by tests to check the §3.3 claim that rounding is harmless.
+func RoundTripError(rows, cols int, maxAbs, step float64) float64 {
+	return float64(rows) * float64(cols) * step * (2*maxAbs + step)
+}

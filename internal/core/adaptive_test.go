@@ -1,0 +1,325 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+func TestDecompIdentity(t *testing.T) {
+	// Lemma 6: BᵀB = TᵀT + RᵀR and ‖R‖F² = ‖B−[B]_k‖F².
+	rng := rand.New(rand.NewSource(1))
+	b := workload.LowRankPlusNoise(rng, 20, 8, 3, 5, 0.8, 0.5)
+	for _, k := range []int{0, 1, 3, 8, 20} {
+		tt, r, err := Decomp(b, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := tt.Gram().Add(r.Gram())
+		if !sum.EqualApprox(b.Gram(), 1e-7) {
+			t.Fatalf("k=%d: TᵀT+RᵀR != BᵀB", k)
+		}
+		tail, err := linalg.TailEnergy(b, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.Frob2()-tail) > 1e-7*(1+tail) {
+			t.Fatalf("k=%d: ‖R‖F² = %v, want tail %v", k, r.Frob2(), tail)
+		}
+		wantT := k
+		if m := min(b.Rows(), b.Cols()); wantT > m {
+			wantT = m
+		}
+		if tt.Rows() != wantT {
+			t.Fatalf("k=%d: T has %d rows, want %d", k, tt.Rows(), wantT)
+		}
+	}
+}
+
+func TestDecompNegativeKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Decomp(matrix.New(2, 2), -1)
+}
+
+func TestLemma5TailShrinkage(t *testing.T) {
+	// Lemma 5: ‖B−[B]_k‖F² ≤ (1+ε)‖A−[A]_k‖F² for B = FD(A, ε, k).
+	rng := rand.New(rand.NewSource(2))
+	a := workload.LowRankPlusNoise(rng, 200, 16, 4, 20, 0.7, 0.5)
+	eps, k := 0.25, 4
+	b, err := fd.SketchEpsK(a, eps, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tailB, err := linalg.TailEnergy(b, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tailA, err := linalg.TailEnergy(a, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tailB > (1+eps)*tailA+1e-9 {
+		t.Fatalf("‖B−[B]_k‖F² = %v > (1+ε)·%v", tailB, tailA)
+	}
+}
+
+func TestLocalTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := workload.LowRankPlusNoise(rng, 100, 10, 3, 10, 0.8, 0.3)
+	tt, r, err := LocalTail(a, 0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Rows() != 3 {
+		t.Fatalf("T rows = %d, want 3", tt.Rows())
+	}
+	// T+R together replicate the FD sketch's Gram.
+	b, err := fd.SketchEpsK(a, 0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tt.Gram().Add(r.Gram()).EqualApprox(b.Gram(), 1e-7) {
+		t.Fatal("LocalTail does not preserve the FD Gram")
+	}
+}
+
+func TestAdaptiveSketchGuarantee(t *testing.T) {
+	// Theorem 7: Q is a (3ε,k)-sketch of A w.h.p., and
+	// ‖Q‖F² = ‖A‖F² + O(‖A−[A]_k‖F²).
+	rng := rand.New(rand.NewSource(4))
+	eps, k := 0.25, 3
+	fails := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		a := workload.LowRankPlusNoise(rng, 240, 16, k, 30, 0.7, 0.4)
+		parts := workload.Split(a, 6, workload.Contiguous, nil)
+		res, err := AdaptiveSketch(parts, AdaptiveConfig{Eps: eps, K: k}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ce, err := CovErr(a, res.Q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := EpsKBound(a, 3*eps, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ce > bound {
+			fails++
+		}
+		// Frobenius norm control.
+		tail, err := linalg.TailEnergy(a, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Q.Frob2() > a.Frob2()+8*tail {
+			t.Fatalf("trial %d: ‖Q‖F² = %v too large (‖A‖F²=%v, tail=%v)", trial, res.Q.Frob2(), a.Frob2(), tail)
+		}
+		if len(res.PerServer) != 6 {
+			t.Fatalf("per-server count %d", len(res.PerServer))
+		}
+	}
+	if fails > 2 {
+		t.Fatalf("adaptive sketch exceeded (3ε,k) bound in %d/%d trials", fails, trials)
+	}
+}
+
+func TestAdaptiveSketchTailBound(t *testing.T) {
+	// Eq. (11): Σ‖R_i‖F² ≤ (1+ε)‖A−[A]_k‖F².
+	rng := rand.New(rand.NewSource(5))
+	eps, k := 0.2, 4
+	a := workload.LowRankPlusNoise(rng, 300, 20, k, 25, 0.6, 0.5)
+	parts := workload.Split(a, 5, workload.RoundRobin, nil)
+	res, err := AdaptiveSketch(parts, AdaptiveConfig{Eps: eps, K: k}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := linalg.TailEnergy(a, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TailFrob2 > (1+eps)*tail+1e-9 {
+		t.Fatalf("Σ‖R_i‖F² = %v > (1+ε)‖A−[A]_k‖F² = %v", res.TailFrob2, (1+eps)*tail)
+	}
+}
+
+func TestAdaptiveFinalCompress(t *testing.T) {
+	// Remark after Theorem 7: one more FD gives optimal size with O(ε) error.
+	rng := rand.New(rand.NewSource(6))
+	eps, k := 0.25, 3
+	a := workload.LowRankPlusNoise(rng, 200, 14, k, 20, 0.7, 0.4)
+	parts := workload.Split(a, 8, workload.Contiguous, nil)
+	res, err := AdaptiveSketch(parts, AdaptiveConfig{Eps: eps, K: k, FinalCompress: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compressed == nil {
+		t.Fatal("Compressed must be set")
+	}
+	if res.Compressed.Rows() > fd.SketchSize(eps, k) {
+		t.Fatalf("compressed %d rows > optimal %d", res.Compressed.Rows(), fd.SketchSize(eps, k))
+	}
+	ce, err := CovErr(a, res.Compressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Error budget: O(ε)·tail/k; constant from 3ε (Q) + ε·‖Q−[Q]k‖/k ≤ O(ε).
+	bound, err := EpsKBound(a, 8*eps, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce > bound {
+		t.Fatalf("compressed coverr %v > %v", ce, bound)
+	}
+}
+
+func TestAdaptiveLinearVariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	eps, k := 0.3, 2
+	a := workload.LowRankPlusNoise(rng, 150, 12, k, 15, 0.7, 0.4)
+	parts := workload.Split(a, 4, workload.Contiguous, nil)
+	res, err := AdaptiveSketch(parts, AdaptiveConfig{Eps: eps, K: k, UseLinear: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := CovErr(a, res.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := EpsKBound(a, 4*eps, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce > bound {
+		t.Fatalf("linear-variant coverr %v > %v", ce, bound)
+	}
+}
+
+func TestAdaptiveConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	parts := []*matrix.Dense{workload.Gaussian(rng, 10, 4)}
+	for _, cfg := range []AdaptiveConfig{
+		{Eps: 0, K: 1},
+		{Eps: 1.2, K: 1},
+		{Eps: 0.1, K: 0},
+		{Eps: 0.1, K: 1, Delta: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("cfg %+v: expected panic", cfg)
+				}
+			}()
+			AdaptiveSketch(parts, cfg, rng)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty parts: expected panic")
+			}
+		}()
+		AdaptiveSketch(nil, AdaptiveConfig{Eps: 0.1, K: 1}, rng)
+	}()
+}
+
+func TestIsEpsKSketch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := workload.Gaussian(rng, 80, 8)
+	b, err := fd.SketchEpsK(a, 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, ce, bound, err := IsEpsKSketch(a, b, 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("FD sketch must pass its own guarantee: %v > %v", ce, bound)
+	}
+	// The zero matrix fails for small ε (coverr = ‖AᵀA‖₂ > ε‖A‖F² here).
+	ok, _, _, err = IsEpsKSketch(a, matrix.New(0, 8), 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("empty sketch should not satisfy a tight guarantee")
+	}
+}
+
+func TestProjectionErrorAndLemma1(t *testing.T) {
+	// Lemma 1: ‖A−π_B^k(A)‖F² ≤ ‖A−[A]_k‖F² + 2k·coverr(A,B).
+	rng := rand.New(rand.NewSource(10))
+	a := workload.LowRankPlusNoise(rng, 120, 12, 3, 15, 0.8, 0.5)
+	k := 3
+	b, err := fd.SketchEpsK(a, 0.2, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := ProjectionError(a, b, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := linalg.TailEnergy(a, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := CovErr(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe > tail+2*float64(k)*ce+1e-8 {
+		t.Fatalf("Lemma 1 violated: %v > %v + 2k·%v", pe, tail, ce)
+	}
+	// Projection error is at least the optimum.
+	if pe < tail-1e-8 {
+		t.Fatalf("projection error %v below optimal %v", pe, tail)
+	}
+	// Self-projection achieves the optimum exactly.
+	self, err := ProjectionError(a, a, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(self-tail) > 1e-7*(1+tail) {
+		t.Fatalf("π_A^k(A) error %v != tail %v", self, tail)
+	}
+	// k=0 convention.
+	p0, err := ProjectionError(a, b, 0)
+	if err != nil || p0 != a.Frob2() {
+		t.Fatal("k=0 projection error must be ‖A‖F²")
+	}
+}
+
+func TestEpsKBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := workload.Gaussian(rng, 30, 6)
+	b0, err := EpsKBound(a, 0.1, 0)
+	if err != nil || math.Abs(b0-0.1*a.Frob2()) > 1e-12 {
+		t.Fatalf("k=0 bound %v", b0)
+	}
+	b2, err := EpsKBound(a, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, _ := linalg.TailEnergy(a, 2)
+	if math.Abs(b2-0.1*tail/2) > 1e-12 {
+		t.Fatalf("k=2 bound %v", b2)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinearSamplingShape(t *testing.T) {
+	g := NewLinearSampling(4, 64, 0.1, 0.1, 100)
+	if g.Name() != "linear" {
+		t.Fatal("name")
+	}
+	if g.Prob(0) != 0 || g.Prob(-1) != 0 {
+		t.Fatal("g(≤0) must be 0")
+	}
+	// Linear in x until saturation.
+	p1, p2 := g.Prob(0.001), g.Prob(0.002)
+	if math.Abs(p2-2*p1) > 1e-12 {
+		t.Fatalf("not linear: %v vs %v", p1, p2)
+	}
+	if g.Prob(1e9) != 1 {
+		t.Fatal("must saturate at 1")
+	}
+	// Coefficient: √s·log(d/δ)/(α‖A‖F²) = 2·log(640)/10.
+	wantCoef := 2 * math.Log(640) / 10
+	if got := g.Prob(1.0); math.Abs(got-math.Min(wantCoef, 1)) > 1e-12 {
+		t.Fatalf("coef: got %v want %v", got, wantCoef)
+	}
+}
+
+func TestQuadraticSamplingShape(t *testing.T) {
+	s, d, alpha, delta, frob2 := 9, 128, 0.2, 0.05, 50.0
+	g := NewQuadraticSampling(s, d, alpha, delta, frob2)
+	if g.Name() != "quadratic" {
+		t.Fatal("name")
+	}
+	cutoff := alpha * frob2 / float64(s)
+	if math.Abs(g.Cutoff()-cutoff) > 1e-12 {
+		t.Fatalf("cutoff %v want %v", g.Cutoff(), cutoff)
+	}
+	if g.Prob(cutoff*0.99) != 0 {
+		t.Fatal("below cutoff must be 0")
+	}
+	if g.Prob(cutoff) <= 0 {
+		t.Fatal("at cutoff must be positive")
+	}
+	// Quadratic in x.
+	x := 2 * cutoff
+	p1, p2 := g.Prob(x), g.Prob(2*x)
+	if p2 < 1 && math.Abs(p2-4*p1) > 1e-12 {
+		t.Fatalf("not quadratic: %v vs %v", p1, p2)
+	}
+	if g.Prob(1e12) != 1 {
+		t.Fatal("must saturate at 1")
+	}
+}
+
+func TestSamplingZeroFrobenius(t *testing.T) {
+	lin := NewLinearSampling(2, 8, 0.1, 0.1, 0)
+	if lin.Prob(5) != 0 {
+		t.Fatal("zero-mass linear must never sample")
+	}
+	quad := NewQuadraticSampling(2, 8, 0.1, 0.1, 0)
+	if quad.Prob(5) != 0 {
+		t.Fatal("zero-mass quadratic must never sample")
+	}
+}
+
+func TestSamplingParamPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLinearSampling(0, 8, 0.1, 0.1, 1) },
+		func() { NewLinearSampling(2, 0, 0.1, 0.1, 1) },
+		func() { NewLinearSampling(2, 8, 0, 0.1, 1) },
+		func() { NewLinearSampling(2, 8, 1, 0.1, 1) },
+		func() { NewLinearSampling(2, 8, 0.1, 0, 1) },
+		func() { NewQuadraticSampling(2, 8, 0.1, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestKeepAll(t *testing.T) {
+	g := KeepAll{}
+	if g.Prob(0.1) != 1 || g.Prob(0) != 0 || g.Name() == "" {
+		t.Fatal("KeepAll wrong")
+	}
+}
+
+func TestExpectedRows(t *testing.T) {
+	g := KeepAll{}
+	if got := ExpectedRows(g, []float64{1, 2, 0}); got != 2 {
+		t.Fatalf("ExpectedRows = %v, want 2", got)
+	}
+	lin := NewLinearSampling(1, 4, 0.5, 0.5, 10)
+	// g(x) = log(8)·x/5; σ = [1,2] → x = [1,4] → log(8)/5 + min(4·log(8)/5, 1).
+	want := math.Log(8)/5 + 1
+	if got := ExpectedRows(lin, []float64{1, 2}); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ExpectedRows = %v, want %v", got, want)
+	}
+}
+
+// The paper's headline communication comparison (§3.1.2): the quadratic
+// function's expected cost carries √log(d/δ) where the linear carries
+// log(d/δ). Verify the analytic expected-rows bound: for any spectrum,
+// Σ g_quad(σ²) ≤ √s·√log(d/δ)·Σσ²/(α‖A‖F²) — i.e. quadratic never exceeds
+// the linear function built with √log in place of log.
+func TestQuadraticDominatedBySqrtLogBudget(t *testing.T) {
+	s, d, alpha, delta := 16, 256, 0.1, 0.1
+	spectra := [][]float64{
+		{10, 5, 3, 1, 0.5, 0.1},
+		{1, 1, 1, 1, 1, 1, 1, 1},
+		{100, 0.001},
+	}
+	for _, sig := range spectra {
+		frob2 := 0.0
+		for _, v := range sig {
+			frob2 += v * v
+		}
+		g := NewQuadraticSampling(s, d, alpha, delta, frob2)
+		got := ExpectedRows(g, sig)
+		budget := math.Sqrt(float64(s)) * math.Sqrt(math.Log(float64(d)/delta)) / (alpha * frob2) * frob2
+		if got > budget+1e-9 {
+			t.Fatalf("spectrum %v: expected rows %v > √log budget %v", sig, got, budget)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package distributed
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/matrix"
+)
+
+// AdaptiveParams parameterizes the Theorem 7 protocol.
+type AdaptiveParams struct {
+	Eps           float64
+	K             int
+	Delta         float64
+	UseLinear     bool
+	FinalCompress bool
+}
+
+func (p AdaptiveParams) withDefaults() AdaptiveParams {
+	if p.Delta == 0 {
+		p.Delta = 0.1
+	}
+	return p
+}
+
+// ServerAdaptiveLocal runs the server's part of the §3.2 algorithm up to
+// producing (but not sending) its block Q_i of the distributed covariance
+// sketch:
+//
+//  1. Stream the local rows through FD (one pass, O(kd/ε) space), split the
+//     sketch with Decomp into (T_i, R_i).
+//  2. Send ‖R_i‖F² (one word); receive the global tail mass (one word).
+//  3. Run SVS on R_i with the shared sampling function at α = ε/k;
+//     Q_i = [T_i; W_i].
+//
+// This is the "distributed covariance sketch" of §1.4/§4: computing it
+// costs only the two calibration words per server, and the caller decides
+// whether to ship Q_i (covariance sketch protocol) or to keep it local and
+// run a distributed solve on it (PCA, Theorem 9).
+func ServerAdaptiveLocal(node Node, local *matrix.Dense, s int, p AdaptiveParams, cfg Config) (*matrix.Dense, error) {
+	p = p.withDefaults()
+	t, r, err := core.LocalTail(local, p.Eps, p.K)
+	if err != nil {
+		return nil, fmt.Errorf("server %d: %w", node.ID(), err)
+	}
+	if err := node.Send(comm.CoordinatorID, &comm.Message{Kind: "tail-frob2", Scalars: []float64{r.Frob2()}}); err != nil {
+		return nil, err
+	}
+	msg, err := expectKind(node, "tail-total")
+	if err != nil {
+		return nil, err
+	}
+	tailTotal := msg.Scalars[0]
+	d := local.Cols()
+	alpha := p.Eps / float64(p.K)
+	if alpha >= 1 {
+		alpha = 0.999999
+	}
+	var g core.SamplingFunc
+	if p.UseLinear {
+		g = core.NewLinearSampling(s, d, alpha, p.Delta, tailTotal)
+	} else {
+		g = core.NewQuadraticSampling(s, d, alpha, p.Delta, tailTotal)
+	}
+	w, err := core.SVS(r, g, cfg.rng(node.ID()))
+	if err != nil {
+		return nil, fmt.Errorf("server %d SVS: %w", node.ID(), err)
+	}
+	return t.Stack(w), nil
+}
+
+// ServerAdaptive is the server side of the full Theorem 7 sketch protocol:
+// compute Q_i and ship it to the coordinator.
+func ServerAdaptive(node Node, local *matrix.Dense, s int, p AdaptiveParams, cfg Config) error {
+	q, err := ServerAdaptiveLocal(node, local, s, p, cfg)
+	if err != nil {
+		return err
+	}
+	return cfg.sendMatrix(node, comm.CoordinatorID, "adaptive-sketch", q)
+}
+
+// CoordTailRelay performs the coordinator's half of the tail-mass exchange:
+// gather each server's ‖R_i‖F², broadcast the sum, return it.
+func CoordTailRelay(node Node, s int) (float64, error) {
+	tails, err := gather(node, s, "tail-frob2")
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, m := range tails {
+		total += m.Scalars[0]
+	}
+	if err := broadcast(node, s, &comm.Message{Kind: "tail-total", Scalars: []float64{total}}); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// CoordAdaptive is the coordinator side: relay the tail-mass total, stack
+// the Q_i, and optionally FD-compress to the optimal O(k/ε) rows.
+func CoordAdaptive(node Node, s int, p AdaptiveParams) (*matrix.Dense, error) {
+	p = p.withDefaults()
+	if _, err := CoordTailRelay(node, s); err != nil {
+		return nil, err
+	}
+	msgs, err := gather(node, s, "adaptive-sketch")
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]*matrix.Dense, 0, s)
+	for _, msg := range msgs {
+		m, err := recvMatrix(msg)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, m)
+	}
+	q := matrix.Stack(parts...)
+	if p.FinalCompress {
+		return fd.SketchEpsK(q, p.Eps, p.K)
+	}
+	return q, nil
+}
+
+// RunAdaptive runs the full Theorem 7 protocol in-process. Expected
+// communication: O(s·d·k + √s·k·d·√log(d/δ)/ε) words plus 2s calibration
+// words; the output is an (O(ε),k)-sketch of A w.h.p.
+func RunAdaptive(parts []*matrix.Dense, p AdaptiveParams, cfg Config) (*Result, error) {
+	s := len(parts)
+	net := NewMemNetwork(s, nil)
+	defer net.Close()
+	serverFns := make([]func() error, s)
+	for i := range parts {
+		i := i
+		serverFns[i] = func() error {
+			return ServerAdaptive(net.Node(i), parts[i], s, p, cfg)
+		}
+	}
+	res := &Result{}
+	err := runParties(net, serverFns, func() error {
+		net.Meter().AddRound()
+		net.Meter().AddRound()
+		sk, err := CoordAdaptive(net.Coordinator(), s, p)
+		if err != nil {
+			return err
+		}
+		res.Sketch = sk
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish(res, net.Meter()), nil
+}

@@ -1,0 +1,234 @@
+package distributed
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+)
+
+// IndependentRowTracker is the streaming data structure of the §3.3 Case-1
+// protocol: in one pass over the local rows, using O(k·d) space, it
+// maintains
+//
+//   - Q: a maximal set of linearly independent input rows (verbatim, so
+//     they cost one word per entry),
+//   - V: an orthonormal basis of span(Q),
+//   - Z = V·AᵀA·Vᵀ: the Gram matrix expressed in that basis.
+//
+// At the end, Y = (Q·Vᵀ)·Z·(V·Qᵀ) equals Q·AᵀA·Qᵀ, and the coordinator
+// reconstructs AᵀA exactly as Q⁺·Y·(Q⁺)ᵀ because Q⁺Q projects onto the row
+// space of A.
+type IndependentRowTracker struct {
+	d      int
+	maxRun int
+	tol    float64
+
+	q     *matrix.Dense // selected independent rows (r×d)
+	v     *matrix.Dense // orthonormal basis rows (r×d)
+	z     *matrix.Dense // r×r Gram in basis coordinates
+	rows  int
+	frob2 float64
+}
+
+// NewIndependentRowTracker creates a tracker that accepts up to maxRank
+// independent rows (the protocol's rank budget, 2k in the paper); rows
+// arriving after the budget is exhausted but outside the span indicate the
+// input violates the rank promise and Update reports an error.
+func NewIndependentRowTracker(d, maxRank int, tol float64) *IndependentRowTracker {
+	if d <= 0 || maxRank <= 0 {
+		panic(fmt.Sprintf("distributed: invalid tracker d=%d maxRank=%d", d, maxRank))
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	return &IndependentRowTracker{
+		d: d, maxRun: maxRank, tol: tol,
+		q: matrix.New(0, d), v: matrix.New(0, d), z: matrix.New(0, 0),
+	}
+}
+
+// Update processes one row.
+func (t *IndependentRowTracker) Update(row []float64) error {
+	if len(row) != t.d {
+		panic(fmt.Sprintf("distributed: row length %d != d=%d", len(row), t.d))
+	}
+	t.rows++
+	t.frob2 += matrix.Norm2(row)
+	norm := matrix.Norm(row)
+	if norm == 0 {
+		return nil
+	}
+	// Residual against the current basis (two MGS passes for stability).
+	res := matrix.CopyVec(row)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < t.v.Rows(); i++ {
+			b := t.v.Row(i)
+			matrix.AxpyVec(res, -matrix.Dot(b, res), b)
+		}
+	}
+	if matrix.Norm(res) > t.tol*norm {
+		// Independent: extend Q and the basis; Z gains a zero row/column
+		// (existing rows have no component along the new direction).
+		if t.q.Rows() >= t.maxRun {
+			return fmt.Errorf("distributed: input rank exceeds the promised bound %d", t.maxRun)
+		}
+		t.q = t.q.AppendRow(row)
+		matrix.Normalize(res)
+		t.v = t.v.AppendRow(res)
+		old := t.z
+		r := t.v.Rows()
+		t.z = matrix.New(r, r)
+		for i := 0; i < r-1; i++ {
+			copy(t.z.Row(i)[:r-1], old.Row(i))
+		}
+	}
+	// Accumulate the row's contribution in basis coordinates.
+	c := t.v.MulVec(row)
+	for i := range c {
+		if c[i] == 0 {
+			continue
+		}
+		zi := t.z.Row(i)
+		for j := range c {
+			zi[j] += c[i] * c[j]
+		}
+	}
+	return nil
+}
+
+// UpdateMatrix feeds every row of m.
+func (t *IndependentRowTracker) UpdateMatrix(m *matrix.Dense) error {
+	for i := 0; i < m.Rows(); i++ {
+		if err := t.Update(m.Row(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rank returns the number of independent rows found so far.
+func (t *IndependentRowTracker) Rank() int { return t.q.Rows() }
+
+// Rows returns the number of rows processed.
+func (t *IndependentRowTracker) Rows() int { return t.rows }
+
+// Q returns the selected independent rows.
+func (t *IndependentRowTracker) Q() *matrix.Dense { return t.q }
+
+// Y returns Q·AᵀA·Qᵀ (r×r), computed from the compact state as
+// (Q·Vᵀ)·Z·(V·Qᵀ).
+func (t *IndependentRowTracker) Y() *matrix.Dense {
+	c := t.q.MulT(t.v) // r×r: rows of Q in basis coordinates
+	return c.Mul(t.z).Mul(c.T())
+}
+
+// ServerLowRankExact is the server side of §3.3 Case 1 (rank(A) ≤ 2k): one
+// streaming pass builds (Q_i, Y_i); both are sent. Cost ≤ 2k·d + (2k)²
+// words per server; Y's entries are O(log(nd/ε))-bit when the input is
+// integer-valued, which the Quantize option exploits.
+func ServerLowRankExact(node Node, local *matrix.Dense, kBound int, cfg Config) error {
+	tr := NewIndependentRowTracker(local.Cols(), 2*kBound, 0)
+	if err := tr.UpdateMatrix(local); err != nil {
+		return fmt.Errorf("server %d: %w", node.ID(), err)
+	}
+	if err := cfg.sendMatrix(node, comm.CoordinatorID, "lr-q", tr.Q()); err != nil {
+		return err
+	}
+	return cfg.sendMatrix(node, comm.CoordinatorID, "lr-y", tr.Y())
+}
+
+// CoordLowRankExact reconstructs AᵀA = Σ_i Q_i⁺·Y_i·(Q_i⁺)ᵀ exactly and
+// returns both the Gram matrix and a minimal exact covariance sketch
+// B = Λ^{1/2}·Vᵀ from its eigendecomposition (rank ≤ 2k·s rows, typically
+// ≤ 2k when the global rank bound holds).
+func CoordLowRankExact(node Node, s, d int) (gram, sketch *matrix.Dense, err error) {
+	qs := make([]*matrix.Dense, s)
+	ys := make([]*matrix.Dense, s)
+	for seen := 0; seen < 2*s; {
+		msg, err := node.Recv()
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := recvMatrix(msg)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch msg.Kind {
+		case "lr-q":
+			qs[msg.From] = m
+		case "lr-y":
+			ys[msg.From] = m
+		default:
+			return nil, nil, fmt.Errorf("distributed: unexpected %q message", msg.Kind)
+		}
+		seen++
+	}
+	gram = matrix.New(d, d)
+	for i := 0; i < s; i++ {
+		if qs[i].Rows() == 0 {
+			continue
+		}
+		pinv, err := linalg.PseudoInverse(qs[i], 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		gram = gram.Add(pinv.Mul(ys[i]).Mul(pinv.T()))
+	}
+	eig, err := linalg.ComputeEigSym(gram)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Assemble B = Λ^{1/2}·Vᵀ over numerically positive eigenvalues.
+	var rows [][]float64
+	thresh := 0.0
+	if len(eig.Values) > 0 && eig.Values[0] > 0 {
+		thresh = 1e-12 * eig.Values[0]
+	}
+	for j, lam := range eig.Values {
+		if lam <= thresh {
+			break
+		}
+		w := math.Sqrt(lam)
+		row := make([]float64, d)
+		for l := 0; l < d; l++ {
+			row[l] = w * eig.V.At(l, j)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return gram, matrix.New(0, d), nil
+	}
+	return gram, matrix.NewFromRows(rows), nil
+}
+
+// RunLowRankExact runs the §3.3 Case-1 exact protocol in-process. The input
+// must have rank at most 2·kBound per server. Cost: O(s·k·d) words.
+func RunLowRankExact(parts []*matrix.Dense, kBound int, cfg Config) (*Result, error) {
+	s, d := len(parts), parts[0].Cols()
+	net := NewMemNetwork(s, nil)
+	defer net.Close()
+	serverFns := make([]func() error, s)
+	for i := range parts {
+		i := i
+		serverFns[i] = func() error {
+			return ServerLowRankExact(net.Node(i), parts[i], kBound, cfg)
+		}
+	}
+	res := &Result{}
+	err := runParties(net, serverFns, func() error {
+		net.Meter().AddRound()
+		gram, sketch, err := CoordLowRankExact(net.Coordinator(), s, d)
+		if err != nil {
+			return err
+		}
+		res.Gram, res.Sketch = gram, sketch
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish(res, net.Meter()), nil
+}

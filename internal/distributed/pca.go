@@ -1,0 +1,495 @@
+package distributed
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/matrix"
+	"repro/internal/pca"
+)
+
+// PCAParams parameterizes the distributed PCA protocols of §4.
+type PCAParams struct {
+	// K is the number of principal components.
+	K int
+	// Eps is the target (1+ε) approximation factor.
+	Eps float64
+	// Delta is the randomized-sketch failure probability (default 0.1).
+	Delta float64
+	// EmbeddingRows overrides the subspace-embedding size m of the batch
+	// solve (default ⌈4k/ε²⌉ capped below by 4k+8 — the theory wants
+	// Θ(k/ε²); the constant is a knob the benchmarks sweep).
+	EmbeddingRows int
+	// Broadcast makes the coordinator send the resulting PCs back to every
+	// server (the O(skd) term that makes the answer common knowledge, per
+	// the discussion under Definition 4).
+	Broadcast bool
+}
+
+func (p PCAParams) withDefaults() PCAParams {
+	if p.K <= 0 {
+		panic(fmt.Sprintf("distributed: PCA needs k ≥ 1, got %d", p.K))
+	}
+	if p.Eps <= 0 || p.Eps >= 1 {
+		panic(fmt.Sprintf("distributed: PCA eps %v out of (0,1)", p.Eps))
+	}
+	if p.Delta == 0 {
+		p.Delta = 0.1
+	}
+	if p.EmbeddingRows == 0 {
+		m := int(math.Ceil(4 * float64(p.K) / (p.Eps * p.Eps)))
+		if lo := 4*p.K + 8; m < lo {
+			m = lo
+		}
+		p.EmbeddingRows = m
+	}
+	return p
+}
+
+// coordBroadcastPCs optionally ships the answer to all servers (s·k·d words)
+// so every server knows it, matching the all-servers output model of [5].
+func coordBroadcastPCs(node Node, s int, p PCAParams, v *matrix.Dense) error {
+	if !p.Broadcast {
+		return nil
+	}
+	return broadcast(node, s, &comm.Message{Kind: "pcs", Matrix: v})
+}
+
+func serverMaybeRecvPCs(node Node, p PCAParams) error {
+	if !p.Broadcast {
+		return nil
+	}
+	_, err := expectKind(node, "pcs")
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 9, plain form: ship the adaptive sketch, solve at the coordinator.
+// ---------------------------------------------------------------------------
+
+// RunPCASketchSolve runs the direct form of Theorem 9: build the Theorem 7
+// distributed (ε/2,k)-sketch at the coordinator and take its top-k right
+// singular vectors. Cost: O(sdk + √s·kd·√log d/ε) words (+ skd broadcast).
+func RunPCASketchSolve(parts []*matrix.Dense, p PCAParams, cfg Config) (*Result, error) {
+	p = p.withDefaults()
+	s := len(parts)
+	ap := AdaptiveParams{Eps: p.Eps / 2, K: p.K, Delta: p.Delta}
+	net := NewMemNetwork(s, nil)
+	defer net.Close()
+	serverFns := make([]func() error, s)
+	for i := range parts {
+		i := i
+		serverFns[i] = func() error {
+			node := net.Node(i)
+			if err := ServerAdaptive(node, parts[i], s, ap, cfg); err != nil {
+				return err
+			}
+			return serverMaybeRecvPCs(node, p)
+		}
+	}
+	res := &Result{}
+	err := runParties(net, serverFns, func() error {
+		node := net.Coordinator()
+		net.Meter().AddRound()
+		net.Meter().AddRound()
+		q, err := CoordAdaptive(node, s, ap)
+		if err != nil {
+			return err
+		}
+		v, err := pca.SketchPCs(q, p.K)
+		if err != nil {
+			return err
+		}
+		res.Sketch, res.PCs = q, v
+		return coordBroadcastPCs(node, s, p, v)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish(res, net.Meter()), nil
+}
+
+// ---------------------------------------------------------------------------
+// Batch solve baseline (stand-in for Boutsidis–Woodruff–Zhong [5]).
+// ---------------------------------------------------------------------------
+
+// ServerBWZSolve is the server side of the subspace-embedding batch PCA
+// solve, run against an arbitrary local matrix (raw rows for the baseline,
+// the local sketch Q_i for the Theorem 9 combined algorithm):
+//
+//	Round 1: send the local row count; receive the global row offset.
+//	Round 2: send Y_i = S·A_i restricted to this server's rows — directly
+//	         (m×d) when d ≤ m, or column-compressed W_i = Y_i·Rᵀ (m×m)
+//	         when d > m (the min{d, k/ε²} case split of [5]).
+//	Round 3 (only when d > m): receive Ũ (m×k), send G_i = Ũᵀ·Y_i (k×d).
+//
+// When the local input has fewer rows than the embedding (n_i < m) the
+// server ships its rows compactly — bucket indices plus signed rows — for
+// n_i·(d+1) words instead of m·d. This is Theorem 8's min{n, sk/ε²} factor,
+// and it is exactly what makes the Theorem 9 combined algorithm cheap: its
+// local inputs are sketches with O(k/ε)·√s-ish rows, far below m = Θ(k/ε²).
+func ServerBWZSolve(node Node, local *matrix.Dense, p PCAParams, cfg Config) error {
+	p = p.withDefaults()
+	if err := node.Send(comm.CoordinatorID, &comm.Message{Kind: "nrows", Ints: []int64{int64(local.Rows())}}); err != nil {
+		return err
+	}
+	off, err := expectKind(node, "row-offset")
+	if err != nil {
+		return err
+	}
+	return serverBWZBody(node, local, int(off.Ints[0]), p, cfg)
+}
+
+// ServerBWZArbitrary is the server side of the batch solve in the ARBITRARY
+// partition model (the open question in the paper's conclusion): each
+// server holds a full-shape summand A_i ∈ R^{n×d} with A = Σ_i A_i. Because
+// the shared CountSketch is linear, S·A = Σ_i S·A_i, so the same solve runs
+// with every server using row offset 0 and no offset round at all.
+func ServerBWZArbitrary(node Node, local *matrix.Dense, p PCAParams, cfg Config) error {
+	return serverBWZBody(node, local, 0, p.withDefaults(), cfg)
+}
+
+func serverBWZBody(node Node, local *matrix.Dense, offset int, p PCAParams, cfg Config) error {
+	d := local.Cols()
+	m := p.EmbeddingRows
+	sk := pca.NewCountSketch(cfg.Seed^0x5ca1ab1e, m)
+	if d <= m {
+		if local.Rows() < m {
+			buckets, signed := sparseCountSketch(sk, local, offset)
+			return node.Send(comm.CoordinatorID, &comm.Message{Kind: "bwz-y-sparse", Ints: buckets, Matrix: signed})
+		}
+		return cfg.sendMatrix(node, comm.CoordinatorID, "bwz-y", sk.ApplyRows(local, offset))
+	}
+	y := sk.ApplyRows(local, offset)
+	colSk := pca.NewCountSketch(cfg.Seed^0xc0152a9, m)
+	if local.Rows() < m {
+		// Sparse form of W_i = Y_i·Rᵀ: ship the column-compressed rows with
+		// their buckets; the coordinator scatters and sums.
+		buckets, signed := sparseCountSketch(sk, local, offset)
+		wRows := colSk.ApplyColumns(signed) // n_i×m
+		if err := node.Send(comm.CoordinatorID, &comm.Message{Kind: "bwz-w-sparse", Ints: buckets, Matrix: wRows}); err != nil {
+			return err
+		}
+	} else {
+		if err := cfg.sendMatrix(node, comm.CoordinatorID, "bwz-w", colSk.ApplyColumns(y)); err != nil {
+			return err
+		}
+	}
+	uMsg, err := expectKind(node, "bwz-u")
+	if err != nil {
+		return err
+	}
+	u, err := recvMatrix(uMsg)
+	if err != nil {
+		return err
+	}
+	g := u.TMul(y) // k×d
+	return cfg.sendMatrix(node, comm.CoordinatorID, "bwz-g", g)
+}
+
+// sparseCountSketch returns, for each local row, its CountSketch bucket and
+// the sign-applied row — the compact wire form used when n_i < m.
+func sparseCountSketch(sk *pca.CountSketch, local *matrix.Dense, offset int) ([]int64, *matrix.Dense) {
+	n, d := local.Dims()
+	buckets := make([]int64, n)
+	signed := matrix.New(n, d)
+	for r := 0; r < n; r++ {
+		b, sign := sk.BucketSign(offset + r)
+		buckets[r] = int64(b)
+		row := signed.Row(r)
+		for j, v := range local.Row(r) {
+			row[j] = sign * v
+		}
+	}
+	return buckets, signed
+}
+
+// scatterSparse accumulates a sparse-form CountSketch message into the m×d
+// (or m×m) frame.
+func scatterSparse(frame *matrix.Dense, buckets []int64, rows *matrix.Dense) error {
+	if len(buckets) != rows.Rows() {
+		return fmt.Errorf("distributed: sparse scatter mismatch: %d buckets, %d rows", len(buckets), rows.Rows())
+	}
+	m := frame.Rows()
+	for r, b := range buckets {
+		if b < 0 || int(b) >= m {
+			return fmt.Errorf("distributed: sparse bucket %d out of range %d", b, m)
+		}
+		matrix.AxpyVec(frame.Row(int(b)), 1, rows.Row(r))
+	}
+	return nil
+}
+
+// CoordBWZSolve is the coordinator side of the batch solve; d is the column
+// dimension of the inputs. Returns the d×k approximate PCs.
+func CoordBWZSolve(node Node, s, d int, p PCAParams, cfg Config) (*matrix.Dense, error) {
+	p = p.withDefaults()
+	counts, err := gather(node, s, "nrows")
+	if err != nil {
+		return nil, err
+	}
+	offset := int64(0)
+	for i := 0; i < s; i++ {
+		if err := node.Send(i, &comm.Message{Kind: "row-offset", Ints: []int64{offset}}); err != nil {
+			return nil, err
+		}
+		offset += counts[i].Ints[0]
+	}
+	return coordBWZBody(node, s, d, p)
+}
+
+// CoordBWZArbitrary is the coordinator side for the arbitrary-partition
+// model: no offset round.
+func CoordBWZArbitrary(node Node, s, d int, p PCAParams) (*matrix.Dense, error) {
+	return coordBWZBody(node, s, d, p.withDefaults())
+}
+
+func coordBWZBody(node Node, s, d int, p PCAParams) (*matrix.Dense, error) {
+	m := p.EmbeddingRows
+	if d <= m {
+		y := matrix.New(m, d)
+		if err := gatherEmbedded(node, s, "bwz-y", y); err != nil {
+			return nil, err
+		}
+		return pca.TopKRightSV(y, p.K)
+	}
+	// Two-sided regime: W = S·A·Rᵀ, take its top-k left singular vectors Ũ,
+	// then G = Ũᵀ·S·A (assembled from the servers' G_i) and V = top-k right
+	// singular vectors of G.
+	w := matrix.New(m, m)
+	if err := gatherEmbedded(node, s, "bwz-w", w); err != nil {
+		return nil, err
+	}
+	// Left singular vectors of W = right singular vectors of Wᵀ.
+	u, err := pca.TopKRightSV(w.T(), p.K)
+	if err != nil {
+		return nil, err
+	}
+	if err := broadcast(node, s, &comm.Message{Kind: "bwz-u", Matrix: u}); err != nil {
+		return nil, err
+	}
+	gs, err := gather(node, s, "bwz-g")
+	if err != nil {
+		return nil, err
+	}
+	g := matrix.New(u.Cols(), d)
+	for _, msg := range gs {
+		mm, err := recvMatrix(msg)
+		if err != nil {
+			return nil, err
+		}
+		g = g.Add(mm)
+	}
+	return pca.TopKRightSV(g, p.K)
+}
+
+// gatherEmbedded receives one embedding message per server — dense
+// ("<kind>") or sparse ("<kind>-sparse", bucket indices + signed rows) —
+// and accumulates all of them into frame.
+func gatherEmbedded(node Node, s int, kind string, frame *matrix.Dense) error {
+	seen := make([]bool, s)
+	for got := 0; got < s; got++ {
+		msg, err := node.Recv()
+		if err != nil {
+			return err
+		}
+		if msg.From < 0 || msg.From >= s || seen[msg.From] {
+			return fmt.Errorf("distributed: unexpected %q message from %d", msg.Kind, msg.From)
+		}
+		seen[msg.From] = true
+		switch msg.Kind {
+		case kind:
+			mm, err := recvMatrix(msg)
+			if err != nil {
+				return err
+			}
+			fr, fc := frame.Dims()
+			if r, c := mm.Dims(); r != fr || c != fc {
+				return fmt.Errorf("distributed: %q payload is %d×%d, want %d×%d", kind, r, c, fr, fc)
+			}
+			dst := frame.Data()
+			for i, v := range mm.Data() {
+				dst[i] += v
+			}
+		case kind + "-sparse":
+			mm, err := recvMatrix(msg)
+			if err != nil {
+				return err
+			}
+			if err := scatterSparse(frame, msg.Ints, mm); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("distributed: expected %q message, got %q from %d", kind, msg.Kind, msg.From)
+		}
+	}
+	return nil
+}
+
+// RunBWZArbitrary runs the batch PCA solve in the arbitrary-partition model:
+// summands[i] are full-shape matrices with A = Σ summands[i]. This is the
+// setting the paper's §1.4 notes its own algorithm does NOT handle ("our
+// algorithm only works for row-partition models") and whose complexity the
+// conclusion leaves open; the subspace-embedding solve covers it directly.
+func RunBWZArbitrary(summands []*matrix.Dense, p PCAParams, cfg Config) (*Result, error) {
+	p = p.withDefaults()
+	s, d := len(summands), summands[0].Cols()
+	net := NewMemNetwork(s, nil)
+	defer net.Close()
+	serverFns := make([]func() error, s)
+	for i := range summands {
+		i := i
+		serverFns[i] = func() error {
+			node := net.Node(i)
+			if err := ServerBWZArbitrary(node, summands[i], p, cfg); err != nil {
+				return err
+			}
+			return serverMaybeRecvPCs(node, p)
+		}
+	}
+	res := &Result{}
+	err := runParties(net, serverFns, func() error {
+		node := net.Coordinator()
+		net.Meter().AddRound()
+		v, err := CoordBWZArbitrary(node, s, d, p)
+		if err != nil {
+			return err
+		}
+		res.PCs = v
+		return coordBroadcastPCs(node, s, p, v)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish(res, net.Meter()), nil
+}
+
+// RunBWZ runs the batch baseline on the raw partitioned input — the Table 2
+// "[5]" row, cost O(skd + s·(k/ε²)·min{d, k/ε²}) words.
+func RunBWZ(parts []*matrix.Dense, p PCAParams, cfg Config) (*Result, error) {
+	p = p.withDefaults()
+	s, d := len(parts), parts[0].Cols()
+	net := NewMemNetwork(s, nil)
+	defer net.Close()
+	serverFns := make([]func() error, s)
+	for i := range parts {
+		i := i
+		serverFns[i] = func() error {
+			node := net.Node(i)
+			if err := ServerBWZSolve(node, parts[i], p, cfg); err != nil {
+				return err
+			}
+			return serverMaybeRecvPCs(node, p)
+		}
+	}
+	res := &Result{}
+	err := runParties(net, serverFns, func() error {
+		node := net.Coordinator()
+		net.Meter().AddRound()
+		net.Meter().AddRound()
+		v, err := CoordBWZSolve(node, s, d, p, cfg)
+		if err != nil {
+			return err
+		}
+		res.PCs = v
+		return coordBroadcastPCs(node, s, p, v)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish(res, net.Meter()), nil
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 9, combined form: local sketches + distributed batch solve.
+// ---------------------------------------------------------------------------
+
+// RunPCACombined runs the full Theorem 9 pipeline: every server computes its
+// adaptive sketch block Q_i (communication: 2 words each), keeps it local,
+// and the batch solve runs on the distributed sketch Q = [Q_1;…;Q_s]. By
+// Lemma 8 the resulting V is a (1+O(ε))-approximate answer for A. Cost:
+// O(skd + √s·k·√log d/ε · min{d, k/ε²}) words — the Table 2 "New" row; the
+// pipeline stays one-pass streaming because [Q_i] are built by FD.
+func RunPCACombined(parts []*matrix.Dense, p PCAParams, cfg Config) (*Result, error) {
+	p = p.withDefaults()
+	s := len(parts)
+	ap := AdaptiveParams{Eps: p.Eps / 2, K: p.K, Delta: p.Delta}
+	net := NewMemNetwork(s, nil)
+	defer net.Close()
+	serverFns := make([]func() error, s)
+	for i := range parts {
+		i := i
+		serverFns[i] = func() error {
+			node := net.Node(i)
+			q, err := ServerAdaptiveLocal(node, parts[i], s, ap, cfg)
+			if err != nil {
+				return err
+			}
+			if err := ServerBWZSolve(node, q, p, cfg); err != nil {
+				return err
+			}
+			return serverMaybeRecvPCs(node, p)
+		}
+	}
+	res := &Result{}
+	err := runParties(net, serverFns, func() error {
+		node := net.Coordinator()
+		for r := 0; r < 4; r++ {
+			net.Meter().AddRound()
+		}
+		if _, err := CoordTailRelay(node, s); err != nil {
+			return err
+		}
+		v, err := CoordBWZSolve(node, s, parts[0].Cols(), p, cfg)
+		if err != nil {
+			return err
+		}
+		res.PCs = v
+		return coordBroadcastPCs(node, s, p, v)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish(res, net.Meter()), nil
+}
+
+// RunPCAFDMerge is the pre-[5] baseline: FD-merge an (ε/2,k)-sketch at the
+// coordinator (O(skd/ε) words) and take its top-k right singular vectors —
+// the O(sdk/ε) bound of [22] that both Table 2 rows improve on.
+func RunPCAFDMerge(parts []*matrix.Dense, p PCAParams, cfg Config) (*Result, error) {
+	p = p.withDefaults()
+	s, d := len(parts), parts[0].Cols()
+	net := NewMemNetwork(s, nil)
+	defer net.Close()
+	serverFns := make([]func() error, s)
+	for i := range parts {
+		i := i
+		serverFns[i] = func() error {
+			node := net.Node(i)
+			if err := ServerFDMerge(node, parts[i], p.Eps/2, p.K, cfg); err != nil {
+				return err
+			}
+			return serverMaybeRecvPCs(node, p)
+		}
+	}
+	res := &Result{}
+	err := runParties(net, serverFns, func() error {
+		node := net.Coordinator()
+		net.Meter().AddRound()
+		sk, err := CoordFDMerge(node, s, d, p.Eps/2, p.K)
+		if err != nil {
+			return err
+		}
+		v, err := pca.SketchPCs(sk, p.K)
+		if err != nil {
+			return err
+		}
+		res.Sketch, res.PCs = sk, v
+		return coordBroadcastPCs(node, s, p, v)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish(res, net.Meter()), nil
+}

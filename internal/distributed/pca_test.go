@@ -1,0 +1,260 @@
+package distributed
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+	"repro/internal/pca"
+	"repro/internal/workload"
+)
+
+func pcaInput(seed int64, n, d, k, s int) (*matrix.Dense, []*matrix.Dense) {
+	rng := rand.New(rand.NewSource(seed))
+	a := workload.ClusteredGaussians(rng, n, d, k, 25, 1.0)
+	return a, workload.Split(a, s, workload.Contiguous, nil)
+}
+
+func TestRunPCASketchSolveQuality(t *testing.T) {
+	eps, k := 0.2, 3
+	a, parts := pcaInput(1, 480, 16, k, 6)
+	res, err := RunPCASketchSolve(parts, PCAParams{K: k, Eps: eps}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PCs.Rows() != 16 || res.PCs.Cols() != k {
+		t.Fatalf("PCs dims %d×%d", res.PCs.Rows(), res.PCs.Cols())
+	}
+	if !linalg.IsOrthonormalColumns(res.PCs, 1e-8) {
+		t.Fatal("PCs not orthonormal")
+	}
+	ratio, err := pca.QualityRatio(a, res.PCs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio > 1+3*eps {
+		t.Fatalf("quality ratio %v > 1+3ε", ratio)
+	}
+	if res.Rounds != 2 {
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+}
+
+func TestRunBWZQualityRegime1(t *testing.T) {
+	// d ≤ m: single-round left sketch.
+	eps, k := 0.3, 3
+	a, parts := pcaInput(2, 600, 14, k, 5)
+	res, err := RunBWZ(parts, PCAParams{K: k, Eps: eps, EmbeddingRows: 150}, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := pca.QualityRatio(a, res.PCs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio > 1.6 {
+		t.Fatalf("BWZ regime-1 ratio %v", ratio)
+	}
+	// Cost accounting (Theorem 8's min{n, sk/ε²} term): each server ships
+	// min(n_i·(d+1), m·d) words — here n_i = 120 < m = 150, so the sparse
+	// form wins: s·n_i·(d+1) = 5·120·15 = 9000 plus control words.
+	minWords := float64(5 * 120 * 15)
+	if res.Words < minWords || res.Words > 1.05*minWords {
+		t.Fatalf("words = %v, expected ≈ %v", res.Words, minWords)
+	}
+}
+
+func TestBWZSparseDenseAgree(t *testing.T) {
+	// The sparse wire form must produce exactly the same PCs as the dense
+	// form (same embedding, different encoding): force dense by making
+	// n_i ≥ m, then compare against a sparse run with the same seed on the
+	// same global matrix split more thinly.
+	eps, k := 0.3, 3
+	a, parts := pcaInput(4, 600, 14, k, 5)                                                      // n_i = 120
+	dense, err := RunBWZ(parts, PCAParams{K: k, Eps: eps, EmbeddingRows: 100}, Config{Seed: 9}) // m=100 ≤ n_i → dense
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := RunBWZ(parts, PCAParams{K: k, Eps: eps, EmbeddingRows: 150}, Config{Seed: 9}) // m=150 > n_i → sparse
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different m means different embeddings, so compare quality, not
+	// vectors; both must deliver sane ratios and the sparse run must be
+	// cheaper per embedded row.
+	q1, err := pca.QualityRatio(a, dense.PCs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := pca.QualityRatio(a, sparse.PCs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 > 1.6 || q2 > 1.6 {
+		t.Fatalf("ratios %v %v", q1, q2)
+	}
+	if sparse.Words >= float64(5*150*14) {
+		t.Fatalf("sparse run cost %v not below dense m·d bound %v", sparse.Words, 5*150*14)
+	}
+}
+
+func TestRunBWZQualityRegime2(t *testing.T) {
+	// d > m: two-sided compression + recovery round.
+	eps, k := 0.3, 3
+	a, parts := pcaInput(3, 800, 60, k, 4)
+	res, err := RunBWZ(parts, PCAParams{K: k, Eps: eps, EmbeddingRows: 40}, Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := pca.QualityRatio(a, res.PCs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio > 2.0 {
+		t.Fatalf("BWZ regime-2 ratio %v", ratio)
+	}
+	// Regime-2 cost: s·(m·m + m·k + k·d) approx; the W matrices (m×m=1600)
+	// dominate the direct d-regime alternative m·d = 2400 — the point of
+	// min{d, k/ε²}: here each server ships m² + kd + mk ≈ 1600+180+120 words
+	// instead of m·d = 2400.
+	maxWords := float64(4*(40*40+40*k+k*60+3)) * 1.1
+	if res.Words > maxWords {
+		t.Fatalf("words = %v > %v", res.Words, maxWords)
+	}
+}
+
+func TestRunPCACombinedQualityAndCost(t *testing.T) {
+	eps, k := 0.25, 3
+	a, parts := pcaInput(5, 640, 16, k, 8)
+	res, err := RunPCACombined(parts, PCAParams{K: k, Eps: eps, EmbeddingRows: 120}, Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := pca.QualityRatio(a, res.PCs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio > 1+4*eps {
+		t.Fatalf("combined PCA ratio %v", ratio)
+	}
+	if res.PCs.Cols() != k || !linalg.IsOrthonormalColumns(res.PCs, 1e-8) {
+		t.Fatal("combined PCs malformed")
+	}
+}
+
+func TestRunPCAFDMergeQuality(t *testing.T) {
+	eps, k := 0.25, 3
+	a, parts := pcaInput(7, 480, 16, k, 6)
+	res, err := RunPCAFDMerge(parts, PCAParams{K: k, Eps: eps}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := pca.QualityRatio(a, res.PCs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio > 1+2*eps {
+		t.Fatalf("FD-merge PCA ratio %v", ratio)
+	}
+}
+
+func TestPCABroadcastCost(t *testing.T) {
+	// Broadcast adds exactly s·k·d words.
+	eps, k := 0.25, 2
+	_, parts := pcaInput(8, 240, 12, k, 4)
+	noB, err := RunPCAFDMerge(parts, PCAParams{K: k, Eps: eps}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withB, err := RunPCAFDMerge(parts, PCAParams{K: k, Eps: eps, Broadcast: true}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := noB.Words + float64(4*k*12)
+	if withB.Words != want {
+		t.Fatalf("broadcast words = %v, want %v", withB.Words, want)
+	}
+}
+
+func TestPCAParamsValidation(t *testing.T) {
+	_, parts := pcaInput(9, 60, 8, 2, 2)
+	for _, p := range []PCAParams{
+		{K: 0, Eps: 0.1},
+		{K: 2, Eps: 0},
+		{K: 2, Eps: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("params %+v: expected panic", p)
+				}
+			}()
+			RunPCASketchSolve(parts, p, Config{})
+		}()
+	}
+}
+
+func TestPCACombinedCheaperThanBWZOnRawData(t *testing.T) {
+	// Theorem 9's point: running the batch solve on the distributed SKETCH
+	// (n_sketch ≪ n rows) costs no more than on the raw data, and the
+	// sketch step itself is nearly free. With equal embedding sizes the two
+	// costs are similar in regime 1 (both ship m×d), so compare in the
+	// regime where [5] must also ship raw-data-dependent G rounds: here we
+	// simply require the combined run to stay within 1.5× of raw BWZ and
+	// the sketch-solve run to beat FD-merge at larger s (covered elsewhere).
+	eps, k := 0.25, 2
+	_, parts := pcaInput(10, 400, 12, k, 5)
+	combined, err := RunPCACombined(parts, PCAParams{K: k, Eps: eps, EmbeddingRows: 80}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := RunBWZ(parts, PCAParams{K: k, Eps: eps, EmbeddingRows: 80}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.Words > 1.5*raw.Words {
+		t.Fatalf("combined %v words vs raw %v", combined.Words, raw.Words)
+	}
+}
+
+func TestRunBWZArbitraryPartition(t *testing.T) {
+	// Arbitrary partition: A = Σ A_i with full-shape random summands. Built
+	// so the sum has planted top components: A = clustered + Σ(noise_i) with
+	// the noise split into canceling-ish summands.
+	rng := rand.New(rand.NewSource(11))
+	n, d, k, s := 400, 16, 3, 4
+	a := workload.ClusteredGaussians(rng, n, d, k, 25, 1.0)
+	// Random full-shape summands that sum to A: A_i = R_i − R_{i-1} chains
+	// plus A in the last one.
+	summands := make([]*matrix.Dense, s)
+	prev := matrix.New(n, d)
+	for i := 0; i < s-1; i++ {
+		r := workload.Gaussian(rng, n, d)
+		summands[i] = r.Sub(prev)
+		prev = r
+	}
+	summands[s-1] = a.Sub(prev)
+	// Σ summands = A exactly.
+	sum := matrix.New(n, d)
+	for _, m := range summands {
+		sum = sum.Add(m)
+	}
+	if !sum.EqualApprox(a, 1e-9) {
+		t.Fatal("summands do not add to A")
+	}
+	res, err := RunBWZArbitrary(summands, PCAParams{K: k, Eps: 0.3, EmbeddingRows: 200}, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := pca.QualityRatio(a, res.PCs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio > 1.6 {
+		t.Fatalf("arbitrary-partition PCA ratio %v", ratio)
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1 (no offset round)", res.Rounds)
+	}
+}

@@ -1,0 +1,215 @@
+package distributed
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/comm"
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+	"repro/internal/pca"
+)
+
+// Distributed orthogonal (block power) iteration — the second batch PCA
+// solver named in DESIGN.md's substitution table. Unlike the one-shot
+// subspace-embedding solve, it is iterative: each round the coordinator
+// broadcasts the current d×k iterate V_t, every server returns its local
+// Gram action G_i = A_iᵀ(A_i·V_t), and the coordinator orthonormalizes the
+// sum. Communication is 2·s·d·k words per round; rounds trade directly
+// against accuracy (the error decays with the spectral gap), which gives
+// the benchmarks a rounds-vs-words-vs-quality knob no other protocol has.
+
+// PowerIterParams parameterizes the iterative solver.
+type PowerIterParams struct {
+	// K is the subspace dimension.
+	K int
+	// Rounds is the number of power iterations (default 8).
+	Rounds int
+	// Seed seeds the coordinator's random start.
+	Seed int64
+}
+
+func (p PowerIterParams) withDefaults() PowerIterParams {
+	if p.K <= 0 {
+		panic(fmt.Sprintf("distributed: power iteration needs k ≥ 1, got %d", p.K))
+	}
+	if p.Rounds <= 0 {
+		p.Rounds = 8
+	}
+	return p
+}
+
+// ServerPowerIter is the server side: for each round, receive V, respond
+// with A_iᵀ(A_i·V). A "done" broadcast ends the loop.
+func ServerPowerIter(node Node, local *matrix.Dense) error {
+	for {
+		msg, err := node.Recv()
+		if err != nil {
+			return err
+		}
+		switch msg.Kind {
+		case "pi-done":
+			return nil
+		case "pi-v":
+			v, err := recvMatrix(msg)
+			if err != nil {
+				return err
+			}
+			g := local.TMul(local.Mul(v)) // d×k
+			if err := node.Send(comm.CoordinatorID, &comm.Message{Kind: "pi-g", Matrix: g}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("distributed: power-iteration server got %q", msg.Kind)
+		}
+	}
+}
+
+// CoordPowerIter drives the iteration and returns the d×k orthonormal
+// iterate after the configured rounds.
+func CoordPowerIter(node Node, s, d int, p PowerIterParams) (*matrix.Dense, error) {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed + 0x90a3))
+	v := matrix.New(d, p.K)
+	for i := 0; i < d; i++ {
+		for j := 0; j < p.K; j++ {
+			v.Set(i, j, rng.NormFloat64())
+		}
+	}
+	v = linalg.OrthonormalizeColumns(v, 0)
+	for round := 0; round < p.Rounds; round++ {
+		if err := broadcast(node, s, &comm.Message{Kind: "pi-v", Matrix: v}); err != nil {
+			return nil, err
+		}
+		msgs, err := gather(node, s, "pi-g")
+		if err != nil {
+			return nil, err
+		}
+		sum := matrix.New(d, p.K)
+		for _, msg := range msgs {
+			g, err := recvMatrix(msg)
+			if err != nil {
+				return nil, err
+			}
+			sum = sum.Add(g)
+		}
+		next := linalg.OrthonormalizeColumns(sum, 0)
+		if next.Cols() < p.K {
+			// Rank deficiency (input rank < k): pad with fresh random
+			// directions so the iterate keeps k columns.
+			pad := matrix.New(d, p.K)
+			for j := 0; j < next.Cols(); j++ {
+				pad.SetCol(j, next.Col(j))
+			}
+			for j := next.Cols(); j < p.K; j++ {
+				col := make([]float64, d)
+				for i := range col {
+					col[i] = rng.NormFloat64()
+				}
+				pad.SetCol(j, col)
+			}
+			next = linalg.OrthonormalizeColumns(pad, 0)
+		}
+		v = next
+	}
+	if err := broadcast(node, s, &comm.Message{Kind: "pi-done"}); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// RunPCAPowerIteration runs the iterative solver on the raw partition.
+// Cost: 2·s·d·k·rounds words (+ s end-of-loop signals); quality improves
+// with rounds as the power method converges.
+func RunPCAPowerIteration(parts []*matrix.Dense, p PowerIterParams, cfg Config) (*Result, error) {
+	p = p.withDefaults()
+	s, d := len(parts), parts[0].Cols()
+	net := NewMemNetwork(s, nil)
+	defer net.Close()
+	serverFns := make([]func() error, s)
+	for i := range parts {
+		i := i
+		serverFns[i] = func() error {
+			return ServerPowerIter(net.Node(i), parts[i])
+		}
+	}
+	res := &Result{}
+	err := runParties(net, serverFns, func() error {
+		for r := 0; r < p.Rounds; r++ {
+			net.Meter().AddRound()
+		}
+		v, err := CoordPowerIter(net.Coordinator(), s, d, p)
+		if err != nil {
+			return err
+		}
+		res.PCs = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish(res, net.Meter()), nil
+}
+
+// RunPCACombinedPowerIter is Theorem 9 with the iterative solver: servers
+// compute their adaptive sketch blocks Q_i (2 words each) and the power
+// iteration runs on the distributed sketch. Per-round cost is identical to
+// the raw-data variant (the iterate is d×k either way) but each server's
+// matrix-vector work shrinks from n_i to rows(Q_i); the PCA guarantee
+// follows from Lemma 8 once the iteration has converged on Q.
+func RunPCACombinedPowerIter(parts []*matrix.Dense, eps float64, p PowerIterParams, cfg Config) (*Result, error) {
+	p = p.withDefaults()
+	s, d := len(parts), parts[0].Cols()
+	ap := AdaptiveParams{Eps: eps / 2, K: p.K}
+	net := NewMemNetwork(s, nil)
+	defer net.Close()
+	serverFns := make([]func() error, s)
+	for i := range parts {
+		i := i
+		serverFns[i] = func() error {
+			node := net.Node(i)
+			q, err := ServerAdaptiveLocal(node, parts[i], s, ap, cfg)
+			if err != nil {
+				return err
+			}
+			return ServerPowerIter(node, q)
+		}
+	}
+	res := &Result{}
+	err := runParties(net, serverFns, func() error {
+		node := net.Coordinator()
+		if _, err := CoordTailRelay(node, s); err != nil {
+			return err
+		}
+		v, err := CoordPowerIter(node, s, d, p)
+		if err != nil {
+			return err
+		}
+		res.PCs = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish(res, net.Meter()), nil
+}
+
+// QualityAfterRounds sweeps the rounds knob and returns the measured PCA
+// ratio per round count — the convergence curve the benchmarks plot.
+func QualityAfterRounds(parts []*matrix.Dense, a *matrix.Dense, k int, rounds []int, cfg Config) ([]float64, []float64, error) {
+	ratios := make([]float64, 0, len(rounds))
+	words := make([]float64, 0, len(rounds))
+	for _, r := range rounds {
+		res, err := RunPCAPowerIteration(parts, PowerIterParams{K: k, Rounds: r, Seed: cfg.Seed}, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		q, err := pca.QualityRatio(a, res.PCs, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		ratios = append(ratios, q)
+		words = append(words, res.Words)
+	}
+	return ratios, words, nil
+}

@@ -1,0 +1,450 @@
+package distributed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/matrix"
+	"repro/internal/rowsample"
+	"repro/internal/workload"
+)
+
+// Config holds options common to all sketch protocols.
+type Config struct {
+	// Quantize rounds every sketch matrix to QuantStep precision before
+	// sending (§3.3), so costs are counted at O(log(nd/ε)) bits per entry
+	// instead of full 64-bit words.
+	Quantize bool
+	// QuantStep is the additive rounding precision; required when Quantize
+	// is set (use comm.StepFor).
+	QuantStep float64
+	// Seed seeds each server's private randomness (server i uses Seed+i).
+	Seed int64
+}
+
+// sendMatrix transmits m under the config's quantization policy.
+func (c Config) sendMatrix(node Node, to int, kind string, m *matrix.Dense) error {
+	if !c.Quantize {
+		return node.Send(to, &comm.Message{Kind: kind, Matrix: m})
+	}
+	q, err := comm.NewQuantizer(c.QuantStep).Quantize(m)
+	if err != nil {
+		return fmt.Errorf("distributed: quantize %s: %w", kind, err)
+	}
+	return node.Send(to, &comm.Message{Kind: kind, Quantized: q})
+}
+
+// recvMatrix extracts the matrix payload regardless of quantization.
+func recvMatrix(msg *comm.Message) (*matrix.Dense, error) {
+	switch {
+	case msg.Matrix != nil:
+		return msg.Matrix, nil
+	case msg.Quantized != nil:
+		return msg.Quantized.Dequantize(), nil
+	default:
+		return nil, fmt.Errorf("distributed: message %q carries no matrix", msg.Kind)
+	}
+}
+
+func (c Config) rng(serverID int) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed + int64(serverID) + 1))
+}
+
+func finish(res *Result, meter *comm.Meter) *Result {
+	res.Words = meter.Words()
+	res.Bits = meter.Bits()
+	res.Rounds = meter.Rounds()
+	res.Messages = meter.Messages()
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 2: deterministic FD merge.
+// ---------------------------------------------------------------------------
+
+// ServerFDMerge is the server side of the deterministic protocol: stream the
+// local rows through FD and send the ℓ-row sketch to the coordinator.
+func ServerFDMerge(node Node, local *matrix.Dense, eps float64, k int, cfg Config) error {
+	b, err := fd.SketchEpsK(local, eps, k)
+	if err != nil {
+		return fmt.Errorf("server %d: %w", node.ID(), err)
+	}
+	return cfg.sendMatrix(node, comm.CoordinatorID, "fd-sketch", b)
+}
+
+// CoordFDMerge is the coordinator side: collect the s local sketches and
+// merge them with one more FD pass, yielding an (ε,k)-sketch of A
+// (mergeability, Theorem 2).
+func CoordFDMerge(node Node, s int, d int, eps float64, k int) (*matrix.Dense, error) {
+	msgs, err := gather(node, s, "fd-sketch")
+	if err != nil {
+		return nil, err
+	}
+	merged := fd.New(d, fd.SketchSize(eps, k), fd.Options{})
+	for _, msg := range msgs {
+		m, err := recvMatrix(msg)
+		if err != nil {
+			return nil, err
+		}
+		if err := merged.UpdateMatrix(m); err != nil {
+			return nil, err
+		}
+	}
+	return merged.Matrix()
+}
+
+// RunFDMerge runs the full Theorem 2 protocol in-process over parts.
+// Expected communication: O(s·k·d/ε) words.
+func RunFDMerge(parts []*matrix.Dense, eps float64, k int, cfg Config) (*Result, error) {
+	s, d := len(parts), parts[0].Cols()
+	net := NewMemNetwork(s, nil)
+	defer net.Close()
+	serverFns := make([]func() error, s)
+	for i := range parts {
+		i := i
+		serverFns[i] = func() error {
+			return ServerFDMerge(net.Node(i), parts[i], eps, k, cfg)
+		}
+	}
+	res := &Result{}
+	err := runParties(net, serverFns, func() error {
+		net.Meter().AddRound()
+		sk, err := CoordFDMerge(net.Coordinator(), s, d, eps, k)
+		if err != nil {
+			return err
+		}
+		res.Sketch = sk
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish(res, net.Meter()), nil
+}
+
+// ---------------------------------------------------------------------------
+// §3.1 / Algorithm 2: SVS protocol.
+// ---------------------------------------------------------------------------
+
+// ServerSVS is the server side of Algorithm 2 with the two-round calibration
+// the paper sketches in footnote 6: send ‖A_i‖F² (one word), receive the
+// global ‖A‖F² (one word), then run SVS with the shared sampling function
+// and send the sampled rows.
+func ServerSVS(node Node, local *matrix.Dense, s int, alpha, delta float64, useLinear bool, cfg Config) error {
+	if err := node.Send(comm.CoordinatorID, &comm.Message{Kind: "frob2", Scalars: []float64{local.Frob2()}}); err != nil {
+		return err
+	}
+	msg, err := expectKind(node, "frob2-total")
+	if err != nil {
+		return err
+	}
+	frob2 := msg.Scalars[0]
+	d := local.Cols()
+	var g core.SamplingFunc
+	if useLinear {
+		g = core.NewLinearSampling(s, d, alpha, delta, frob2)
+	} else {
+		g = core.NewQuadraticSampling(s, d, alpha, delta, frob2)
+	}
+	b, err := core.SVS(local, g, cfg.rng(node.ID()))
+	if err != nil {
+		return fmt.Errorf("server %d SVS: %w", node.ID(), err)
+	}
+	return cfg.sendMatrix(node, comm.CoordinatorID, "svs-sketch", b)
+}
+
+// CoordSVS is the coordinator side of Algorithm 2.
+func CoordSVS(node Node, s int) (*matrix.Dense, error) {
+	masses, err := gather(node, s, "frob2")
+	if err != nil {
+		return nil, err
+	}
+	total := 0.0
+	for _, m := range masses {
+		total += m.Scalars[0]
+	}
+	if err := broadcast(node, s, &comm.Message{Kind: "frob2-total", Scalars: []float64{total}}); err != nil {
+		return nil, err
+	}
+	sketches, err := gather(node, s, "svs-sketch")
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]*matrix.Dense, 0, s)
+	for _, msg := range sketches {
+		m, err := recvMatrix(msg)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, m)
+	}
+	return matrix.Stack(parts...), nil
+}
+
+// RunSVS runs the §3.1 randomized (α,0)-sketch protocol in-process.
+// Expected communication: O(√s·d·√log(d/δ)/α) words (quadratic g) plus the
+// 2s calibration words.
+func RunSVS(parts []*matrix.Dense, alpha, delta float64, useLinear bool, cfg Config) (*Result, error) {
+	s := len(parts)
+	net := NewMemNetwork(s, nil)
+	defer net.Close()
+	serverFns := make([]func() error, s)
+	for i := range parts {
+		i := i
+		serverFns[i] = func() error {
+			return ServerSVS(net.Node(i), parts[i], s, alpha, delta, useLinear, cfg)
+		}
+	}
+	res := &Result{}
+	err := runParties(net, serverFns, func() error {
+		net.Meter().AddRound()
+		net.Meter().AddRound()
+		sk, err := CoordSVS(net.Coordinator(), s)
+		if err != nil {
+			return err
+		}
+		res.Sketch = sk
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish(res, net.Meter()), nil
+}
+
+// ServerSVSStreaming is the one-pass form of the §3.1 protocol, following
+// the paper's framework sentence ("each server first independently computes
+// a local sketch using a streaming algorithm, then all servers run a
+// distributed algorithm on top of the local sketches"): the server streams
+// its rows through FD at accuracy ε/2 (O(d/ε) space), then runs SVS on the
+// FD sketch at accuracy ε/2. The combined covariance error is at most the
+// sum of the two stages' errors, so the output is still an (O(ε),0)-sketch,
+// and the server never holds its raw input in memory.
+func ServerSVSStreaming(node Node, rows *workload.RowStream, d, s int, alpha, delta float64, cfg Config) error {
+	local := fd.New(d, fd.SketchSize(alpha/2, 0), fd.Options{})
+	for row, ok := rows.Next(); ok; row, ok = rows.Next() {
+		if err := local.Update(row); err != nil {
+			return fmt.Errorf("server %d: %w", node.ID(), err)
+		}
+	}
+	b, err := local.Matrix()
+	if err != nil {
+		return fmt.Errorf("server %d: %w", node.ID(), err)
+	}
+	// The calibration uses the exact streamed mass, not the sketch's
+	// (shrunk) mass, so the shared g matches the true ‖A‖F².
+	if err := node.Send(comm.CoordinatorID, &comm.Message{Kind: "frob2", Scalars: []float64{local.InputFrob2()}}); err != nil {
+		return err
+	}
+	msg, err := expectKind(node, "frob2-total")
+	if err != nil {
+		return err
+	}
+	g := core.NewQuadraticSampling(s, d, alpha/2, delta, msg.Scalars[0])
+	w, err := core.SVS(b, g, cfg.rng(node.ID()))
+	if err != nil {
+		return fmt.Errorf("server %d SVS: %w", node.ID(), err)
+	}
+	return cfg.sendMatrix(node, comm.CoordinatorID, "svs-sketch", w)
+}
+
+// RunSVSStreaming runs the one-pass §3.1 pipeline in-process; the
+// coordinator side is identical to RunSVS.
+func RunSVSStreaming(parts []*matrix.Dense, alpha, delta float64, cfg Config) (*Result, error) {
+	s, d := len(parts), parts[0].Cols()
+	net := NewMemNetwork(s, nil)
+	defer net.Close()
+	serverFns := make([]func() error, s)
+	for i := range parts {
+		i := i
+		serverFns[i] = func() error {
+			return ServerSVSStreaming(net.Node(i), workload.NewRowStream(parts[i]), d, s, alpha, delta, cfg)
+		}
+	}
+	res := &Result{}
+	err := runParties(net, serverFns, func() error {
+		net.Meter().AddRound()
+		net.Meter().AddRound()
+		sk, err := CoordSVS(net.Coordinator(), s)
+		if err != nil {
+			return err
+		}
+		res.Sketch = sk
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish(res, net.Meter()), nil
+}
+
+// ---------------------------------------------------------------------------
+// Baseline [10]: distributed squared-norm row sampling.
+// ---------------------------------------------------------------------------
+
+// ServerRowSampling is the server side of the sampling baseline: report the
+// local mass, receive the global mass and this server's sample count, sample
+// locally and send the rescaled rows. Cost O(s + d/ε²) words overall.
+func ServerRowSampling(node Node, local *matrix.Dense, cfg Config) error {
+	if err := node.Send(comm.CoordinatorID, &comm.Message{Kind: "mass", Scalars: []float64{local.Frob2()}}); err != nil {
+		return err
+	}
+	msg, err := expectKind(node, "sample-plan")
+	if err != nil {
+		return err
+	}
+	total, count, m := msg.Scalars[0], int(msg.Ints[0]), int(msg.Ints[1])
+	rng := cfg.rng(node.ID())
+	d := local.Cols()
+	out := matrix.New(0, d)
+	if count > 0 && local.Frob2() > 0 {
+		// Sample locally with global rescaling 1/√(m·p_global).
+		sampled := rowsample.Sample(local, count, rng)
+		// rowsample.Sample rescales against the LOCAL mass at count draws;
+		// convert to the global scaling: multiply by
+		// √(count/ m) · √(localMass/total)... Derive directly instead:
+		// local row r drawn w.p. pLocal = ‖r‖²/localMass, rescale factor
+		// applied was 1/√(count·pLocal). Want 1/√(m·pGlobal) with
+		// pGlobal = ‖r‖²/total = pLocal·localMass/total. Correction factor:
+		// √(count·pLocal)/√(m·pGlobal) = √(count·total/(m·localMass)).
+		factor := math.Sqrt(float64(count) * total / (float64(m) * local.Frob2()))
+		out = sampled.Scale(factor)
+	}
+	return cfg.sendMatrix(node, comm.CoordinatorID, "sample-rows", out)
+}
+
+// CoordRowSampling is the coordinator side: gather masses, split the m
+// global samples across servers proportionally (multinomially), then stack
+// the returned rows.
+func CoordRowSampling(node Node, s, m int, seed int64) (*matrix.Dense, error) {
+	masses, err := gather(node, s, "mass")
+	if err != nil {
+		return nil, err
+	}
+	total := 0.0
+	vals := make([]float64, s)
+	for i, msg := range masses {
+		vals[i] = msg.Scalars[0]
+		total += vals[i]
+	}
+	counts := make([]int64, s)
+	rng := rand.New(rand.NewSource(seed))
+	if total > 0 {
+		for t := 0; t < m; t++ {
+			u := rng.Float64() * total
+			run := 0.0
+			for i := 0; i < s; i++ {
+				run += vals[i]
+				if u <= run {
+					counts[i]++
+					break
+				}
+			}
+		}
+	}
+	for i := 0; i < s; i++ {
+		if err := node.Send(i, &comm.Message{
+			Kind:    "sample-plan",
+			Scalars: []float64{total},
+			Ints:    []int64{counts[i], int64(m)},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	rowsMsgs, err := gather(node, s, "sample-rows")
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]*matrix.Dense, 0, s)
+	for _, msg := range rowsMsgs {
+		mm, err := recvMatrix(msg)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, mm)
+	}
+	return matrix.Stack(parts...), nil
+}
+
+// RunRowSampling runs the [10] baseline in-process with m = ⌈1/ε²⌉ samples.
+func RunRowSampling(parts []*matrix.Dense, eps float64, cfg Config) (*Result, error) {
+	s := len(parts)
+	m := rowsample.SampleSize(eps)
+	net := NewMemNetwork(s, nil)
+	defer net.Close()
+	serverFns := make([]func() error, s)
+	for i := range parts {
+		i := i
+		serverFns[i] = func() error {
+			return ServerRowSampling(net.Node(i), parts[i], cfg)
+		}
+	}
+	res := &Result{}
+	err := runParties(net, serverFns, func() error {
+		net.Meter().AddRound()
+		net.Meter().AddRound()
+		sk, err := CoordRowSampling(net.Coordinator(), s, m, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		res.Sketch = sk
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish(res, net.Meter()), nil
+}
+
+// ---------------------------------------------------------------------------
+// Trivial baseline: ship everything.
+// ---------------------------------------------------------------------------
+
+// RunFullTransfer ships every row to the coordinator — the trivial exact
+// algorithm whose O(n·d) (= O(d³) in the paper's headline setting with
+// n = s/ε = d²) cost anchors the comparisons. The coordinator returns the
+// exact aggregated form (≤ d rows), so downstream error is zero.
+func RunFullTransfer(parts []*matrix.Dense, cfg Config) (*Result, error) {
+	s := len(parts)
+	net := NewMemNetwork(s, nil)
+	defer net.Close()
+	serverFns := make([]func() error, s)
+	for i := range parts {
+		i := i
+		serverFns[i] = func() error {
+			return cfg.sendMatrix(net.Node(i), comm.CoordinatorID, "raw", parts[i])
+		}
+	}
+	res := &Result{}
+	err := runParties(net, serverFns, func() error {
+		net.Meter().AddRound()
+		msgs, err := gather(net.Coordinator(), s, "raw")
+		if err != nil {
+			return err
+		}
+		all := make([]*matrix.Dense, 0, s)
+		for _, msg := range msgs {
+			m, err := recvMatrix(msg)
+			if err != nil {
+				return err
+			}
+			all = append(all, m)
+		}
+		a := matrix.Stack(all...)
+		agg, err := core.Aggregated(a)
+		if err != nil {
+			return err
+		}
+		res.Sketch = agg
+		res.Gram = a.Gram()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish(res, net.Meter()), nil
+}

@@ -1,0 +1,229 @@
+package distributed
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/comm"
+)
+
+// The TCP transport implements the star topology every protocol in this
+// repository uses (all messages flow between a server and the coordinator,
+// matching the paper's coordinator model): the coordinator listens, each
+// server dials in and identifies itself with a hello message, and both ends
+// then exchange comm.Message frames.
+
+// TCPCoordinator is the coordinator's hub: it accepts exactly s server
+// connections and exposes a Node whose Send routes to the right connection.
+type TCPCoordinator struct {
+	s     int
+	meter *comm.Meter
+	ln    net.Listener
+
+	mu    sync.Mutex
+	conns map[int]net.Conn
+
+	inbox chan recvResult
+	done  chan struct{}
+}
+
+type recvResult struct {
+	msg *comm.Message
+	err error
+}
+
+// NewTCPCoordinator listens on addr (e.g. "127.0.0.1:0") for s servers.
+// Call Accept before running a protocol.
+func NewTCPCoordinator(addr string, s int, meter *comm.Meter) (*TCPCoordinator, error) {
+	if s <= 0 {
+		panic(fmt.Sprintf("distributed: TCP coordinator with s=%d", s))
+	}
+	if meter == nil {
+		meter = comm.NewMeter()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("distributed: listen: %w", err)
+	}
+	return &TCPCoordinator{
+		s: s, meter: meter, ln: ln,
+		conns: make(map[int]net.Conn),
+		inbox: make(chan recvResult, 16*s),
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the listening address for servers to dial.
+func (c *TCPCoordinator) Addr() string { return c.ln.Addr().String() }
+
+// Meter returns the coordinator-side meter (records coordinator sends).
+func (c *TCPCoordinator) Meter() *comm.Meter { return c.meter }
+
+// Accept waits for all s servers to connect and identify themselves, then
+// starts the demultiplexing readers.
+func (c *TCPCoordinator) Accept() error {
+	for len(c.conns) < c.s {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("distributed: accept: %w", err)
+		}
+		hello, err := comm.Decode(conn)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("distributed: bad hello: %w", err)
+		}
+		if hello.Kind != "hello" || len(hello.Ints) != 1 {
+			conn.Close()
+			return fmt.Errorf("distributed: malformed hello %q", hello.Kind)
+		}
+		id := int(hello.Ints[0])
+		if id < 0 || id >= c.s {
+			conn.Close()
+			return fmt.Errorf("distributed: hello from out-of-range server %d", id)
+		}
+		c.mu.Lock()
+		if _, dup := c.conns[id]; dup {
+			c.mu.Unlock()
+			conn.Close()
+			return fmt.Errorf("distributed: duplicate server %d", id)
+		}
+		c.conns[id] = conn
+		c.mu.Unlock()
+	}
+	for id, conn := range c.conns {
+		go c.readLoop(id, conn)
+	}
+	return nil
+}
+
+func (c *TCPCoordinator) readLoop(id int, conn net.Conn) {
+	for {
+		msg, err := comm.Decode(conn)
+		if err != nil {
+			// A clean EOF means the server finished its protocol and closed;
+			// that is the normal end of a run, not an error to surface.
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			select {
+			case <-c.done:
+			default:
+				select {
+				case c.inbox <- recvResult{err: fmt.Errorf("distributed: read from server %d: %w", id, err)}:
+				case <-c.done:
+				}
+			}
+			return
+		}
+		msg.From, msg.To = id, comm.CoordinatorID
+		select {
+		case c.inbox <- recvResult{msg: msg}:
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// Node returns the coordinator endpoint.
+func (c *TCPCoordinator) Node() Node { return &tcpCoordNode{c} }
+
+// Close shuts down the listener and all connections.
+func (c *TCPCoordinator) Close() {
+	select {
+	case <-c.done:
+		return
+	default:
+		close(c.done)
+	}
+	c.ln.Close()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+}
+
+type tcpCoordNode struct{ c *TCPCoordinator }
+
+func (n *tcpCoordNode) ID() int { return comm.CoordinatorID }
+
+func (n *tcpCoordNode) Send(to int, msg *comm.Message) error {
+	n.c.mu.Lock()
+	conn, ok := n.c.conns[to]
+	n.c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("distributed: no connection to server %d", to)
+	}
+	msg.From, msg.To = comm.CoordinatorID, to
+	n.c.meter.Record(msg)
+	return msg.Encode(conn)
+}
+
+func (n *tcpCoordNode) Recv() (*comm.Message, error) {
+	select {
+	case r := <-n.c.inbox:
+		return r.msg, r.err
+	case <-n.c.done:
+		return nil, ErrNetworkClosed
+	}
+}
+
+// TCPServer is one server's connection to the coordinator hub.
+type TCPServer struct {
+	id    int
+	meter *comm.Meter
+	conn  net.Conn
+}
+
+// DialTCPServer connects server id to the coordinator at addr.
+func DialTCPServer(addr string, id int, meter *comm.Meter) (*TCPServer, error) {
+	if meter == nil {
+		meter = comm.NewMeter()
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("distributed: dial %s: %w", addr, err)
+	}
+	hello := &comm.Message{Kind: "hello", Ints: []int64{int64(id)}}
+	hello.From, hello.To = id, comm.CoordinatorID
+	if err := hello.Encode(conn); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("distributed: send hello: %w", err)
+	}
+	return &TCPServer{id: id, meter: meter, conn: conn}, nil
+}
+
+// Meter returns the server-side meter.
+func (s *TCPServer) Meter() *comm.Meter { return s.meter }
+
+// Node returns the server endpoint.
+func (s *TCPServer) Node() Node { return s }
+
+// ID implements Node.
+func (s *TCPServer) ID() int { return s.id }
+
+// Send implements Node; only the coordinator is reachable over this
+// transport (the star topology all protocols use).
+func (s *TCPServer) Send(to int, msg *comm.Message) error {
+	if to != comm.CoordinatorID {
+		return fmt.Errorf("distributed: TCP server can only send to the coordinator, not %d", to)
+	}
+	msg.From, msg.To = s.id, to
+	s.meter.Record(msg)
+	return msg.Encode(s.conn)
+}
+
+// Recv implements Node.
+func (s *TCPServer) Recv() (*comm.Message, error) {
+	msg, err := comm.Decode(s.conn)
+	if err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// Close closes the connection.
+func (s *TCPServer) Close() { s.conn.Close() }

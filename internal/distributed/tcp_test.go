@@ -1,0 +1,188 @@
+package distributed
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+// TestTCPFDMergeEndToEnd runs the deterministic protocol over real TCP
+// sockets: a coordinator hub and s dialing servers, exchanging framed
+// messages, with word accounting on both sides.
+func TestTCPFDMergeEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := workload.LowRankPlusNoise(rng, 200, 12, 3, 20, 0.7, 0.4)
+	s := 4
+	parts := workload.Split(a, s, workload.Contiguous, nil)
+	eps, k := 0.25, 3
+
+	coord, err := NewTCPCoordinator("127.0.0.1:0", s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	var wg sync.WaitGroup
+	serverErrs := make(chan error, s)
+	serverWords := make(chan float64, s)
+	for i := 0; i < s; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			srv, err := DialTCPServer(coord.Addr(), id, nil)
+			if err != nil {
+				serverErrs <- err
+				return
+			}
+			defer srv.Close()
+			if err := ServerFDMerge(srv.Node(), parts[id], eps, k, Config{}); err != nil {
+				serverErrs <- err
+				return
+			}
+			serverWords <- srv.Meter().Words()
+		}(i)
+	}
+
+	if err := coord.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	sketch, err := CoordFDMerge(coord.Node(), s, 12, eps, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(serverErrs)
+	for err := range serverErrs {
+		t.Fatal(err)
+	}
+	close(serverWords)
+	total := 0.0
+	for w := range serverWords {
+		total += w
+	}
+
+	ok, ce, bound, err := core.IsEpsKSketch(a, sketch, eps, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("TCP FD merge sketch error %v > %v", ce, bound)
+	}
+	if total <= 0 {
+		t.Fatal("server meters recorded nothing")
+	}
+}
+
+// TestTCPSVSEndToEnd runs the randomized two-round protocol over TCP,
+// exercising coordinator→server broadcast over the sockets.
+func TestTCPSVSEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := workload.PowerLawSpectrum(rng, 240, 10, 0.8, 10)
+	s := 3
+	parts := workload.Split(a, s, workload.Contiguous, nil)
+	alpha := 0.25
+
+	coord, err := NewTCPCoordinator("127.0.0.1:0", s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	var wg sync.WaitGroup
+	serverErrs := make(chan error, s)
+	for i := 0; i < s; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			srv, err := DialTCPServer(coord.Addr(), id, nil)
+			if err != nil {
+				serverErrs <- err
+				return
+			}
+			defer srv.Close()
+			if err := ServerSVS(srv.Node(), parts[id], s, alpha, 0.1, false, Config{Seed: 7}); err != nil {
+				serverErrs <- err
+			}
+		}(i)
+	}
+
+	if err := coord.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	sketch, err := CoordSVS(coord.Node(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(serverErrs)
+	for err := range serverErrs {
+		t.Fatal(err)
+	}
+	ce, err := core.CovErr(a, sketch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce > 4*alpha*a.Frob2() {
+		t.Fatalf("TCP SVS coverr %v > %v", ce, 4*alpha*a.Frob2())
+	}
+}
+
+func TestTCPServerRestrictions(t *testing.T) {
+	coord, err := NewTCPCoordinator("127.0.0.1:0", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	done := make(chan error, 1)
+	go func() {
+		srv, err := DialTCPServer(coord.Addr(), 0, nil)
+		if err != nil {
+			done <- err
+			return
+		}
+		defer srv.Close()
+		// Server-to-server sends are rejected in the star topology.
+		if err := srv.Send(1, &comm.Message{Kind: "x"}); err == nil {
+			done <- errors.New("expected star-topology error")
+			return
+		}
+		done <- srv.Send(comm.CoordinatorID, &comm.Message{Kind: "ping", Matrix: matrix.New(1, 1)})
+	}()
+	if err := coord.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	msg, err := coord.Node().Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Kind != "ping" || msg.From != 0 {
+		t.Fatalf("message %+v", msg)
+	}
+}
+
+func TestTCPBadHello(t *testing.T) {
+	coord, err := NewTCPCoordinator("127.0.0.1:0", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	go func() {
+		// Out-of-range server ID must be rejected by Accept.
+		srv, err := DialTCPServer(coord.Addr(), 7, nil)
+		if err == nil {
+			srv.Close()
+		}
+	}()
+	if err := coord.Accept(); err == nil {
+		t.Fatal("expected hello rejection")
+	}
+}

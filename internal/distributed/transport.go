@@ -1,0 +1,240 @@
+// Package distributed implements the paper's computation model: s servers
+// holding row blocks of A, one coordinator, point-to-point message passing
+// (§1 "Distributed models"), with every protocol's communication metered in
+// words at the transport layer.
+//
+// Each protocol is split into a server side and a coordinator side operating
+// on the Node interface, so the same protocol code runs in-process over
+// channels (MemNetwork, used by tests and benchmarks) and across machines
+// over TCP (cmd/distsketch).
+package distributed
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/matrix"
+)
+
+// Node is one endpoint's view of the network: it can send a message to any
+// endpoint and receive messages addressed to itself in FIFO order.
+type Node interface {
+	// ID returns this endpoint's ID (comm.CoordinatorID for the coordinator).
+	ID() int
+	// Send delivers msg to endpoint `to`. The message's From/To fields are
+	// filled in by the transport.
+	Send(to int, msg *comm.Message) error
+	// Recv blocks until a message addressed to this endpoint arrives.
+	Recv() (*comm.Message, error)
+}
+
+// ErrNetworkClosed is returned by Recv after the network shuts down.
+var ErrNetworkClosed = errors.New("distributed: network closed")
+
+// MemNetwork is an in-process network of s servers plus a coordinator,
+// backed by buffered channels, with all sends metered. Closing the network
+// (which runParties does on the first party error) unblocks every pending
+// Send and Recv with ErrNetworkClosed, so a failing protocol can never
+// deadlock its peers.
+type MemNetwork struct {
+	s     int
+	meter *comm.Meter
+
+	closeOnce sync.Once
+	done      chan struct{}
+	boxes     map[int]chan *comm.Message
+}
+
+// NewMemNetwork creates a network with servers 0..s-1 and a coordinator.
+func NewMemNetwork(s int, meter *comm.Meter) *MemNetwork {
+	if s <= 0 {
+		panic(fmt.Sprintf("distributed: NewMemNetwork with s=%d", s))
+	}
+	if meter == nil {
+		meter = comm.NewMeter()
+	}
+	n := &MemNetwork{s: s, meter: meter, done: make(chan struct{}), boxes: make(map[int]chan *comm.Message)}
+	n.boxes[comm.CoordinatorID] = make(chan *comm.Message, 16*s)
+	for i := 0; i < s; i++ {
+		n.boxes[i] = make(chan *comm.Message, 64)
+	}
+	return n
+}
+
+// Servers returns the number of servers s.
+func (n *MemNetwork) Servers() int { return n.s }
+
+// Meter returns the shared communication meter.
+func (n *MemNetwork) Meter() *comm.Meter { return n.meter }
+
+// Node returns the endpoint with the given ID.
+func (n *MemNetwork) Node(id int) Node {
+	if _, ok := n.boxes[id]; !ok {
+		panic(fmt.Sprintf("distributed: no endpoint %d", id))
+	}
+	return &memNode{net: n, id: id}
+}
+
+// Coordinator returns the coordinator endpoint.
+func (n *MemNetwork) Coordinator() Node { return n.Node(comm.CoordinatorID) }
+
+// Close shuts the network down; pending and future Send/Recv calls fail
+// with ErrNetworkClosed.
+func (n *MemNetwork) Close() {
+	n.closeOnce.Do(func() { close(n.done) })
+}
+
+type memNode struct {
+	net *MemNetwork
+	id  int
+}
+
+func (m *memNode) ID() int { return m.id }
+
+func (m *memNode) Send(to int, msg *comm.Message) error {
+	box, ok := m.net.boxes[to]
+	if !ok {
+		return fmt.Errorf("distributed: send to unknown endpoint %d", to)
+	}
+	select {
+	case <-m.net.done:
+		return ErrNetworkClosed
+	default:
+	}
+	msg.From, msg.To = m.id, to
+	m.net.meter.Record(msg)
+	select {
+	case box <- msg:
+		return nil
+	case <-m.net.done:
+		return ErrNetworkClosed
+	}
+}
+
+func (m *memNode) Recv() (*comm.Message, error) {
+	select {
+	case msg := <-m.net.boxes[m.id]:
+		return msg, nil
+	case <-m.net.done:
+		// Drain any message that raced with the close.
+		select {
+		case msg := <-m.net.boxes[m.id]:
+			return msg, nil
+		default:
+			return nil, ErrNetworkClosed
+		}
+	}
+}
+
+// Result is the outcome of a protocol run at the coordinator.
+type Result struct {
+	// Sketch is the coordinator's output matrix (covariance sketch), nil for
+	// protocols that output something else (see Gram / PCs).
+	Sketch *matrix.Dense
+	// Gram is set by exact protocols that reconstruct AᵀA directly.
+	Gram *matrix.Dense
+	// PCs holds the top-k right singular vectors (d×k) for PCA protocols.
+	PCs *matrix.Dense
+	// Words is the total communication cost of the run in machine words.
+	Words float64
+	// Bits is the same cost in bits.
+	Bits int64
+	// Rounds counts synchronous communication rounds.
+	Rounds int64
+	// Messages counts messages.
+	Messages int64
+}
+
+// runParties runs each server function in its own goroutine and the
+// coordinator function in the calling goroutine, returning the first error.
+// When any party fails, the network is closed so the others unblock instead
+// of deadlocking mid-protocol.
+func runParties(net *MemNetwork, serverFns []func() error, coordFn func() error) error {
+	errs := make(chan error, len(serverFns))
+	var wg sync.WaitGroup
+	for _, fn := range serverFns {
+		wg.Add(1)
+		go func(f func() error) {
+			defer wg.Done()
+			if err := f(); err != nil {
+				errs <- err
+				net.Close()
+			}
+		}(fn)
+	}
+	coordErr := coordFn()
+	if coordErr != nil {
+		net.Close()
+	}
+	wg.Wait()
+	close(errs)
+	// Report the root cause: ErrNetworkClosed is the symptom a party sees
+	// when another party failed first, so prefer any other error.
+	var fallback error = coordErr
+	if coordErr != nil && !errors.Is(coordErr, ErrNetworkClosed) {
+		return coordErr
+	}
+	for err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrNetworkClosed) {
+			return err
+		}
+		if fallback == nil {
+			fallback = err
+		}
+	}
+	return fallback
+}
+
+// gather receives exactly one message of the given kind from every server,
+// returning them indexed by server ID. Messages of other kinds are an error
+// (protocols are lockstep).
+func gather(node Node, s int, kind string) ([]*comm.Message, error) {
+	out := make([]*comm.Message, s)
+	for seen := 0; seen < s; {
+		msg, err := node.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if msg.Kind != kind {
+			return nil, fmt.Errorf("distributed: expected %q message, got %q from %d", kind, msg.Kind, msg.From)
+		}
+		if msg.From < 0 || msg.From >= s {
+			return nil, fmt.Errorf("distributed: message from unexpected endpoint %d", msg.From)
+		}
+		if out[msg.From] != nil {
+			return nil, fmt.Errorf("distributed: duplicate %q message from %d", kind, msg.From)
+		}
+		out[msg.From] = msg
+		seen++
+	}
+	return out, nil
+}
+
+// broadcast sends msg (same payload) to every server, point-to-point —
+// costing s times the message size, as in the message-passing model.
+func broadcast(node Node, s int, msg *comm.Message) error {
+	for i := 0; i < s; i++ {
+		m := *msg // shallow copy; payload slices are shared read-only
+		if err := node.Send(i, &m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expectKind receives one message and checks its kind.
+func expectKind(node Node, kind string) (*comm.Message, error) {
+	msg, err := node.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if msg.Kind != kind {
+		return nil, fmt.Errorf("distributed: expected %q message, got %q", kind, msg.Kind)
+	}
+	return msg, nil
+}

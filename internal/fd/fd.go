@@ -1,0 +1,361 @@
+// Package fd implements the Frequent Directions matrix sketch of Liberty
+// (KDD'13) with the improved analysis of Ghashami–Phillips (SODA'14), the
+// deterministic building block of the paper (§2, Theorem 1):
+//
+// Given A ∈ R^{n×d}, FD maintains in one pass over the rows a sketch
+// B ∈ R^{ℓ×d} using O(ℓd) working space such that, for every k < ℓ,
+//
+//	‖AᵀA − BᵀB‖₂ ≤ ‖A − [A]_k‖F² / (ℓ − k).
+//
+// Choosing ℓ = k + ⌈k/ε⌉ yields an (ε,k)-sketch in the paper's sense.
+// FD sketches are mergeable (Agarwal et al., TODS'13): feeding the rows of
+// two sketches into a fresh sketch preserves the guarantee, which is exactly
+// the deterministic distributed algorithm of Theorem 2.
+//
+// The implementation uses the standard doubling buffer: rows accumulate in a
+// buffer of bufferRows ≥ ℓ+1 rows; when full, one SVD shrinks the spectrum
+// by δ = σ_{ℓ+1}² (squared (ℓ+1)-st singular value), zeroing all but at most
+// ℓ rows. Each shrink adds at most δ to the covariance error and removes at
+// least (ℓ+1)·δ of Frobenius mass, which gives the bound above.
+package fd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+)
+
+// Sketch is a streaming Frequent Directions sketch. It is not safe for
+// concurrent use.
+type Sketch struct {
+	d          int
+	ell        int
+	bufferRows int
+	method     SVDMethod
+	rng        *rand.Rand
+	buf        *matrix.Dense
+	used       int
+
+	shrinks    int
+	totalDelta float64 // Σ δ_i — an a-posteriori certificate for the error
+	inputFrob2 float64
+	inputRows  int
+	err        error // latched SVD failure
+}
+
+// SVDMethod selects the factorization used by the shrink step — the
+// DESIGN.md ablation between accuracy and speed.
+type SVDMethod int
+
+const (
+	// SVDJacobi is the default: one-sided Jacobi, accurate to machine
+	// precision.
+	SVDJacobi SVDMethod = iota
+	// SVDGram squares into the d×d Gram matrix first — faster when the
+	// buffer is tall (n ≫ d), loses singular values below √ε_machine·σ₁,
+	// which the shrink step never needs.
+	SVDGram
+	// SVDRandomized uses the Halko–Martinsson–Tropp range finder truncated
+	// at ℓ+1 triples, the device behind the fast sparse FD of [15]. The
+	// sketch becomes randomized; the expected guarantee matches.
+	SVDRandomized
+)
+
+// String implements fmt.Stringer.
+func (m SVDMethod) String() string {
+	switch m {
+	case SVDJacobi:
+		return "jacobi"
+	case SVDGram:
+		return "gram"
+	case SVDRandomized:
+		return "randomized"
+	default:
+		return fmt.Sprintf("SVDMethod(%d)", int(m))
+	}
+}
+
+// Options configures a Sketch beyond the required (d, ℓ).
+type Options struct {
+	// BufferRows sets the in-memory buffer size; values < ℓ+1 (including 0)
+	// default to 2ℓ. Larger buffers mean fewer, larger SVDs with identical
+	// guarantees; ℓ+1 reproduces Liberty's original one-row-at-a-time shrink
+	// schedule.
+	BufferRows int
+	// SVD selects the shrink factorization (default SVDJacobi).
+	SVD SVDMethod
+	// Seed seeds SVDRandomized (ignored otherwise).
+	Seed int64
+}
+
+// New returns a sketch of dimension d producing at most ell rows.
+func New(d, ell int, opts Options) *Sketch {
+	if d <= 0 || ell <= 0 {
+		panic(fmt.Sprintf("fd: invalid dimensions d=%d ell=%d", d, ell))
+	}
+	br := opts.BufferRows
+	if br < ell+1 {
+		br = 2 * ell
+	}
+	if br < ell+1 {
+		br = ell + 1
+	}
+	s := &Sketch{d: d, ell: ell, bufferRows: br, method: opts.SVD, buf: matrix.New(br, d)}
+	if opts.SVD == SVDRandomized {
+		s.rng = rand.New(rand.NewSource(opts.Seed + 0x5eed))
+	}
+	return s
+}
+
+// SketchSize returns the number of rows ℓ for an (ε,k)-sketch:
+// ℓ = k + ⌈k/ε⌉, so that ‖A−[A]_k‖F²/(ℓ−k) ≤ ε‖A−[A]_k‖F²/k (Theorem 1).
+// k = 0 is the paper's (ε,0) convention with guarantee ε‖A‖F², which needs
+// ℓ = ⌈1/ε⌉.
+func SketchSize(eps float64, k int) int {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("fd: epsilon %v out of (0,1)", eps))
+	}
+	if k < 0 {
+		panic(fmt.Sprintf("fd: negative k=%d", k))
+	}
+	if k == 0 {
+		return int(math.Ceil(1 / eps))
+	}
+	return k + int(math.Ceil(float64(k)/eps))
+}
+
+// NewEpsK returns a sketch guaranteeing the paper's (ε,k)-sketch bound
+// ‖AᵀA−BᵀB‖₂ ≤ ε‖A−[A]_k‖F²/k (or ε‖A‖F² for k=0).
+func NewEpsK(d int, eps float64, k int) *Sketch {
+	return New(d, SketchSize(eps, k), Options{})
+}
+
+// Dim returns the row dimension d.
+func (s *Sketch) Dim() int { return s.d }
+
+// Ell returns the maximum number of sketch rows ℓ.
+func (s *Sketch) Ell() int { return s.ell }
+
+// WorkingSpaceRows returns the buffer size in rows, the O(ℓ) = O(k/ε)
+// working-space figure of Theorem 1 (total space is this times d).
+func (s *Sketch) WorkingSpaceRows() int { return s.bufferRows }
+
+// Shrinks returns how many SVD shrink steps have run.
+func (s *Sketch) Shrinks() int { return s.shrinks }
+
+// TotalShrinkage returns Σ δ_i, a deterministic upper bound on the
+// covariance error of the current sketch with respect to everything fed in.
+func (s *Sketch) TotalShrinkage() float64 { return s.totalDelta }
+
+// InputRows returns the number of rows fed in so far.
+func (s *Sketch) InputRows() int { return s.inputRows }
+
+// InputFrob2 returns the squared Frobenius norm of the input so far.
+func (s *Sketch) InputFrob2() float64 { return s.inputFrob2 }
+
+// Err returns the first SVD failure encountered, if any.
+func (s *Sketch) Err() error { return s.err }
+
+// Update feeds one row into the sketch. Rows with NaN or Inf entries are
+// rejected: a single non-finite value would silently poison every later
+// shrink.
+func (s *Sketch) Update(row []float64) error {
+	if len(row) != s.d {
+		panic(fmt.Sprintf("fd: row length %d != d=%d", len(row), s.d))
+	}
+	if s.err != nil {
+		return s.err
+	}
+	n2 := matrix.Norm2(row)
+	if math.IsNaN(n2) || math.IsInf(n2, 0) {
+		return fmt.Errorf("fd: row contains non-finite values")
+	}
+	if s.used == s.bufferRows {
+		if err := s.shrink(); err != nil {
+			return err
+		}
+	}
+	s.buf.SetRow(s.used, row)
+	s.used++
+	s.inputRows++
+	s.inputFrob2 += n2
+	return nil
+}
+
+// UpdateSparse feeds one sparse row into the sketch. The buffer itself is
+// dense (FD's state is inherently dense after the first shrink), but the
+// insert costs O(d) zeroing plus O(nnz) scatter, and combined with
+// Options{SVD: SVDRandomized} this is the sparse-input regime of
+// Ghashami–Liberty–Phillips [15].
+func (s *Sketch) UpdateSparse(row *matrix.SparseVector) error {
+	if row.Len != s.d {
+		panic(fmt.Sprintf("fd: sparse row length %d != d=%d", row.Len, s.d))
+	}
+	if s.err != nil {
+		return s.err
+	}
+	n2 := row.Norm2()
+	if math.IsNaN(n2) || math.IsInf(n2, 0) {
+		return fmt.Errorf("fd: row contains non-finite values")
+	}
+	if s.used == s.bufferRows {
+		if err := s.shrink(); err != nil {
+			return err
+		}
+	}
+	dst := s.buf.Row(s.used)
+	for i := range dst {
+		dst[i] = 0
+	}
+	row.AddTo(dst, 1)
+	s.used++
+	s.inputRows++
+	s.inputFrob2 += n2
+	return nil
+}
+
+// UpdateSparseMatrix feeds every row of m into the sketch.
+func (s *Sketch) UpdateSparseMatrix(m *matrix.Sparse) error {
+	r, c := m.Dims()
+	if c != s.d {
+		panic(fmt.Sprintf("fd: sparse matrix cols %d != d=%d", c, s.d))
+	}
+	for i := 0; i < r; i++ {
+		if err := s.UpdateSparse(m.Row(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UpdateMatrix feeds every row of m into the sketch.
+func (s *Sketch) UpdateMatrix(m *matrix.Dense) error {
+	r, c := m.Dims()
+	if c != s.d {
+		panic(fmt.Sprintf("fd: matrix cols %d != d=%d", c, s.d))
+	}
+	for i := 0; i < r; i++ {
+		if err := s.Update(m.Row(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shrink runs one FD shrink step, reducing the buffer to at most ℓ rows.
+func (s *Sketch) shrink() error {
+	work := s.buf.SliceRows(0, s.used)
+	var svd *linalg.SVD
+	var err error
+	switch s.method {
+	case SVDGram:
+		svd, err = linalg.ComputeSVDGram(work)
+	case SVDRandomized:
+		// ℓ+1 triples suffice: the shrink needs σ_{ℓ+1} and the top ℓ
+		// directions. Rows beyond the computed rank are treated as zero,
+		// which only discards mass the guarantee already charges for.
+		svd, err = linalg.RandomizedSVD(work, s.ell+1, 8, 2, s.rng)
+	default:
+		svd, err = linalg.ComputeSVD(work)
+	}
+	if err != nil {
+		s.err = fmt.Errorf("fd: shrink SVD (%v): %w", s.method, err)
+		return s.err
+	}
+	delta := 0.0
+	if len(svd.Sigma) > s.ell {
+		delta = svd.Sigma[s.ell] * svd.Sigma[s.ell]
+	}
+	out := 0
+	for j, sig := range svd.Sigma {
+		s2 := sig*sig - delta
+		if s2 <= 0 {
+			break // sigma sorted: all later rows are zero too
+		}
+		w := math.Sqrt(s2)
+		row := s.buf.Row(out)
+		for l := 0; l < s.d; l++ {
+			row[l] = w * svd.V.At(l, j)
+		}
+		out++
+		_ = j
+	}
+	for i := out; i < s.used; i++ {
+		zero(s.buf.Row(i))
+	}
+	s.used = out
+	s.shrinks++
+	if s.method == SVDRandomized {
+		// The truncated factorization also discards directions beyond
+		// ℓ+1, each carrying at most δ of spectral mass: charge 2δ so the
+		// certificate stays an upper bound (up to the range finder's own
+		// approximation).
+		s.totalDelta += 2 * delta
+	} else {
+		s.totalDelta += delta
+	}
+	return nil
+}
+
+func zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Matrix returns the current sketch B with at most ℓ non-zero rows,
+// shrinking first if the buffer holds more than ℓ rows. The result is a
+// copy; the sketch remains usable for further updates.
+func (s *Sketch) Matrix() (*matrix.Dense, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.used > s.ell {
+		if err := s.shrink(); err != nil {
+			return nil, err
+		}
+	}
+	return s.buf.CopyRows(0, s.used), nil
+}
+
+// Merge feeds the rows of other's current sketch into s (FD mergeability).
+// Both sketches must share the same dimension d.
+func (s *Sketch) Merge(other *Sketch) error {
+	if other.d != s.d {
+		panic(fmt.Sprintf("fd: merge dimension mismatch %d vs %d", s.d, other.d))
+	}
+	m, err := other.Matrix()
+	if err != nil {
+		return err
+	}
+	s.inputRows -= m.Rows() // UpdateMatrix counts sketch rows; track real input
+	s.inputFrob2 -= m.Frob2()
+	s.inputRows += other.inputRows
+	s.inputFrob2 += other.inputFrob2
+	return s.UpdateMatrix(m)
+}
+
+// SketchMatrix computes an FD sketch of a with ℓ rows in one call.
+func SketchMatrix(a *matrix.Dense, ell int) (*matrix.Dense, error) {
+	_, d := a.Dims()
+	s := New(d, ell, Options{})
+	if err := s.UpdateMatrix(a); err != nil {
+		return nil, err
+	}
+	return s.Matrix()
+}
+
+// SketchEpsK computes an (ε,k)-sketch of a via FD (Theorem 1).
+func SketchEpsK(a *matrix.Dense, eps float64, k int) (*matrix.Dense, error) {
+	return SketchMatrix(a, SketchSize(eps, k))
+}
+
+// ErrorBound returns the proven deterministic bound on the covariance error
+// of the current sketch for a given k (< ℓ): min(Σδ_i, inputFrob2)/1 — the
+// tighter a-posteriori certificate is TotalShrinkage; the a-priori bound is
+// ‖A−[A]_k‖F²/(ℓ−k), which requires knowing the input's tail energy, so this
+// helper exposes the certificate.
+func (s *Sketch) ErrorBound() float64 { return s.totalDelta }

@@ -1,0 +1,128 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/matrix"
+)
+
+// ComputeSVDGram computes a thin SVD of a via the eigendecomposition of the
+// d×d Gram matrix AᵀA (right factor and singular values exact up to the
+// squaring; U recovered as A·V·Σ⁻¹). It is faster than one-sided Jacobi
+// when n ≫ d because the iteration runs on a d×d matrix, at the cost of
+// halving the relative accuracy of small singular values (σ below
+// √ε_machine·σ₁ are lost in the squaring). For the sketching algorithms in
+// this repository — which only subtract or sample σ² — that accuracy is
+// sufficient, making this the default ablation alternative inside FD.
+func ComputeSVDGram(a *matrix.Dense) (*SVD, error) {
+	n, d := a.Dims()
+	if n == 0 || d == 0 {
+		return &SVD{U: matrix.New(n, 0), Sigma: nil, V: matrix.New(d, 0)}, nil
+	}
+	if d > n {
+		s, err := ComputeSVDGram(a.T())
+		if err != nil {
+			return nil, err
+		}
+		return &SVD{U: s.V, Sigma: s.Sigma, V: s.U}, nil
+	}
+	eig, err := ComputeEigSym(a.Gram())
+	if err != nil {
+		return nil, err
+	}
+	sigma := make([]float64, d)
+	for j, lam := range eig.Values {
+		if lam > 0 {
+			sigma[j] = math.Sqrt(lam)
+		}
+	}
+	// U = A·V·Σ⁻¹ column by column; zero singular values get zero columns,
+	// matching ComputeSVD's convention.
+	u := matrix.New(n, d)
+	thresh := 0.0
+	if sigma[0] > 0 {
+		thresh = 1e-12 * sigma[0]
+	}
+	for j := 0; j < d; j++ {
+		if sigma[j] <= thresh {
+			sigma[j] = 0
+			continue
+		}
+		av := a.MulVec(eig.V.Col(j))
+		inv := 1 / sigma[j]
+		for i := 0; i < n; i++ {
+			u.Set(i, j, av[i]*inv)
+		}
+	}
+	return &SVD{U: u, Sigma: sigma, V: eig.V}, nil
+}
+
+// RandomizedSVD computes an approximate rank-r SVD via the randomized
+// range-finder of Halko–Martinsson–Tropp (the device behind the fast sparse
+// FD of Ghashami–Liberty–Phillips [15]): project onto A·Ω for a Gaussian
+// Ω ∈ R^{d×(r+p)}, run q power iterations for spectral-gap sharpening,
+// orthonormalize, and solve the small problem exactly.
+//
+// The returned SVD has at most r singular triples. Accuracy: the tail
+// ‖A − U Σ Vᵀ‖F is within a small factor of ‖A − [A]_r‖F w.h.p.
+func RandomizedSVD(a *matrix.Dense, r, oversample, powerIters int, rng *rand.Rand) (*SVD, error) {
+	n, d := a.Dims()
+	if r <= 0 {
+		return &SVD{U: matrix.New(n, 0), Sigma: nil, V: matrix.New(d, 0)}, nil
+	}
+	if oversample <= 0 {
+		oversample = 8
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(0x5eed))
+	}
+	l := r + oversample
+	if l > n {
+		l = n
+	}
+	if l > d {
+		// The full problem is already small; solve exactly.
+		s, err := ComputeSVD(a)
+		if err != nil {
+			return nil, err
+		}
+		return truncateSVD(s, r), nil
+	}
+	// Range finding: Y = A·Ω, optionally (A·Aᵀ)^q·A·Ω.
+	omega := matrix.New(d, l)
+	for i := 0; i < d; i++ {
+		for j := 0; j < l; j++ {
+			omega.Set(i, j, rng.NormFloat64())
+		}
+	}
+	y := a.Mul(omega) // n×l
+	q := OrthonormalizeColumns(y, 0)
+	for it := 0; it < powerIters; it++ {
+		z := a.TMul(q)                                                   // d×l
+		q = OrthonormalizeColumns(a.Mul(OrthonormalizeColumns(z, 0)), 0) // n×l
+	}
+	// Small problem: B = Qᵀ·A (l×d), exact SVD.
+	b := q.TMul(a)
+	sb, err := ComputeSVD(b)
+	if err != nil {
+		return nil, err
+	}
+	full := &SVD{U: q.Mul(sb.U), Sigma: sb.Sigma, V: sb.V}
+	return truncateSVD(full, r), nil
+}
+
+func truncateSVD(s *SVD, r int) *SVD {
+	if r >= len(s.Sigma) {
+		return s
+	}
+	n, _ := s.U.Dims()
+	d, _ := s.V.Dims()
+	u := matrix.New(n, r)
+	v := matrix.New(d, r)
+	for j := 0; j < r; j++ {
+		u.SetCol(j, s.U.Col(j))
+		v.SetCol(j, s.V.Col(j))
+	}
+	return &SVD{U: u, Sigma: append([]float64(nil), s.Sigma[:r]...), V: v}
+}

@@ -1,0 +1,170 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestGramSVDReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for _, dims := range [][2]int{{20, 6}, {6, 20}, {8, 8}, {1, 5}} {
+		a := randDense(rng, dims[0], dims[1])
+		s, err := ComputeSVDGram(a)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if !s.Reconstruct().EqualApprox(a, 1e-7) {
+			t.Fatalf("%v: reconstruction failed", dims)
+		}
+		if !IsOrthonormalColumns(s.V, 1e-8) {
+			t.Fatalf("%v: V not orthonormal", dims)
+		}
+	}
+}
+
+func TestGramSVDMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := matrixWithSpectrum(rng, 30, 8, []float64{9, 4, 2, 0.5})
+	s1, err := ComputeSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ComputeSVDGram(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range s1.Sigma {
+		if math.Abs(s1.Sigma[j]-s2.Sigma[j]) > 1e-7*(1+s1.Sigma[0]) {
+			t.Fatalf("σ[%d]: %v vs %v", j, s1.Sigma[j], s2.Sigma[j])
+		}
+	}
+}
+
+func TestGramSVDEmptyAndZero(t *testing.T) {
+	s, err := ComputeSVDGram(matrix.New(0, 3))
+	if err != nil || len(s.Sigma) != 0 {
+		t.Fatal("empty failed")
+	}
+	z, err := ComputeSVDGram(matrix.New(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range z.Sigma {
+		if v != 0 {
+			t.Fatal("zero matrix must have zero singular values")
+		}
+	}
+}
+
+func TestGramSVDLosesTinySigma(t *testing.T) {
+	// Documented tradeoff: σ below √ε_machine·σ₁ is lost in the squaring.
+	// The reconstruction must still be accurate to ~ε_machine·σ₁ overall.
+	rng := rand.New(rand.NewSource(42))
+	a := matrixWithSpectrum(rng, 12, 6, []float64{1, 1e-9})
+	s, err := ComputeSVDGram(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Reconstruct().EqualApprox(a, 1e-7) {
+		t.Fatal("reconstruction off by more than the squaring loss")
+	}
+}
+
+func TestRandomizedSVDAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	sigma := []float64{20, 10, 5, 0.5, 0.2, 0.1}
+	a := matrixWithSpectrum(rng, 100, 30, sigma)
+	s, err := RandomizedSVD(a, 3, 8, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Sigma) != 3 {
+		t.Fatalf("got %d triples, want 3", len(s.Sigma))
+	}
+	for j := 0; j < 3; j++ {
+		if math.Abs(s.Sigma[j]-sigma[j]) > 0.02*sigma[j] {
+			t.Fatalf("σ[%d] = %v, want ≈ %v", j, s.Sigma[j], sigma[j])
+		}
+	}
+	// Rank-3 reconstruction error near optimal tail.
+	tail := TailEnergyOf(sigma, 3)
+	errF2 := a.Sub(s.Reconstruct()).Frob2()
+	if errF2 > 1.5*tail {
+		t.Fatalf("reconstruction error %v vs optimal %v", errF2, tail)
+	}
+}
+
+func TestRandomizedSVDSmallProblemExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a := randDense(rng, 6, 5)
+	s, err := RandomizedSVD(a, 3, 8, 0, rng) // r+p > d: solves exactly
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := SingularValues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		if math.Abs(s.Sigma[j]-exact[j]) > 1e-8 {
+			t.Fatalf("σ[%d] = %v, want %v", j, s.Sigma[j], exact[j])
+		}
+	}
+}
+
+func TestRandomizedSVDDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	s, err := RandomizedSVD(matrix.New(5, 4), 2, 4, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s.Sigma {
+		if v != 0 {
+			t.Fatal("zero input must give zero σ")
+		}
+	}
+	e, err := RandomizedSVD(randDense(rng, 5, 4), 0, 4, 1, rng)
+	if err != nil || len(e.Sigma) != 0 {
+		t.Fatal("r=0 must give empty SVD")
+	}
+	n, err := RandomizedSVD(randDense(rng, 5, 4), 2, 4, 1, nil)
+	if err != nil || len(n.Sigma) != 2 {
+		t.Fatal("nil rng must use a default source")
+	}
+}
+
+func BenchmarkJacobiSVD512x48(b *testing.B) {
+	rng := rand.New(rand.NewSource(46))
+	a := randDense(rng, 512, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeSVD(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGramSVD512x48(b *testing.B) {
+	rng := rand.New(rand.NewSource(46))
+	a := randDense(rng, 512, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeSVDGram(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomizedSVD512x48r8(b *testing.B) {
+	rng := rand.New(rand.NewSource(46))
+	a := randDense(rng, 512, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RandomizedSVD(a, 8, 8, 1, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

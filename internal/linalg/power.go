@@ -1,0 +1,164 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/matrix"
+)
+
+// PowerOpts configures the power-iteration routines.
+type PowerOpts struct {
+	// MaxIter bounds the number of iterations (default 1000).
+	MaxIter int
+	// Tol is the relative change tolerance on the Rayleigh quotient
+	// (default 1e-10).
+	Tol float64
+	// Rng supplies the random start vector; a fixed-seed source is used when
+	// nil, making the routine deterministic.
+	Rng *rand.Rand
+}
+
+func (o PowerOpts) withDefaults() PowerOpts {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 1000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.Rng == nil {
+		o.Rng = rand.New(rand.NewSource(0x5eed))
+	}
+	return o
+}
+
+// SpectralNormSymPower estimates ‖S‖₂ = max_i |λ_i(S)| of a symmetric matrix
+// by power iteration on S (which converges to the eigenvalue of largest
+// magnitude). Returns ErrNoConvergence only if the Rayleigh quotient never
+// stabilizes; the last estimate is still returned.
+func SpectralNormSymPower(s *matrix.Dense, opts PowerOpts) (float64, error) {
+	n, c := s.Dims()
+	if n != c {
+		panic(fmt.Sprintf("linalg: SpectralNormSymPower of non-square %d×%d", n, c))
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	o := opts.withDefaults()
+	v := randomUnit(o.Rng, n)
+	prev := 0.0
+	for it := 0; it < o.MaxIter; it++ {
+		w := s.MulVec(v)
+		norm := matrix.Norm(w)
+		if norm == 0 {
+			// v is in the null space; restart (at most a few times in practice).
+			v = randomUnit(o.Rng, n)
+			continue
+		}
+		est := math.Abs(matrix.Dot(v, w)) // |Rayleigh quotient|
+		matrix.ScaleVec(w, 1/norm)
+		v = w
+		if it > 0 && math.Abs(est-prev) <= o.Tol*math.Max(1, math.Abs(est)) {
+			return est, nil
+		}
+		prev = est
+	}
+	return prev, ErrNoConvergence
+}
+
+// SpectralNorm estimates the operator norm σ₁(A) by power iteration on AᵀA
+// (without forming the Gram matrix).
+func SpectralNorm(a *matrix.Dense, opts PowerOpts) (float64, error) {
+	n, d := a.Dims()
+	if n == 0 || d == 0 {
+		return 0, nil
+	}
+	o := opts.withDefaults()
+	v := randomUnit(o.Rng, d)
+	prev := 0.0
+	for it := 0; it < o.MaxIter; it++ {
+		w := a.TMulVec(a.MulVec(v)) // AᵀA·v
+		norm := matrix.Norm(w)
+		if norm == 0 {
+			v = randomUnit(o.Rng, d)
+			continue
+		}
+		est := math.Sqrt(norm) // after normalization below, ‖AᵀAv‖ ≈ σ₁²
+		matrix.ScaleVec(w, 1/norm)
+		v = w
+		if it > 0 && math.Abs(est-prev) <= o.Tol*math.Max(1, est) {
+			return est, nil
+		}
+		prev = est
+	}
+	return prev, ErrNoConvergence
+}
+
+// TopKEigSymPower returns approximations of the top-k eigenpairs of a
+// symmetric PSD matrix via orthogonal (block power) iteration.
+// For indefinite matrices the vectors converge to the dominant |λ| subspace.
+func TopKEigSymPower(s *matrix.Dense, k int, opts PowerOpts) (*EigSym, error) {
+	n, c := s.Dims()
+	if n != c {
+		panic(fmt.Sprintf("linalg: TopKEigSymPower of non-square %d×%d", n, c))
+	}
+	if k > n {
+		k = n
+	}
+	if k <= 0 || n == 0 {
+		return &EigSym{Values: nil, V: matrix.New(n, 0)}, nil
+	}
+	o := opts.withDefaults()
+	v := matrix.New(n, k)
+	for j := 0; j < k; j++ {
+		v.SetCol(j, randomUnit(o.Rng, n))
+	}
+	v = OrthonormalizeColumns(v, 0)
+	prev := math.Inf(1)
+	for it := 0; it < o.MaxIter; it++ {
+		w := s.Mul(v)
+		v = OrthonormalizeColumns(w, 0)
+		if v.Cols() < k {
+			// Rank deficiency: pad with fresh random directions.
+			pad := matrix.New(n, k)
+			for j := 0; j < v.Cols(); j++ {
+				pad.SetCol(j, v.Col(j))
+			}
+			for j := v.Cols(); j < k; j++ {
+				pad.SetCol(j, randomUnit(o.Rng, n))
+			}
+			v = OrthonormalizeColumns(pad, 0)
+		}
+		// Convergence on the trace of the Rayleigh block.
+		ray := v.TMul(s.Mul(v))
+		tr := ray.Trace()
+		if it > 0 && math.Abs(tr-prev) <= o.Tol*math.Max(1, math.Abs(tr)) {
+			return rayleighRitz(s, v)
+		}
+		prev = tr
+	}
+	return rayleighRitz(s, v)
+}
+
+// rayleighRitz extracts eigenpair estimates of s restricted to span(v).
+func rayleighRitz(s, v *matrix.Dense) (*EigSym, error) {
+	ray := v.TMul(s.Mul(v)) // k×k symmetric
+	small, err := ComputeEigSym(ray)
+	if err != nil {
+		return nil, err
+	}
+	return &EigSym{Values: small.Values, V: v.Mul(small.V)}, nil
+}
+
+func randomUnit(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for {
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		if matrix.Normalize(v) > 0 {
+			return v
+		}
+	}
+}

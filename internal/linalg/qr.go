@@ -1,0 +1,345 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// QR holds a thin QR factorization A = Q·R with Q m×k orthonormal columns
+// and R k×n upper-triangular (trapezoidal when m < n), k = min(m,n).
+type QR struct {
+	Q *matrix.Dense
+	R *matrix.Dense
+}
+
+// ComputeQR computes a thin Householder QR factorization of a.
+func ComputeQR(a *matrix.Dense) *QR {
+	m, n := a.Dims()
+	k := m
+	if n < k {
+		k = n
+	}
+	r := a.Clone()
+	// Store the Householder vectors to build thin Q afterwards.
+	vs := make([][]float64, 0, k)
+	for j := 0; j < k; j++ {
+		// Build the Householder vector for column j below the diagonal.
+		v := make([]float64, m-j)
+		for i := j; i < m; i++ {
+			v[i-j] = r.At(i, j)
+		}
+		alpha := matrix.Norm(v)
+		if alpha == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		if v[0] > 0 {
+			alpha = -alpha
+		}
+		v[0] -= alpha
+		vn := matrix.Norm(v)
+		if vn == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		matrix.ScaleVec(v, 1/vn)
+		// Apply H = I − 2vvᵀ to the trailing submatrix of R.
+		for c := j; c < n; c++ {
+			dot := 0.0
+			for i := j; i < m; i++ {
+				dot += v[i-j] * r.At(i, c)
+			}
+			dot *= 2
+			for i := j; i < m; i++ {
+				r.Set(i, c, r.At(i, c)-dot*v[i-j])
+			}
+		}
+		vs = append(vs, v)
+	}
+	// Thin Q: apply the Householder reflections (in reverse) to the first k
+	// columns of the m×m identity.
+	q := matrix.New(m, k)
+	for j := 0; j < k; j++ {
+		q.Set(j, j, 1)
+	}
+	for j := k - 1; j >= 0; j-- {
+		v := vs[j]
+		if v == nil {
+			continue
+		}
+		for c := 0; c < k; c++ {
+			dot := 0.0
+			for i := j; i < m; i++ {
+				dot += v[i-j] * q.At(i, c)
+			}
+			dot *= 2
+			for i := j; i < m; i++ {
+				q.Set(i, c, q.At(i, c)-dot*v[i-j])
+			}
+		}
+	}
+	// Zero R's subdiagonal explicitly and trim to k rows.
+	rOut := matrix.New(k, n)
+	for i := 0; i < k; i++ {
+		for j := i; j < n; j++ {
+			rOut.Set(i, j, r.At(i, j))
+		}
+	}
+	return &QR{Q: q, R: rOut}
+}
+
+// OrthonormalizeColumns returns a matrix with the same column span as a but
+// orthonormal columns, dropping numerically dependent columns
+// (tol relative to the largest column norm; tol <= 0 uses 1e-10).
+func OrthonormalizeColumns(a *matrix.Dense, tol float64) *matrix.Dense {
+	m, n := a.Dims()
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	maxNorm := 0.0
+	for j := 0; j < n; j++ {
+		if v := matrix.Norm(a.Col(j)); v > maxNorm {
+			maxNorm = v
+		}
+	}
+	if maxNorm == 0 {
+		return matrix.New(m, 0)
+	}
+	basis := make([][]float64, 0, n)
+	for j := 0; j < n; j++ {
+		v := a.Col(j)
+		// Two rounds of modified Gram–Schmidt for numerical stability.
+		for pass := 0; pass < 2; pass++ {
+			for _, b := range basis {
+				matrix.AxpyVec(v, -matrix.Dot(b, v), b)
+			}
+		}
+		if matrix.Norm(v) > tol*maxNorm {
+			matrix.Normalize(v)
+			basis = append(basis, v)
+		}
+	}
+	out := matrix.New(m, len(basis))
+	for j, b := range basis {
+		out.SetCol(j, b)
+	}
+	return out
+}
+
+// PivotedQR holds a column-pivoted QR factorization A·P = Q·R. Perm[j] gives
+// the original column index moved to position j; Rank is the numerical rank
+// detected during elimination.
+type PivotedQR struct {
+	Q    *matrix.Dense
+	R    *matrix.Dense
+	Perm []int
+	Rank int
+}
+
+// ComputePivotedQR computes a column-pivoted Householder QR of a, stopping
+// when the largest remaining column norm falls below tol times the largest
+// initial column norm (tol <= 0 uses 1e-10). It is the workhorse behind
+// "select a maximal set of linearly independent rows" in §3.3 of the paper
+// (applied to Aᵀ).
+func ComputePivotedQR(a *matrix.Dense, tol float64) *PivotedQR {
+	m, n := a.Dims()
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	k := m
+	if n < k {
+		k = n
+	}
+	r := a.Clone()
+	perm := make([]int, n)
+	for j := range perm {
+		perm[j] = j
+	}
+	colNorm2 := make([]float64, n)
+	maxInit := 0.0
+	for j := 0; j < n; j++ {
+		colNorm2[j] = matrix.Norm2(r.Col(j))
+		if colNorm2[j] > maxInit {
+			maxInit = colNorm2[j]
+		}
+	}
+	thresh := tol * tol * maxInit
+	vs := make([][]float64, 0, k)
+	rank := 0
+	for j := 0; j < k; j++ {
+		// Pivot: bring the column with the largest remaining norm to front.
+		best, bestVal := j, -1.0
+		for c := j; c < n; c++ {
+			// Recompute exactly (cheap at our sizes, avoids downdating drift).
+			v := 0.0
+			for i := j; i < m; i++ {
+				x := r.At(i, c)
+				v += x * x
+			}
+			colNorm2[c] = v
+			if v > bestVal {
+				best, bestVal = c, v
+			}
+		}
+		if bestVal <= thresh {
+			break
+		}
+		if best != j {
+			swapCols(r, j, best)
+			perm[j], perm[best] = perm[best], perm[j]
+			colNorm2[j], colNorm2[best] = colNorm2[best], colNorm2[j]
+		}
+		rank++
+		v := make([]float64, m-j)
+		for i := j; i < m; i++ {
+			v[i-j] = r.At(i, j)
+		}
+		alpha := matrix.Norm(v)
+		if v[0] > 0 {
+			alpha = -alpha
+		}
+		v[0] -= alpha
+		vn := matrix.Norm(v)
+		if vn == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		matrix.ScaleVec(v, 1/vn)
+		for c := j; c < n; c++ {
+			dot := 0.0
+			for i := j; i < m; i++ {
+				dot += v[i-j] * r.At(i, c)
+			}
+			dot *= 2
+			for i := j; i < m; i++ {
+				r.Set(i, c, r.At(i, c)-dot*v[i-j])
+			}
+		}
+		vs = append(vs, v)
+	}
+	q := matrix.New(m, rank)
+	for j := 0; j < rank; j++ {
+		q.Set(j, j, 1)
+	}
+	for j := rank - 1; j >= 0; j-- {
+		v := vs[j]
+		if v == nil {
+			continue
+		}
+		for c := 0; c < rank; c++ {
+			dot := 0.0
+			for i := j; i < m; i++ {
+				dot += v[i-j] * q.At(i, c)
+			}
+			dot *= 2
+			for i := j; i < m; i++ {
+				q.Set(i, c, q.At(i, c)-dot*v[i-j])
+			}
+		}
+	}
+	rOut := matrix.New(rank, n)
+	for i := 0; i < rank; i++ {
+		for j := i; j < n; j++ {
+			rOut.Set(i, j, r.At(i, j))
+		}
+	}
+	return &PivotedQR{Q: q, R: rOut, Perm: perm, Rank: rank}
+}
+
+func swapCols(m *matrix.Dense, a, b int) {
+	rows, _ := m.Dims()
+	for i := 0; i < rows; i++ {
+		va, vb := m.At(i, a), m.At(i, b)
+		m.Set(i, a, vb)
+		m.Set(i, b, va)
+	}
+}
+
+// IndependentRows returns the indices of a maximal set of numerically
+// linearly independent rows of a (in selection order), via pivoted QR on aᵀ.
+// This implements the row-selection step of the paper's §3.3 Case-1 protocol.
+func IndependentRows(a *matrix.Dense, tol float64) []int {
+	pqr := ComputePivotedQR(a.T(), tol)
+	return append([]int(nil), pqr.Perm[:pqr.Rank]...)
+}
+
+// Rank returns the numerical rank of a.
+func Rank(a *matrix.Dense, tol float64) int {
+	m, n := a.Dims()
+	if m == 0 || n == 0 {
+		return 0
+	}
+	if m < n {
+		a = a.T()
+	}
+	return ComputePivotedQR(a, tol).Rank
+}
+
+// IsOrthonormalColumns reports whether qᵀq ≈ I within tol.
+func IsOrthonormalColumns(q *matrix.Dense, tol float64) bool {
+	_, k := q.Dims()
+	g := q.Gram()
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(g.At(i, j)-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Inverse returns the inverse of a square matrix via Gauss–Jordan with
+// partial pivoting. Returns an error if the matrix is numerically singular.
+func Inverse(a *matrix.Dense) (*matrix.Dense, error) {
+	n, c := a.Dims()
+	if n != c {
+		panic(fmt.Sprintf("linalg: Inverse of non-square %d×%d", n, c))
+	}
+	work := a.Clone()
+	inv := matrix.Identity(n)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv, pivVal := col, math.Abs(work.At(col, col))
+		for i := col + 1; i < n; i++ {
+			if v := math.Abs(work.At(i, col)); v > pivVal {
+				piv, pivVal = i, v
+			}
+		}
+		if pivVal < 1e-300 {
+			return nil, fmt.Errorf("linalg: matrix is singular at column %d", col)
+		}
+		if piv != col {
+			swapRows(work, piv, col)
+			swapRows(inv, piv, col)
+		}
+		d := work.At(col, col)
+		work.ScaleRow(col, 1/d)
+		inv.ScaleRow(col, 1/d)
+		for i := 0; i < n; i++ {
+			if i == col {
+				continue
+			}
+			f := work.At(i, col)
+			if f == 0 {
+				continue
+			}
+			matrix.AxpyVec(work.Row(i), -f, work.Row(col))
+			matrix.AxpyVec(inv.Row(i), -f, inv.Row(col))
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(m *matrix.Dense, a, b int) {
+	ra, rb := m.Row(a), m.Row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}

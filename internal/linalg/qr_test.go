@@ -1,0 +1,256 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func TestQRReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, dims := range [][2]int{{8, 5}, {5, 8}, {6, 6}, {1, 3}, {10, 1}} {
+		a := randDense(rng, dims[0], dims[1])
+		qr := ComputeQR(a)
+		if !qr.Q.Mul(qr.R).EqualApprox(a, 1e-9) {
+			t.Fatalf("%v: QR reconstruction failed", dims)
+		}
+		if !IsOrthonormalColumns(qr.Q, 1e-10) {
+			t.Fatalf("%v: Q not orthonormal", dims)
+		}
+		// R upper triangular.
+		r, c := qr.R.Dims()
+		for i := 0; i < r; i++ {
+			for j := 0; j < c && j < i; j++ {
+				if math.Abs(qr.R.At(i, j)) > 1e-12 {
+					t.Fatalf("%v: R(%d,%d) = %v below diagonal", dims, i, j, qr.R.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Two identical columns.
+	a := matrix.NewFromRows([][]float64{{1, 1, 2}, {2, 2, 0}, {3, 3, 1}})
+	qr := ComputeQR(a)
+	if !qr.Q.Mul(qr.R).EqualApprox(a, 1e-9) {
+		t.Fatal("rank-deficient QR reconstruction failed")
+	}
+}
+
+func TestPivotedQRRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := matrixWithSpectrum(rng, 9, 7, []float64{5, 3, 1})
+	pqr := ComputePivotedQR(a, 1e-9)
+	if pqr.Rank != 3 {
+		t.Fatalf("Rank = %d, want 3", pqr.Rank)
+	}
+	if got := Rank(a, 1e-9); got != 3 {
+		t.Fatalf("Rank() = %d, want 3", got)
+	}
+	if got := Rank(a.T(), 1e-9); got != 3 {
+		t.Fatalf("Rank(Aᵀ) = %d, want 3", got)
+	}
+}
+
+func TestPivotedQRReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := randDense(rng, 7, 5)
+	pqr := ComputePivotedQR(a, 0)
+	// Q·R should equal A with columns permuted by Perm.
+	qr := pqr.Q.Mul(pqr.R)
+	for j, orig := range pqr.Perm {
+		for i := 0; i < 7; i++ {
+			if math.Abs(qr.At(i, j)-a.At(i, orig)) > 1e-9 {
+				t.Fatalf("A·P != Q·R at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestIndependentRows(t *testing.T) {
+	// Row 2 = row 0 + row 1; rank 2.
+	a := matrix.NewFromRows([][]float64{
+		{1, 0, 0},
+		{0, 1, 0},
+		{1, 1, 0},
+		{0, 0, 0},
+	})
+	idx := IndependentRows(a, 1e-9)
+	if len(idx) != 2 {
+		t.Fatalf("IndependentRows = %v, want 2 rows", idx)
+	}
+	// The selected rows must span the row space: stacking them must give rank 2.
+	sel := matrix.New(0, 3)
+	for _, i := range idx {
+		sel = sel.AppendRow(a.Row(i))
+	}
+	if Rank(sel, 1e-9) != 2 {
+		t.Fatal("selected rows do not span row space")
+	}
+}
+
+func TestIndependentRowsFullRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randDense(rng, 4, 6)
+	idx := IndependentRows(a, 1e-9)
+	if len(idx) != 4 {
+		t.Fatalf("IndependentRows on random 4×6 = %d rows, want 4", len(idx))
+	}
+}
+
+func TestOrthonormalizeColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	a := randDense(rng, 8, 4)
+	q := OrthonormalizeColumns(a, 0)
+	if q.Cols() != 4 {
+		t.Fatalf("cols = %d, want 4", q.Cols())
+	}
+	if !IsOrthonormalColumns(q, 1e-10) {
+		t.Fatal("not orthonormal")
+	}
+	// Dependent columns dropped.
+	dep := matrix.New(5, 3)
+	dep.SetCol(0, []float64{1, 0, 0, 0, 0})
+	dep.SetCol(1, []float64{2, 0, 0, 0, 0})
+	dep.SetCol(2, []float64{0, 1, 0, 0, 0})
+	q2 := OrthonormalizeColumns(dep, 1e-10)
+	if q2.Cols() != 2 {
+		t.Fatalf("dependent: cols = %d, want 2", q2.Cols())
+	}
+	// All-zero input.
+	if OrthonormalizeColumns(matrix.New(4, 2), 0).Cols() != 0 {
+		t.Fatal("zero input should give empty basis")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	a := randDense(rng, 5, 5)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(inv).EqualApprox(matrix.Identity(5), 1e-8) {
+		t.Fatal("A·A⁻¹ != I")
+	}
+	if !inv.Mul(a).EqualApprox(matrix.Identity(5), 1e-8) {
+		t.Fatal("A⁻¹·A != I")
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := matrix.NewFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Inverse(a); err == nil {
+		t.Fatal("expected error for singular matrix")
+	}
+}
+
+func TestPseudoInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	a := randDense(rng, 7, 4) // full column rank w.p. 1
+	pinv, err := PseudoInverse(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A⁺A = I for full column rank.
+	if !pinv.Mul(a).EqualApprox(matrix.Identity(4), 1e-8) {
+		t.Fatal("A⁺A != I")
+	}
+	// Moore–Penrose conditions: A·A⁺·A = A, A⁺·A·A⁺ = A⁺.
+	if !a.Mul(pinv).Mul(a).EqualApprox(a, 1e-8) {
+		t.Fatal("AA⁺A != A")
+	}
+	if !pinv.Mul(a).Mul(pinv).EqualApprox(pinv, 1e-8) {
+		t.Fatal("A⁺AA⁺ != A⁺")
+	}
+}
+
+func TestPseudoInverseRankDeficient(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	a := matrixWithSpectrum(rng, 6, 5, []float64{4, 2})
+	pinv, err := PseudoInverse(a, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(pinv).Mul(a).EqualApprox(a, 1e-7) {
+		t.Fatal("AA⁺A != A (rank deficient)")
+	}
+}
+
+func TestRowSpaceProjector(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	a := matrixWithSpectrum(rng, 6, 5, []float64{3, 1})
+	p, err := RowSpaceProjector(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Projector: P² = P, symmetric, and A·P = A.
+	if !p.Mul(p).EqualApprox(p, 1e-8) {
+		t.Fatal("P² != P")
+	}
+	if !p.EqualApprox(p.T(), 1e-10) {
+		t.Fatal("P not symmetric")
+	}
+	if !a.Mul(p).EqualApprox(a, 1e-8) {
+		t.Fatal("A·P != A")
+	}
+	// §3.3 identity: P == Q⁺Q for Q spanning the row space.
+	pinv, err := PseudoInverse(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pinv.Mul(a).EqualApprox(p, 1e-7) {
+		t.Fatal("Q⁺Q != row-space projector")
+	}
+}
+
+// Property: QR factors reconstruct for random shapes.
+func TestPropQR(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(10), 1+rng.Intn(10)
+		a := randDense(rng, m, n)
+		qr := ComputeQR(a)
+		return qr.Q.Mul(qr.R).EqualApprox(a, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSVD64x64(b *testing.B) {
+	rng := rand.New(rand.NewSource(30))
+	a := randDense(rng, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeSVD(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSVD512x64(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	a := randDense(rng, 512, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeSVD(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigSym64(b *testing.B) {
+	rng := rand.New(rand.NewSource(32))
+	s := randSym(rng, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeEigSym(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package linalg implements the dense numerical routines the sketching
+// algorithms are built on: singular value decomposition (one-sided Jacobi),
+// symmetric eigendecomposition (cyclic Jacobi), Householder QR (plain and
+// column-pivoted), power iteration, orthonormalization, pseudoinverse, best
+// rank-k approximation and spectral norms.
+//
+// Everything is written from scratch against the stdlib. Jacobi methods are
+// chosen for robustness and near machine-precision accuracy at the
+// dimensions this repository works with; the power-iteration routines cover
+// the larger benchmark sizes where only the top of the spectrum is needed.
+package linalg
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// ErrNoConvergence is returned when an iterative routine exceeds its sweep or
+// iteration budget without reaching its tolerance.
+var ErrNoConvergence = errors.New("linalg: iteration did not converge")
+
+// SVD holds a thin singular value decomposition A = U·diag(Sigma)·Vᵀ with
+// singular values sorted in non-increasing order.
+//
+// U is n×r and V is d×r with r = min(n,d). Columns of U corresponding to
+// zero singular values are zero vectors (they never matter in products with
+// Sigma but are not valid orthonormal directions).
+type SVD struct {
+	U     *matrix.Dense
+	Sigma []float64
+	V     *matrix.Dense
+}
+
+const (
+	jacobiMaxSweeps = 60
+	jacobiTol       = 1e-14
+)
+
+// ComputeSVD computes a thin SVD of a using the one-sided Jacobi (Hestenes)
+// method: the columns of a are orthogonalized by right rotations which are
+// accumulated into V; singular values are the resulting column norms.
+//
+// The method is applied to whichever of a, aᵀ has fewer columns, so the cost
+// is O(min(n,d)² · max(n,d)) per sweep.
+func ComputeSVD(a *matrix.Dense) (*SVD, error) {
+	n, d := a.Dims()
+	if n == 0 || d == 0 {
+		return &SVD{U: matrix.New(n, 0), Sigma: nil, V: matrix.New(d, 0)}, nil
+	}
+	if d > n {
+		// SVD(Aᵀ) = (V, Σ, U).
+		s, err := ComputeSVD(a.T())
+		if err != nil {
+			return nil, err
+		}
+		return &SVD{U: s.V, Sigma: s.Sigma, V: s.U}, nil
+	}
+	// Work on W = Aᵀ stored row-major so each column of A is a contiguous
+	// row of W; rotations touch two rows at a time.
+	w := a.T() // d×n, row j = column j of A
+	vt := matrix.Identity(d)
+
+	// Columns whose norm is negligible relative to the matrix scale are
+	// zeroed outright: after heavy cancellation they carry only rounding
+	// noise, and chasing their rotations can cycle forever.
+	negligible2 := w.Frob2() * 1e-28
+
+	converged := false
+	for sweep := 0; sweep < jacobiMaxSweeps && !converged; sweep++ {
+		converged = true
+		for p := 0; p < d-1; p++ {
+			wp := w.Row(p)
+			vp := vt.Row(p)
+			if dropNegligible(wp, negligible2) {
+				continue
+			}
+			for q := p + 1; q < d; q++ {
+				wq := w.Row(q)
+				if dropNegligible(wq, negligible2) {
+					continue
+				}
+				alpha := matrix.Norm2(wp)
+				beta := matrix.Norm2(wq)
+				gamma := matrix.Dot(wp, wq)
+				if math.Abs(gamma) <= jacobiTol*math.Sqrt(alpha*beta) || gamma == 0 {
+					continue
+				}
+				converged = false
+				zeta := (beta - alpha) / (2 * gamma)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				rotateRows(wp, wq, c, s)
+				rotateRows(vp, vt.Row(q), c, s)
+			}
+		}
+	}
+	if !converged {
+		return nil, ErrNoConvergence
+	}
+
+	// Extract singular values and sort non-increasing.
+	sigma := make([]float64, d)
+	order := make([]int, d)
+	for j := 0; j < d; j++ {
+		sigma[j] = matrix.Norm(w.Row(j))
+		order[j] = j
+	}
+	sort.SliceStable(order, func(i, j int) bool { return sigma[order[i]] > sigma[order[j]] })
+
+	u := matrix.New(n, d)
+	v := matrix.New(d, d)
+	outSigma := make([]float64, d)
+	for out, j := range order {
+		outSigma[out] = sigma[j]
+		wj := w.Row(j)
+		if sigma[j] > 0 {
+			inv := 1 / sigma[j]
+			for i := 0; i < n; i++ {
+				u.Set(i, out, wj[i]*inv)
+			}
+		}
+		vj := vt.Row(j)
+		for i := 0; i < d; i++ {
+			v.Set(i, out, vj[i])
+		}
+	}
+	return &SVD{U: u, Sigma: outSigma, V: v}, nil
+}
+
+// dropNegligible zeroes v if ‖v‖² ≤ thresh2, reporting whether it did (or
+// the vector was already zero).
+func dropNegligible(v []float64, thresh2 float64) bool {
+	n2 := matrix.Norm2(v)
+	if n2 == 0 {
+		return true
+	}
+	if n2 <= thresh2 {
+		for i := range v {
+			v[i] = 0
+		}
+		return true
+	}
+	return false
+}
+
+// rotateRows applies the Givens rotation [c −s; s c] to the row pair (x, y):
+// x' = c·x − s·y, y' = s·x + c·y.
+func rotateRows(x, y []float64, c, s float64) {
+	for i := range x {
+		xi, yi := x[i], y[i]
+		x[i] = c*xi - s*yi
+		y[i] = s*xi + c*yi
+	}
+}
+
+// SingularValues returns the singular values of a in non-increasing order.
+func SingularValues(a *matrix.Dense) ([]float64, error) {
+	s, err := ComputeSVD(a)
+	if err != nil {
+		return nil, err
+	}
+	return s.Sigma, nil
+}
+
+// Reconstruct returns U·diag(Sigma)·Vᵀ.
+func (s *SVD) Reconstruct() *matrix.Dense {
+	return s.TruncateReconstruct(len(s.Sigma))
+}
+
+// TruncateReconstruct returns the rank-k reconstruction Σ_{j<k} σ_j u_j v_jᵀ.
+func (s *SVD) TruncateReconstruct(k int) *matrix.Dense {
+	n, _ := s.U.Dims()
+	d, _ := s.V.Dims()
+	if k > len(s.Sigma) {
+		k = len(s.Sigma)
+	}
+	out := matrix.New(n, d)
+	for j := 0; j < k; j++ {
+		sj := s.Sigma[j]
+		if sj == 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			uij := s.U.At(i, j) * sj
+			if uij == 0 {
+				continue
+			}
+			row := out.Row(i)
+			for l := 0; l < d; l++ {
+				row[l] += uij * s.V.At(l, j)
+			}
+		}
+	}
+	return out
+}
+
+// Aggregated returns the "aggregated form" agg(A) = Σ·Vᵀ used by the SVS
+// algorithm (§3.1 of the paper): row j is σ_j·v_jᵀ. Rows are returned for
+// all r = min(n,d) singular values, including zero ones.
+func (s *SVD) Aggregated() *matrix.Dense {
+	d, r := s.V.Dims()
+	out := matrix.New(r, d)
+	for j := 0; j < r; j++ {
+		row := out.Row(j)
+		for l := 0; l < d; l++ {
+			row[l] = s.Sigma[j] * s.V.At(l, j)
+		}
+	}
+	return out
+}
+
+// Rank returns the numerical rank: the number of singular values exceeding
+// tol·σ_max. With tol <= 0 a default of 1e-12 is used.
+func (s *SVD) Rank(tol float64) int {
+	if len(s.Sigma) == 0 {
+		return 0
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	thresh := tol * s.Sigma[0]
+	r := 0
+	for _, v := range s.Sigma {
+		if v > thresh {
+			r++
+		}
+	}
+	return r
+}
+
+// RankK returns the best rank-k approximation [A]_k of a in Frobenius norm
+// (Eckart–Young), computed via the SVD. k <= 0 yields the zero matrix, as in
+// the paper's convention [A]_0 = 0.
+func RankK(a *matrix.Dense, k int) (*matrix.Dense, error) {
+	n, d := a.Dims()
+	if k <= 0 {
+		return matrix.New(n, d), nil
+	}
+	s, err := ComputeSVD(a)
+	if err != nil {
+		return nil, err
+	}
+	return s.TruncateReconstruct(k), nil
+}
+
+// TailEnergy returns ‖A − [A]_k‖F² = Σ_{j>k} σ_j², the quantity the paper's
+// (ε,k)-sketch guarantee is stated against. k <= 0 returns ‖A‖F².
+func TailEnergy(a *matrix.Dense, k int) (float64, error) {
+	if k <= 0 {
+		return a.Frob2(), nil
+	}
+	sig, err := SingularValues(a)
+	if err != nil {
+		return 0, err
+	}
+	return TailEnergyOf(sig, k), nil
+}
+
+// TailEnergyOf returns Σ_{j>=k} σ_j² for a sorted singular value slice.
+func TailEnergyOf(sigma []float64, k int) float64 {
+	s := 0.0
+	for j := k; j < len(sigma); j++ {
+		s += sigma[j] * sigma[j]
+	}
+	return s
+}

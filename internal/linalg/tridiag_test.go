@@ -1,0 +1,162 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func TestEigenvaluesSymMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for _, n := range []int{1, 2, 3, 8, 20, 50} {
+		s := randSym(rng, n)
+		fast, err := EigenvaluesSym(s)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		exact, err := ComputeEigSym(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale := 1 + math.Abs(exact.Values[0])
+		for i := range fast {
+			if math.Abs(fast[i]-exact.Values[i]) > 1e-9*scale {
+				t.Fatalf("n=%d λ[%d]: %v vs %v", n, i, fast[i], exact.Values[i])
+			}
+		}
+	}
+}
+
+func TestEigenvaluesSymKnown(t *testing.T) {
+	s := matrix.NewFromRows([][]float64{{2, 1}, {1, 2}})
+	vals, err := EigenvaluesSym(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-12 || math.Abs(vals[1]-1) > 1e-12 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestEigenvaluesSymDiagonalAndZero(t *testing.T) {
+	vals, err := EigenvaluesSym(matrix.Diag([]float64{-3, 7, 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{7, 0, -3}
+	for i, w := range want {
+		if math.Abs(vals[i]-w) > 1e-12 {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+	z, err := EigenvaluesSym(matrix.New(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range z {
+		if v != 0 {
+			t.Fatal("zero matrix eigenvalues")
+		}
+	}
+	e, err := EigenvaluesSym(matrix.New(0, 0))
+	if err != nil || len(e) != 0 {
+		t.Fatal("empty")
+	}
+}
+
+func TestEigenvaluesSymDegenerate(t *testing.T) {
+	// Repeated eigenvalues (identity) and rank-1 matrices.
+	vals, err := EigenvaluesSym(matrix.Identity(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if math.Abs(v-1) > 1e-12 {
+			t.Fatalf("identity eigenvalue %v", v)
+		}
+	}
+	rng := rand.New(rand.NewSource(61))
+	u := randDense(rng, 12, 1)
+	r1 := u.MulT(u) // rank-1 PSD
+	vals, err = EigenvaluesSym(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-u.Frob2()) > 1e-9*u.Frob2() {
+		t.Fatalf("rank-1 top eigenvalue %v, want %v", vals[0], u.Frob2())
+	}
+	for _, v := range vals[1:] {
+		if math.Abs(v) > 1e-9*u.Frob2() {
+			t.Fatalf("rank-1 trailing eigenvalue %v", v)
+		}
+	}
+}
+
+func TestSpectralNormSymFast(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for _, n := range []int{8, 64} {
+		s := randSym(rng, n)
+		fast, err := SpectralNormSymFast(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := SpectralNormSym(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fast-exact) > 1e-8*(1+exact) {
+			t.Fatalf("n=%d: fast %v vs exact %v", n, fast, exact)
+		}
+	}
+	if v, err := SpectralNormSymFast(matrix.New(0, 0)); err != nil || v != 0 {
+		t.Fatal("empty")
+	}
+}
+
+// Property: trace and Frobenius identities hold for the fast eigenvalues.
+func TestPropEigenvaluesSym(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		s := randSym(rng, n)
+		vals, err := EigenvaluesSym(s)
+		if err != nil {
+			return false
+		}
+		tr, f2 := 0.0, 0.0
+		for _, v := range vals {
+			tr += v
+			f2 += v * v
+		}
+		return math.Abs(tr-s.Trace()) < 1e-8*(1+math.Abs(s.Trace())) &&
+			math.Abs(f2-s.Frob2()) < 1e-8*(1+s.Frob2())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEigenvaluesSym256(b *testing.B) {
+	rng := rand.New(rand.NewSource(63))
+	s := randSym(rng, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EigenvaluesSym(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJacobiEig256(b *testing.B) {
+	rng := rand.New(rand.NewSource(63))
+	s := randSym(rng, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeEigSym(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

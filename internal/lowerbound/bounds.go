@@ -1,0 +1,134 @@
+// Package lowerbound exercises the paper's lower-bound machinery (§2.1) and
+// provides the closed-form communication-cost formulas for every row of
+// Tables 1 and 2, which the benchmark harness prints next to measured costs.
+//
+// A lower bound cannot be "run", but its mechanism can be validated:
+//   - the hard-instance family ({−1,+1}^{t×d} blocks, Theorem 3),
+//   - Lemma 3's anti-concentration statement (Pr[max_{y∈L} xᵀy ≥ 0.2d] ≥ 3/4
+//     for large subsets L of the hypercube),
+//   - Lemma 2's separation statistic E[Σ_i max_M ‖Mx‖²] = Ω(sd²),
+//   - the combinatorial-rectangle property of deterministic protocols,
+//     checked exhaustively on toy instances.
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params bundles the problem-size parameters the cost formulas take.
+type Params struct {
+	S     int     // number of servers
+	D     int     // column dimension
+	K     int     // rank parameter (0 for the (ε,0) guarantee)
+	Eps   float64 // accuracy
+	Delta float64 // failure probability for randomized algorithms
+}
+
+func (p Params) validate() {
+	if p.S <= 0 || p.D <= 0 || p.K < 0 || p.Eps <= 0 || p.Eps >= 1 {
+		panic(fmt.Sprintf("lowerbound: invalid params %+v", p))
+	}
+}
+
+func (p Params) logD() float64 {
+	delta := p.Delta
+	if delta <= 0 || delta >= 1 {
+		delta = 0.1
+	}
+	l := math.Log(float64(p.D) / delta)
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+func (p Params) kOr1() float64 {
+	if p.K == 0 {
+		return 1
+	}
+	return float64(p.K)
+}
+
+// FDMergeWords is the Theorem 2 deterministic upper bound O(s·k·d/ε) words
+// (O(s·d/ε) for k = 0), with unit constants.
+func FDMergeWords(p Params) float64 {
+	p.validate()
+	return float64(p.S) * float64(p.D) * p.kOr1() / p.Eps
+}
+
+// SamplingWords is the [10] baseline O(s + d/ε²) words.
+func SamplingWords(p Params) float64 {
+	p.validate()
+	return float64(p.S) + float64(p.D)/(p.Eps*p.Eps)
+}
+
+// SVSWords is the Theorem 6 randomized upper bound
+// O(√s·d·√log(d/δ)/ε) words for the (ε,0) guarantee.
+func SVSWords(p Params) float64 {
+	p.validate()
+	return math.Sqrt(float64(p.S)) * float64(p.D) * math.Sqrt(p.logD()) / p.Eps
+}
+
+// SVSLinearWords is the Theorem 5 bound O(√s·d·log(d/δ)/ε) — the paper's
+// own ablation showing the quadratic function saves a √log d factor.
+func SVSLinearWords(p Params) float64 {
+	p.validate()
+	return math.Sqrt(float64(p.S)) * float64(p.D) * p.logD() / p.Eps
+}
+
+// AdaptiveWords is the Theorem 7 bound O(s·d·k + √s·k·d·√log d/ε) words for
+// the (ε,k) guarantee.
+func AdaptiveWords(p Params) float64 {
+	p.validate()
+	return float64(p.S)*float64(p.D)*p.kOr1() +
+		math.Sqrt(float64(p.S))*p.kOr1()*float64(p.D)*math.Sqrt(p.logD())/p.Eps
+}
+
+// DeterministicLowerBoundBits is the Theorem 3 bound Ω(s·k·d/ε) bits
+// (Ω(s·d/ε) for k = 0), valid for 1/ε ≤ d in the blackboard model.
+func DeterministicLowerBoundBits(p Params) float64 {
+	p.validate()
+	return float64(p.S) * float64(p.D) * p.kOr1() / p.Eps
+}
+
+// TrivialWords is the trivial exact algorithm: every server ships its d×d
+// Gram matrix, O(s·d²) words (§2.1.2 closing remark).
+func TrivialWords(p Params) float64 {
+	p.validate()
+	return float64(p.S) * float64(p.D) * float64(p.D)
+}
+
+// SketchSizeWords is the optimal single-sketch size Θ(d·k/ε) of [35] — the
+// floor any one-shot communication scheme pays at least once.
+func SketchSizeWords(p Params) float64 {
+	p.validate()
+	return float64(p.D) * p.kOr1() / p.Eps
+}
+
+// BWZWords is the Table 2 row for [5]:
+// O(s·k·d + s·k/ε²·min{d, k/ε²}) words.
+func BWZWords(p Params) float64 {
+	p.validate()
+	k := p.kOr1()
+	inner := math.Min(float64(p.D), k/(p.Eps*p.Eps))
+	return float64(p.S)*k*float64(p.D) + float64(p.S)*k/(p.Eps*p.Eps)*inner
+}
+
+// NewPCAWords is the Table 2 "New" row (Theorem 9):
+// O(s·k·d + √s·k·√log d/ε · min{d, k/ε²}) words.
+func NewPCAWords(p Params) float64 {
+	p.validate()
+	k := p.kOr1()
+	inner := math.Min(float64(p.D), k/(p.Eps*p.Eps))
+	return float64(p.S)*k*float64(p.D) +
+		math.Sqrt(float64(p.S))*k*math.Sqrt(p.logD())/p.Eps*inner
+}
+
+// HeadlineCosts reproduces the §1 headline comparison at s = d and target
+// error ‖A‖F²/d (i.e. ε = 1/d): the deterministic algorithm and sampling
+// both cost Θ(d³) while the new algorithm costs Θ(d^2.5·√log d).
+func HeadlineCosts(d int) (deterministic, sampling, svs, trivial float64) {
+	p := Params{S: d, D: d, K: 0, Eps: 1 / float64(d)}
+	return FDMergeWords(p), SamplingWords(p), SVSWords(p), TrivialWords(p)
+}

@@ -1,0 +1,162 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+// HardInstance draws one input from the Theorem 3 hard distribution: each of
+// the s servers gets an independent uniform matrix in {−1,+1}^{t×d} with
+// t = σ/ε rows. ‖A‖F² = s·t·d exactly.
+func HardInstance(rng *rand.Rand, s, t, d int) []*matrix.Dense {
+	if s <= 0 || t <= 0 || d <= 0 {
+		panic(fmt.Sprintf("lowerbound: invalid hard instance s=%d t=%d d=%d", s, t, d))
+	}
+	parts := make([]*matrix.Dense, s)
+	for i := range parts {
+		parts[i] = workload.SignMatrix(rng, t, d)
+	}
+	return parts
+}
+
+// HardInstanceRows returns t = σ/ε rounded up, the per-server row count of
+// the hard instance (σ is the paper's small constant; pass e.g. 0.25).
+func HardInstanceRows(sigma, eps float64) int {
+	if sigma <= 0 || eps <= 0 {
+		panic(fmt.Sprintf("lowerbound: invalid sigma=%v eps=%v", sigma, eps))
+	}
+	t := int(math.Ceil(sigma / eps))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Lemma3Result reports the empirical check of Lemma 3 ([21]): for a subset
+// L ⊆ {−1,+1}^d with |L| ≥ 2^{(1−α)d}, a uniform x has
+// Pr[max_{y∈L} xᵀy ≥ 0.2d] ≥ 3/4.
+type Lemma3Result struct {
+	D           int
+	SetSize     int
+	Trials      int
+	Probability float64 // measured Pr[max xᵀy ≥ 0.2d]
+	MeanMax     float64 // E[max_y xᵀy] / d
+}
+
+// VerifyLemma3 samples a set L of setSize distinct-ish uniform sign vectors
+// and measures the probability over random x. (Sampling L uniformly gives a
+// typical large subset; the lemma's worst case over all large L is harder,
+// so a pass here is a necessary-condition check, exactly what an empirical
+// reproduction of a lower bound can provide.)
+func VerifyLemma3(rng *rand.Rand, d, setSize, trials int) Lemma3Result {
+	if d <= 0 || setSize <= 0 || trials <= 0 {
+		panic(fmt.Sprintf("lowerbound: invalid VerifyLemma3(%d,%d,%d)", d, setSize, trials))
+	}
+	l := workload.SignMatrix(rng, setSize, d)
+	hits := 0
+	meanMax := 0.0
+	threshold := 0.2 * float64(d)
+	x := make([]float64, d)
+	for trial := 0; trial < trials; trial++ {
+		for j := range x {
+			if rng.Intn(2) == 0 {
+				x[j] = 1
+			} else {
+				x[j] = -1
+			}
+		}
+		best := math.Inf(-1)
+		for i := 0; i < setSize; i++ {
+			if v := matrix.Dot(l.Row(i), x); v > best {
+				best = v
+			}
+		}
+		if best >= threshold {
+			hits++
+		}
+		meanMax += best
+	}
+	return Lemma3Result{
+		D:           d,
+		SetSize:     setSize,
+		Trials:      trials,
+		Probability: float64(hits) / float64(trials),
+		MeanMax:     meanMax / float64(trials) / float64(d),
+	}
+}
+
+// SeparationResult reports the empirical Lemma 2 statistic.
+type SeparationResult struct {
+	S, T, D    int
+	Candidates int
+	// MeanGap is the measured E[Σ_i (max_M ‖M·x‖² − ‖W·x‖²)] / ‖x‖², the
+	// quantity Lemma 2 lower-bounds by Ω(sd) − st.
+	MeanGap float64
+	// MeanPairNorm is E‖AᵀA − A′ᵀA′‖₂ for the constructed pair, measured
+	// exactly — the quantity that must exceed 2ε‖A‖F² for the rectangle to
+	// be "too big".
+	MeanPairNorm float64
+	// Budget is 2ε‖A‖F² = 2σ·s·d at ε = σ/t, the error budget the pair must
+	// beat for the lower-bound argument to close.
+	Budget float64
+}
+
+// VerifySeparation plays out the Lemma 2 construction on random rectangles:
+// each server's candidate set B_i holds `candidates` random sign matrices
+// (standing in for a large rectangle side); for a random sign vector x we
+// select M_i = argmax ‖M·x‖² and W_i = first candidate, stack them into A
+// and A′, and measure both the gap statistic and the true spectral-norm
+// separation. sigma is the hard-instance constant (t = σ/ε).
+func VerifySeparation(rng *rand.Rand, s, t, d, candidates, trials int, sigma float64) (SeparationResult, error) {
+	if candidates < 2 || trials <= 0 {
+		panic(fmt.Sprintf("lowerbound: invalid VerifySeparation candidates=%d trials=%d", candidates, trials))
+	}
+	res := SeparationResult{S: s, T: t, D: d, Candidates: candidates}
+	x := make([]float64, d)
+	for trial := 0; trial < trials; trial++ {
+		for j := range x {
+			if rng.Intn(2) == 0 {
+				x[j] = 1
+			} else {
+				x[j] = -1
+			}
+		}
+		var aParts, bParts []*matrix.Dense
+		gap := 0.0
+		for i := 0; i < s; i++ {
+			var best *matrix.Dense
+			bestVal := math.Inf(-1)
+			var first *matrix.Dense
+			for c := 0; c < candidates; c++ {
+				m := workload.SignMatrix(rng, t, d)
+				if c == 0 {
+					first = m
+				}
+				v := matrix.Norm2(m.MulVec(x))
+				if v > bestVal {
+					best, bestVal = m, v
+				}
+			}
+			gap += bestVal - matrix.Norm2(first.MulVec(x))
+			aParts = append(aParts, best)
+			bParts = append(bParts, first)
+		}
+		res.MeanGap += gap / matrix.Norm2(x)
+		a := matrix.Stack(aParts...)
+		b := matrix.Stack(bParts...)
+		norm, err := linalg.CovarianceError(a, b)
+		if err != nil {
+			return res, err
+		}
+		res.MeanPairNorm += norm
+	}
+	res.MeanGap /= float64(trials)
+	res.MeanPairNorm /= float64(trials)
+	res.Budget = 2 * sigma * float64(s) * float64(d)
+	return res, nil
+}

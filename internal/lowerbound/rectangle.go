@@ -1,0 +1,235 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+)
+
+// This file implements the §2.1.1 combinatorial-rectangle machinery on toy
+// instances small enough to enumerate exhaustively. A deterministic protocol
+// partitions the input product space into rectangles (Cartesian products of
+// per-server input sets), each sharing one transcript and hence one output;
+// correctness forces every rectangle's "covariance diameter" below twice the
+// error budget, and the communication cost is at least log₂(#rectangles).
+
+// ToyProtocol maps an s-tuple of server inputs to a transcript string. It
+// must be implementable by an actual protocol (each message a function of
+// its sender's input and the prior transcript); CheckRectanglePartition
+// verifies the induced partition is consistent with that.
+type ToyProtocol func(parts []*matrix.Dense) string
+
+// EnumerateSignMatrices returns all 2^(t·d) matrices in {−1,+1}^{t×d}.
+// Panics if t·d > 16 (the universe would be too large to enumerate).
+func EnumerateSignMatrices(t, d int) []*matrix.Dense {
+	if t <= 0 || d <= 0 || t*d > 16 {
+		panic(fmt.Sprintf("lowerbound: cannot enumerate {±1}^(%d×%d)", t, d))
+	}
+	n := 1 << (t * d)
+	out := make([]*matrix.Dense, n)
+	for mask := 0; mask < n; mask++ {
+		m := matrix.New(t, d)
+		data := m.Data()
+		for b := range data {
+			if mask>>(uint(b))&1 == 1 {
+				data[b] = 1
+			} else {
+				data[b] = -1
+			}
+		}
+		out[mask] = m
+	}
+	return out
+}
+
+// RectangleReport summarizes a protocol's induced partition of the full
+// input space universe^s.
+type RectangleReport struct {
+	Inputs               int
+	Transcripts          int
+	MaxClassSize         int
+	IsRectanglePartition bool
+	// LowerBoundBits = log₂(#transcripts): the protocol's communication is
+	// at least this many bits (§2.1.1).
+	LowerBoundBits float64
+	// MaxClassDiameter is the largest coverr(A, A′) within any class — the
+	// quantity Lemma 2 forces to be large for big rectangles.
+	MaxClassDiameter float64
+}
+
+// CheckRectanglePartition enumerates universe^s, runs the protocol on every
+// input, and verifies each transcript class is a combinatorial rectangle
+// B_1 × … × B_s. It also computes each class's covariance diameter.
+func CheckRectanglePartition(universe []*matrix.Dense, s int, proto ToyProtocol) (RectangleReport, error) {
+	if s <= 0 {
+		panic(fmt.Sprintf("lowerbound: invalid s=%d", s))
+	}
+	u := len(universe)
+	total := 1
+	for i := 0; i < s; i++ {
+		total *= u
+		if total > 1<<22 {
+			panic("lowerbound: input space too large to enumerate")
+		}
+	}
+	classes := make(map[string][][]int) // transcript -> list of index tuples
+	idx := make([]int, s)
+	parts := make([]*matrix.Dense, s)
+	for count := 0; count < total; count++ {
+		for i := 0; i < s; i++ {
+			parts[i] = universe[idx[i]]
+		}
+		tr := proto(parts)
+		classes[tr] = append(classes[tr], append([]int(nil), idx...))
+		// Advance the odometer.
+		for i := s - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < u {
+				break
+			}
+			idx[i] = 0
+		}
+	}
+	report := RectangleReport{
+		Inputs:               total,
+		Transcripts:          len(classes),
+		IsRectanglePartition: true,
+		LowerBoundBits:       math.Log2(float64(len(classes))),
+	}
+	for _, tuples := range classes {
+		if len(tuples) > report.MaxClassSize {
+			report.MaxClassSize = len(tuples)
+		}
+		// Projection sets per server.
+		proj := make([]map[int]bool, s)
+		for i := range proj {
+			proj[i] = make(map[int]bool)
+		}
+		members := make(map[string]bool, len(tuples))
+		for _, tup := range tuples {
+			for i, v := range tup {
+				proj[i][v] = true
+			}
+			members[tupleKey(tup)] = true
+		}
+		prod := 1
+		for _, p := range proj {
+			prod *= len(p)
+		}
+		if prod != len(tuples) {
+			report.IsRectanglePartition = false
+		}
+		// Diameter: compare the stacked matrices of up to a few members
+		// exactly (all pairs when the class is small).
+		diam, err := classDiameter(universe, tuples)
+		if err != nil {
+			return report, err
+		}
+		if diam > report.MaxClassDiameter {
+			report.MaxClassDiameter = diam
+		}
+	}
+	return report, nil
+}
+
+func tupleKey(tup []int) string {
+	var b strings.Builder
+	for _, v := range tup {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+// classDiameter returns max coverr over pairs in the class, capping the
+// number of pairs inspected for very large classes (diameters only grow
+// with more pairs, so the cap gives a lower estimate — conservative in the
+// direction the tests check).
+func classDiameter(universe []*matrix.Dense, tuples [][]int) (float64, error) {
+	const maxMembers = 24
+	step := 1
+	if len(tuples) > maxMembers {
+		step = len(tuples) / maxMembers
+	}
+	var sel [][]int
+	for i := 0; i < len(tuples); i += step {
+		sel = append(sel, tuples[i])
+	}
+	stack := func(tup []int) *matrix.Dense {
+		parts := make([]*matrix.Dense, len(tup))
+		for i, v := range tup {
+			parts[i] = universe[v]
+		}
+		return matrix.Stack(parts...)
+	}
+	best := 0.0
+	for i := 0; i < len(sel); i++ {
+		ai := stack(sel[i])
+		for j := i + 1; j < len(sel); j++ {
+			v, err := linalg.CovarianceError(ai, stack(sel[j]))
+			if err != nil {
+				return 0, err
+			}
+			if v > best {
+				best = v
+			}
+		}
+	}
+	return best, nil
+}
+
+// ExactGramProtocol is the natural deterministic protocol: every server
+// announces its exact Gram matrix. Its transcript classes are rectangles by
+// construction and every class has covariance diameter 0 (perfect
+// correctness at Θ(s·d²)-word cost).
+func ExactGramProtocol(parts []*matrix.Dense) string {
+	var b strings.Builder
+	for _, p := range parts {
+		g := p.Gram()
+		for _, v := range g.Data() {
+			fmt.Fprintf(&b, "%g;", v)
+		}
+		b.WriteString("|")
+	}
+	return b.String()
+}
+
+// ColumnSumProtocol is a cheap lossy protocol: every server announces only
+// its column-sum vector (d words). Still a valid protocol (rectangles), but
+// its classes have large diameter — the checker quantifies how correctness
+// fails when communication is too small.
+func ColumnSumProtocol(parts []*matrix.Dense) string {
+	var b strings.Builder
+	for _, p := range parts {
+		sums := make([]float64, p.Cols())
+		for i := 0; i < p.Rows(); i++ {
+			matrix.AxpyVec(sums, 1, p.Row(i))
+		}
+		for _, v := range sums {
+			fmt.Fprintf(&b, "%g;", v)
+		}
+		b.WriteString("|")
+	}
+	return b.String()
+}
+
+// GlobalParityNonProtocol groups inputs by a global function of ALL servers'
+// inputs (the parity of the total entry sum) — something no message-passing
+// protocol can induce. The rectangle checker must reject it; it exists to
+// validate the checker.
+func GlobalParityNonProtocol(parts []*matrix.Dense) string {
+	sum := 0.0
+	for _, p := range parts {
+		for _, v := range p.Data() {
+			sum += v
+		}
+	}
+	// Entries are ±1, so sum/2 mod 2 distinguishes classes that correlate
+	// the two inputs.
+	if int(sum/2)%2 == 0 {
+		return "even"
+	}
+	return "odd"
+}

@@ -1,0 +1,225 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SparseVector is a sparse row: sorted unique indices with their values.
+// It is the input type for the nnz-proportional update paths (the setting
+// of Ghashami–Liberty–Phillips, KDD'16, discussed in §2 of the paper).
+type SparseVector struct {
+	Len     int
+	Indices []int
+	Values  []float64
+}
+
+// NewSparseVector builds a sparse vector of logical length n from parallel
+// index/value slices (copied, sorted, zero values dropped, duplicate
+// indices summed).
+func NewSparseVector(n int, indices []int, values []float64) *SparseVector {
+	if len(indices) != len(values) {
+		panic(fmt.Sprintf("matrix: sparse vector with %d indices, %d values", len(indices), len(values)))
+	}
+	type iv struct {
+		i int
+		v float64
+	}
+	items := make([]iv, 0, len(indices))
+	for j, i := range indices {
+		if i < 0 || i >= n {
+			panic(fmt.Sprintf("matrix: sparse index %d out of range %d", i, n))
+		}
+		if values[j] != 0 {
+			items = append(items, iv{i, values[j]})
+		}
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].i < items[b].i })
+	out := &SparseVector{Len: n}
+	for _, it := range items {
+		if l := len(out.Indices); l > 0 && out.Indices[l-1] == it.i {
+			out.Values[l-1] += it.v
+			continue
+		}
+		out.Indices = append(out.Indices, it.i)
+		out.Values = append(out.Values, it.v)
+	}
+	// Summing duplicates may have produced zeros; drop them.
+	w := 0
+	for j := range out.Indices {
+		if out.Values[j] != 0 {
+			out.Indices[w], out.Values[w] = out.Indices[j], out.Values[j]
+			w++
+		}
+	}
+	out.Indices, out.Values = out.Indices[:w], out.Values[:w]
+	return out
+}
+
+// SparseFromDense converts a dense row, keeping entries with |v| > tol.
+func SparseFromDense(row []float64, tol float64) *SparseVector {
+	out := &SparseVector{Len: len(row)}
+	for i, v := range row {
+		if math.Abs(v) > tol {
+			out.Indices = append(out.Indices, i)
+			out.Values = append(out.Values, v)
+		}
+	}
+	return out
+}
+
+// NNZ returns the number of stored nonzeros.
+func (v *SparseVector) NNZ() int { return len(v.Indices) }
+
+// Norm2 returns the squared Euclidean norm.
+func (v *SparseVector) Norm2() float64 {
+	s := 0.0
+	for _, x := range v.Values {
+		s += x * x
+	}
+	return s
+}
+
+// Dot returns the inner product with a dense vector of matching length.
+func (v *SparseVector) Dot(dense []float64) float64 {
+	if len(dense) != v.Len {
+		panic(fmt.Sprintf("matrix: sparse Dot length %d vs %d", v.Len, len(dense)))
+	}
+	s := 0.0
+	for j, i := range v.Indices {
+		s += v.Values[j] * dense[i]
+	}
+	return s
+}
+
+// AddTo scatters a·v into the dense target (length Len).
+func (v *SparseVector) AddTo(dense []float64, a float64) {
+	if len(dense) != v.Len {
+		panic(fmt.Sprintf("matrix: sparse AddTo length %d vs %d", v.Len, len(dense)))
+	}
+	for j, i := range v.Indices {
+		dense[i] += a * v.Values[j]
+	}
+}
+
+// Dense materializes the vector.
+func (v *SparseVector) Dense() []float64 {
+	out := make([]float64, v.Len)
+	v.AddTo(out, 1)
+	return out
+}
+
+// Sparse is a sparse row-major matrix (a slice of sparse rows sharing the
+// column dimension).
+type Sparse struct {
+	cols int
+	rows []*SparseVector
+}
+
+// NewSparse creates an empty sparse matrix with c columns.
+func NewSparse(c int) *Sparse {
+	if c <= 0 {
+		panic(fmt.Sprintf("matrix: NewSparse with c=%d", c))
+	}
+	return &Sparse{cols: c}
+}
+
+// SparseFromDenseMatrix converts m, keeping entries with |v| > tol.
+func SparseFromDenseMatrix(m *Dense, tol float64) *Sparse {
+	r, c := m.Dims()
+	out := NewSparse(c)
+	for i := 0; i < r; i++ {
+		out.AppendRow(SparseFromDense(m.Row(i), tol))
+	}
+	return out
+}
+
+// AppendRow adds one sparse row (not copied).
+func (s *Sparse) AppendRow(v *SparseVector) {
+	if v.Len != s.cols {
+		panic(fmt.Sprintf("matrix: sparse row length %d != cols %d", v.Len, s.cols))
+	}
+	s.rows = append(s.rows, v)
+}
+
+// Dims returns rows and columns.
+func (s *Sparse) Dims() (int, int) { return len(s.rows), s.cols }
+
+// Row returns the i-th sparse row.
+func (s *Sparse) Row(i int) *SparseVector { return s.rows[i] }
+
+// NNZ returns the total stored nonzeros.
+func (s *Sparse) NNZ() int {
+	n := 0
+	for _, r := range s.rows {
+		n += r.NNZ()
+	}
+	return n
+}
+
+// Frob2 returns the squared Frobenius norm.
+func (s *Sparse) Frob2() float64 {
+	f := 0.0
+	for _, r := range s.rows {
+		f += r.Norm2()
+	}
+	return f
+}
+
+// Density returns NNZ / (rows·cols), 0 for an empty matrix.
+func (s *Sparse) Density() float64 {
+	r, c := s.Dims()
+	if r == 0 || c == 0 {
+		return 0
+	}
+	return float64(s.NNZ()) / (float64(r) * float64(c))
+}
+
+// ToDense materializes the matrix.
+func (s *Sparse) ToDense() *Dense {
+	r, c := s.Dims()
+	out := New(r, c)
+	for i, row := range s.rows {
+		row.AddTo(out.Row(i), 1)
+	}
+	return out
+}
+
+// MulVec returns S·x in O(nnz) time.
+func (s *Sparse) MulVec(x []float64) []float64 {
+	out := make([]float64, len(s.rows))
+	for i, r := range s.rows {
+		out[i] = r.Dot(x)
+	}
+	return out
+}
+
+// TMulVec returns Sᵀ·x in O(nnz) time.
+func (s *Sparse) TMulVec(x []float64) []float64 {
+	if len(x) != len(s.rows) {
+		panic(fmt.Sprintf("matrix: sparse TMulVec length %d vs %d rows", len(x), len(s.rows)))
+	}
+	out := make([]float64, s.cols)
+	for i, r := range s.rows {
+		if x[i] != 0 {
+			r.AddTo(out, x[i])
+		}
+	}
+	return out
+}
+
+// Gram returns SᵀS (dense d×d) in O(Σ nnz_i²) time.
+func (s *Sparse) Gram() *Dense {
+	out := New(s.cols, s.cols)
+	for _, r := range s.rows {
+		for a, ia := range r.Indices {
+			va := r.Values[a]
+			rowOut := out.Row(ia)
+			for b, ib := range r.Indices {
+				rowOut[ib] += va * r.Values[b]
+			}
+		}
+	}
+	return out
+}

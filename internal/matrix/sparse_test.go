@@ -1,0 +1,173 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSparseVector(t *testing.T) {
+	v := NewSparseVector(6, []int{4, 1, 4, 2}, []float64{1, 2, 3, 0})
+	// index 4 appears twice (1+3=4), index 2 has value 0 and is dropped.
+	if v.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", v.NNZ())
+	}
+	d := v.Dense()
+	want := []float64{0, 2, 0, 0, 4, 0}
+	for i, w := range want {
+		if d[i] != w {
+			t.Fatalf("Dense = %v, want %v", d, want)
+		}
+	}
+	// Sorted indices.
+	if v.Indices[0] != 1 || v.Indices[1] != 4 {
+		t.Fatalf("indices %v not sorted", v.Indices)
+	}
+}
+
+func TestNewSparseVectorCancellation(t *testing.T) {
+	v := NewSparseVector(3, []int{1, 1}, []float64{2, -2})
+	if v.NNZ() != 0 {
+		t.Fatalf("canceling duplicates must vanish: %v", v.Values)
+	}
+}
+
+func TestSparseVectorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSparseVector(3, []int{1}, []float64{1, 2}) },
+		func() { NewSparseVector(3, []int{3}, []float64{1}) },
+		func() { NewSparseVector(3, []int{-1}, []float64{1}) },
+		func() { NewSparseVector(3, []int{0}, []float64{1}).Dot([]float64{1}) },
+		func() { NewSparseVector(3, []int{0}, []float64{1}).AddTo([]float64{1}, 1) },
+		func() { NewSparse(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSparseFromDenseRoundTrip(t *testing.T) {
+	row := []float64{0, 1.5, 0, -2, 1e-12}
+	v := SparseFromDense(row, 1e-9)
+	if v.NNZ() != 2 {
+		t.Fatalf("NNZ = %d", v.NNZ())
+	}
+	got := v.Dense()
+	if got[1] != 1.5 || got[3] != -2 || got[4] != 0 {
+		t.Fatalf("round trip %v", got)
+	}
+	if math.Abs(v.Norm2()-(1.5*1.5+4)) > 1e-12 {
+		t.Fatalf("Norm2 = %v", v.Norm2())
+	}
+}
+
+func TestSparseDotMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		dense := make([]float64, n)
+		for i := range dense {
+			if r.Intn(3) == 0 {
+				dense[i] = rng.NormFloat64()
+			}
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		v := SparseFromDense(dense, 0)
+		return math.Abs(v.Dot(x)-Dot(dense, x)) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sparseRand(rng *rand.Rand, n, d int, density float64) *Sparse {
+	s := NewSparse(d)
+	for i := 0; i < n; i++ {
+		var idx []int
+		var vals []float64
+		for j := 0; j < d; j++ {
+			if rng.Float64() < density {
+				idx = append(idx, j)
+				vals = append(vals, rng.NormFloat64())
+			}
+		}
+		s.AppendRow(NewSparseVector(d, idx, vals))
+	}
+	return s
+}
+
+func TestSparseMatrixOpsMatchDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := sparseRand(rng, 15, 8, 0.3)
+	dense := s.ToDense()
+	if r, c := s.Dims(); r != 15 || c != 8 {
+		t.Fatalf("dims %d×%d", r, c)
+	}
+	if math.Abs(s.Frob2()-dense.Frob2()) > 1e-10 {
+		t.Fatalf("Frob2 %v vs %v", s.Frob2(), dense.Frob2())
+	}
+	if !s.Gram().EqualApprox(dense.Gram(), 1e-10) {
+		t.Fatal("Gram mismatch")
+	}
+	x := make([]float64, 8)
+	y := make([]float64, 15)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	mv := s.MulVec(x)
+	dv := dense.MulVec(x)
+	for i := range mv {
+		if math.Abs(mv[i]-dv[i]) > 1e-10 {
+			t.Fatal("MulVec mismatch")
+		}
+	}
+	tv := s.TMulVec(y)
+	dtv := dense.TMulVec(y)
+	for i := range tv {
+		if math.Abs(tv[i]-dtv[i]) > 1e-10 {
+			t.Fatal("TMulVec mismatch")
+		}
+	}
+}
+
+func TestSparseDensityAndNNZ(t *testing.T) {
+	s := NewSparse(4)
+	if s.Density() != 0 {
+		t.Fatal("empty density")
+	}
+	s.AppendRow(NewSparseVector(4, []int{0, 2}, []float64{1, 1}))
+	s.AppendRow(NewSparseVector(4, nil, nil))
+	if s.NNZ() != 2 {
+		t.Fatalf("NNZ = %d", s.NNZ())
+	}
+	if s.Density() != 0.25 {
+		t.Fatalf("Density = %v", s.Density())
+	}
+	if s.Row(0).NNZ() != 2 {
+		t.Fatal("Row accessor wrong")
+	}
+}
+
+func TestSparseFromDenseMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := randDense(rng, 6, 5)
+	d.Set(0, 0, 0)
+	s := SparseFromDenseMatrix(d, 0)
+	if !s.ToDense().EqualApprox(d, 0) {
+		t.Fatal("conversion round trip failed")
+	}
+}

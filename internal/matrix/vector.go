@@ -1,0 +1,64 @@
+package matrix
+
+import "math"
+
+// Dot returns the inner product of x and y, which must have equal length.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("matrix: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the squared Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of x.
+func Norm(x []float64) float64 { return math.Sqrt(Norm2(x)) }
+
+// ScaleVec multiplies x by c in place and returns x.
+func ScaleVec(x []float64, c float64) []float64 {
+	for i := range x {
+		x[i] *= c
+	}
+	return x
+}
+
+// AxpyVec computes y += a·x in place and returns y.
+func AxpyVec(y []float64, a float64, x []float64) []float64 {
+	if len(x) != len(y) {
+		panic("matrix: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+	return y
+}
+
+// Normalize scales x to unit Euclidean norm in place and returns its original
+// norm. A zero vector is left untouched and 0 is returned.
+func Normalize(x []float64) float64 {
+	n := Norm(x)
+	if n == 0 {
+		return 0
+	}
+	ScaleVec(x, 1/n)
+	return n
+}
+
+// CopyVec returns a copy of x.
+func CopyVec(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}

@@ -1,0 +1,267 @@
+// Package monitoring implements continuous covariance-sketch tracking in
+// the distributed monitoring model of Ghashami–Phillips–Li (VLDB'14),
+// reference [17] of the paper: each server receives rows over time and the
+// coordinator must know a valid covariance sketch of the union of all
+// streams at every moment, not just at query time.
+//
+// The paper's §1.5 poses as an open question whether its SVS technique can
+// improve the communication of such monitoring protocols. This package
+// provides the machinery to study that question empirically:
+//
+//   - PolicyFullSketch — the classic scheme: a server re-ships its entire
+//     local FD sketch whenever its unreported Frobenius mass exceeds its
+//     share of the global error budget.
+//   - PolicyDelta — ships only an FD sketch of the rows received since the
+//     last upload (a mergeable delta, same guarantee, cheaper per upload
+//     for incremental growth).
+//   - PolicySVSDelta — the experimental answer to the open question: the
+//     delta is further compressed with SVS before shipping, so uploads cost
+//     the sampled rows only. The per-upload guarantee becomes probabilistic;
+//     the harness measures the realized tracking error directly.
+//
+// Communication is counted in words exactly as in the one-shot protocols.
+package monitoring
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/matrix"
+)
+
+// Policy selects the upload compression scheme.
+type Policy int
+
+const (
+	// PolicyFullSketch re-sends the full local sketch on every trigger.
+	PolicyFullSketch Policy = iota
+	// PolicyDelta sends an FD sketch of only the unreported rows.
+	PolicyDelta
+	// PolicySVSDelta sends an SVS sample of the unreported rows' sketch.
+	PolicySVSDelta
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyFullSketch:
+		return "full-sketch"
+	case PolicyDelta:
+		return "fd-delta"
+	case PolicySVSDelta:
+		return "svs-delta"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes a tracking run.
+type Config struct {
+	// Eps is the continuous guarantee target: at all times the
+	// coordinator's sketch must satisfy coverr ≤ ε·‖A(t)‖F².
+	Eps float64
+	// S is the number of servers, D the row dimension.
+	S, D int
+	// Policy selects the upload scheme.
+	Policy Policy
+	// Seed drives the randomized policy.
+	Seed int64
+}
+
+func (c Config) validate() {
+	if c.Eps <= 0 || c.Eps >= 1 {
+		panic(fmt.Sprintf("monitoring: eps %v out of (0,1)", c.Eps))
+	}
+	if c.S <= 0 || c.D <= 0 {
+		panic(fmt.Sprintf("monitoring: invalid s=%d d=%d", c.S, c.D))
+	}
+}
+
+// Server is the per-site state of the tracking protocol.
+type Server struct {
+	cfg Config
+	id  int
+
+	// pending sketches the rows received since the last upload.
+	pending *fd.Sketch
+	// full sketches everything ever received (used by PolicyFullSketch so a
+	// re-send supersedes all prior uploads).
+	full *fd.Sketch
+
+	localMass      float64 // ‖A_i(t)‖F²
+	unreportedMass float64
+	threshold      float64 // current per-server unreported-mass budget
+	rng            *rand.Rand
+}
+
+// Upload is one server→coordinator message in the tracking protocol.
+type Upload struct {
+	From int
+	// Rows is the shipped sketch block.
+	Rows *matrix.Dense
+	// Replace indicates the block supersedes all previous blocks from this
+	// server (PolicyFullSketch); otherwise it is additive (delta policies).
+	Replace bool
+	// Mass is the server's exact local mass at upload time (one word).
+	Mass float64
+	// Words is the message cost.
+	Words float64
+}
+
+func sketchSize(eps float64) int { return fd.SketchSize(eps/4, 0) }
+
+func newServer(cfg Config, id int) *Server {
+	return &Server{
+		cfg:     cfg,
+		id:      id,
+		pending: fd.New(cfg.D, sketchSize(cfg.Eps), fd.Options{}),
+		full:    fd.New(cfg.D, sketchSize(cfg.Eps), fd.Options{}),
+		rng:     rand.New(rand.NewSource(cfg.Seed + int64(id))),
+	}
+}
+
+// Offer feeds one row; it returns a non-nil Upload when the server's
+// unreported mass crosses its budget and a message must be sent.
+func (s *Server) Offer(row []float64) (*Upload, error) {
+	if err := s.pending.Update(row); err != nil {
+		return nil, err
+	}
+	if err := s.full.Update(row); err != nil {
+		return nil, err
+	}
+	m := matrix.Norm2(row)
+	s.localMass += m
+	s.unreportedMass += m
+	if s.unreportedMass <= s.threshold || s.unreportedMass == 0 {
+		return nil, nil
+	}
+	return s.flush()
+}
+
+// flush builds the upload message according to the policy and resets the
+// unreported state.
+func (s *Server) flush() (*Upload, error) {
+	up := &Upload{From: s.id, Mass: s.localMass}
+	switch s.cfg.Policy {
+	case PolicyFullSketch:
+		b, err := s.full.Matrix()
+		if err != nil {
+			return nil, err
+		}
+		up.Rows, up.Replace = b, true
+	case PolicyDelta:
+		b, err := s.pending.Matrix()
+		if err != nil {
+			return nil, err
+		}
+		up.Rows = b
+	case PolicySVSDelta:
+		b, err := s.pending.Matrix()
+		if err != nil {
+			return nil, err
+		}
+		// Compress the delta with the quadratic SVS function calibrated to
+		// the delta's own mass at the tracking accuracy. s is taken as 1:
+		// the delta is a single-site matrix.
+		g := core.NewQuadraticSampling(1, s.cfg.D, s.cfg.Eps/4, 0.1, b.Frob2())
+		w, err := core.SVS(b, g, s.rng)
+		if err != nil {
+			return nil, err
+		}
+		up.Rows = w
+	default:
+		return nil, fmt.Errorf("monitoring: unknown policy %v", s.cfg.Policy)
+	}
+	up.Words = float64(up.Rows.Rows()*s.cfg.D) + 1 // +1 for the mass word
+	s.pending = fd.New(s.cfg.D, sketchSize(s.cfg.Eps), fd.Options{})
+	s.unreportedMass = 0
+	return up, nil
+}
+
+// SetThreshold installs a new unreported-mass budget (coordinator
+// broadcast).
+func (s *Server) SetThreshold(t float64) { s.threshold = t }
+
+// LocalMass returns ‖A_i(t)‖F².
+func (s *Server) LocalMass() float64 { return s.localMass }
+
+// Coordinator tracks the union continuously from the servers' uploads.
+type Coordinator struct {
+	cfg Config
+
+	replaced map[int]*matrix.Dense // PolicyFullSketch: latest block per server
+	additive *fd.Sketch            // delta policies: running merged sketch
+
+	reportedMass  map[int]float64
+	lastBroadcast float64
+	words         float64
+	uploads       int
+	broadcasts    int
+}
+
+// NewCoordinator creates the tracking coordinator.
+func NewCoordinator(cfg Config) *Coordinator {
+	cfg.validate()
+	return &Coordinator{
+		cfg:          cfg,
+		replaced:     make(map[int]*matrix.Dense),
+		additive:     fd.New(cfg.D, sketchSize(cfg.Eps), fd.Options{}),
+		reportedMass: make(map[int]float64),
+	}
+}
+
+// Absorb ingests one upload. It returns a positive new per-server threshold
+// when the coordinator decides to broadcast one (total reported mass grew by
+// 2× since the last broadcast), else 0.
+func (c *Coordinator) Absorb(up *Upload) (newThreshold float64, err error) {
+	c.words += up.Words
+	c.uploads++
+	if up.Replace {
+		c.replaced[up.From] = up.Rows
+	} else if err := c.additive.UpdateMatrix(up.Rows); err != nil {
+		return 0, err
+	}
+	c.reportedMass[up.From] = up.Mass
+	total := 0.0
+	for _, m := range c.reportedMass {
+		total += m
+	}
+	if total > 2*c.lastBroadcast || c.lastBroadcast == 0 {
+		c.lastBroadcast = total
+		c.broadcasts++
+		c.words += float64(c.cfg.S) // one word to each server
+		// Budget split: each server may hold ε/2 · T/s unreported mass, so
+		// the total unreported (hence untracked) mass stays ≤ ε/2·T even as
+		// T doubles before the next broadcast.
+		return c.cfg.Eps / 2 * total / float64(c.cfg.S), nil
+	}
+	return 0, nil
+}
+
+// Sketch returns the coordinator's current covariance sketch of the union.
+func (c *Coordinator) Sketch() (*matrix.Dense, error) {
+	if c.cfg.Policy == PolicyFullSketch {
+		parts := make([]*matrix.Dense, 0, len(c.replaced))
+		for i := 0; i < c.cfg.S; i++ {
+			if b, ok := c.replaced[i]; ok {
+				parts = append(parts, b)
+			}
+		}
+		if len(parts) == 0 {
+			return matrix.New(0, c.cfg.D), nil
+		}
+		return matrix.Stack(parts...), nil
+	}
+	return c.additive.Matrix()
+}
+
+// Words returns the total communication so far.
+func (c *Coordinator) Words() float64 { return c.words }
+
+// Uploads returns the number of server uploads so far.
+func (c *Coordinator) Uploads() int { return c.uploads }
+
+// Broadcasts returns the number of threshold broadcasts.
+func (c *Coordinator) Broadcasts() int { return c.broadcasts }

@@ -1,0 +1,159 @@
+package monitoring
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+func streams(seed int64, s, rowsEach, d int) []*matrix.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*matrix.Dense, s)
+	for i := range out {
+		out[i] = workload.LowRankPlusNoise(rng, rowsEach, d, 3, 20, 0.8, 0.3)
+	}
+	return out
+}
+
+func TestTrackingGuaranteeFullSketch(t *testing.T) {
+	cfg := Config{Eps: 0.25, S: 4, D: 12, Policy: PolicyFullSketch, Seed: 1}
+	res, err := Simulate(cfg, streams(1, 4, 150, 12), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxRelErr > cfg.Eps {
+		t.Fatalf("tracking error %v exceeded ε=%v", res.MaxRelErr, cfg.Eps)
+	}
+	if len(res.Checkpoints) == 0 {
+		t.Fatal("no checkpoints")
+	}
+	if res.Uploads == 0 || res.Broadcasts == 0 {
+		t.Fatal("protocol never communicated")
+	}
+}
+
+func TestTrackingGuaranteeDelta(t *testing.T) {
+	cfg := Config{Eps: 0.25, S: 4, D: 12, Policy: PolicyDelta, Seed: 2}
+	res, err := Simulate(cfg, streams(2, 4, 150, 12), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxRelErr > cfg.Eps {
+		t.Fatalf("delta tracking error %v exceeded ε=%v", res.MaxRelErr, cfg.Eps)
+	}
+}
+
+func TestTrackingGuaranteeSVSDelta(t *testing.T) {
+	cfg := Config{Eps: 0.25, S: 4, D: 12, Policy: PolicySVSDelta, Seed: 3}
+	res, err := Simulate(cfg, streams(3, 4, 150, 12), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probabilistic guarantee: allow slack over the deterministic target.
+	if res.MaxRelErr > 2*cfg.Eps {
+		t.Fatalf("SVS-delta tracking error %v exceeded 2ε", res.MaxRelErr)
+	}
+}
+
+func TestTrackingBeatsNaiveStreaming(t *testing.T) {
+	// The delta policies must beat streaming every row; the classic
+	// full-resend baseline is allowed to lose on short streams (its cost is
+	// per-upload Θ(sketch) regardless of how little is new — the
+	// inefficiency the delta policies remove).
+	var deltaWords, svsWords float64
+	for _, policy := range []Policy{PolicyDelta, PolicySVSDelta} {
+		cfg := Config{Eps: 0.2, S: 4, D: 16, Policy: policy, Seed: 4}
+		res, err := Simulate(cfg, streams(4, 4, 400, 16), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalWords >= res.NaiveWords {
+			t.Fatalf("%v: tracking cost %v not below naive %v", policy, res.TotalWords, res.NaiveWords)
+		}
+		if policy == PolicyDelta {
+			deltaWords = res.TotalWords
+		} else {
+			svsWords = res.TotalWords
+		}
+	}
+	// The §1.5 open-question measurement: SVS-compressed deltas ship no
+	// more than plain FD deltas.
+	if svsWords > deltaWords {
+		t.Fatalf("svs-delta %v words above fd-delta %v", svsWords, deltaWords)
+	}
+}
+
+func TestErrorMonotoneInCommunication(t *testing.T) {
+	// More budget (larger ε) must mean fewer words.
+	loose, err := Simulate(Config{Eps: 0.4, S: 3, D: 10, Policy: PolicyDelta, Seed: 5}, streams(5, 3, 200, 10), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Simulate(Config{Eps: 0.1, S: 3, D: 10, Policy: PolicyDelta, Seed: 5}, streams(5, 3, 200, 10), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.TotalWords <= loose.TotalWords {
+		t.Fatalf("tight ε cost %v not above loose ε cost %v", tight.TotalWords, loose.TotalWords)
+	}
+}
+
+func TestWordsNondecreasingAcrossCheckpoints(t *testing.T) {
+	cfg := Config{Eps: 0.25, S: 3, D: 8, Policy: PolicyFullSketch, Seed: 6}
+	res, err := Simulate(cfg, streams(6, 3, 120, 8), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, cp := range res.Checkpoints {
+		if cp.Words < prev {
+			t.Fatalf("words decreased: %v after %v", cp.Words, prev)
+		}
+		prev = cp.Words
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for _, p := range []Policy{PolicyFullSketch, PolicyDelta, PolicySVSDelta, Policy(9)} {
+		if p.String() == "" {
+			t.Fatal("empty String")
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{Eps: 0, S: 1, D: 1},
+		{Eps: 1, S: 1, D: 1},
+		{Eps: 0.1, S: 0, D: 1},
+		{Eps: 0.1, S: 1, D: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%+v: expected panic", cfg)
+				}
+			}()
+			NewCoordinator(cfg)
+		}()
+	}
+	// Stream count mismatch.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for stream mismatch")
+			}
+		}()
+		Simulate(Config{Eps: 0.1, S: 2, D: 4}, streams(7, 3, 10, 4), 5)
+	}()
+}
+
+func TestEmptyCoordinatorSketch(t *testing.T) {
+	c := NewCoordinator(Config{Eps: 0.2, S: 2, D: 5, Policy: PolicyFullSketch})
+	b, err := c.Sketch()
+	if err != nil || b.Rows() != 0 || b.Cols() != 5 {
+		t.Fatalf("empty sketch: %v %d×%d", err, b.Rows(), b.Cols())
+	}
+}

@@ -1,0 +1,114 @@
+package monitoring
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+)
+
+// Checkpoint records the tracking quality at one instant of a simulation.
+type Checkpoint struct {
+	// Time is the number of rows delivered so far (across all servers).
+	Time int
+	// Words is the cumulative communication.
+	Words float64
+	// RelErr is coverr(A(t), B(t)) / ‖A(t)‖F², which the protocol promises
+	// to keep ≤ ε (in expectation/whp for the randomized policy).
+	RelErr float64
+}
+
+// Result summarizes a simulated tracking run.
+type Result struct {
+	Config      Config
+	Checkpoints []Checkpoint
+	TotalWords  float64
+	Uploads     int
+	Broadcasts  int
+	// NaiveWords is the cost of streaming every row to the coordinator —
+	// the trivial continuous protocol the tracking schemes beat.
+	NaiveWords float64
+	// MaxRelErr is the worst checkpointed relative error.
+	MaxRelErr float64
+}
+
+// Simulate drives the tracking protocol over a row-partitioned timeline:
+// streams[i] holds server i's rows in arrival order, and arrival order
+// across servers is round-robin. Every checkpointEvery delivered rows the
+// coordinator's sketch is audited against the exact union.
+func Simulate(cfg Config, streams []*matrix.Dense, checkpointEvery int) (*Result, error) {
+	cfg.validate()
+	if len(streams) != cfg.S {
+		panic(fmt.Sprintf("monitoring: %d streams for s=%d", len(streams), cfg.S))
+	}
+	if checkpointEvery <= 0 {
+		checkpointEvery = 64
+	}
+	servers := make([]*Server, cfg.S)
+	for i := range servers {
+		servers[i] = newServer(cfg, i)
+	}
+	coord := NewCoordinator(cfg)
+
+	// The union so far, for auditing only (not visible to the protocol).
+	seen := matrix.New(0, cfg.D)
+	res := &Result{Config: cfg}
+
+	pos := make([]int, cfg.S)
+	delivered, remaining := 0, 0
+	for _, st := range streams {
+		remaining += st.Rows()
+	}
+	for remaining > 0 {
+		for i, st := range streams {
+			if pos[i] >= st.Rows() {
+				continue
+			}
+			row := st.Row(pos[i])
+			pos[i]++
+			remaining--
+			delivered++
+			up, err := servers[i].Offer(row)
+			if err != nil {
+				return nil, err
+			}
+			if up != nil {
+				thresh, err := coord.Absorb(up)
+				if err != nil {
+					return nil, err
+				}
+				if thresh > 0 {
+					for _, s := range servers {
+						s.SetThreshold(thresh)
+					}
+				}
+			}
+			seen = seen.AppendRow(row)
+			if delivered%checkpointEvery == 0 || remaining == 0 {
+				b, err := coord.Sketch()
+				if err != nil {
+					return nil, err
+				}
+				ce, err := linalg.CovarianceError(seen, b)
+				if err != nil {
+					return nil, err
+				}
+				rel := 0.0
+				if f2 := seen.Frob2(); f2 > 0 {
+					rel = ce / f2
+				}
+				res.Checkpoints = append(res.Checkpoints, Checkpoint{
+					Time: delivered, Words: coord.Words(), RelErr: rel,
+				})
+				if rel > res.MaxRelErr {
+					res.MaxRelErr = rel
+				}
+			}
+		}
+	}
+	res.TotalWords = coord.Words()
+	res.Uploads = coord.Uploads()
+	res.Broadcasts = coord.Broadcasts()
+	res.NaiveWords = float64(delivered * cfg.D)
+	return res, nil
+}

@@ -1,0 +1,91 @@
+// Package pca implements the Principal Component Analysis machinery of §4:
+// extracting approximate top-k principal components from covariance
+// sketches (Lemma 8 / Theorem 9), the CountSketch subspace embedding used by
+// the batch "solve" baseline standing in for Boutsidis–Woodruff–Zhong [5],
+// and quality metrics (Definition 4's (1+ε) Frobenius ratio).
+package pca
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+)
+
+// TopKRightSV returns the top-k right singular vectors of a as the columns
+// of a d×k matrix (k is clamped to the number of available vectors).
+func TopKRightSV(a *matrix.Dense, k int) (*matrix.Dense, error) {
+	if k < 0 {
+		panic(fmt.Sprintf("pca: negative k=%d", k))
+	}
+	svd, err := linalg.ComputeSVD(a)
+	if err != nil {
+		return nil, err
+	}
+	d, r := svd.V.Dims()
+	if k > r {
+		k = r
+	}
+	v := matrix.New(d, k)
+	for j := 0; j < k; j++ {
+		v.SetCol(j, svd.V.Col(j))
+	}
+	return v, nil
+}
+
+// ProjectionCost returns ‖A − A·V·Vᵀ‖F² for an orthonormal d×k matrix V —
+// the objective of Definition 4. By the Pythagorean theorem it equals
+// ‖A‖F² − ‖A·V‖F².
+func ProjectionCost(a, v *matrix.Dense) float64 {
+	if a.Cols() != v.Rows() {
+		panic(fmt.Sprintf("pca: dim mismatch A %d cols vs V %d rows", a.Cols(), v.Rows()))
+	}
+	cost := a.Frob2() - a.Mul(v).Frob2()
+	if cost < 0 {
+		return 0 // numerical guard; the true quantity is non-negative
+	}
+	return cost
+}
+
+// QualityRatio returns ‖A−AVVᵀ‖F² / ‖A−[A]_k‖F², the PCA approximation
+// ratio of Definition 4 — a (1+ε)-approximate answer has ratio ≤ 1+ε.
+// Returns +Inf when the optimum is 0 but V misses mass, and 1 when both are
+// zero.
+func QualityRatio(a, v *matrix.Dense, k int) (float64, error) {
+	opt, err := linalg.TailEnergy(a, k)
+	if err != nil {
+		return 0, err
+	}
+	cost := ProjectionCost(a, v)
+	if opt <= 1e-12*a.Frob2() {
+		if cost <= 1e-9*a.Frob2() {
+			return 1, nil
+		}
+		return math.Inf(1), nil
+	}
+	return cost / opt, nil
+}
+
+// SketchPCs runs the Theorem 9 "solve at the coordinator" step: the top-k
+// right singular vectors of an (ε/2,k)-sketch Q are (1+O(ε))-approximate
+// principal components of A (Lemma 8 with the exact solver).
+func SketchPCs(q *matrix.Dense, k int) (*matrix.Dense, error) {
+	return TopKRightSV(q, k)
+}
+
+// ApproxPCs computes (1+epsSolve)-approximate top-k PCs of q by block power
+// iteration, the cheap inexact solver whose output Lemma 8 still accepts:
+// any V with ‖Q−QVVᵀ‖F² ≤ (1+ε)‖Q−[Q]_k‖F² works. iterations <= 0 picks a
+// heuristic count.
+func ApproxPCs(q *matrix.Dense, k, iterations int, seed int64) (*matrix.Dense, error) {
+	if iterations <= 0 {
+		iterations = 30
+	}
+	g := q.Gram()
+	eig, err := linalg.TopKEigSymPower(g, k, linalg.PowerOpts{MaxIter: iterations, Tol: 1e-12, Rng: newRand(seed)})
+	if err != nil {
+		return nil, err
+	}
+	return eig.V, nil
+}

@@ -1,0 +1,232 @@
+package rowsample
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+func TestSampleSize(t *testing.T) {
+	if got := SampleSize(0.1); got != 100 {
+		t.Fatalf("SampleSize(0.1) = %d", got)
+	}
+	if got := SampleSize(0.5); got != 4 {
+		t.Fatalf("SampleSize(0.5) = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SampleSize(0)
+}
+
+func TestSampleUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := workload.LowRankPlusNoise(rng, 60, 8, 3, 10, 0.8, 0.3)
+	trials, m := 500, 25
+	sum := matrix.New(8, 8)
+	for i := 0; i < trials; i++ {
+		b := Sample(a, m, rng)
+		if b.Rows() != m {
+			t.Fatalf("rows = %d, want %d", b.Rows(), m)
+		}
+		sum = sum.Add(b.Gram())
+	}
+	avg := sum.Scale(1 / float64(trials))
+	norm, err := linalg.SpectralNormSym(avg.Sub(a.Gram()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm > 0.15*a.Frob2() {
+		t.Fatalf("sample biased by %v (‖A‖F²=%v)", norm, a.Frob2())
+	}
+}
+
+func TestSampleErrorBound(t *testing.T) {
+	// ‖AᵀA−BᵀB‖₂ ≤ ε‖A‖F² with constant probability at m = 1/ε².
+	rng := rand.New(rand.NewSource(2))
+	eps := 0.35
+	m := SampleSize(eps)
+	ok := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		a := workload.Gaussian(rng, 100, 10)
+		b := Sample(a, m, rng)
+		ce, err := linalg.CovarianceError(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ce <= 2*eps*a.Frob2() { // constant-probability guarantee: margin 2
+			ok++
+		}
+	}
+	if ok < trials*3/5 {
+		t.Fatalf("only %d/%d trials within 2ε‖A‖F²", ok, trials)
+	}
+}
+
+func TestSampleDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if b := Sample(matrix.New(5, 4), 3, rng); b.Rows() != 0 {
+		t.Fatal("zero matrix should yield empty sample")
+	}
+	if b := Sample(matrix.New(0, 4), 3, rng); b.Rows() != 0 {
+		t.Fatal("empty matrix should yield empty sample")
+	}
+	a := workload.Gaussian(rng, 5, 4)
+	if b := Sample(a, 0, rng); b.Rows() != 0 {
+		t.Fatal("m=0 should yield empty sample")
+	}
+}
+
+func TestSampleSkipsZeroRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := matrix.New(4, 3)
+	a.SetRow(1, []float64{1, 2, 3}) // only nonzero row
+	b := Sample(a, 10, rng)
+	if b.Rows() != 10 {
+		t.Fatalf("rows = %d", b.Rows())
+	}
+	// Every sampled row must be a rescaled copy of row 1: p=1 ⇒ w = 1/√10.
+	w := 1 / math.Sqrt(10)
+	for i := 0; i < 10; i++ {
+		if math.Abs(b.At(i, 0)-w*1) > 1e-12 {
+			t.Fatalf("sampled row %d wrong: %v", i, b.Row(i))
+		}
+	}
+}
+
+func TestReservoirMatchesBatchDistribution(t *testing.T) {
+	// The streaming reservoir must give the same error guarantee as batch
+	// sampling: check measured coverr over trials.
+	rng := rand.New(rand.NewSource(5))
+	a := workload.Gaussian(rng, 150, 8)
+	m := 30
+	okBatch, okStream := 0, 0
+	const trials = 15
+	for i := 0; i < trials; i++ {
+		batch := Sample(a, m, rng)
+		res := NewReservoir(8, m, rng)
+		for r := 0; r < a.Rows(); r++ {
+			res.Update(a.Row(r))
+		}
+		stream := res.Matrix()
+		ceB, err := linalg.CovarianceError(a, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ceS, err := linalg.CovarianceError(a, stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := a.Frob2() / math.Sqrt(float64(m)) * 2.5
+		if ceB <= bound {
+			okBatch++
+		}
+		if ceS <= bound {
+			okStream++
+		}
+	}
+	if okBatch < 10 || okStream < 10 {
+		t.Fatalf("batch %d/%d, stream %d/%d within bound", okBatch, trials, okStream, trials)
+	}
+}
+
+func TestReservoirBookkeeping(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	res := NewReservoir(3, 5, rng)
+	res.Update([]float64{1, 0, 0})
+	res.Update([]float64{0, 2, 0})
+	res.Update(make([]float64, 3)) // zero row: counted, not sampled
+	if res.Seen() != 3 {
+		t.Fatalf("Seen = %d", res.Seen())
+	}
+	if res.TotalMass() != 5 {
+		t.Fatalf("TotalMass = %v", res.TotalMass())
+	}
+	if got := res.Matrix(); got.Rows() == 0 || got.Rows() > 5 {
+		t.Fatalf("Matrix rows = %d", got.Rows())
+	}
+}
+
+func TestReservoirEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	res := NewReservoir(3, 4, rng)
+	if res.Matrix().Rows() != 0 {
+		t.Fatal("empty reservoir must return empty matrix")
+	}
+	res.Update(make([]float64, 3))
+	if res.Matrix().Rows() != 0 {
+		t.Fatal("zero-mass reservoir must return empty matrix")
+	}
+}
+
+func TestReservoirPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewReservoir(0, 3, nil) },
+		func() { NewReservoir(3, 0, nil) },
+		func() { NewReservoir(3, 2, rand.New(rand.NewSource(0))).Update([]float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDistributedSampleMatchesGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := workload.Gaussian(rng, 120, 8)
+	parts := workload.Split(a, 4, workload.Skewed, nil)
+	m := 40
+	// Unbiasedness of the concatenated distributed sample.
+	trials := 300
+	sum := matrix.New(8, 8)
+	for i := 0; i < trials; i++ {
+		locals := DistributedSample(parts, m, rng)
+		b := matrix.Stack(locals...)
+		sum = sum.Add(b.Gram())
+	}
+	avg := sum.Scale(1 / float64(trials))
+	norm, err := linalg.SpectralNormSym(avg.Sub(a.Gram()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm > 0.15*a.Frob2() {
+		t.Fatalf("distributed sample biased by %v", norm)
+	}
+}
+
+func TestDistributedSampleCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := workload.Gaussian(rng, 60, 5)
+	parts := workload.Split(a, 3, workload.Contiguous, nil)
+	locals := DistributedSample(parts, 20, rng)
+	total := 0
+	for _, l := range locals {
+		total += l.Rows()
+	}
+	if total != 20 {
+		t.Fatalf("total sampled rows = %d, want 20", total)
+	}
+}
+
+func TestDistributedSampleZeroMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	parts := []*matrix.Dense{matrix.New(4, 3), matrix.New(2, 3)}
+	locals := DistributedSample(parts, 10, rng)
+	for _, l := range locals {
+		if l.Rows() != 0 {
+			t.Fatal("zero-mass input must produce empty samples")
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package workload generates the synthetic matrices and row streams used by
+// the examples, tests and benchmark harness.
+//
+// The paper has no empirical section, so workloads are chosen to exhibit the
+// regimes the theory distinguishes: matrices with a strong low-rank
+// structure (‖A−[A]_k‖F² ≪ ‖A‖F², where the (ε,k)-sketch guarantee is much
+// stronger than ε‖A‖F²), flat/adversarial spectra (sign matrices, as in the
+// lower-bound hard instance), power-law spectra typical of real data, and
+// clustered point clouds for the PCA experiments.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/matrix"
+)
+
+// Gaussian returns an n×d matrix of i.i.d. N(0,1) entries.
+func Gaussian(rng *rand.Rand, n, d int) *matrix.Dense {
+	m := matrix.New(n, d)
+	data := m.Data()
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// SignMatrix returns an n×d matrix with i.i.d. uniform ±1 entries — the hard
+// instance family of the paper's deterministic lower bound (§2.1.2). Its
+// Frobenius norm is exactly n·d and its spectrum is nearly flat.
+func SignMatrix(rng *rand.Rand, n, d int) *matrix.Dense {
+	m := matrix.New(n, d)
+	data := m.Data()
+	for i := range data {
+		if rng.Intn(2) == 0 {
+			data[i] = 1
+		} else {
+			data[i] = -1
+		}
+	}
+	return m
+}
+
+// LowRankPlusNoise returns an n×d matrix A = S·W + noise·G where S·W has rank
+// k with singular values decaying geometrically by decay per index
+// (decay in (0,1]; 1 keeps them equal), and G is i.i.d. Gaussian noise.
+// signal fixes the largest singular value scale.
+func LowRankPlusNoise(rng *rand.Rand, n, d, k int, signal, decay, noise float64) *matrix.Dense {
+	if k > d {
+		k = d
+	}
+	if k > n {
+		k = n
+	}
+	// Build signal as U·Σ·Vᵀ with Gaussian factors (approximately orthogonal
+	// directions after scaling by 1/√n and 1/√d keep σ ≈ signal·decay^j).
+	a := matrix.New(n, d)
+	u := Gaussian(rng, n, k)
+	v := Gaussian(rng, d, k)
+	for j := 0; j < k; j++ {
+		s := signal * math.Pow(decay, float64(j)) / math.Sqrt(float64(n)*float64(d))
+		for i := 0; i < n; i++ {
+			uij := u.At(i, j) * s
+			if uij == 0 {
+				continue
+			}
+			row := a.Row(i)
+			for l := 0; l < d; l++ {
+				row[l] += uij * v.At(l, j)
+			}
+		}
+	}
+	if noise > 0 {
+		data := a.Data()
+		for i := range data {
+			data[i] += noise * rng.NormFloat64()
+		}
+	}
+	return a
+}
+
+// PowerLawSpectrum returns an n×d matrix whose singular values follow
+// σ_j = scale / (j+1)^alpha with random orthogonal-ish factors. Larger alpha
+// means faster decay (stronger low-rank structure).
+func PowerLawSpectrum(rng *rand.Rand, n, d int, alpha, scale float64) *matrix.Dense {
+	r := d
+	if n < r {
+		r = n
+	}
+	u := orthoGaussian(rng, n, r)
+	v := orthoGaussian(rng, d, r)
+	a := matrix.New(n, d)
+	for j := 0; j < r; j++ {
+		s := scale / math.Pow(float64(j+1), alpha)
+		for i := 0; i < n; i++ {
+			uij := u.At(i, j) * s
+			if uij == 0 {
+				continue
+			}
+			row := a.Row(i)
+			for l := 0; l < d; l++ {
+				row[l] += uij * v.At(l, j)
+			}
+		}
+	}
+	return a
+}
+
+// orthoGaussian returns an n×k matrix with orthonormal columns obtained by
+// Gram–Schmidt on Gaussian vectors (k <= n required).
+func orthoGaussian(rng *rand.Rand, n, k int) *matrix.Dense {
+	if k > n {
+		panic(fmt.Sprintf("workload: orthoGaussian k=%d > n=%d", k, n))
+	}
+	cols := make([][]float64, 0, k)
+	for len(cols) < k {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		for _, b := range cols {
+			matrix.AxpyVec(v, -matrix.Dot(b, v), b)
+		}
+		if matrix.Normalize(v) > 1e-12 {
+			cols = append(cols, v)
+		}
+	}
+	m := matrix.New(n, k)
+	for j, c := range cols {
+		m.SetCol(j, c)
+	}
+	return m
+}
+
+// ClusteredGaussians returns n points in R^d drawn from k Gaussian clusters
+// whose centers are random with norm about centerScale, each with standard
+// deviation spread. The principal components of such data align with the
+// spread of the cluster centers, the classic PCA workload.
+func ClusteredGaussians(rng *rand.Rand, n, d, k int, centerScale, spread float64) *matrix.Dense {
+	centers := matrix.New(k, d)
+	for i := 0; i < k; i++ {
+		row := centers.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		matrix.Normalize(row)
+		matrix.ScaleVec(row, centerScale)
+	}
+	a := matrix.New(n, d)
+	for i := 0; i < n; i++ {
+		c := centers.Row(rng.Intn(k))
+		row := a.Row(i)
+		for j := range row {
+			row[j] = c[j] + spread*rng.NormFloat64()
+		}
+	}
+	return a
+}
+
+// DriftingSubspace returns an n×d stream matrix whose rows live in a slowly
+// rotating k-dimensional subspace, with an anomalous row (far outside the
+// subspace, magnitude anomalyScale) injected every anomalyEvery rows.
+// It returns the matrix and the indices of the injected anomalies. Used by
+// the streaming anomaly-detection example (an application called out in the
+// paper's introduction).
+func DriftingSubspace(rng *rand.Rand, n, d, k int, drift, anomalyScale float64, anomalyEvery int) (*matrix.Dense, []int) {
+	basis := orthoGaussian(rng, d, k)
+	a := matrix.New(n, d)
+	var anomalies []int
+	for i := 0; i < n; i++ {
+		row := a.Row(i)
+		if anomalyEvery > 0 && i > 0 && i%anomalyEvery == 0 {
+			// Anomaly: a direction orthogonalized against the subspace.
+			v := make([]float64, d)
+			for j := range v {
+				v[j] = rng.NormFloat64()
+			}
+			for c := 0; c < k; c++ {
+				col := basis.Col(c)
+				matrix.AxpyVec(v, -matrix.Dot(col, v), col)
+			}
+			matrix.Normalize(v)
+			matrix.ScaleVec(v, anomalyScale)
+			copy(row, v)
+			anomalies = append(anomalies, i)
+		} else {
+			// In-subspace point: random combination of basis columns.
+			for c := 0; c < k; c++ {
+				w := rng.NormFloat64()
+				col := basis.Col(c)
+				matrix.AxpyVec(row, w, col)
+			}
+		}
+		// Slow rotation of the subspace.
+		if drift > 0 {
+			rotateBasis(rng, basis, drift)
+		}
+	}
+	return a, anomalies
+}
+
+func rotateBasis(rng *rand.Rand, basis *matrix.Dense, drift float64) {
+	d, k := basis.Dims()
+	for c := 0; c < k; c++ {
+		col := basis.Col(c)
+		for j := 0; j < d; j++ {
+			col[j] += drift * rng.NormFloat64()
+		}
+		matrix.Normalize(col)
+		basis.SetCol(c, col)
+	}
+}
+
+// IntegerMatrix returns an n×d matrix with uniform integer entries in
+// [-magnitude, magnitude], matching the paper's bit-complexity model (§1.2):
+// entries are integers of bounded magnitude representable in one word.
+func IntegerMatrix(rng *rand.Rand, n, d, magnitude int) *matrix.Dense {
+	m := matrix.New(n, d)
+	data := m.Data()
+	for i := range data {
+		data[i] = float64(rng.Intn(2*magnitude+1) - magnitude)
+	}
+	return m
+}
+
+// ExactRank returns an n×d integer-entry matrix with rank exactly r
+// (combinations of r integer basis rows), used by the §3.3 Case-1
+// (rank ≤ 2k) protocol experiments.
+func ExactRank(rng *rand.Rand, n, d, r, magnitude int) *matrix.Dense {
+	if r > n || r > d {
+		panic(fmt.Sprintf("workload: ExactRank r=%d exceeds dims %d×%d", r, n, d))
+	}
+	basis := IntegerMatrix(rng, r, d, magnitude)
+	a := matrix.New(n, d)
+	for i := 0; i < n; i++ {
+		row := a.Row(i)
+		if i < r {
+			copy(row, basis.Row(i)) // guarantee rank r exactly
+			continue
+		}
+		for b := 0; b < r; b++ {
+			c := float64(rng.Intn(5) - 2)
+			if c == 0 {
+				continue
+			}
+			matrix.AxpyVec(row, c, basis.Row(b))
+		}
+	}
+	return a
+}
+
+// SparseRandom returns an n×d sparse matrix with the given expected density
+// of N(0,1) entries — the sparse-input regime of [15].
+func SparseRandom(rng *rand.Rand, n, d int, density float64) *matrix.Sparse {
+	if density < 0 || density > 1 {
+		panic(fmt.Sprintf("workload: density %v out of [0,1]", density))
+	}
+	s := matrix.NewSparse(d)
+	for i := 0; i < n; i++ {
+		var idx []int
+		var vals []float64
+		for j := 0; j < d; j++ {
+			if rng.Float64() < density {
+				idx = append(idx, j)
+				vals = append(vals, rng.NormFloat64())
+			}
+		}
+		s.AppendRow(matrix.NewSparseVector(d, idx, vals))
+	}
+	return s
+}

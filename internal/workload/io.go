@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/matrix"
+)
+
+// Binary matrix file format used by cmd/genmatrix and cmd/distsketch:
+//
+//	magic   uint32  "DSKM" (0x44534b4d)
+//	rows    uint32
+//	cols    uint32
+//	entries float64 × rows·cols, row-major, little-endian
+const matrixMagic uint32 = 0x44534b4d
+
+// WriteMatrix writes m to w in the binary matrix format.
+func WriteMatrix(w io.Writer, m *matrix.Dense) error {
+	bw := bufio.NewWriter(w)
+	r, c := m.Dims()
+	hdr := []uint32{matrixMagic, uint32(r), uint32(c)}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return fmt.Errorf("workload: write header: %w", err)
+		}
+	}
+	buf := make([]byte, 8)
+	for _, v := range m.Data() {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("workload: write entry: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrix reads a matrix in the binary matrix format from r.
+func ReadMatrix(r io.Reader) (*matrix.Dense, error) {
+	br := bufio.NewReader(r)
+	var magic, rows, cols uint32
+	for _, p := range []*uint32{&magic, &rows, &cols} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("workload: read header: %w", err)
+		}
+	}
+	if magic != matrixMagic {
+		return nil, fmt.Errorf("workload: bad magic %#x (want %#x)", magic, matrixMagic)
+	}
+	const maxEntries = 1 << 30
+	if uint64(rows)*uint64(cols) > maxEntries {
+		return nil, fmt.Errorf("workload: matrix %d×%d too large", rows, cols)
+	}
+	m := matrix.New(int(rows), int(cols))
+	data := m.Data()
+	buf := make([]byte, 8)
+	for i := range data {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("workload: read entry %d: %w", i, err)
+		}
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	return m, nil
+}
+
+// SaveMatrix writes m to the named file.
+func SaveMatrix(path string, m *matrix.Dense) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteMatrix(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadMatrix reads a matrix from the named file.
+func LoadMatrix(path string) (*matrix.Dense, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadMatrix(f)
+}
+
+// ReadCSVMatrix parses a matrix from CSV text: one row per line,
+// comma-separated float64 entries, all rows of equal length. Blank lines
+// and lines starting with '#' are skipped.
+func ReadCSVMatrix(r io.Reader) (*matrix.Dense, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<24)
+	var rows [][]float64
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		row := make([]float64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: csv line %d field %d: %w", line, i+1, err)
+			}
+			row[i] = v
+		}
+		if len(rows) > 0 && len(row) != len(rows[0]) {
+			return nil, fmt.Errorf("workload: csv line %d has %d fields, want %d", line, len(row), len(rows[0]))
+		}
+		rows = append(rows, row)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("workload: csv read: %w", err)
+	}
+	return matrix.NewFromRows(rows), nil
+}
+
+// LoadCSVMatrix reads a CSV matrix from the named file.
+func LoadCSVMatrix(path string) (*matrix.Dense, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSVMatrix(f)
+}

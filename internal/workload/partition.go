@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/matrix"
+)
+
+// Partition describes how rows of a global matrix are assigned to servers.
+// The paper's model allows arbitrary row partitions; these cover the common
+// and adversarial cases.
+type Partition int
+
+const (
+	// Contiguous splits rows into s consecutive blocks of near-equal size.
+	Contiguous Partition = iota
+	// RoundRobin deals rows to servers cyclically.
+	RoundRobin
+	// Skewed gives server 0 half the rows, server 1 half the remainder, etc.
+	Skewed
+	// RandomAssign assigns each row to a uniformly random server.
+	RandomAssign
+)
+
+// String implements fmt.Stringer.
+func (p Partition) String() string {
+	switch p {
+	case Contiguous:
+		return "contiguous"
+	case RoundRobin:
+		return "round-robin"
+	case Skewed:
+		return "skewed"
+	case RandomAssign:
+		return "random"
+	default:
+		return fmt.Sprintf("Partition(%d)", int(p))
+	}
+}
+
+// Split partitions the rows of a across s servers according to the scheme.
+// Every row is assigned to exactly one server; some servers may receive no
+// rows under Skewed/RandomAssign. rng is only used by RandomAssign and may be
+// nil otherwise.
+func Split(a *matrix.Dense, s int, scheme Partition, rng *rand.Rand) []*matrix.Dense {
+	if s <= 0 {
+		panic(fmt.Sprintf("workload: Split with s=%d", s))
+	}
+	n, d := a.Dims()
+	assign := make([]int, n)
+	switch scheme {
+	case Contiguous:
+		for i := 0; i < n; i++ {
+			assign[i] = i * s / n
+			if assign[i] >= s {
+				assign[i] = s - 1
+			}
+		}
+	case RoundRobin:
+		for i := 0; i < n; i++ {
+			assign[i] = i % s
+		}
+	case Skewed:
+		at, remaining := 0, n
+		for srv := 0; srv < s; srv++ {
+			take := (remaining + 1) / 2
+			if srv == s-1 {
+				take = remaining
+			}
+			for j := 0; j < take; j++ {
+				assign[at] = srv
+				at++
+			}
+			remaining -= take
+		}
+	case RandomAssign:
+		if rng == nil {
+			rng = rand.New(rand.NewSource(0))
+		}
+		for i := 0; i < n; i++ {
+			assign[i] = rng.Intn(s)
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown partition scheme %d", int(scheme)))
+	}
+	counts := make([]int, s)
+	for _, srv := range assign {
+		counts[srv]++
+	}
+	parts := make([]*matrix.Dense, s)
+	at := make([]int, s)
+	for srv := 0; srv < s; srv++ {
+		parts[srv] = matrix.New(counts[srv], d)
+	}
+	for i := 0; i < n; i++ {
+		srv := assign[i]
+		parts[srv].SetRow(at[srv], a.Row(i))
+		at[srv]++
+	}
+	return parts
+}
+
+// RowStream delivers the rows of a matrix one at a time, modelling the
+// paper's streaming servers (one pass, bounded working space).
+type RowStream struct {
+	m  *matrix.Dense
+	at int
+}
+
+// NewRowStream returns a stream over the rows of m.
+func NewRowStream(m *matrix.Dense) *RowStream { return &RowStream{m: m} }
+
+// Next returns the next row and true, or nil and false after the last row.
+// The returned slice aliases the matrix and must not be retained across
+// calls if the caller mutates it.
+func (s *RowStream) Next() ([]float64, bool) {
+	if s.at >= s.m.Rows() {
+		return nil, false
+	}
+	r := s.m.Row(s.at)
+	s.at++
+	return r, true
+}
+
+// Remaining returns the number of rows not yet delivered.
+func (s *RowStream) Remaining() int { return s.m.Rows() - s.at }
+
+// Reset rewinds the stream to the first row.
+func (s *RowStream) Reset() { s.at = 0 }
