@@ -12,23 +12,23 @@
 //	    -input data.dskm -eps 0.1 -k 5
 //
 // Each server loads the full matrix file and takes its contiguous row block
-// (so the demo needs only one shared file); point -input at per-server
-// files with -whole=false ... (use -part to load a pre-split file as-is).
+// (so the demo needs only one shared file); pass -part to load a pre-split
+// file as-is.
 //
-// Protocols: fd (Theorem 2), svs (§3.1), adaptive (Theorem 7),
-// sampling ([10] baseline), pca (Theorem 9 sketch+solve).
+// Protocols: fd (Theorem 2), svs (§3.1), adaptive (Theorem 7), sampling
+// ([10] baseline), lowrank (§3.3 Case 1), pca (Theorem 9 sketch+solve).
+// -sampling picks the SVS sampling function (quadratic or linear);
+// -timeout bounds the whole run and the coordinator's per-server waits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
-	"repro/internal/distributed"
-	"repro/internal/linalg"
-	"repro/internal/matrix"
-	"repro/internal/pca"
-	"repro/internal/workload"
+	"repro/distsketch"
 )
 
 type options struct {
@@ -37,12 +37,14 @@ type options struct {
 	servers  int
 	id       int
 	protocol string
+	sampling string
 	input    string
 	part     bool
 	d        int
 	eps      float64
 	k        int
 	seed     int64
+	timeout  time.Duration
 	verify   string
 }
 
@@ -52,22 +54,31 @@ func main() {
 	flag.StringVar(&o.addr, "addr", "127.0.0.1:9009", "coordinator address")
 	flag.IntVar(&o.servers, "servers", 2, "number of servers s")
 	flag.IntVar(&o.id, "id", 0, "server id (0..s-1)")
-	flag.StringVar(&o.protocol, "protocol", "fd", "fd, svs, adaptive, sampling, pca")
+	flag.StringVar(&o.protocol, "protocol", "fd", "fd, svs, adaptive, sampling, lowrank, pca")
+	flag.StringVar(&o.sampling, "sampling", "quadratic", "SVS sampling function: quadratic or linear")
 	flag.StringVar(&o.input, "input", "", "matrix file (server role)")
 	flag.BoolVar(&o.part, "part", false, "input file is already this server's partition")
 	flag.IntVar(&o.d, "d", 0, "column dimension (coordinator role)")
 	flag.Float64Var(&o.eps, "eps", 0.1, "accuracy epsilon")
 	flag.IntVar(&o.k, "k", 5, "rank parameter")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.DurationVar(&o.timeout, "timeout", 0, "overall run deadline and per-server straggler timeout (0 = none)")
 	flag.StringVar(&o.verify, "verify", "", "optional: matrix file to verify the sketch against (coordinator)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
 
 	var err error
 	switch o.role {
 	case "coordinator":
-		err = runCoordinator(o)
+		err = runCoordinator(ctx, o)
 	case "server":
-		err = runServer(o)
+		err = runServer(ctx, o)
 	default:
 		err = fmt.Errorf("missing or unknown -role %q (want coordinator or server)", o.role)
 	}
@@ -77,54 +88,80 @@ func main() {
 	}
 }
 
-func runCoordinator(o options) error {
+// buildProtocol turns the flags into a Protocol value with its Env filled
+// in; the same value serves both roles.
+func (o options) buildProtocol() (distsketch.Protocol, error) {
+	cfg := distsketch.Config{Seed: o.seed}
+	if o.timeout > 0 {
+		cfg.Stragglers.Timeout = o.timeout
+	}
+	env := distsketch.Env{Servers: o.servers, Dim: o.d, Config: cfg}
+	sampling, err := distsketch.ParseSamplingFn(o.sampling)
+	if err != nil {
+		return nil, err
+	}
+	switch o.protocol {
+	case "fd":
+		return distsketch.FDMerge{Eps: o.eps, K: o.k, Env: env}, nil
+	case "svs":
+		return distsketch.SVS{Alpha: o.eps, Delta: 0.1, Sampling: sampling, Env: env}, nil
+	case "adaptive":
+		return distsketch.Adaptive{
+			AdaptiveParams: distsketch.AdaptiveParams{Eps: o.eps, K: o.k, Sampling: sampling},
+			Env:            env,
+		}, nil
+	case "sampling":
+		return distsketch.RowSampling{Eps: o.eps, Env: env}, nil
+	case "lowrank":
+		return distsketch.LowRankExact{KBound: o.k, Env: env}, nil
+	case "pca":
+		return distsketch.PCASketchSolve{
+			PCAParams: distsketch.PCAParams{K: o.k, Eps: o.eps},
+			Env:       env,
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", o.protocol)
+	}
+}
+
+func runCoordinator(ctx context.Context, o options) error {
 	if o.d <= 0 {
 		return fmt.Errorf("coordinator needs -d (column dimension)")
 	}
-	coord, err := distributed.NewTCPCoordinator(o.addr, o.servers, nil)
+	proto, err := o.buildProtocol()
+	if err != nil {
+		return err
+	}
+	coord, err := distsketch.NewTCPCoordinator(o.addr, o.servers, nil)
 	if err != nil {
 		return err
 	}
 	defer coord.Close()
-	fmt.Printf("coordinator listening on %s for %d servers (protocol %s)\n", coord.Addr(), o.servers, o.protocol)
-	if err := coord.Accept(); err != nil {
+	fmt.Printf("coordinator listening on %s for %d servers (protocol %s)\n", coord.Addr(), o.servers, proto.Name())
+	if err := coord.Accept(ctx); err != nil {
 		return err
 	}
-	node := coord.Node()
-	var sketch *matrix.Dense
-	switch o.protocol {
-	case "fd":
-		sketch, err = distributed.CoordFDMerge(node, o.servers, o.d, o.eps, o.k)
-	case "svs":
-		sketch, err = distributed.CoordSVS(node, o.servers)
-	case "adaptive":
-		sketch, err = distributed.CoordAdaptive(node, o.servers, distributed.AdaptiveParams{Eps: o.eps, K: o.k})
-	case "sampling":
-		m := int(1 / (o.eps * o.eps))
-		sketch, err = distributed.CoordRowSampling(node, o.servers, m, o.seed)
-	case "pca":
-		sketch, err = distributed.CoordAdaptive(node, o.servers, distributed.AdaptiveParams{Eps: o.eps / 2, K: o.k})
-		if err == nil {
-			var v *matrix.Dense
-			v, err = pca.SketchPCs(sketch, o.k)
-			if err == nil {
-				fmt.Printf("top-%d principal components (d×k = %d×%d) computed\n", o.k, v.Rows(), v.Cols())
-			}
-		}
-	default:
-		return fmt.Errorf("unknown protocol %q", o.protocol)
-	}
+	res, err := proto.Coordinator(ctx, coord.Node())
 	if err != nil {
 		return err
 	}
-	fmt.Printf("sketch: %d×%d rows·cols, ‖B‖F² = %.6g\n", sketch.Rows(), sketch.Cols(), sketch.Frob2())
+	sketch := res.Sketch
+	if res.PCs != nil {
+		fmt.Printf("top-%d principal components (d×k = %d×%d) computed\n", o.k, res.PCs.Rows(), res.PCs.Cols())
+	}
+	if sketch != nil {
+		fmt.Printf("sketch: %d×%d rows·cols, ‖B‖F² = %.6g\n", sketch.Rows(), sketch.Cols(), sketch.Frob2())
+	}
+	if len(res.Missing) > 0 {
+		fmt.Printf("proceeded without stragglers: servers %v\n", res.Missing)
+	}
 	fmt.Printf("coordinator sent %.1f words; received words are counted by the servers\n", coord.Meter().Words())
-	if o.verify != "" {
-		a, err := workload.LoadMatrix(o.verify)
+	if o.verify != "" && sketch != nil {
+		a, err := distsketch.LoadMatrix(o.verify)
 		if err != nil {
 			return fmt.Errorf("verify: %w", err)
 		}
-		ce, err := linalg.CovarianceError(a, sketch)
+		ce, err := distsketch.CovErr(a, sketch)
 		if err != nil {
 			return fmt.Errorf("verify: %w", err)
 		}
@@ -133,41 +170,29 @@ func runCoordinator(o options) error {
 	return nil
 }
 
-func runServer(o options) error {
+func runServer(ctx context.Context, o options) error {
 	if o.input == "" {
 		return fmt.Errorf("server needs -input")
 	}
-	m, err := workload.LoadMatrix(o.input)
+	proto, err := o.buildProtocol()
+	if err != nil {
+		return err
+	}
+	m, err := distsketch.LoadMatrix(o.input)
 	if err != nil {
 		return err
 	}
 	local := m
 	if !o.part {
-		parts := workload.Split(m, o.servers, workload.Contiguous, nil)
+		parts := distsketch.Split(m, o.servers, distsketch.Contiguous, nil)
 		local = parts[o.id]
 	}
-	srv, err := distributed.DialTCPServer(o.addr, o.id, nil)
+	srv, err := distsketch.DialTCPServerContext(ctx, o.addr, o.id, nil, distsketch.TCPOptions{})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
-	node := srv.Node()
-	cfg := distributed.Config{Seed: o.seed}
-	switch o.protocol {
-	case "fd":
-		err = distributed.ServerFDMerge(node, local, o.eps, o.k, cfg)
-	case "svs":
-		err = distributed.ServerSVS(node, local, o.servers, o.eps, 0.1, false, cfg)
-	case "adaptive":
-		err = distributed.ServerAdaptive(node, local, o.servers, distributed.AdaptiveParams{Eps: o.eps, K: o.k}, cfg)
-	case "sampling":
-		err = distributed.ServerRowSampling(node, local, cfg)
-	case "pca":
-		err = distributed.ServerAdaptive(node, local, o.servers, distributed.AdaptiveParams{Eps: o.eps / 2, K: o.k}, cfg)
-	default:
-		return fmt.Errorf("unknown protocol %q", o.protocol)
-	}
-	if err != nil {
+	if err := proto.Server(ctx, srv.Node(), local); err != nil {
 		return err
 	}
 	fmt.Printf("server %d: processed %d×%d rows, sent %.1f words\n", o.id, local.Rows(), local.Cols(), srv.Meter().Words())

@@ -1,0 +1,173 @@
+// Package distsketch is the public face of the repository: distributed
+// matrix sketching and PCA protocols over a star network of s servers and
+// one coordinator, with exact communication accounting, deadlines,
+// cancellation, straggler policies, and deterministic fault injection.
+//
+// The package re-exports the stable surface of the internal packages so
+// applications (and the examples/ directory) depend on one import path:
+//
+//	res, err := distsketch.Run(ctx,
+//	    distsketch.FDMerge{Eps: 0.1, K: 5},
+//	    parts,
+//	    distsketch.WithDeadline(5*time.Second),
+//	    distsketch.WithSeed(1),
+//	)
+//
+// Protocol values are plain structs; the same value also drives the two
+// real-TCP roles (see TCPCoordinator/TCPServer and cmd/distsketch).
+package distsketch
+
+import (
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/distributed"
+	"repro/internal/matrix"
+	"repro/internal/pca"
+)
+
+// Dense is the row-major dense matrix all protocols consume and produce.
+type Dense = matrix.Dense
+
+// NewDense allocates a zero rows×cols matrix.
+func NewDense(rows, cols int) *Dense { return matrix.New(rows, cols) }
+
+// NewDenseFromRows builds a matrix from row slices.
+func NewDenseFromRows(rows [][]float64) *Dense { return matrix.NewFromRows(rows) }
+
+// Message and Meter expose the transport-level accounting types.
+type (
+	Message = comm.Message
+	Meter   = comm.Meter
+)
+
+// NewMeter creates a communication meter (shareable across runs).
+var NewMeter = comm.NewMeter
+
+// StepFor returns the §3.3 quantization step for an n×d input at accuracy
+// eps; pass it to WithQuantization.
+var StepFor = comm.StepFor
+
+// CoordinatorID is the conventional endpoint ID of the coordinator.
+const CoordinatorID = distributed.CoordinatorID
+
+// Protocol is one distributed sketching protocol, split into its two party
+// roles; any value below (FDMerge, SVS, Adaptive, the PCA family, …)
+// implements it.
+type Protocol = distributed.Protocol
+
+// Env carries the cluster shape a protocol runs in; Run fills it in
+// automatically, direct TCP callers set it on the protocol value.
+type Env = distributed.Env
+
+// Result is the coordinator's output plus the run's communication totals.
+type Result = distributed.Result
+
+// Config is the cross-cutting per-run configuration shared by every
+// protocol (seed, quantization, straggler policy).
+type Config = distributed.Config
+
+// The concrete protocols. Covariance sketches:
+type (
+	// FDMerge is the deterministic Theorem 2 protocol (FD sketches merged
+	// at the coordinator); the only protocol honouring a straggler quorum.
+	FDMerge = distributed.FDMerge
+	// SVS is the §3.1 randomized (α,0)-sketch with two-round calibration.
+	SVS = distributed.SVS
+	// RowSampling is the squared-norm row-sampling baseline [10].
+	RowSampling = distributed.RowSampling
+	// Adaptive is the Theorem 7 adaptive (ε,k)-sketch.
+	Adaptive = distributed.Adaptive
+	// LowRankExact is the §3.3 Case-1 exact protocol (rank ≤ 2k inputs).
+	LowRankExact = distributed.LowRankExact
+	// FullTransfer ships every row — the trivial exact baseline.
+	FullTransfer = distributed.FullTransfer
+)
+
+// PCA protocols (§4 / Theorem 9):
+type (
+	// PCASketchSolve sketches at the coordinator, then solves there.
+	PCASketchSolve = distributed.PCASketchSolve
+	// BWZ is the subspace-embedding batch solve on the raw partition.
+	BWZ = distributed.BWZ
+	// BWZArbitrary is the batch solve in the arbitrary-partition model.
+	BWZArbitrary = distributed.BWZArbitrary
+	// PCACombined is the full Theorem 9 pipeline (local sketches + solve).
+	PCACombined = distributed.PCACombined
+	// PCAFDMerge is the FD-merge PCA baseline [22].
+	PCAFDMerge = distributed.PCAFDMerge
+	// PowerIteration is the distributed block power-iteration solver.
+	PowerIteration = distributed.PowerIteration
+	// PCACombinedPowerIter is Theorem 9 with the iterative solver.
+	PCACombinedPowerIter = distributed.PCACombinedPowerIter
+)
+
+// Parameter structs.
+type (
+	AdaptiveParams  = distributed.AdaptiveParams
+	PCAParams       = distributed.PCAParams
+	PowerIterParams = distributed.PowerIterParams
+)
+
+// SamplingFn selects the SVS sampling function (SampleQuadratic or
+// SampleLinear) — the typed replacement for the old `useLinear bool`.
+type SamplingFn = distributed.SamplingFn
+
+const (
+	// SampleQuadratic is the Theorem 6 sampling function (default).
+	SampleQuadratic = distributed.SampleQuadratic
+	// SampleLinear is the Theorem 5 sampling function.
+	SampleLinear = distributed.SampleLinear
+)
+
+// ParseSamplingFn converts a flag string ("quadratic"/"linear") to a
+// SamplingFn.
+var ParseSamplingFn = distributed.ParseSamplingFn
+
+// Run executes a protocol in-process over len(parts) simulated servers and
+// returns the coordinator's result; see the RunOption values for deadlines,
+// fault plans, straggler policies, quantization, and seeding.
+var Run = distributed.Run
+
+// RunOption configures a Run invocation.
+type RunOption = distributed.RunOption
+
+var (
+	WithConfig          = distributed.WithConfig
+	WithDeadline        = distributed.WithDeadline
+	WithSeed            = distributed.WithSeed
+	WithQuantization    = distributed.WithQuantization
+	WithStragglers      = distributed.WithStragglers
+	WithFaults          = distributed.WithFaults
+	WithMailboxCapacity = distributed.WithMailboxCapacity
+	WithMeter           = distributed.WithMeter
+)
+
+// Named single-protocol wrappers, for callers that prefer a function per
+// protocol over constructing the struct.
+var (
+	RunFDMerge              = distributed.RunFDMerge
+	RunSVS                  = distributed.RunSVS
+	RunSVSStreaming         = distributed.RunSVSStreaming
+	RunRowSampling          = distributed.RunRowSampling
+	RunAdaptive             = distributed.RunAdaptive
+	RunLowRankExact         = distributed.RunLowRankExact
+	RunFullTransfer         = distributed.RunFullTransfer
+	RunPCASketchSolve       = distributed.RunPCASketchSolve
+	RunBWZ                  = distributed.RunBWZ
+	RunBWZArbitrary         = distributed.RunBWZArbitrary
+	RunPCACombined          = distributed.RunPCACombined
+	RunPCAFDMerge           = distributed.RunPCAFDMerge
+	RunPCAPowerIteration    = distributed.RunPCAPowerIteration
+	RunPCACombinedPowerIter = distributed.RunPCACombinedPowerIter
+)
+
+// Quality metrics: IsEpsKSketch checks the Definition 3 guarantee, CovErr
+// is Definition 1's covariance error ‖AᵀA−BᵀB‖₂, PCAQualityRatio is
+// Definition 4's (1+ε) Frobenius ratio, and SketchPCs extracts top-k
+// principal components from a covariance sketch (Lemma 8).
+var (
+	IsEpsKSketch    = core.IsEpsKSketch
+	CovErr          = core.CovErr
+	PCAQualityRatio = pca.QualityRatio
+	SketchPCs       = pca.SketchPCs
+)

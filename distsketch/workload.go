@@ -1,0 +1,52 @@
+package distsketch
+
+import (
+	"repro/internal/workload"
+)
+
+// Workload generation and matrix I/O, re-exported so examples and
+// applications can produce inputs without reaching into internal packages.
+
+// Partition selects how Split assigns rows to servers.
+type Partition = workload.Partition
+
+const (
+	// Contiguous gives server i the i-th contiguous row block.
+	Contiguous = workload.Contiguous
+	// RoundRobin deals rows like cards.
+	RoundRobin = workload.RoundRobin
+	// Skewed gives early servers geometrically more rows.
+	Skewed = workload.Skewed
+	// RandomAssign assigns every row to a uniformly random server.
+	RandomAssign = workload.RandomAssign
+)
+
+// Split partitions a into s per-server row blocks.
+var Split = workload.Split
+
+// RowStream replays a matrix row by row (the streaming-server input).
+type RowStream = workload.RowStream
+
+var NewRowStream = workload.NewRowStream
+
+// Synthetic matrix generators covering the regimes the theory
+// distinguishes: low-rank structure, flat adversarial spectra, power-law
+// spectra, clustered point clouds, integer/rank-bounded inputs.
+var (
+	Gaussian           = workload.Gaussian
+	SignMatrix         = workload.SignMatrix
+	LowRankPlusNoise   = workload.LowRankPlusNoise
+	PowerLawSpectrum   = workload.PowerLawSpectrum
+	ClusteredGaussians = workload.ClusteredGaussians
+	DriftingSubspace   = workload.DriftingSubspace
+	IntegerMatrix      = workload.IntegerMatrix
+	ExactRank          = workload.ExactRank
+	SparseRandom       = workload.SparseRandom
+)
+
+// Matrix file I/O (binary .dskm format plus CSV import).
+var (
+	LoadMatrix    = workload.LoadMatrix
+	SaveMatrix    = workload.SaveMatrix
+	LoadCSVMatrix = workload.LoadCSVMatrix
+)

@@ -4,60 +4,52 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro/internal/distributed"
-	"repro/internal/pca"
-	"repro/internal/workload"
+	"repro/distsketch"
 )
 
 func main() {
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(7))
 	n, d, k, s := 8192, 96, 4, 16
 	eps := 0.15
 
 	// Points from k well-separated Gaussian clusters: the top-k principal
 	// components capture the cluster-center subspace.
-	a := workload.ClusteredGaussians(rng, n, d, k, 30, 1.0)
-	parts := workload.Split(a, s, workload.RoundRobin, nil)
+	a := distsketch.ClusteredGaussians(rng, n, d, k, 30, 1.0)
+	parts := distsketch.Split(a, s, distsketch.RoundRobin, nil)
 	fmt.Printf("input: %d×%d over %d servers, k=%d, ε=%.2f\n\n", n, d, s, k, eps)
 
+	params := distsketch.PCAParams{K: k, Eps: eps}
+	seed := distsketch.WithSeed(1)
 	type result struct {
 		name string
-		res  *distributed.Result
+		res  *distsketch.Result
 	}
-	params := distributed.PCAParams{K: k, Eps: eps}
 	var runs []result
-
-	r1, err := distributed.RunPCAFDMerge(parts, params, distributed.Config{Seed: 1})
-	if err != nil {
-		log.Fatal(err)
+	for _, tc := range []struct {
+		name  string
+		proto distsketch.Protocol
+	}{
+		{"FD-merge PCA (baseline [22])", distsketch.PCAFDMerge{PCAParams: params}},
+		{"batch solve (stand-in for [5])", distsketch.BWZ{PCAParams: params}},
+		{"Thm9: sketch + coordinator SVD", distsketch.PCASketchSolve{PCAParams: params}},
+		{"Thm9: sketch + distributed solve", distsketch.PCACombined{PCAParams: params}},
+	} {
+		res, err := distsketch.Run(ctx, tc.proto, parts, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs = append(runs, result{tc.name, res})
 	}
-	runs = append(runs, result{"FD-merge PCA (baseline [22])", r1})
-
-	r2, err := distributed.RunBWZ(parts, params, distributed.Config{Seed: 1})
-	if err != nil {
-		log.Fatal(err)
-	}
-	runs = append(runs, result{"batch solve (stand-in for [5])", r2})
-
-	r3, err := distributed.RunPCASketchSolve(parts, params, distributed.Config{Seed: 1})
-	if err != nil {
-		log.Fatal(err)
-	}
-	runs = append(runs, result{"Thm9: sketch + coordinator SVD", r3})
-
-	r4, err := distributed.RunPCACombined(parts, params, distributed.Config{Seed: 1})
-	if err != nil {
-		log.Fatal(err)
-	}
-	runs = append(runs, result{"Thm9: sketch + distributed solve", r4})
 
 	fmt.Printf("%-34s %12s %14s\n", "algorithm", "words", "quality ratio")
 	for _, r := range runs {
-		ratio, err := pca.QualityRatio(a, r.res.PCs, k)
+		ratio, err := distsketch.PCAQualityRatio(a, r.res.PCs, k)
 		if err != nil {
 			log.Fatal(err)
 		}

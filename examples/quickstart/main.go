@@ -1,68 +1,91 @@
-// Quickstart: compute covariance sketches of one matrix three ways —
-// streaming Frequent Directions, the paper's SVS sampling, and the
-// distributed adaptive sketch — and verify each guarantee.
+// Quickstart for the public distsketch API: run three covariance-sketch
+// protocols over simulated servers with one generic driver, bound the run
+// with a deadline, verify every guarantee — then rerun the deterministic
+// protocol over a faulty network with a straggler quorum to show the
+// fault-tolerant runtime at work.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/distributed"
-	"repro/internal/fd"
-	"repro/internal/matrix"
-	"repro/internal/workload"
+	"repro/distsketch"
 )
 
 func main() {
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(42))
 
 	// A 4096×64 matrix with a strong rank-5 component plus noise: the
 	// regime where (ε,k)-sketches shine (‖A−[A]_k‖F² ≪ ‖A‖F²).
-	n, d, k := 4096, 64, 5
+	n, d, k, s := 4096, 64, 5, 8
 	eps := 0.1
-	a := workload.LowRankPlusNoise(rng, n, d, k, 80, 0.7, 0.5)
-	fmt.Printf("input: %d×%d, ‖A‖F² = %.4g\n\n", n, d, a.Frob2())
+	a := distsketch.LowRankPlusNoise(rng, n, d, k, 80, 0.7, 0.5)
+	parts := distsketch.Split(a, s, distsketch.Contiguous, nil)
+	fmt.Printf("input: %d×%d over %d servers, ‖A‖F² = %.4g\n\n", n, d, s, a.Frob2())
 
-	// --- 1. Streaming Frequent Directions (Theorem 1). ---
-	sk := fd.NewEpsK(d, eps, k)
-	stream := workload.NewRowStream(a)
-	for row, ok := stream.Next(); ok; row, ok = stream.Next() {
-		if err := sk.Update(row); err != nil {
+	// Every protocol is a plain struct driven by the same Run call; the
+	// options bound the whole run (deadline) and seed the randomness.
+	opts := []distsketch.RunOption{
+		distsketch.WithDeadline(30 * time.Second),
+		distsketch.WithSeed(1),
+	}
+	for _, tc := range []struct {
+		proto     distsketch.Protocol
+		budgetEps float64
+		budgetK   int
+	}{
+		// Theorem 2: deterministic FD merge.
+		{distsketch.FDMerge{Eps: eps, K: k}, eps, k},
+		// Theorem 6: randomized SVS, (4ε,0) w.h.p.
+		{distsketch.SVS{Alpha: eps, Delta: 0.1, Sampling: distsketch.SampleQuadratic}, 4 * eps, 0},
+		// Theorem 7: adaptive (3ε,k) w.h.p.
+		{distsketch.Adaptive{AdaptiveParams: distsketch.AdaptiveParams{Eps: eps, K: k}}, 3 * eps, k},
+	} {
+		res, err := distsketch.Run(ctx, tc.proto, parts, opts...)
+		if err != nil {
 			log.Fatal(err)
 		}
+		report(tc.proto.Name(), a, res, tc.budgetEps, tc.budgetK)
 	}
-	b, err := sk.Matrix()
-	if err != nil {
-		log.Fatal(err)
-	}
-	report("FD (one pass)", a, b, eps, k)
-	fmt.Printf("  working space: %d rows (input had %d)\n\n", sk.WorkingSpaceRows(), n)
 
-	// --- 2. SVS with the quadratic sampling function (Theorem 6). ---
-	g := core.NewQuadraticSampling(1, d, eps, 0.05, a.Frob2())
-	svs, err := core.SVS(a, g, rng)
+	// The same protocol under failures: 2% of messages dropped, small
+	// random delays, occasional duplicates — all deterministic from the
+	// fault seed. The straggler policy lets the coordinator proceed once 6
+	// of 8 FD sketches arrived (sound, because FD merges associatively);
+	// servers whose sketch was lost are reported in Missing.
+	res, err := distsketch.Run(ctx,
+		distsketch.FDMerge{Eps: eps, K: k},
+		parts,
+		distsketch.WithDeadline(30*time.Second),
+		distsketch.WithSeed(1),
+		distsketch.WithFaults(distsketch.FaultPlan{
+			Seed:      7,
+			Drop:      0.02,
+			Delay:     2 * time.Millisecond,
+			Duplicate: 0.05,
+		}),
+		distsketch.WithStragglers(distsketch.StragglerPolicy{
+			Timeout: 2 * time.Second,
+			Quorum:  6,
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	report("SVS (ε,0)", a, svs, 4*eps, 0)
-	fmt.Println()
-
-	// --- 3. Distributed adaptive sketch over 8 simulated servers
-	// (Theorem 7), with exact word accounting. ---
-	parts := workload.Split(a, 8, workload.Contiguous, nil)
-	res, err := distributed.RunAdaptive(parts, distributed.AdaptiveParams{Eps: eps, K: k}, distributed.Config{Seed: 1})
-	if err != nil {
-		log.Fatal(err)
+	fmt.Printf("\nunder faults (2%% drop, delays, duplicates): sketch from %d/%d servers",
+		s-len(res.Missing), s)
+	if len(res.Missing) > 0 {
+		fmt.Printf(" (missing %v)", res.Missing)
 	}
-	report("distributed adaptive", a, res.Sketch, 3*eps, k)
-	fmt.Printf("  communication: %.0f words in %d messages over %d rounds\n",
-		res.Words, res.Messages, res.Rounds)
+	fmt.Printf(", %.0f words\n", res.Words)
 }
 
-func report(name string, a, b *matrix.Dense, eps float64, k int) {
-	ok, ce, bound, err := core.IsEpsKSketch(a, b, eps, k)
+func report(name string, a *distsketch.Dense, res *distsketch.Result, eps float64, k int) {
+	ok, ce, bound, err := distsketch.IsEpsKSketch(a, res.Sketch, eps, k)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,6 +93,6 @@ func report(name string, a, b *matrix.Dense, eps float64, k int) {
 	if ok {
 		status = "ok"
 	}
-	fmt.Printf("%-22s rows=%-4d coverr=%-12.4g budget=%-12.4g [%s]\n",
-		name, b.Rows(), ce, bound, status)
+	fmt.Printf("%-12s rows=%-4d coverr=%-11.4g budget=%-11.4g words=%-8.0f rounds=%d [%s]\n",
+		name, res.Sketch.Rows(), ce, bound, res.Words, res.Rounds, status)
 }

@@ -1,34 +1,43 @@
 // TCP cluster demo: spawns a coordinator and s servers inside one process,
 // but connected through real TCP sockets and the binary wire codec — the
-// same code path cmd/distsketch uses across machines. Runs the adaptive
-// (ε,k)-sketch protocol end to end and verifies the result.
+// same code path cmd/distsketch uses across machines. The protocol value
+// (Adaptive) is the same struct Run uses in-process; here its two roles are
+// driven directly over the TCP nodes, under a context that bounds the whole
+// run.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"sync"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/distributed"
-	"repro/internal/workload"
+	"repro/distsketch"
 )
 
 func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	rng := rand.New(rand.NewSource(21))
 	n, d, k, s := 4096, 48, 4, 6
 	eps := 0.15
-	a := workload.LowRankPlusNoise(rng, n, d, k, 60, 0.7, 0.5)
-	parts := workload.Split(a, s, workload.Contiguous, nil)
-	params := distributed.AdaptiveParams{Eps: eps, K: k}
+	a := distsketch.LowRankPlusNoise(rng, n, d, k, 60, 0.7, 0.5)
+	parts := distsketch.Split(a, s, distsketch.Contiguous, nil)
 
-	coord, err := distributed.NewTCPCoordinator("127.0.0.1:0", s, nil)
+	proto := distsketch.Adaptive{
+		AdaptiveParams: distsketch.AdaptiveParams{Eps: eps, K: k},
+		Env:            distsketch.Env{Servers: s, Dim: d},
+	}
+
+	coord, err := distsketch.NewTCPCoordinator("127.0.0.1:0", s, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer coord.Close()
-	fmt.Printf("coordinator on %s; launching %d servers\n", coord.Addr(), s)
+	fmt.Printf("coordinator on %s; launching %d servers (protocol %s)\n", coord.Addr(), s, proto.Name())
 
 	var wg sync.WaitGroup
 	errCh := make(chan error, s)
@@ -37,13 +46,17 @@ func main() {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			srv, err := distributed.DialTCPServer(coord.Addr(), id, nil)
+			// The dialer retries with exponential backoff until the
+			// coordinator is listening (or ctx expires).
+			srv, err := distsketch.DialTCPServerContext(ctx, coord.Addr(), id, nil, distsketch.TCPOptions{})
 			if err != nil {
 				errCh <- err
 				return
 			}
 			defer srv.Close()
-			if err := distributed.ServerAdaptive(srv.Node(), parts[id], s, params, distributed.Config{Seed: int64(id)}); err != nil {
+			sp := proto
+			sp.Env.Config.Seed = int64(id)
+			if err := sp.Server(ctx, srv.Node(), parts[id]); err != nil {
 				errCh <- err
 				return
 			}
@@ -51,10 +64,10 @@ func main() {
 		}(i)
 	}
 
-	if err := coord.Accept(); err != nil {
+	if err := coord.Accept(ctx); err != nil {
 		log.Fatal(err)
 	}
-	sketch, err := distributed.CoordAdaptive(coord.Node(), s, params)
+	res, err := proto.Coordinator(ctx, coord.Node())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,11 +82,11 @@ func main() {
 		uplink += w
 	}
 
-	ok, ce, bound, err := core.IsEpsKSketch(a, sketch, 3*eps, k)
+	ok, ce, bound, err := distsketch.IsEpsKSketch(a, res.Sketch, 3*eps, k)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nsketch: %d rows × %d cols\n", sketch.Rows(), sketch.Cols())
+	fmt.Printf("\nsketch: %d rows × %d cols\n", res.Sketch.Rows(), res.Sketch.Cols())
 	fmt.Printf("uplink traffic:   %.0f words (servers → coordinator)\n", uplink)
 	fmt.Printf("downlink traffic: %.0f words (coordinator → servers)\n", coord.Meter().Words())
 	fmt.Printf("raw data would be %d words\n", n*d)

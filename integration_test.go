@@ -6,6 +6,7 @@ package repro
 // would run, asserted against the paper's guarantees.
 
 import (
+	"context"
 	"math/rand"
 	"path/filepath"
 	"sync"
@@ -42,19 +43,20 @@ func TestEndToEndSketchPipeline(t *testing.T) {
 	parts := workload.Split(loaded, 8, workload.RoundRobin, nil)
 	cfg := distributed.Config{Seed: 42}
 
-	det, err := distributed.RunFDMerge(parts, eps, k, cfg)
+	ctx := context.Background()
+	det, err := distributed.RunFDMerge(ctx, parts, eps, k, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	assertSketch(t, "fd-merge", a, det.Sketch, eps, k)
 
-	ad, err := distributed.RunAdaptive(parts, distributed.AdaptiveParams{Eps: eps, K: k}, cfg)
+	ad, err := distributed.RunAdaptive(ctx, parts, distributed.AdaptiveParams{Eps: eps, K: k}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	assertSketch(t, "adaptive", a, ad.Sketch, 3*eps, k)
 
-	svs, err := distributed.RunSVS(parts, eps, 0.1, false, cfg)
+	svs, err := distributed.RunSVS(ctx, parts, eps, 0.1, distributed.SampleQuadratic, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,6 +113,7 @@ func assertSketch(t *testing.T, name string, a, b *matrix.Dense, eps float64, k 
 func TestEndToEndTCPPipeline(t *testing.T) {
 	// The same pipeline over real sockets: a coordinator and 3 servers in
 	// separate goroutines with independent meters, speaking the wire codec.
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(101))
 	a := workload.ClusteredGaussians(rng, 600, 24, 3, 25, 1.0)
 	parts := workload.Split(a, 3, workload.Contiguous, nil)
@@ -134,15 +137,15 @@ func TestEndToEndTCPPipeline(t *testing.T) {
 			}
 			defer srv.Close()
 			p := distributed.AdaptiveParams{Eps: eps, K: k}
-			if err := distributed.ServerAdaptive(srv.Node(), parts[id], 3, p, distributed.Config{Seed: int64(id)}); err != nil {
+			if err := distributed.ServerAdaptive(ctx, srv.Node(), parts[id], 3, p, distributed.Config{Seed: int64(id)}); err != nil {
 				errs <- err
 			}
 		}(i)
 	}
-	if err := coord.Accept(); err != nil {
+	if err := coord.Accept(ctx); err != nil {
 		t.Fatal(err)
 	}
-	sketch, err := distributed.CoordAdaptive(coord.Node(), 3, distributed.AdaptiveParams{Eps: eps, K: k})
+	sketch, err := distributed.CoordAdaptive(ctx, coord.Node(), 3, distributed.AdaptiveParams{Eps: eps, K: k}, distributed.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -37,7 +38,7 @@ func BernoulliVsIID(cfg Config, trials int) ([]Row, error) {
 		for trial := 0; trial < trials; trial++ {
 			a := spec.mk()
 			parts := workload.Split(a, cfg.S, workload.Contiguous, nil)
-			bs, err := core.SVSSketch(parts, cfg.Eps, 0.1, false, rng)
+			bs, err := core.SVSSketch(parts, cfg.Eps, 0.1, core.SampleQuadratic, rng)
 			if err != nil {
 				return nil, err
 			}
@@ -88,7 +89,7 @@ func FinalCompressAblation(cfg Config) ([]Row, error) {
 	a, parts := makeLowRank(cfg)
 	var rows []Row
 	for _, compress := range []bool{false, true} {
-		res, err := distributed.RunAdaptive(parts, distributed.AdaptiveParams{
+		res, err := distributed.RunAdaptive(context.Background(), parts, distributed.AdaptiveParams{
 			Eps: cfg.Eps, K: cfg.K, FinalCompress: compress,
 		}, distributed.Config{Seed: cfg.Seed})
 		if err != nil {

@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -106,7 +107,8 @@ func Table1(cfg Config) ([]Row, error) {
 	var rows []Row
 
 	// --- (ε,0) column: error budget ε‖A‖F². ---
-	det, err := distributed.RunFDMerge(parts, cfg.Eps, 0, distributed.Config{Seed: cfg.Seed})
+	ctx := context.Background()
+	det, err := distributed.RunFDMerge(ctx, parts, cfg.Eps, 0, distributed.Config{Seed: cfg.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("T1.1: %w", err)
 	}
@@ -116,7 +118,7 @@ func Table1(cfg Config) ([]Row, error) {
 	}
 	rows = append(rows, r)
 
-	samp, err := distributed.RunRowSampling(parts, cfg.Eps, distributed.Config{Seed: cfg.Seed})
+	samp, err := distributed.RunRowSampling(ctx, parts, cfg.Eps, distributed.Config{Seed: cfg.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("T1.2: %w", err)
 	}
@@ -127,7 +129,7 @@ func Table1(cfg Config) ([]Row, error) {
 	r.Note = "constant-prob guarantee (3ε budget)"
 	rows = append(rows, r)
 
-	svs, err := distributed.RunSVS(parts, cfg.Eps, 0.1, false, distributed.Config{Seed: cfg.Seed})
+	svs, err := distributed.RunSVS(ctx, parts, cfg.Eps, 0.1, distributed.SampleQuadratic, distributed.Config{Seed: cfg.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("T1.3: %w", err)
 	}
@@ -139,7 +141,7 @@ func Table1(cfg Config) ([]Row, error) {
 	rows = append(rows, r)
 
 	// --- (ε,k) column: error budget ε‖A−[A]_k‖F²/k. ---
-	detK, err := distributed.RunFDMerge(parts, cfg.Eps, cfg.K, distributed.Config{Seed: cfg.Seed})
+	detK, err := distributed.RunFDMerge(ctx, parts, cfg.Eps, cfg.K, distributed.Config{Seed: cfg.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("T1.1k: %w", err)
 	}
@@ -149,7 +151,7 @@ func Table1(cfg Config) ([]Row, error) {
 	}
 	rows = append(rows, r)
 
-	ad, err := distributed.RunAdaptive(parts, distributed.AdaptiveParams{Eps: cfg.Eps, K: cfg.K}, distributed.Config{Seed: cfg.Seed})
+	ad, err := distributed.RunAdaptive(ctx, parts, distributed.AdaptiveParams{Eps: cfg.Eps, K: cfg.K}, distributed.Config{Seed: cfg.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("T1.4: %w", err)
 	}
@@ -196,7 +198,8 @@ func Table2(cfg Config) ([]Row, error) {
 		return nil
 	}
 
-	bwz, err := distributed.RunBWZ(parts, params, distributed.Config{Seed: cfg.Seed})
+	ctx := context.Background()
+	bwz, err := distributed.RunBWZ(ctx, parts, params, distributed.Config{Seed: cfg.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("T2.1: %w", err)
 	}
@@ -204,7 +207,7 @@ func Table2(cfg Config) ([]Row, error) {
 		return nil, err
 	}
 
-	ss, err := distributed.RunPCASketchSolve(parts, params, distributed.Config{Seed: cfg.Seed})
+	ss, err := distributed.RunPCASketchSolve(ctx, parts, params, distributed.Config{Seed: cfg.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("T2.2: %w", err)
 	}
@@ -212,7 +215,7 @@ func Table2(cfg Config) ([]Row, error) {
 		return nil, err
 	}
 
-	comb, err := distributed.RunPCACombined(parts, params, distributed.Config{Seed: cfg.Seed})
+	comb, err := distributed.RunPCACombined(ctx, parts, params, distributed.Config{Seed: cfg.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("T2.2c: %w", err)
 	}
@@ -220,7 +223,7 @@ func Table2(cfg Config) ([]Row, error) {
 		return nil, err
 	}
 
-	fdp, err := distributed.RunPCAFDMerge(parts, params, distributed.Config{Seed: cfg.Seed})
+	fdp, err := distributed.RunPCAFDMerge(ctx, parts, params, distributed.Config{Seed: cfg.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("T2.0: %w", err)
 	}

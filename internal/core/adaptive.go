@@ -17,9 +17,10 @@ type AdaptiveConfig struct {
 	K int
 	// Delta is the failure probability of the randomized stage (default 0.1).
 	Delta float64
-	// UseLinear switches the SVS stage from the quadratic (Theorem 6) to the
-	// linear (Theorem 5) sampling function — the paper's own ablation.
-	UseLinear bool
+	// Sampling switches the SVS stage between the quadratic (Theorem 6,
+	// default) and linear (Theorem 5) sampling functions — the paper's own
+	// ablation.
+	Sampling SamplingFn
 	// FinalCompress applies one more FD pass to the combined sketch Q,
 	// reducing it to the optimal O(k/ε) rows at the cost of an extra O(ε)
 	// error term (the remark after Theorem 7).
@@ -112,12 +113,7 @@ func AdaptiveSketch(parts []*matrix.Dense, cfg AdaptiveConfig, rng *rand.Rand) (
 	// α = ε/k relative to ‖R‖F² (so the SVS error is ≤ O(ε)‖R‖F²/k), and
 	// sample each tail.
 	alpha := cfg.Eps / float64(cfg.K)
-	var g SamplingFunc
-	if cfg.UseLinear {
-		g = NewLinearSampling(s, d, clampAlpha(alpha), cfg.Delta, tailFrob2)
-	} else {
-		g = NewQuadraticSampling(s, d, clampAlpha(alpha), cfg.Delta, tailFrob2)
-	}
+	g := cfg.Sampling.Build(s, d, clampAlpha(alpha), cfg.Delta, tailFrob2)
 	res := &AdaptiveResult{TailFrob2: tailFrob2}
 	var qs []*matrix.Dense
 	for i := 0; i < s; i++ {
@@ -156,7 +152,7 @@ func clampAlpha(alpha float64) float64 {
 // global ‖A‖F² (exchanged in one scalar round). Returns the per-server
 // sketches; their concatenation B satisfies ‖BᵀB−AᵀA‖₂ ≤ O(α)‖A‖F² with
 // probability 1−δ.
-func SVSSketch(parts []*matrix.Dense, alpha, delta float64, useLinear bool, rng *rand.Rand) ([]*matrix.Dense, error) {
+func SVSSketch(parts []*matrix.Dense, alpha, delta float64, sampling SamplingFn, rng *rand.Rand) ([]*matrix.Dense, error) {
 	if len(parts) == 0 {
 		panic("core: SVSSketch with no parts")
 	}
@@ -165,12 +161,7 @@ func SVSSketch(parts []*matrix.Dense, alpha, delta float64, useLinear bool, rng 
 	for _, p := range parts {
 		frob2 += p.Frob2()
 	}
-	var g SamplingFunc
-	if useLinear {
-		g = NewLinearSampling(len(parts), d, alpha, delta, frob2)
-	} else {
-		g = NewQuadraticSampling(len(parts), d, alpha, delta, frob2)
-	}
+	g := sampling.Build(len(parts), d, alpha, delta, frob2)
 	out := make([]*matrix.Dense, len(parts))
 	for i, p := range parts {
 		b, err := SVS(p, g, rng)

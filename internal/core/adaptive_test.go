@@ -188,7 +188,7 @@ func TestAdaptiveLinearVariant(t *testing.T) {
 	eps, k := 0.3, 2
 	a := workload.LowRankPlusNoise(rng, 150, 12, k, 15, 0.7, 0.4)
 	parts := workload.Split(a, 4, workload.Contiguous, nil)
-	res, err := AdaptiveSketch(parts, AdaptiveConfig{Eps: eps, K: k, UseLinear: true}, rng)
+	res, err := AdaptiveSketch(parts, AdaptiveConfig{Eps: eps, K: k, Sampling: SampleLinear}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

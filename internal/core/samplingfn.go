@@ -1,0 +1,50 @@
+package core
+
+import "fmt"
+
+// SamplingFn selects the SVS sampling function g — the typed replacement
+// for the old positional `useLinear bool` argument that every layer
+// (core, distributed, the facade, flags) now shares.
+type SamplingFn int
+
+const (
+	// SampleQuadratic is the Theorem 6 quadratic sampling function
+	// (the default; O(√s·d·√log(d/δ)/α) expected words).
+	SampleQuadratic SamplingFn = iota
+	// SampleLinear is the Theorem 5 linear sampling function.
+	SampleLinear
+)
+
+// String implements fmt.Stringer (and the flag-value convention).
+func (f SamplingFn) String() string {
+	switch f {
+	case SampleQuadratic:
+		return "quadratic"
+	case SampleLinear:
+		return "linear"
+	default:
+		return fmt.Sprintf("SamplingFn(%d)", int(f))
+	}
+}
+
+// ParseSamplingFn converts a flag string to a SamplingFn.
+func ParseSamplingFn(s string) (SamplingFn, error) {
+	switch s {
+	case "quadratic", "quad", "":
+		return SampleQuadratic, nil
+	case "linear", "lin":
+		return SampleLinear, nil
+	default:
+		return 0, fmt.Errorf("core: unknown sampling function %q (want quadratic or linear)", s)
+	}
+}
+
+// Build instantiates the selected sampling function for s servers at
+// dimension d, accuracy alpha, failure probability delta, and total mass
+// frob2.
+func (f SamplingFn) Build(s, d int, alpha, delta, frob2 float64) SamplingFunc {
+	if f == SampleLinear {
+		return NewLinearSampling(s, d, alpha, delta, frob2)
+	}
+	return NewQuadraticSampling(s, d, alpha, delta, frob2)
+}

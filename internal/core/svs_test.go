@@ -84,7 +84,7 @@ func TestSVSErrorBoundQuadratic(t *testing.T) {
 	for trial := 0; trial < trials; trial++ {
 		a := workload.PowerLawSpectrum(rng, 120, 16, 0.8, 10)
 		parts := workload.Split(a, 4, workload.Contiguous, nil)
-		bs, err := SVSSketch(parts, alpha, delta, false, rng)
+		bs, err := SVSSketch(parts, alpha, delta, SampleQuadratic, rng)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,7 +112,7 @@ func TestSVSErrorBoundLinear(t *testing.T) {
 	for trial := 0; trial < trials; trial++ {
 		a := workload.PowerLawSpectrum(rng, 100, 14, 0.6, 5)
 		parts := workload.Split(a, 4, workload.Contiguous, nil)
-		bs, err := SVSSketch(parts, alpha, delta, true, rng)
+		bs, err := SVSSketch(parts, alpha, delta, SampleLinear, rng)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,7 +149,7 @@ func TestSVSCommunicationScaling(t *testing.T) {
 	for _, s := range []int{1, 4, 16, 64} {
 		a := workload.Gaussian(rng, 64*8, d)
 		parts := workload.Split(a, s, workload.Contiguous, nil)
-		bs, err := SVSSketch(parts, alpha, delta, false, rng)
+		bs, err := SVSSketch(parts, alpha, delta, SampleQuadratic, rng)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package distributed
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/comm"
@@ -14,7 +15,7 @@ type AdaptiveParams struct {
 	Eps           float64
 	K             int
 	Delta         float64
-	UseLinear     bool
+	Sampling      SamplingFn
 	FinalCompress bool
 }
 
@@ -39,31 +40,25 @@ func (p AdaptiveParams) withDefaults() AdaptiveParams {
 // costs only the two calibration words per server, and the caller decides
 // whether to ship Q_i (covariance sketch protocol) or to keep it local and
 // run a distributed solve on it (PCA, Theorem 9).
-func ServerAdaptiveLocal(node Node, local *matrix.Dense, s int, p AdaptiveParams, cfg Config) (*matrix.Dense, error) {
+func ServerAdaptiveLocal(ctx context.Context, node Node, local *matrix.Dense, s int, p AdaptiveParams, cfg Config) (*matrix.Dense, error) {
 	p = p.withDefaults()
 	t, r, err := core.LocalTail(local, p.Eps, p.K)
 	if err != nil {
 		return nil, fmt.Errorf("server %d: %w", node.ID(), err)
 	}
-	if err := node.Send(comm.CoordinatorID, &comm.Message{Kind: "tail-frob2", Scalars: []float64{r.Frob2()}}); err != nil {
+	if err := node.Send(ctx, comm.CoordinatorID, &comm.Message{Kind: "tail-frob2", Scalars: []float64{r.Frob2()}}); err != nil {
 		return nil, err
 	}
-	msg, err := expectKind(node, "tail-total")
+	msg, err := expectKind(ctx, node, "tail-total")
 	if err != nil {
 		return nil, err
 	}
 	tailTotal := msg.Scalars[0]
-	d := local.Cols()
 	alpha := p.Eps / float64(p.K)
 	if alpha >= 1 {
 		alpha = 0.999999
 	}
-	var g core.SamplingFunc
-	if p.UseLinear {
-		g = core.NewLinearSampling(s, d, alpha, p.Delta, tailTotal)
-	} else {
-		g = core.NewQuadraticSampling(s, d, alpha, p.Delta, tailTotal)
-	}
+	g := p.Sampling.Build(s, local.Cols(), alpha, p.Delta, tailTotal)
 	w, err := core.SVS(r, g, cfg.rng(node.ID()))
 	if err != nil {
 		return nil, fmt.Errorf("server %d SVS: %w", node.ID(), err)
@@ -73,18 +68,18 @@ func ServerAdaptiveLocal(node Node, local *matrix.Dense, s int, p AdaptiveParams
 
 // ServerAdaptive is the server side of the full Theorem 7 sketch protocol:
 // compute Q_i and ship it to the coordinator.
-func ServerAdaptive(node Node, local *matrix.Dense, s int, p AdaptiveParams, cfg Config) error {
-	q, err := ServerAdaptiveLocal(node, local, s, p, cfg)
+func ServerAdaptive(ctx context.Context, node Node, local *matrix.Dense, s int, p AdaptiveParams, cfg Config) error {
+	q, err := ServerAdaptiveLocal(ctx, node, local, s, p, cfg)
 	if err != nil {
 		return err
 	}
-	return cfg.sendMatrix(node, comm.CoordinatorID, "adaptive-sketch", q)
+	return cfg.sendMatrix(ctx, node, comm.CoordinatorID, "adaptive-sketch", q)
 }
 
 // CoordTailRelay performs the coordinator's half of the tail-mass exchange:
 // gather each server's ‖R_i‖F², broadcast the sum, return it.
-func CoordTailRelay(node Node, s int) (float64, error) {
-	tails, err := gather(node, s, "tail-frob2")
+func CoordTailRelay(ctx context.Context, node Node, s int, cfg Config) (float64, error) {
+	tails, err := gatherAll(ctx, node, s, "tail-frob2", cfg.Stragglers)
 	if err != nil {
 		return 0, err
 	}
@@ -92,7 +87,7 @@ func CoordTailRelay(node Node, s int) (float64, error) {
 	for _, m := range tails {
 		total += m.Scalars[0]
 	}
-	if err := broadcast(node, s, &comm.Message{Kind: "tail-total", Scalars: []float64{total}}); err != nil {
+	if err := broadcast(ctx, node, s, &comm.Message{Kind: "tail-total", Scalars: []float64{total}}); err != nil {
 		return 0, err
 	}
 	return total, nil
@@ -100,12 +95,12 @@ func CoordTailRelay(node Node, s int) (float64, error) {
 
 // CoordAdaptive is the coordinator side: relay the tail-mass total, stack
 // the Q_i, and optionally FD-compress to the optimal O(k/ε) rows.
-func CoordAdaptive(node Node, s int, p AdaptiveParams) (*matrix.Dense, error) {
+func CoordAdaptive(ctx context.Context, node Node, s int, p AdaptiveParams, cfg Config) (*matrix.Dense, error) {
 	p = p.withDefaults()
-	if _, err := CoordTailRelay(node, s); err != nil {
+	if _, err := CoordTailRelay(ctx, node, s, cfg); err != nil {
 		return nil, err
 	}
-	msgs, err := gather(node, s, "adaptive-sketch")
+	msgs, err := gatherAll(ctx, node, s, "adaptive-sketch", cfg.Stragglers)
 	if err != nil {
 		return nil, err
 	}
@@ -127,30 +122,6 @@ func CoordAdaptive(node Node, s int, p AdaptiveParams) (*matrix.Dense, error) {
 // RunAdaptive runs the full Theorem 7 protocol in-process. Expected
 // communication: O(s·d·k + √s·k·d·√log(d/δ)/ε) words plus 2s calibration
 // words; the output is an (O(ε),k)-sketch of A w.h.p.
-func RunAdaptive(parts []*matrix.Dense, p AdaptiveParams, cfg Config) (*Result, error) {
-	s := len(parts)
-	net := NewMemNetwork(s, nil)
-	defer net.Close()
-	serverFns := make([]func() error, s)
-	for i := range parts {
-		i := i
-		serverFns[i] = func() error {
-			return ServerAdaptive(net.Node(i), parts[i], s, p, cfg)
-		}
-	}
-	res := &Result{}
-	err := runParties(net, serverFns, func() error {
-		net.Meter().AddRound()
-		net.Meter().AddRound()
-		sk, err := CoordAdaptive(net.Coordinator(), s, p)
-		if err != nil {
-			return err
-		}
-		res.Sketch = sk
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return finish(res, net.Meter()), nil
+func RunAdaptive(ctx context.Context, parts []*matrix.Dense, p AdaptiveParams, cfg Config) (*Result, error) {
+	return Run(ctx, Adaptive{AdaptiveParams: p}, parts, WithConfig(cfg))
 }

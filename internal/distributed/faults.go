@@ -1,0 +1,179 @@
+package distributed
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// FaultPlan describes the failures a FaultNetwork injects. All randomness is
+// driven by a deterministic per-endpoint stream (Seed + endpoint ID), so a
+// given plan reproduces the same fault schedule run after run — tests and
+// benchmarks can replay a failure exactly.
+//
+// Faults are applied on the send path, before the message reaches the
+// underlying transport: a dropped message is never metered or delivered,
+// modelling loss between the sender's protocol layer and the wire.
+type FaultPlan struct {
+	// Seed drives the per-endpoint fault randomness (endpoint id i uses
+	// Seed+i, the coordinator Seed-1... i.e. Seed+comm.CoordinatorID).
+	Seed int64
+	// Drop is the probability a message is silently lost.
+	Drop float64
+	// Delay is the maximum extra latency added to a message; the actual
+	// delay is uniform in [0, Delay]. Delays respect context cancellation.
+	Delay time.Duration
+	// Duplicate is the probability a message is delivered twice. Lockstep
+	// gathers treat duplicates as protocol errors, so this exercises the
+	// clean-failure path rather than silent corruption.
+	Duplicate float64
+	// Reorder is the probability a message is held back and sent after the
+	// endpoint's next message (a pairwise swap). A held message with no
+	// successor is lost, like a drop.
+	Reorder float64
+	// Partition cuts the listed endpoints' uplinks: every send from a
+	// partitioned endpoint is dropped. Receives still work, so the paired
+	// straggler policy at the coordinator is what detects the partition.
+	Partition map[int]bool
+}
+
+// zero reports whether the plan injects nothing.
+func (p FaultPlan) zero() bool {
+	return p.Drop == 0 && p.Delay == 0 && p.Duplicate == 0 && p.Reorder == 0 && len(p.Partition) == 0
+}
+
+// FaultNetwork wraps a Network and injects the faults described by a
+// FaultPlan into every endpoint's send path. It implements Network, so the
+// generic Run driver (WithFaults) and any hand-rolled harness can exercise
+// a protocol under failures without the protocol code knowing.
+type FaultNetwork struct {
+	inner Network
+	plan  FaultPlan
+
+	mu    sync.Mutex
+	nodes map[int]*faultNode
+}
+
+// NewFaultNetwork wraps inner with the given fault plan.
+func NewFaultNetwork(inner Network, plan FaultPlan) *FaultNetwork {
+	return &FaultNetwork{inner: inner, plan: plan, nodes: make(map[int]*faultNode)}
+}
+
+// Node returns the fault-injecting endpoint with the given ID. The same
+// faultNode (and thus the same deterministic fault stream) is returned for
+// repeated calls with one ID.
+func (f *FaultNetwork) Node(id int) Node {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n, ok := f.nodes[id]; ok {
+		return n
+	}
+	n := &faultNode{
+		inner: f.inner.Node(id),
+		plan:  f.plan,
+		rng:   rand.New(rand.NewSource(f.plan.Seed + int64(id))),
+		cut:   f.plan.Partition[id],
+	}
+	f.nodes[id] = n
+	return n
+}
+
+// Coordinator returns the fault-injecting coordinator endpoint.
+func (f *FaultNetwork) Coordinator() Node { return f.Node(comm.CoordinatorID) }
+
+// Servers returns the number of servers s.
+func (f *FaultNetwork) Servers() int { return f.inner.Servers() }
+
+// Meter returns the underlying meter (faulted-away messages are not
+// recorded; duplicates are recorded twice).
+func (f *FaultNetwork) Meter() *comm.Meter { return f.inner.Meter() }
+
+// Close closes the underlying network.
+func (f *FaultNetwork) Close() { f.inner.Close() }
+
+// faultNode injects the plan's faults into one endpoint's sends. A Node is
+// driven by one party goroutine, but the mutex keeps the rng and hold-back
+// slot safe under any usage.
+type faultNode struct {
+	inner Node
+	plan  FaultPlan
+	cut   bool
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	held *heldMessage
+}
+
+type heldMessage struct {
+	to  int
+	msg *comm.Message
+}
+
+func (n *faultNode) ID() int { return n.inner.ID() }
+
+func (n *faultNode) Recv(ctx context.Context) (*comm.Message, error) { return n.inner.Recv(ctx) }
+
+func (n *faultNode) Send(ctx context.Context, to int, msg *comm.Message) error {
+	n.mu.Lock()
+	drop := n.cut || (n.plan.Drop > 0 && n.rng.Float64() < n.plan.Drop)
+	dup := n.plan.Duplicate > 0 && n.rng.Float64() < n.plan.Duplicate
+	hold := n.plan.Reorder > 0 && n.rng.Float64() < n.plan.Reorder
+	var delay time.Duration
+	if n.plan.Delay > 0 {
+		delay = time.Duration(n.rng.Int63n(int64(n.plan.Delay) + 1))
+	}
+	var release *heldMessage
+	if !drop {
+		if hold {
+			// Swap: stash this message; it goes out after the next one.
+			n.held, release = &heldMessage{to: to, msg: msg}, n.held
+		} else {
+			release = n.held
+			n.held = nil
+		}
+	}
+	n.mu.Unlock()
+
+	if delay > 0 {
+		if err := sleepCtx(ctx, delay); err != nil {
+			return err
+		}
+	}
+	if drop {
+		return nil // lost in transit; the sender cannot tell
+	}
+	if !hold {
+		if err := n.deliver(ctx, to, msg, dup); err != nil {
+			return err
+		}
+	}
+	if release != nil {
+		return n.deliver(ctx, release.to, release.msg, false)
+	}
+	return nil
+}
+
+func (n *faultNode) deliver(ctx context.Context, to int, msg *comm.Message, dup bool) error {
+	if err := n.inner.Send(ctx, to, msg); err != nil {
+		return err
+	}
+	if dup {
+		copy := *msg
+		return n.inner.Send(ctx, to, &copy)
+	}
+	return nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,7 +1,10 @@
 package distributed
 
 import (
+	"context"
+	"errors"
 	"math"
+	"runtime"
 	"testing"
 	"time"
 
@@ -10,10 +13,299 @@ import (
 	"repro/internal/matrix"
 )
 
+// checkGoroutines fails the test if goroutines spawned during it are still
+// alive at cleanup time (after a grace period for runtime bookkeeping).
+// Every fault-injection test uses it: a protocol aborted mid-round must not
+// leave server goroutines parked on a dead network.
+func checkGoroutines(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+	})
+}
+
+// TestFaultMatrixAllProtocols drives every protocol through each single-fault
+// plan (drop, delay, duplicate). The contract under faults is "clean outcome,
+// promptly": either the run succeeds and the output is usable, or it fails
+// with an explicit error — never a hang past the deadline, never a leaked
+// party goroutine.
+func TestFaultMatrixAllProtocols(t *testing.T) {
+	checkGoroutines(t)
+	_, parts := split(t, 61, 160, 12, 4)
+	k := 2
+
+	protos := []Protocol{
+		FDMerge{Eps: 0.25, K: k},
+		SVS{Alpha: 0.25, Delta: 0.1, Sampling: SampleQuadratic},
+		SVS{Alpha: 0.25, Delta: 0.1, Streaming: true},
+		RowSampling{Eps: 0.3},
+		Adaptive{AdaptiveParams: AdaptiveParams{Eps: 0.25, K: k}},
+		PCASketchSolve{PCAParams: PCAParams{K: k, Eps: 0.25}},
+	}
+	plans := map[string]FaultPlan{
+		"drop":      {Seed: 11, Drop: 0.15},
+		"delay":     {Seed: 12, Delay: 3 * time.Millisecond},
+		"duplicate": {Seed: 13, Duplicate: 0.3},
+	}
+	const deadline = 10 * time.Second
+	for planName, plan := range plans {
+		for _, proto := range protos {
+			t.Run(planName+"/"+proto.Name(), func(t *testing.T) {
+				start := time.Now()
+				res, err := Run(context.Background(), proto, parts,
+					WithSeed(5),
+					WithFaults(plan),
+					WithDeadline(deadline),
+					// Fail fast on lost messages instead of waiting out the
+					// whole deadline.
+					WithStragglers(StragglerPolicy{Timeout: time.Second}),
+				)
+				if elapsed := time.Since(start); elapsed > deadline+5*time.Second {
+					t.Fatalf("run outlived its deadline: %v", elapsed)
+				}
+				if err != nil {
+					t.Logf("clean failure (acceptable under %s): %v", planName, err)
+					return
+				}
+				if res.Sketch == nil && res.PCs == nil && res.Gram == nil {
+					t.Fatal("successful run produced no output")
+				}
+			})
+		}
+	}
+}
+
+// TestDelayOnlyPreservesResults checks that pure latency (no loss) never
+// changes a deterministic protocol's output: the delayed run must match the
+// fault-free run bit for bit.
+func TestDelayOnlyPreservesResults(t *testing.T) {
+	checkGoroutines(t)
+	_, parts := split(t, 62, 120, 10, 4)
+	clean, err := RunFDMerge(context.Background(), parts, 0.25, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed, err := Run(context.Background(), FDMerge{Eps: 0.25, K: 2}, parts,
+		WithFaults(FaultPlan{Seed: 3, Delay: 2 * time.Millisecond}),
+		WithDeadline(30*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.Sketch.Equal(delayed.Sketch) {
+		t.Fatal("delays changed a deterministic protocol's sketch")
+	}
+}
+
+// TestCancellationUnblocksAllParties cancels the run context while every
+// server is parked in Recv on a message that will never come; all parties
+// must unblock promptly with the context error.
+func TestCancellationUnblocksAllParties(t *testing.T) {
+	checkGoroutines(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	net := NewMemNetwork(3, nil)
+	defer net.Close()
+
+	blocked := make(chan struct{}, 3)
+	serverFns := make([]func() error, 3)
+	for i := 0; i < 3; i++ {
+		node := net.Node(i)
+		serverFns[i] = func() error {
+			blocked <- struct{}{}
+			_, err := node.Recv(ctx) // no broadcast ever arrives
+			return err
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- runParties(ctx, net, serverFns, func() error {
+			_, err := net.Coordinator().Recv(ctx) // nothing is ever sent
+			return err
+		})
+	}()
+	for i := 0; i < 3; i++ {
+		<-blocked
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("expected context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not unblock the parties")
+	}
+}
+
+// TestRunDeadlineAbortsPartitionedRun partitions every server's uplink so
+// the coordinator can never gather; the WithDeadline bound must abort the
+// whole run with a deadline error instead of hanging.
+func TestRunDeadlineAbortsPartitionedRun(t *testing.T) {
+	checkGoroutines(t)
+	_, parts := split(t, 63, 80, 8, 3)
+	start := time.Now()
+	_, err := Run(context.Background(), FDMerge{Eps: 0.25, K: 2}, parts,
+		WithFaults(FaultPlan{Seed: 1, Partition: map[int]bool{0: true, 1: true, 2: true}}),
+		WithDeadline(300*time.Millisecond),
+	)
+	if err == nil {
+		t.Fatal("expected deadline error from fully partitioned run")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected context.DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline abort took %v", elapsed)
+	}
+}
+
+// TestStragglerQuorumFDMerge partitions one server's uplink. With a quorum
+// the FD-merge coordinator proceeds on the responsive servers' sketches and
+// reports the absentee; the partial sketch still carries the (ε,k) guarantee
+// for the union of the responsive rows. Without a quorum the same partition
+// is a straggler error.
+func TestStragglerQuorumFDMerge(t *testing.T) {
+	checkGoroutines(t)
+	_, parts := split(t, 64, 200, 10, 4)
+	eps, k := 0.25, 2
+	cut := FaultPlan{Seed: 1, Partition: map[int]bool{2: true}}
+
+	res, err := Run(context.Background(), FDMerge{Eps: eps, K: k}, parts,
+		WithFaults(cut),
+		WithStragglers(StragglerPolicy{Timeout: 300 * time.Millisecond, Quorum: 3}),
+		WithDeadline(30*time.Second),
+	)
+	if err != nil {
+		t.Fatalf("quorum run: %v", err)
+	}
+	if len(res.Missing) != 1 || res.Missing[0] != 2 {
+		t.Fatalf("Missing = %v, want [2]", res.Missing)
+	}
+	responsive := matrix.Stack(parts[0], parts[1], parts[3])
+	ok, ce, bound, err := core.IsEpsKSketch(responsive, res.Sketch, eps, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("partial sketch violates the guarantee on responsive rows: %v > %v", ce, bound)
+	}
+
+	// Fail-fast (Quorum 0): the same partition must surface ErrStraggler.
+	_, err = Run(context.Background(), FDMerge{Eps: eps, K: k}, parts,
+		WithFaults(cut),
+		WithStragglers(StragglerPolicy{Timeout: 300 * time.Millisecond}),
+		WithDeadline(30*time.Second),
+	)
+	if !errors.Is(err, ErrStraggler) {
+		t.Fatalf("expected ErrStraggler without quorum, got %v", err)
+	}
+}
+
+// TestQuorumNotHonoredByStrictProtocols verifies that protocols whose
+// guarantee needs every server ignore the quorum and fail instead of
+// silently dropping a server's contribution.
+func TestQuorumNotHonoredByStrictProtocols(t *testing.T) {
+	checkGoroutines(t)
+	_, parts := split(t, 65, 120, 8, 4)
+	for _, proto := range []Protocol{
+		SVS{Alpha: 0.25, Delta: 0.1, Sampling: SampleQuadratic},
+		PCAFDMerge{PCAParams: PCAParams{K: 2, Eps: 0.25}},
+	} {
+		_, err := Run(context.Background(), proto, parts,
+			WithFaults(FaultPlan{Seed: 1, Partition: map[int]bool{1: true}}),
+			WithStragglers(StragglerPolicy{Timeout: 200 * time.Millisecond, Quorum: 3}),
+			WithDeadline(30*time.Second),
+		)
+		if err == nil {
+			t.Fatalf("%s: expected failure despite quorum", proto.Name())
+		}
+	}
+}
+
+// TestMailboxBackpressure fills a capacity-1 mailbox and checks the next
+// Send blocks (backpressure, not message loss) until either the context
+// expires or the receiver drains the box.
+func TestMailboxBackpressure(t *testing.T) {
+	checkGoroutines(t)
+	net := NewMemNetwork(1, nil, Mailbox(1))
+	defer net.Close()
+	if got := net.MailboxCapacity(); got != 1 {
+		t.Fatalf("MailboxCapacity = %d, want 1", got)
+	}
+	ctx := context.Background()
+	coord, srv := net.Coordinator(), net.Node(0)
+	if err := coord.Send(ctx, 0, &comm.Message{Kind: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	// Box is full: a bounded Send must observe backpressure and time out.
+	tctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	err := coord.Send(tctx, 0, &comm.Message{Kind: "b"})
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected DeadlineExceeded from full mailbox, got %v", err)
+	}
+	// Drain, and the same send goes through.
+	if _, err := srv.Recv(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Send(ctx, 0, &comm.Message{Kind: "b"}); err != nil {
+		t.Fatalf("send after drain: %v", err)
+	}
+	msg, err := srv.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Kind != "b" {
+		t.Fatalf("got %q, want \"b\"", msg.Kind)
+	}
+}
+
+// TestFaultPlanDeterminism replays one seeded plan twice over a randomized
+// protocol and demands identical outcomes — the property that makes fault
+// schedules replayable in CI.
+func TestFaultPlanDeterminism(t *testing.T) {
+	checkGoroutines(t)
+	_, parts := split(t, 66, 150, 10, 4)
+	run := func() (*Result, error) {
+		return Run(context.Background(), SVS{Alpha: 0.25, Delta: 0.1, Sampling: SampleQuadratic}, parts,
+			WithSeed(9),
+			WithFaults(FaultPlan{Seed: 21, Delay: time.Millisecond, Duplicate: 0.2}),
+			WithStragglers(StragglerPolicy{Timeout: time.Second}),
+			WithDeadline(30*time.Second),
+		)
+	}
+	r1, err1 := run()
+	r2, err2 := run()
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("outcomes diverged: %v vs %v", err1, err2)
+	}
+	if err1 != nil {
+		if err1.Error() != err2.Error() {
+			t.Fatalf("errors diverged: %q vs %q", err1, err2)
+		}
+		return
+	}
+	if !r1.Sketch.Equal(r2.Sketch) {
+		t.Fatal("same plan seed must reproduce the same sketch")
+	}
+}
+
 // TestServerFailurePropagatesWithoutDeadlock injects a poisoned input (NaN
 // rows make the server's FD reject) and checks every protocol surfaces an
 // error promptly instead of deadlocking the coordinator.
 func TestServerFailurePropagatesWithoutDeadlock(t *testing.T) {
+	checkGoroutines(t)
 	_, parts := split(t, 50, 120, 10, 4)
 	poisoned := make([]*matrix.Dense, len(parts))
 	copy(poisoned, parts)
@@ -24,11 +316,11 @@ func TestServerFailurePropagatesWithoutDeadlock(t *testing.T) {
 	type runFn func() error
 	runs := map[string]runFn{
 		"fd-merge": func() error {
-			_, err := RunFDMerge(poisoned, 0.25, 2, Config{})
+			_, err := RunFDMerge(context.Background(), poisoned, 0.25, 2, Config{})
 			return err
 		},
 		"adaptive": func() error {
-			_, err := RunAdaptive(poisoned, AdaptiveParams{Eps: 0.25, K: 2}, Config{})
+			_, err := RunAdaptive(context.Background(), poisoned, AdaptiveParams{Eps: 0.25, K: 2}, Config{})
 			return err
 		},
 	}
@@ -50,20 +342,22 @@ func TestServerFailurePropagatesWithoutDeadlock(t *testing.T) {
 // wrong expectation so it errors first; the servers must unblock via the
 // closed network rather than hang.
 func TestCoordinatorFailureUnblocksServers(t *testing.T) {
+	checkGoroutines(t)
+	ctx := context.Background()
 	net := NewMemNetwork(2, nil)
 	defer net.Close()
 	serverFns := []func() error{
 		func() error {
 			// Waits forever for a broadcast that never comes — until Close.
-			_, err := net.Node(0).Recv()
+			_, err := net.Node(0).Recv(ctx)
 			return err
 		},
 		func() error {
-			_, err := net.Node(1).Recv()
+			_, err := net.Node(1).Recv(ctx)
 			return err
 		},
 	}
-	err := runParties(net, serverFns, func() error {
+	err := runParties(ctx, net, serverFns, func() error {
 		return ErrNetworkClosed // simulate immediate coordinator failure
 	})
 	if err == nil {
@@ -75,6 +369,7 @@ func TestCoordinatorFailureUnblocksServers(t *testing.T) {
 // sketch protocol (a) ships strictly fewer bits and (b) keeps its guarantee
 // with a small additive perturbation.
 func TestQuantizationSweepAllProtocols(t *testing.T) {
+	ctx := context.Background()
 	a, parts := split(t, 51, 240, 16, 6)
 	step := comm.StepFor(240, 16, 0.25)
 	cfgPlain := Config{Seed: 3}
@@ -84,10 +379,10 @@ func TestQuantizationSweepAllProtocols(t *testing.T) {
 		plain, quant *Result
 	}
 	runs := map[string]func(Config) (*Result, error){
-		"fd-merge": func(c Config) (*Result, error) { return RunFDMerge(parts, 0.25, 3, c) },
-		"svs":      func(c Config) (*Result, error) { return RunSVS(parts, 0.25, 0.1, false, c) },
-		"adaptive": func(c Config) (*Result, error) { return RunAdaptive(parts, AdaptiveParams{Eps: 0.25, K: 3}, c) },
-		"sampling": func(c Config) (*Result, error) { return RunRowSampling(parts, 0.3, c) },
+		"fd-merge": func(c Config) (*Result, error) { return RunFDMerge(ctx, parts, 0.25, 3, c) },
+		"svs":      func(c Config) (*Result, error) { return RunSVS(ctx, parts, 0.25, 0.1, SampleQuadratic, c) },
+		"adaptive": func(c Config) (*Result, error) { return RunAdaptive(ctx, parts, AdaptiveParams{Eps: 0.25, K: 3}, c) },
+		"sampling": func(c Config) (*Result, error) { return RunRowSampling(ctx, parts, 0.3, c) },
 	}
 	for name, fn := range runs {
 		plain, err := fn(cfgPlain)
@@ -120,12 +415,13 @@ func TestQuantizationSweepAllProtocols(t *testing.T) {
 // are bit-identical (required for reproducible experiments) and different
 // seeds actually differ for the randomized protocols.
 func TestProtocolDeterminismWithSeed(t *testing.T) {
+	ctx := context.Background()
 	_, parts := split(t, 52, 200, 12, 4)
-	r1, err := RunSVS(parts, 0.2, 0.1, false, Config{Seed: 9})
+	r1, err := RunSVS(ctx, parts, 0.2, 0.1, SampleQuadratic, Config{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := RunSVS(parts, 0.2, 0.1, false, Config{Seed: 9})
+	r2, err := RunSVS(ctx, parts, 0.2, 0.1, SampleQuadratic, Config{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,11 +431,11 @@ func TestProtocolDeterminismWithSeed(t *testing.T) {
 	// (Different seeds may still coincide when all sampling probabilities
 	// are saturated at 0 or 1, so inequality is not asserted.)
 	// The deterministic protocol ignores the seed entirely.
-	d1, err := RunFDMerge(parts, 0.2, 2, Config{Seed: 1})
+	d1, err := RunFDMerge(ctx, parts, 0.2, 2, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	d2, err := RunFDMerge(parts, 0.2, 2, Config{Seed: 999})
+	d2, err := RunFDMerge(ctx, parts, 0.2, 2, Config{Seed: 999})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,21 +447,22 @@ func TestProtocolDeterminismWithSeed(t *testing.T) {
 // TestEmptyServerInputs runs every protocol with one server holding zero
 // rows (legal under skewed partitions).
 func TestEmptyServerInputs(t *testing.T) {
+	ctx := context.Background()
 	a, _ := split(t, 53, 90, 8, 3)
 	parts := []*matrix.Dense{a, matrix.New(0, 8), matrix.New(0, 8)}
-	if _, err := RunFDMerge(parts, 0.25, 2, Config{}); err != nil {
+	if _, err := RunFDMerge(ctx, parts, 0.25, 2, Config{}); err != nil {
 		t.Fatalf("fd-merge: %v", err)
 	}
-	if _, err := RunSVS(parts, 0.25, 0.1, false, Config{}); err != nil {
+	if _, err := RunSVS(ctx, parts, 0.25, 0.1, SampleQuadratic, Config{}); err != nil {
 		t.Fatalf("svs: %v", err)
 	}
-	if _, err := RunAdaptive(parts, AdaptiveParams{Eps: 0.25, K: 2}, Config{}); err != nil {
+	if _, err := RunAdaptive(ctx, parts, AdaptiveParams{Eps: 0.25, K: 2}, Config{}); err != nil {
 		t.Fatalf("adaptive: %v", err)
 	}
-	if _, err := RunRowSampling(parts, 0.3, Config{}); err != nil {
+	if _, err := RunRowSampling(ctx, parts, 0.3, Config{}); err != nil {
 		t.Fatalf("sampling: %v", err)
 	}
-	res, err := RunFullTransfer(parts, Config{})
+	res, err := RunFullTransfer(ctx, parts, Config{})
 	if err != nil {
 		t.Fatalf("full transfer: %v", err)
 	}

@@ -1,6 +1,7 @@
 package distributed
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -129,26 +130,26 @@ func (t *IndependentRowTracker) Y() *matrix.Dense {
 // streaming pass builds (Q_i, Y_i); both are sent. Cost ≤ 2k·d + (2k)²
 // words per server; Y's entries are O(log(nd/ε))-bit when the input is
 // integer-valued, which the Quantize option exploits.
-func ServerLowRankExact(node Node, local *matrix.Dense, kBound int, cfg Config) error {
+func ServerLowRankExact(ctx context.Context, node Node, local *matrix.Dense, kBound int, cfg Config) error {
 	tr := NewIndependentRowTracker(local.Cols(), 2*kBound, 0)
 	if err := tr.UpdateMatrix(local); err != nil {
 		return fmt.Errorf("server %d: %w", node.ID(), err)
 	}
-	if err := cfg.sendMatrix(node, comm.CoordinatorID, "lr-q", tr.Q()); err != nil {
+	if err := cfg.sendMatrix(ctx, node, comm.CoordinatorID, "lr-q", tr.Q()); err != nil {
 		return err
 	}
-	return cfg.sendMatrix(node, comm.CoordinatorID, "lr-y", tr.Y())
+	return cfg.sendMatrix(ctx, node, comm.CoordinatorID, "lr-y", tr.Y())
 }
 
 // CoordLowRankExact reconstructs AᵀA = Σ_i Q_i⁺·Y_i·(Q_i⁺)ᵀ exactly and
 // returns both the Gram matrix and a minimal exact covariance sketch
 // B = Λ^{1/2}·Vᵀ from its eigendecomposition (rank ≤ 2k·s rows, typically
 // ≤ 2k when the global rank bound holds).
-func CoordLowRankExact(node Node, s, d int) (gram, sketch *matrix.Dense, err error) {
+func CoordLowRankExact(ctx context.Context, node Node, s, d int, cfg Config) (gram, sketch *matrix.Dense, err error) {
 	qs := make([]*matrix.Dense, s)
 	ys := make([]*matrix.Dense, s)
 	for seen := 0; seen < 2*s; {
-		msg, err := node.Recv()
+		msg, err := recvPolicy(ctx, node, cfg.Stragglers.Timeout)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -206,29 +207,6 @@ func CoordLowRankExact(node Node, s, d int) (gram, sketch *matrix.Dense, err err
 
 // RunLowRankExact runs the §3.3 Case-1 exact protocol in-process. The input
 // must have rank at most 2·kBound per server. Cost: O(s·k·d) words.
-func RunLowRankExact(parts []*matrix.Dense, kBound int, cfg Config) (*Result, error) {
-	s, d := len(parts), parts[0].Cols()
-	net := NewMemNetwork(s, nil)
-	defer net.Close()
-	serverFns := make([]func() error, s)
-	for i := range parts {
-		i := i
-		serverFns[i] = func() error {
-			return ServerLowRankExact(net.Node(i), parts[i], kBound, cfg)
-		}
-	}
-	res := &Result{}
-	err := runParties(net, serverFns, func() error {
-		net.Meter().AddRound()
-		gram, sketch, err := CoordLowRankExact(net.Coordinator(), s, d)
-		if err != nil {
-			return err
-		}
-		res.Gram, res.Sketch = gram, sketch
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return finish(res, net.Meter()), nil
+func RunLowRankExact(ctx context.Context, parts []*matrix.Dense, kBound int, cfg Config) (*Result, error) {
+	return Run(ctx, LowRankExact{KBound: kBound}, parts, WithConfig(cfg))
 }

@@ -1,6 +1,7 @@
 package distributed
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -49,18 +50,18 @@ func (p PCAParams) withDefaults() PCAParams {
 
 // coordBroadcastPCs optionally ships the answer to all servers (s·k·d words)
 // so every server knows it, matching the all-servers output model of [5].
-func coordBroadcastPCs(node Node, s int, p PCAParams, v *matrix.Dense) error {
+func coordBroadcastPCs(ctx context.Context, node Node, s int, p PCAParams, v *matrix.Dense) error {
 	if !p.Broadcast {
 		return nil
 	}
-	return broadcast(node, s, &comm.Message{Kind: "pcs", Matrix: v})
+	return broadcast(ctx, node, s, &comm.Message{Kind: "pcs", Matrix: v})
 }
 
-func serverMaybeRecvPCs(node Node, p PCAParams) error {
+func serverMaybeRecvPCs(ctx context.Context, node Node, p PCAParams) error {
 	if !p.Broadcast {
 		return nil
 	}
-	_, err := expectKind(node, "pcs")
+	_, err := expectKind(ctx, node, "pcs")
 	return err
 }
 
@@ -68,46 +69,56 @@ func serverMaybeRecvPCs(node Node, p PCAParams) error {
 // Theorem 9, plain form: ship the adaptive sketch, solve at the coordinator.
 // ---------------------------------------------------------------------------
 
-// RunPCASketchSolve runs the direct form of Theorem 9: build the Theorem 7
+// PCASketchSolve is the direct form of Theorem 9: build the Theorem 7
 // distributed (ε/2,k)-sketch at the coordinator and take its top-k right
 // singular vectors. Cost: O(sdk + √s·kd·√log d/ε) words (+ skd broadcast).
-func RunPCASketchSolve(parts []*matrix.Dense, p PCAParams, cfg Config) (*Result, error) {
-	p = p.withDefaults()
-	s := len(parts)
-	ap := AdaptiveParams{Eps: p.Eps / 2, K: p.K, Delta: p.Delta}
-	net := NewMemNetwork(s, nil)
-	defer net.Close()
-	serverFns := make([]func() error, s)
-	for i := range parts {
-		i := i
-		serverFns[i] = func() error {
-			node := net.Node(i)
-			if err := ServerAdaptive(node, parts[i], s, ap, cfg); err != nil {
-				return err
-			}
-			return serverMaybeRecvPCs(node, p)
-		}
+type PCASketchSolve struct {
+	PCAParams
+	Env Env
+}
+
+// Name implements Protocol.
+func (p PCASketchSolve) Name() string { return "pca-sketch-solve" }
+
+func (p PCASketchSolve) withEnv(e Env) Protocol { p.Env = e; return p }
+
+func (p PCASketchSolve) rounds() int { return 2 }
+
+func (p PCASketchSolve) validate() { p.PCAParams.withDefaults() }
+
+func (p PCASketchSolve) adaptive() AdaptiveParams {
+	pp := p.PCAParams.withDefaults()
+	return AdaptiveParams{Eps: pp.Eps / 2, K: pp.K, Delta: pp.Delta}
+}
+
+// Server implements Protocol.
+func (p PCASketchSolve) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+	if err := ServerAdaptive(ctx, node, local, p.Env.Servers, p.adaptive(), p.Env.Config); err != nil {
+		return err
 	}
-	res := &Result{}
-	err := runParties(net, serverFns, func() error {
-		node := net.Coordinator()
-		net.Meter().AddRound()
-		net.Meter().AddRound()
-		q, err := CoordAdaptive(node, s, ap)
-		if err != nil {
-			return err
-		}
-		v, err := pca.SketchPCs(q, p.K)
-		if err != nil {
-			return err
-		}
-		res.Sketch, res.PCs = q, v
-		return coordBroadcastPCs(node, s, p, v)
-	})
+	return serverMaybeRecvPCs(ctx, node, p.PCAParams.withDefaults())
+}
+
+// Coordinator implements Protocol.
+func (p PCASketchSolve) Coordinator(ctx context.Context, node Node) (*Result, error) {
+	pp := p.PCAParams.withDefaults()
+	q, err := CoordAdaptive(ctx, node, p.Env.Servers, p.adaptive(), p.Env.Config)
 	if err != nil {
 		return nil, err
 	}
-	return finish(res, net.Meter()), nil
+	v, err := pca.SketchPCs(q, pp.K)
+	if err != nil {
+		return nil, err
+	}
+	if err := coordBroadcastPCs(ctx, node, p.Env.Servers, pp, v); err != nil {
+		return nil, err
+	}
+	return &Result{Sketch: q, PCs: v}, nil
+}
+
+// RunPCASketchSolve runs the direct form of Theorem 9 in-process.
+func RunPCASketchSolve(ctx context.Context, parts []*matrix.Dense, p PCAParams, cfg Config) (*Result, error) {
+	return Run(ctx, PCASketchSolve{PCAParams: p}, parts, WithConfig(cfg))
 }
 
 // ---------------------------------------------------------------------------
@@ -129,16 +140,16 @@ func RunPCASketchSolve(parts []*matrix.Dense, p PCAParams, cfg Config) (*Result,
 // n_i·(d+1) words instead of m·d. This is Theorem 8's min{n, sk/ε²} factor,
 // and it is exactly what makes the Theorem 9 combined algorithm cheap: its
 // local inputs are sketches with O(k/ε)·√s-ish rows, far below m = Θ(k/ε²).
-func ServerBWZSolve(node Node, local *matrix.Dense, p PCAParams, cfg Config) error {
+func ServerBWZSolve(ctx context.Context, node Node, local *matrix.Dense, p PCAParams, cfg Config) error {
 	p = p.withDefaults()
-	if err := node.Send(comm.CoordinatorID, &comm.Message{Kind: "nrows", Ints: []int64{int64(local.Rows())}}); err != nil {
+	if err := node.Send(ctx, comm.CoordinatorID, &comm.Message{Kind: "nrows", Ints: []int64{int64(local.Rows())}}); err != nil {
 		return err
 	}
-	off, err := expectKind(node, "row-offset")
+	off, err := expectKind(ctx, node, "row-offset")
 	if err != nil {
 		return err
 	}
-	return serverBWZBody(node, local, int(off.Ints[0]), p, cfg)
+	return serverBWZBody(ctx, node, local, int(off.Ints[0]), p, cfg)
 }
 
 // ServerBWZArbitrary is the server side of the batch solve in the ARBITRARY
@@ -146,20 +157,20 @@ func ServerBWZSolve(node Node, local *matrix.Dense, p PCAParams, cfg Config) err
 // server holds a full-shape summand A_i ∈ R^{n×d} with A = Σ_i A_i. Because
 // the shared CountSketch is linear, S·A = Σ_i S·A_i, so the same solve runs
 // with every server using row offset 0 and no offset round at all.
-func ServerBWZArbitrary(node Node, local *matrix.Dense, p PCAParams, cfg Config) error {
-	return serverBWZBody(node, local, 0, p.withDefaults(), cfg)
+func ServerBWZArbitrary(ctx context.Context, node Node, local *matrix.Dense, p PCAParams, cfg Config) error {
+	return serverBWZBody(ctx, node, local, 0, p.withDefaults(), cfg)
 }
 
-func serverBWZBody(node Node, local *matrix.Dense, offset int, p PCAParams, cfg Config) error {
+func serverBWZBody(ctx context.Context, node Node, local *matrix.Dense, offset int, p PCAParams, cfg Config) error {
 	d := local.Cols()
 	m := p.EmbeddingRows
 	sk := pca.NewCountSketch(cfg.Seed^0x5ca1ab1e, m)
 	if d <= m {
 		if local.Rows() < m {
 			buckets, signed := sparseCountSketch(sk, local, offset)
-			return node.Send(comm.CoordinatorID, &comm.Message{Kind: "bwz-y-sparse", Ints: buckets, Matrix: signed})
+			return node.Send(ctx, comm.CoordinatorID, &comm.Message{Kind: "bwz-y-sparse", Ints: buckets, Matrix: signed})
 		}
-		return cfg.sendMatrix(node, comm.CoordinatorID, "bwz-y", sk.ApplyRows(local, offset))
+		return cfg.sendMatrix(ctx, node, comm.CoordinatorID, "bwz-y", sk.ApplyRows(local, offset))
 	}
 	y := sk.ApplyRows(local, offset)
 	colSk := pca.NewCountSketch(cfg.Seed^0xc0152a9, m)
@@ -168,15 +179,15 @@ func serverBWZBody(node Node, local *matrix.Dense, offset int, p PCAParams, cfg 
 		// their buckets; the coordinator scatters and sums.
 		buckets, signed := sparseCountSketch(sk, local, offset)
 		wRows := colSk.ApplyColumns(signed) // n_i×m
-		if err := node.Send(comm.CoordinatorID, &comm.Message{Kind: "bwz-w-sparse", Ints: buckets, Matrix: wRows}); err != nil {
+		if err := node.Send(ctx, comm.CoordinatorID, &comm.Message{Kind: "bwz-w-sparse", Ints: buckets, Matrix: wRows}); err != nil {
 			return err
 		}
 	} else {
-		if err := cfg.sendMatrix(node, comm.CoordinatorID, "bwz-w", colSk.ApplyColumns(y)); err != nil {
+		if err := cfg.sendMatrix(ctx, node, comm.CoordinatorID, "bwz-w", colSk.ApplyColumns(y)); err != nil {
 			return err
 		}
 	}
-	uMsg, err := expectKind(node, "bwz-u")
+	uMsg, err := expectKind(ctx, node, "bwz-u")
 	if err != nil {
 		return err
 	}
@@ -185,7 +196,7 @@ func serverBWZBody(node Node, local *matrix.Dense, offset int, p PCAParams, cfg 
 		return err
 	}
 	g := u.TMul(y) // k×d
-	return cfg.sendMatrix(node, comm.CoordinatorID, "bwz-g", g)
+	return cfg.sendMatrix(ctx, node, comm.CoordinatorID, "bwz-g", g)
 }
 
 // sparseCountSketch returns, for each local row, its CountSketch bucket and
@@ -223,33 +234,33 @@ func scatterSparse(frame *matrix.Dense, buckets []int64, rows *matrix.Dense) err
 
 // CoordBWZSolve is the coordinator side of the batch solve; d is the column
 // dimension of the inputs. Returns the d×k approximate PCs.
-func CoordBWZSolve(node Node, s, d int, p PCAParams, cfg Config) (*matrix.Dense, error) {
+func CoordBWZSolve(ctx context.Context, node Node, s, d int, p PCAParams, cfg Config) (*matrix.Dense, error) {
 	p = p.withDefaults()
-	counts, err := gather(node, s, "nrows")
+	counts, err := gatherAll(ctx, node, s, "nrows", cfg.Stragglers)
 	if err != nil {
 		return nil, err
 	}
 	offset := int64(0)
 	for i := 0; i < s; i++ {
-		if err := node.Send(i, &comm.Message{Kind: "row-offset", Ints: []int64{offset}}); err != nil {
+		if err := node.Send(ctx, i, &comm.Message{Kind: "row-offset", Ints: []int64{offset}}); err != nil {
 			return nil, err
 		}
 		offset += counts[i].Ints[0]
 	}
-	return coordBWZBody(node, s, d, p)
+	return coordBWZBody(ctx, node, s, d, p, cfg)
 }
 
 // CoordBWZArbitrary is the coordinator side for the arbitrary-partition
 // model: no offset round.
-func CoordBWZArbitrary(node Node, s, d int, p PCAParams) (*matrix.Dense, error) {
-	return coordBWZBody(node, s, d, p.withDefaults())
+func CoordBWZArbitrary(ctx context.Context, node Node, s, d int, p PCAParams, cfg Config) (*matrix.Dense, error) {
+	return coordBWZBody(ctx, node, s, d, p.withDefaults(), cfg)
 }
 
-func coordBWZBody(node Node, s, d int, p PCAParams) (*matrix.Dense, error) {
+func coordBWZBody(ctx context.Context, node Node, s, d int, p PCAParams, cfg Config) (*matrix.Dense, error) {
 	m := p.EmbeddingRows
 	if d <= m {
 		y := matrix.New(m, d)
-		if err := gatherEmbedded(node, s, "bwz-y", y); err != nil {
+		if err := gatherEmbedded(ctx, node, s, "bwz-y", y, cfg); err != nil {
 			return nil, err
 		}
 		return pca.TopKRightSV(y, p.K)
@@ -258,7 +269,7 @@ func coordBWZBody(node Node, s, d int, p PCAParams) (*matrix.Dense, error) {
 	// then G = Ũᵀ·S·A (assembled from the servers' G_i) and V = top-k right
 	// singular vectors of G.
 	w := matrix.New(m, m)
-	if err := gatherEmbedded(node, s, "bwz-w", w); err != nil {
+	if err := gatherEmbedded(ctx, node, s, "bwz-w", w, cfg); err != nil {
 		return nil, err
 	}
 	// Left singular vectors of W = right singular vectors of Wᵀ.
@@ -266,10 +277,10 @@ func coordBWZBody(node Node, s, d int, p PCAParams) (*matrix.Dense, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := broadcast(node, s, &comm.Message{Kind: "bwz-u", Matrix: u}); err != nil {
+	if err := broadcast(ctx, node, s, &comm.Message{Kind: "bwz-u", Matrix: u}); err != nil {
 		return nil, err
 	}
-	gs, err := gather(node, s, "bwz-g")
+	gs, err := gatherAll(ctx, node, s, "bwz-g", cfg.Stragglers)
 	if err != nil {
 		return nil, err
 	}
@@ -287,10 +298,10 @@ func coordBWZBody(node Node, s, d int, p PCAParams) (*matrix.Dense, error) {
 // gatherEmbedded receives one embedding message per server — dense
 // ("<kind>") or sparse ("<kind>-sparse", bucket indices + signed rows) —
 // and accumulates all of them into frame.
-func gatherEmbedded(node Node, s int, kind string, frame *matrix.Dense) error {
+func gatherEmbedded(ctx context.Context, node Node, s int, kind string, frame *matrix.Dense, cfg Config) error {
 	seen := make([]bool, s)
 	for got := 0; got < s; got++ {
-		msg, err := node.Recv()
+		msg, err := recvPolicy(ctx, node, cfg.Stragglers.Timeout)
 		if err != nil {
 			return err
 		}
@@ -327,169 +338,206 @@ func gatherEmbedded(node Node, s int, kind string, frame *matrix.Dense) error {
 	return nil
 }
 
-// RunBWZArbitrary runs the batch PCA solve in the arbitrary-partition model:
+// BWZ is the batch baseline on the raw partitioned input — the Table 2
+// "[5]" row, cost O(skd + s·(k/ε²)·min{d, k/ε²}) words.
+type BWZ struct {
+	PCAParams
+	Env Env
+}
+
+// Name implements Protocol.
+func (p BWZ) Name() string { return "bwz" }
+
+func (p BWZ) withEnv(e Env) Protocol { p.Env = e; return p }
+
+func (p BWZ) rounds() int { return 2 }
+
+func (p BWZ) validate() { p.PCAParams.withDefaults() }
+
+// Server implements Protocol.
+func (p BWZ) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+	pp := p.PCAParams.withDefaults()
+	if err := ServerBWZSolve(ctx, node, local, pp, p.Env.Config); err != nil {
+		return err
+	}
+	return serverMaybeRecvPCs(ctx, node, pp)
+}
+
+// Coordinator implements Protocol.
+func (p BWZ) Coordinator(ctx context.Context, node Node) (*Result, error) {
+	pp := p.PCAParams.withDefaults()
+	v, err := CoordBWZSolve(ctx, node, p.Env.Servers, p.Env.Dim, pp, p.Env.Config)
+	if err != nil {
+		return nil, err
+	}
+	if err := coordBroadcastPCs(ctx, node, p.Env.Servers, pp, v); err != nil {
+		return nil, err
+	}
+	return &Result{PCs: v}, nil
+}
+
+// BWZArbitrary is the batch solve in the arbitrary-partition model:
 // summands[i] are full-shape matrices with A = Σ summands[i]. This is the
 // setting the paper's §1.4 notes its own algorithm does NOT handle ("our
 // algorithm only works for row-partition models") and whose complexity the
 // conclusion leaves open; the subspace-embedding solve covers it directly.
-func RunBWZArbitrary(summands []*matrix.Dense, p PCAParams, cfg Config) (*Result, error) {
-	p = p.withDefaults()
-	s, d := len(summands), summands[0].Cols()
-	net := NewMemNetwork(s, nil)
-	defer net.Close()
-	serverFns := make([]func() error, s)
-	for i := range summands {
-		i := i
-		serverFns[i] = func() error {
-			node := net.Node(i)
-			if err := ServerBWZArbitrary(node, summands[i], p, cfg); err != nil {
-				return err
-			}
-			return serverMaybeRecvPCs(node, p)
-		}
-	}
-	res := &Result{}
-	err := runParties(net, serverFns, func() error {
-		node := net.Coordinator()
-		net.Meter().AddRound()
-		v, err := CoordBWZArbitrary(node, s, d, p)
-		if err != nil {
-			return err
-		}
-		res.PCs = v
-		return coordBroadcastPCs(node, s, p, v)
-	})
-	if err != nil {
-		return nil, err
-	}
-	return finish(res, net.Meter()), nil
+type BWZArbitrary struct {
+	PCAParams
+	Env Env
 }
 
-// RunBWZ runs the batch baseline on the raw partitioned input — the Table 2
-// "[5]" row, cost O(skd + s·(k/ε²)·min{d, k/ε²}) words.
-func RunBWZ(parts []*matrix.Dense, p PCAParams, cfg Config) (*Result, error) {
-	p = p.withDefaults()
-	s, d := len(parts), parts[0].Cols()
-	net := NewMemNetwork(s, nil)
-	defer net.Close()
-	serverFns := make([]func() error, s)
-	for i := range parts {
-		i := i
-		serverFns[i] = func() error {
-			node := net.Node(i)
-			if err := ServerBWZSolve(node, parts[i], p, cfg); err != nil {
-				return err
-			}
-			return serverMaybeRecvPCs(node, p)
-		}
+// Name implements Protocol.
+func (p BWZArbitrary) Name() string { return "bwz-arbitrary" }
+
+func (p BWZArbitrary) withEnv(e Env) Protocol { p.Env = e; return p }
+
+func (p BWZArbitrary) rounds() int { return 1 }
+
+func (p BWZArbitrary) validate() { p.PCAParams.withDefaults() }
+
+// Server implements Protocol.
+func (p BWZArbitrary) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+	pp := p.PCAParams.withDefaults()
+	if err := ServerBWZArbitrary(ctx, node, local, pp, p.Env.Config); err != nil {
+		return err
 	}
-	res := &Result{}
-	err := runParties(net, serverFns, func() error {
-		node := net.Coordinator()
-		net.Meter().AddRound()
-		net.Meter().AddRound()
-		v, err := CoordBWZSolve(node, s, d, p, cfg)
-		if err != nil {
-			return err
-		}
-		res.PCs = v
-		return coordBroadcastPCs(node, s, p, v)
-	})
+	return serverMaybeRecvPCs(ctx, node, pp)
+}
+
+// Coordinator implements Protocol.
+func (p BWZArbitrary) Coordinator(ctx context.Context, node Node) (*Result, error) {
+	pp := p.PCAParams.withDefaults()
+	v, err := CoordBWZArbitrary(ctx, node, p.Env.Servers, p.Env.Dim, pp, p.Env.Config)
 	if err != nil {
 		return nil, err
 	}
-	return finish(res, net.Meter()), nil
+	if err := coordBroadcastPCs(ctx, node, p.Env.Servers, pp, v); err != nil {
+		return nil, err
+	}
+	return &Result{PCs: v}, nil
+}
+
+// RunBWZArbitrary runs the batch PCA solve in the arbitrary-partition model.
+func RunBWZArbitrary(ctx context.Context, summands []*matrix.Dense, p PCAParams, cfg Config) (*Result, error) {
+	return Run(ctx, BWZArbitrary{PCAParams: p}, summands, WithConfig(cfg))
+}
+
+// RunBWZ runs the batch baseline on the raw partitioned input.
+func RunBWZ(ctx context.Context, parts []*matrix.Dense, p PCAParams, cfg Config) (*Result, error) {
+	return Run(ctx, BWZ{PCAParams: p}, parts, WithConfig(cfg))
 }
 
 // ---------------------------------------------------------------------------
 // Theorem 9, combined form: local sketches + distributed batch solve.
 // ---------------------------------------------------------------------------
 
-// RunPCACombined runs the full Theorem 9 pipeline: every server computes its
+// PCACombined is the full Theorem 9 pipeline: every server computes its
 // adaptive sketch block Q_i (communication: 2 words each), keeps it local,
 // and the batch solve runs on the distributed sketch Q = [Q_1;…;Q_s]. By
 // Lemma 8 the resulting V is a (1+O(ε))-approximate answer for A. Cost:
 // O(skd + √s·k·√log d/ε · min{d, k/ε²}) words — the Table 2 "New" row; the
 // pipeline stays one-pass streaming because [Q_i] are built by FD.
-func RunPCACombined(parts []*matrix.Dense, p PCAParams, cfg Config) (*Result, error) {
-	p = p.withDefaults()
-	s := len(parts)
-	ap := AdaptiveParams{Eps: p.Eps / 2, K: p.K, Delta: p.Delta}
-	net := NewMemNetwork(s, nil)
-	defer net.Close()
-	serverFns := make([]func() error, s)
-	for i := range parts {
-		i := i
-		serverFns[i] = func() error {
-			node := net.Node(i)
-			q, err := ServerAdaptiveLocal(node, parts[i], s, ap, cfg)
-			if err != nil {
-				return err
-			}
-			if err := ServerBWZSolve(node, q, p, cfg); err != nil {
-				return err
-			}
-			return serverMaybeRecvPCs(node, p)
-		}
-	}
-	res := &Result{}
-	err := runParties(net, serverFns, func() error {
-		node := net.Coordinator()
-		for r := 0; r < 4; r++ {
-			net.Meter().AddRound()
-		}
-		if _, err := CoordTailRelay(node, s); err != nil {
-			return err
-		}
-		v, err := CoordBWZSolve(node, s, parts[0].Cols(), p, cfg)
-		if err != nil {
-			return err
-		}
-		res.PCs = v
-		return coordBroadcastPCs(node, s, p, v)
-	})
-	if err != nil {
-		return nil, err
-	}
-	return finish(res, net.Meter()), nil
+type PCACombined struct {
+	PCAParams
+	Env Env
 }
 
-// RunPCAFDMerge is the pre-[5] baseline: FD-merge an (ε/2,k)-sketch at the
-// coordinator (O(skd/ε) words) and take its top-k right singular vectors —
-// the O(sdk/ε) bound of [22] that both Table 2 rows improve on.
-func RunPCAFDMerge(parts []*matrix.Dense, p PCAParams, cfg Config) (*Result, error) {
-	p = p.withDefaults()
-	s, d := len(parts), parts[0].Cols()
-	net := NewMemNetwork(s, nil)
-	defer net.Close()
-	serverFns := make([]func() error, s)
-	for i := range parts {
-		i := i
-		serverFns[i] = func() error {
-			node := net.Node(i)
-			if err := ServerFDMerge(node, parts[i], p.Eps/2, p.K, cfg); err != nil {
-				return err
-			}
-			return serverMaybeRecvPCs(node, p)
-		}
+// Name implements Protocol.
+func (p PCACombined) Name() string { return "pca-combined" }
+
+func (p PCACombined) withEnv(e Env) Protocol { p.Env = e; return p }
+
+func (p PCACombined) rounds() int { return 4 }
+
+func (p PCACombined) validate() { p.PCAParams.withDefaults() }
+
+func (p PCACombined) adaptive() AdaptiveParams {
+	pp := p.PCAParams.withDefaults()
+	return AdaptiveParams{Eps: pp.Eps / 2, K: pp.K, Delta: pp.Delta}
+}
+
+// Server implements Protocol.
+func (p PCACombined) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+	pp := p.PCAParams.withDefaults()
+	q, err := ServerAdaptiveLocal(ctx, node, local, p.Env.Servers, p.adaptive(), p.Env.Config)
+	if err != nil {
+		return err
 	}
-	res := &Result{}
-	err := runParties(net, serverFns, func() error {
-		node := net.Coordinator()
-		net.Meter().AddRound()
-		sk, err := CoordFDMerge(node, s, d, p.Eps/2, p.K)
-		if err != nil {
-			return err
-		}
-		v, err := pca.SketchPCs(sk, p.K)
-		if err != nil {
-			return err
-		}
-		res.Sketch, res.PCs = sk, v
-		return coordBroadcastPCs(node, s, p, v)
-	})
+	if err := ServerBWZSolve(ctx, node, q, pp, p.Env.Config); err != nil {
+		return err
+	}
+	return serverMaybeRecvPCs(ctx, node, pp)
+}
+
+// Coordinator implements Protocol.
+func (p PCACombined) Coordinator(ctx context.Context, node Node) (*Result, error) {
+	pp := p.PCAParams.withDefaults()
+	if _, err := CoordTailRelay(ctx, node, p.Env.Servers, p.Env.Config); err != nil {
+		return nil, err
+	}
+	v, err := CoordBWZSolve(ctx, node, p.Env.Servers, p.Env.Dim, pp, p.Env.Config)
 	if err != nil {
 		return nil, err
 	}
-	return finish(res, net.Meter()), nil
+	if err := coordBroadcastPCs(ctx, node, p.Env.Servers, pp, v); err != nil {
+		return nil, err
+	}
+	return &Result{PCs: v}, nil
+}
+
+// RunPCACombined runs the full Theorem 9 pipeline in-process.
+func RunPCACombined(ctx context.Context, parts []*matrix.Dense, p PCAParams, cfg Config) (*Result, error) {
+	return Run(ctx, PCACombined{PCAParams: p}, parts, WithConfig(cfg))
+}
+
+// PCAFDMerge is the pre-[5] baseline: FD-merge an (ε/2,k)-sketch at the
+// coordinator (O(skd/ε) words) and take its top-k right singular vectors —
+// the O(sdk/ε) bound of [22] that both Table 2 rows improve on.
+type PCAFDMerge struct {
+	PCAParams
+	Env Env
+}
+
+// Name implements Protocol.
+func (p PCAFDMerge) Name() string { return "pca-fd-merge" }
+
+func (p PCAFDMerge) withEnv(e Env) Protocol { p.Env = e; return p }
+
+func (p PCAFDMerge) rounds() int { return 1 }
+
+func (p PCAFDMerge) validate() { p.PCAParams.withDefaults() }
+
+// Server implements Protocol.
+func (p PCAFDMerge) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+	pp := p.PCAParams.withDefaults()
+	if err := ServerFDMerge(ctx, node, local, pp.Eps/2, pp.K, p.Env.Config); err != nil {
+		return err
+	}
+	return serverMaybeRecvPCs(ctx, node, pp)
+}
+
+// Coordinator implements Protocol.
+func (p PCAFDMerge) Coordinator(ctx context.Context, node Node) (*Result, error) {
+	pp := p.PCAParams.withDefaults()
+	// PCA needs every server's sketch: quorum merges are disabled here by
+	// clearing the quorum, so stragglers fail fast.
+	cfg := p.Env.Config
+	cfg.Stragglers.Quorum = 0
+	sk, _, err := CoordFDMerge(ctx, node, p.Env.Servers, p.Env.Dim, pp.Eps/2, pp.K, cfg)
+	if err != nil {
+		return nil, err
+	}
+	v, err := pca.SketchPCs(sk, pp.K)
+	if err != nil {
+		return nil, err
+	}
+	if err := coordBroadcastPCs(ctx, node, p.Env.Servers, pp, v); err != nil {
+		return nil, err
+	}
+	return &Result{Sketch: sk, PCs: v}, nil
+}
+
+// RunPCAFDMerge runs the FD-merge PCA baseline in-process.
+func RunPCAFDMerge(ctx context.Context, parts []*matrix.Dense, p PCAParams, cfg Config) (*Result, error) {
+	return Run(ctx, PCAFDMerge{PCAParams: p}, parts, WithConfig(cfg))
 }

@@ -1,6 +1,7 @@
 package distributed
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -19,7 +20,7 @@ func pcaInput(seed int64, n, d, k, s int) (*matrix.Dense, []*matrix.Dense) {
 func TestRunPCASketchSolveQuality(t *testing.T) {
 	eps, k := 0.2, 3
 	a, parts := pcaInput(1, 480, 16, k, 6)
-	res, err := RunPCASketchSolve(parts, PCAParams{K: k, Eps: eps}, Config{})
+	res, err := RunPCASketchSolve(context.Background(), parts, PCAParams{K: k, Eps: eps}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestRunBWZQualityRegime1(t *testing.T) {
 	// d ≤ m: single-round left sketch.
 	eps, k := 0.3, 3
 	a, parts := pcaInput(2, 600, 14, k, 5)
-	res, err := RunBWZ(parts, PCAParams{K: k, Eps: eps, EmbeddingRows: 150}, Config{Seed: 3})
+	res, err := RunBWZ(context.Background(), parts, PCAParams{K: k, Eps: eps, EmbeddingRows: 150}, Config{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,12 +72,12 @@ func TestBWZSparseDenseAgree(t *testing.T) {
 	// n_i ≥ m, then compare against a sparse run with the same seed on the
 	// same global matrix split more thinly.
 	eps, k := 0.3, 3
-	a, parts := pcaInput(4, 600, 14, k, 5)                                                      // n_i = 120
-	dense, err := RunBWZ(parts, PCAParams{K: k, Eps: eps, EmbeddingRows: 100}, Config{Seed: 9}) // m=100 ≤ n_i → dense
+	a, parts := pcaInput(4, 600, 14, k, 5)                                                                            // n_i = 120
+	dense, err := RunBWZ(context.Background(), parts, PCAParams{K: k, Eps: eps, EmbeddingRows: 100}, Config{Seed: 9}) // m=100 ≤ n_i → dense
 	if err != nil {
 		t.Fatal(err)
 	}
-	sparse, err := RunBWZ(parts, PCAParams{K: k, Eps: eps, EmbeddingRows: 150}, Config{Seed: 9}) // m=150 > n_i → sparse
+	sparse, err := RunBWZ(context.Background(), parts, PCAParams{K: k, Eps: eps, EmbeddingRows: 150}, Config{Seed: 9}) // m=150 > n_i → sparse
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestRunBWZQualityRegime2(t *testing.T) {
 	// d > m: two-sided compression + recovery round.
 	eps, k := 0.3, 3
 	a, parts := pcaInput(3, 800, 60, k, 4)
-	res, err := RunBWZ(parts, PCAParams{K: k, Eps: eps, EmbeddingRows: 40}, Config{Seed: 4})
+	res, err := RunBWZ(context.Background(), parts, PCAParams{K: k, Eps: eps, EmbeddingRows: 40}, Config{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestRunBWZQualityRegime2(t *testing.T) {
 func TestRunPCACombinedQualityAndCost(t *testing.T) {
 	eps, k := 0.25, 3
 	a, parts := pcaInput(5, 640, 16, k, 8)
-	res, err := RunPCACombined(parts, PCAParams{K: k, Eps: eps, EmbeddingRows: 120}, Config{Seed: 6})
+	res, err := RunPCACombined(context.Background(), parts, PCAParams{K: k, Eps: eps, EmbeddingRows: 120}, Config{Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestRunPCACombinedQualityAndCost(t *testing.T) {
 func TestRunPCAFDMergeQuality(t *testing.T) {
 	eps, k := 0.25, 3
 	a, parts := pcaInput(7, 480, 16, k, 6)
-	res, err := RunPCAFDMerge(parts, PCAParams{K: k, Eps: eps}, Config{})
+	res, err := RunPCAFDMerge(context.Background(), parts, PCAParams{K: k, Eps: eps}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,11 +164,11 @@ func TestPCABroadcastCost(t *testing.T) {
 	// Broadcast adds exactly s·k·d words.
 	eps, k := 0.25, 2
 	_, parts := pcaInput(8, 240, 12, k, 4)
-	noB, err := RunPCAFDMerge(parts, PCAParams{K: k, Eps: eps}, Config{})
+	noB, err := RunPCAFDMerge(context.Background(), parts, PCAParams{K: k, Eps: eps}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	withB, err := RunPCAFDMerge(parts, PCAParams{K: k, Eps: eps, Broadcast: true}, Config{})
+	withB, err := RunPCAFDMerge(context.Background(), parts, PCAParams{K: k, Eps: eps, Broadcast: true}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestPCAParamsValidation(t *testing.T) {
 					t.Errorf("params %+v: expected panic", p)
 				}
 			}()
-			RunPCASketchSolve(parts, p, Config{})
+			RunPCASketchSolve(context.Background(), parts, p, Config{})
 		}()
 	}
 }
@@ -205,11 +206,11 @@ func TestPCACombinedCheaperThanBWZOnRawData(t *testing.T) {
 	// the sketch-solve run to beat FD-merge at larger s (covered elsewhere).
 	eps, k := 0.25, 2
 	_, parts := pcaInput(10, 400, 12, k, 5)
-	combined, err := RunPCACombined(parts, PCAParams{K: k, Eps: eps, EmbeddingRows: 80}, Config{Seed: 1})
+	combined, err := RunPCACombined(context.Background(), parts, PCAParams{K: k, Eps: eps, EmbeddingRows: 80}, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw, err := RunBWZ(parts, PCAParams{K: k, Eps: eps, EmbeddingRows: 80}, Config{Seed: 1})
+	raw, err := RunBWZ(context.Background(), parts, PCAParams{K: k, Eps: eps, EmbeddingRows: 80}, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestRunBWZArbitraryPartition(t *testing.T) {
 	if !sum.EqualApprox(a, 1e-9) {
 		t.Fatal("summands do not add to A")
 	}
-	res, err := RunBWZArbitrary(summands, PCAParams{K: k, Eps: 0.3, EmbeddingRows: 200}, Config{Seed: 5})
+	res, err := RunBWZArbitrary(context.Background(), summands, PCAParams{K: k, Eps: 0.3, EmbeddingRows: 200}, Config{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package distributed
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -41,9 +42,9 @@ func (p PowerIterParams) withDefaults() PowerIterParams {
 
 // ServerPowerIter is the server side: for each round, receive V, respond
 // with A_iᵀ(A_i·V). A "done" broadcast ends the loop.
-func ServerPowerIter(node Node, local *matrix.Dense) error {
+func ServerPowerIter(ctx context.Context, node Node, local *matrix.Dense) error {
 	for {
-		msg, err := node.Recv()
+		msg, err := node.Recv(ctx)
 		if err != nil {
 			return err
 		}
@@ -56,7 +57,7 @@ func ServerPowerIter(node Node, local *matrix.Dense) error {
 				return err
 			}
 			g := local.TMul(local.Mul(v)) // d×k
-			if err := node.Send(comm.CoordinatorID, &comm.Message{Kind: "pi-g", Matrix: g}); err != nil {
+			if err := node.Send(ctx, comm.CoordinatorID, &comm.Message{Kind: "pi-g", Matrix: g}); err != nil {
 				return err
 			}
 		default:
@@ -67,7 +68,7 @@ func ServerPowerIter(node Node, local *matrix.Dense) error {
 
 // CoordPowerIter drives the iteration and returns the d×k orthonormal
 // iterate after the configured rounds.
-func CoordPowerIter(node Node, s, d int, p PowerIterParams) (*matrix.Dense, error) {
+func CoordPowerIter(ctx context.Context, node Node, s, d int, p PowerIterParams, cfg Config) (*matrix.Dense, error) {
 	p = p.withDefaults()
 	rng := rand.New(rand.NewSource(p.Seed + 0x90a3))
 	v := matrix.New(d, p.K)
@@ -78,10 +79,10 @@ func CoordPowerIter(node Node, s, d int, p PowerIterParams) (*matrix.Dense, erro
 	}
 	v = linalg.OrthonormalizeColumns(v, 0)
 	for round := 0; round < p.Rounds; round++ {
-		if err := broadcast(node, s, &comm.Message{Kind: "pi-v", Matrix: v}); err != nil {
+		if err := broadcast(ctx, node, s, &comm.Message{Kind: "pi-v", Matrix: v}); err != nil {
 			return nil, err
 		}
-		msgs, err := gather(node, s, "pi-g")
+		msgs, err := gatherAll(ctx, node, s, "pi-g", cfg.Stragglers)
 		if err != nil {
 			return nil, err
 		}
@@ -112,95 +113,109 @@ func CoordPowerIter(node Node, s, d int, p PowerIterParams) (*matrix.Dense, erro
 		}
 		v = next
 	}
-	if err := broadcast(node, s, &comm.Message{Kind: "pi-done"}); err != nil {
+	if err := broadcast(ctx, node, s, &comm.Message{Kind: "pi-done"}); err != nil {
 		return nil, err
 	}
 	return v, nil
 }
 
-// RunPCAPowerIteration runs the iterative solver on the raw partition.
-// Cost: 2·s·d·k·rounds words (+ s end-of-loop signals); quality improves
-// with rounds as the power method converges.
-func RunPCAPowerIteration(parts []*matrix.Dense, p PowerIterParams, cfg Config) (*Result, error) {
-	p = p.withDefaults()
-	s, d := len(parts), parts[0].Cols()
-	net := NewMemNetwork(s, nil)
-	defer net.Close()
-	serverFns := make([]func() error, s)
-	for i := range parts {
-		i := i
-		serverFns[i] = func() error {
-			return ServerPowerIter(net.Node(i), parts[i])
-		}
-	}
-	res := &Result{}
-	err := runParties(net, serverFns, func() error {
-		for r := 0; r < p.Rounds; r++ {
-			net.Meter().AddRound()
-		}
-		v, err := CoordPowerIter(net.Coordinator(), s, d, p)
-		if err != nil {
-			return err
-		}
-		res.PCs = v
-		return nil
-	})
+// PowerIteration is the iterative solver run on the raw partition. Cost:
+// 2·s·d·k·rounds words (+ s end-of-loop signals); quality improves with
+// rounds as the power method converges.
+type PowerIteration struct {
+	PowerIterParams
+	Env Env
+}
+
+// Name implements Protocol.
+func (p PowerIteration) Name() string { return "pca-power-iteration" }
+
+func (p PowerIteration) withEnv(e Env) Protocol { p.Env = e; return p }
+
+func (p PowerIteration) rounds() int { return p.PowerIterParams.withDefaults().Rounds }
+
+func (p PowerIteration) validate() { p.PowerIterParams.withDefaults() }
+
+// Server implements Protocol.
+func (p PowerIteration) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+	return ServerPowerIter(ctx, node, local)
+}
+
+// Coordinator implements Protocol.
+func (p PowerIteration) Coordinator(ctx context.Context, node Node) (*Result, error) {
+	v, err := CoordPowerIter(ctx, node, p.Env.Servers, p.Env.Dim, p.PowerIterParams, p.Env.Config)
 	if err != nil {
 		return nil, err
 	}
-	return finish(res, net.Meter()), nil
+	return &Result{PCs: v}, nil
 }
 
-// RunPCACombinedPowerIter is Theorem 9 with the iterative solver: servers
+// RunPCAPowerIteration runs the iterative solver on the raw partition.
+func RunPCAPowerIteration(ctx context.Context, parts []*matrix.Dense, p PowerIterParams, cfg Config) (*Result, error) {
+	return Run(ctx, PowerIteration{PowerIterParams: p}, parts, WithConfig(cfg))
+}
+
+// PCACombinedPowerIter is Theorem 9 with the iterative solver: servers
 // compute their adaptive sketch blocks Q_i (2 words each) and the power
 // iteration runs on the distributed sketch. Per-round cost is identical to
 // the raw-data variant (the iterate is d×k either way) but each server's
 // matrix-vector work shrinks from n_i to rows(Q_i); the PCA guarantee
 // follows from Lemma 8 once the iteration has converged on Q.
-func RunPCACombinedPowerIter(parts []*matrix.Dense, eps float64, p PowerIterParams, cfg Config) (*Result, error) {
-	p = p.withDefaults()
-	s, d := len(parts), parts[0].Cols()
-	ap := AdaptiveParams{Eps: eps / 2, K: p.K}
-	net := NewMemNetwork(s, nil)
-	defer net.Close()
-	serverFns := make([]func() error, s)
-	for i := range parts {
-		i := i
-		serverFns[i] = func() error {
-			node := net.Node(i)
-			q, err := ServerAdaptiveLocal(node, parts[i], s, ap, cfg)
-			if err != nil {
-				return err
-			}
-			return ServerPowerIter(node, q)
-		}
+type PCACombinedPowerIter struct {
+	// Eps is the sketch approximation target (the blocks are (ε/2,k)).
+	Eps float64
+	PowerIterParams
+	Env Env
+}
+
+// Name implements Protocol.
+func (p PCACombinedPowerIter) Name() string { return "pca-combined-power-iteration" }
+
+func (p PCACombinedPowerIter) withEnv(e Env) Protocol { p.Env = e; return p }
+
+// rounds preserves the historical accounting of this pipeline, which lets
+// CoordPowerIter/CoordTailRelay own no round increments of their own: the
+// raw-data variant's count comes from PowerIteration.rounds, and this
+// combined variant has always reported 0 extra rounds beyond the meter's
+// defaults.
+func (p PCACombinedPowerIter) rounds() int { return 0 }
+
+func (p PCACombinedPowerIter) validate() { p.PowerIterParams.withDefaults() }
+
+// Server implements Protocol.
+func (p PCACombinedPowerIter) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+	ap := AdaptiveParams{Eps: p.Eps / 2, K: p.PowerIterParams.withDefaults().K}
+	q, err := ServerAdaptiveLocal(ctx, node, local, p.Env.Servers, ap, p.Env.Config)
+	if err != nil {
+		return err
 	}
-	res := &Result{}
-	err := runParties(net, serverFns, func() error {
-		node := net.Coordinator()
-		if _, err := CoordTailRelay(node, s); err != nil {
-			return err
-		}
-		v, err := CoordPowerIter(node, s, d, p)
-		if err != nil {
-			return err
-		}
-		res.PCs = v
-		return nil
-	})
+	return ServerPowerIter(ctx, node, q)
+}
+
+// Coordinator implements Protocol.
+func (p PCACombinedPowerIter) Coordinator(ctx context.Context, node Node) (*Result, error) {
+	if _, err := CoordTailRelay(ctx, node, p.Env.Servers, p.Env.Config); err != nil {
+		return nil, err
+	}
+	v, err := CoordPowerIter(ctx, node, p.Env.Servers, p.Env.Dim, p.PowerIterParams, p.Env.Config)
 	if err != nil {
 		return nil, err
 	}
-	return finish(res, net.Meter()), nil
+	return &Result{PCs: v}, nil
+}
+
+// RunPCACombinedPowerIter runs Theorem 9 with the iterative solver.
+func RunPCACombinedPowerIter(ctx context.Context, parts []*matrix.Dense, eps float64, p PowerIterParams, cfg Config) (*Result, error) {
+	return Run(ctx, PCACombinedPowerIter{Eps: eps, PowerIterParams: p}, parts, WithConfig(cfg))
 }
 
 // QualityAfterRounds sweeps the rounds knob and returns the measured PCA
 // ratio per round count — the convergence curve the benchmarks plot.
-func QualityAfterRounds(parts []*matrix.Dense, a *matrix.Dense, k int, rounds []int, cfg Config) ([]float64, []float64, error) {
+func QualityAfterRounds(ctx context.Context, parts []*matrix.Dense, a *matrix.Dense, k int, rounds []int, cfg Config) ([]float64, []float64, error) {
 	ratios := make([]float64, 0, len(rounds))
 	words := make([]float64, 0, len(rounds))
 	for _, r := range rounds {
-		res, err := RunPCAPowerIteration(parts, PowerIterParams{K: k, Rounds: r, Seed: cfg.Seed}, cfg)
+		res, err := RunPCAPowerIteration(ctx, parts, PowerIterParams{K: k, Rounds: r, Seed: cfg.Seed}, cfg)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,6 +1,7 @@
 package distributed
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/linalg"
@@ -9,7 +10,7 @@ import (
 
 func TestRunPCAPowerIterationQuality(t *testing.T) {
 	a, parts := pcaInput(30, 500, 16, 3, 5)
-	res, err := RunPCAPowerIteration(parts, PowerIterParams{K: 3, Rounds: 12, Seed: 1}, Config{})
+	res, err := RunPCAPowerIteration(context.Background(), parts, PowerIterParams{K: 3, Rounds: 12, Seed: 1}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestRunPCAPowerIterationQuality(t *testing.T) {
 
 func TestPowerIterationConvergesWithRounds(t *testing.T) {
 	a, parts := pcaInput(31, 400, 12, 3, 4)
-	ratios, words, err := QualityAfterRounds(parts, a, 3, []int{1, 4, 16}, Config{Seed: 2})
+	ratios, words, err := QualityAfterRounds(context.Background(), parts, a, 3, []int{1, 4, 16}, Config{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestPowerIterationConvergesWithRounds(t *testing.T) {
 
 func TestRunPCACombinedPowerIter(t *testing.T) {
 	a, parts := pcaInput(32, 600, 16, 3, 6)
-	res, err := RunPCACombinedPowerIter(parts, 0.25, PowerIterParams{K: 3, Rounds: 12, Seed: 3}, Config{Seed: 3})
+	res, err := RunPCACombinedPowerIter(context.Background(), parts, 0.25, PowerIterParams{K: 3, Rounds: 12, Seed: 3}, Config{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestPowerIterationRankDeficient(t *testing.T) {
 			copy(row, p.Row(0))
 		}
 	}
-	res, err := RunPCAPowerIteration(parts, PowerIterParams{K: 4, Rounds: 5, Seed: 4}, Config{})
+	res, err := RunPCAPowerIteration(context.Background(), parts, PowerIterParams{K: 4, Rounds: 5, Seed: 4}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,5 +97,5 @@ func TestPowerIterParamsValidation(t *testing.T) {
 		}
 	}()
 	_, parts := pcaInput(34, 50, 6, 2, 2)
-	RunPCAPowerIteration(parts, PowerIterParams{K: 0}, Config{})
+	RunPCAPowerIteration(context.Background(), parts, PowerIterParams{K: 0}, Config{})
 }

@@ -1,0 +1,285 @@
+package distributed
+
+import (
+	"context"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/rowsample"
+	"repro/internal/workload"
+)
+
+// CoordinatorID is the conventional endpoint ID of the coordinator
+// (re-exported from the comm package for protocol code and the facade).
+const CoordinatorID = comm.CoordinatorID
+
+// Protocol is one distributed sketching protocol, split into its two party
+// roles. A Protocol value is a plain config struct (FDMerge, SVS, Adaptive,
+// …), so the same value drives an in-process run (Run), a TCP server
+// process (Server against a TCPServer node), and a TCP coordinator process
+// (Coordinator against a TCPCoordinator node).
+//
+// Implementations read cluster shape and cross-cutting options from their
+// Env field; the Run driver fills it in automatically, direct TCP callers
+// set it explicitly (Servers and, on the coordinator, Dim).
+type Protocol interface {
+	// Name identifies the protocol (stable, flag-friendly).
+	Name() string
+	// Server runs the server role over node on the local row block.
+	Server(ctx context.Context, node Node, local *matrix.Dense) error
+	// Coordinator runs the coordinator role over node and returns the
+	// protocol's output; communication totals are filled in by the driver.
+	Coordinator(ctx context.Context, node Node) (*Result, error)
+}
+
+// Env is the runtime environment a protocol executes in: the cluster shape
+// plus the cross-cutting Config every protocol shares. The Run driver
+// derives it from the partition and its options; over TCP the caller sets
+// it on the protocol value directly.
+type Env struct {
+	// Servers is the number of servers s.
+	Servers int
+	// Dim is the column dimension d (needed by some coordinators).
+	Dim int
+	// Config carries quantization, seeding, and straggler options.
+	Config Config
+}
+
+// envSetter lets the Run driver install the Env it derived without widening
+// the public Protocol interface; every built-in protocol implements it.
+type envSetter interface {
+	withEnv(Env) Protocol
+}
+
+// roundCounter lets a protocol report its synchronous round count to the
+// driver's meter; protocols without it default to one round.
+type roundCounter interface {
+	rounds() int
+}
+
+// validator lets a protocol reject invalid parameters (by panicking) in the
+// caller's goroutine before any party goroutine is spawned — a panic inside
+// a spawned server would crash the process instead of reaching the caller.
+type validator interface {
+	validate()
+}
+
+// SamplingFn selects the SVS sampling function g — the typed replacement
+// for the old positional `useLinear bool` argument. It is shared with the
+// core package (the alias keeps one enum across every layer).
+type SamplingFn = core.SamplingFn
+
+const (
+	// SampleQuadratic is the Theorem 6 quadratic sampling function
+	// (the default; O(√s·d·√log(d/δ)/α) expected words).
+	SampleQuadratic = core.SampleQuadratic
+	// SampleLinear is the Theorem 5 linear sampling function.
+	SampleLinear = core.SampleLinear
+)
+
+// ParseSamplingFn converts a flag string to a SamplingFn.
+func ParseSamplingFn(s string) (SamplingFn, error) { return core.ParseSamplingFn(s) }
+
+// ---------------------------------------------------------------------------
+// Covariance-sketch protocols.
+// ---------------------------------------------------------------------------
+
+// FDMerge is the deterministic Theorem 2 protocol: each server streams its
+// rows through FD and the coordinator merges the s sketches with one more
+// FD pass. It is the one protocol whose coordinator honours a straggler
+// quorum: FD sketches merge associatively, so the coordinator can proceed
+// with any subset, sketching the responsive servers' rows and reporting the
+// absentees in Result.Missing.
+type FDMerge struct {
+	Eps float64
+	K   int
+	Env Env
+}
+
+// Name implements Protocol.
+func (p FDMerge) Name() string { return "fd-merge" }
+
+func (p FDMerge) withEnv(e Env) Protocol { p.Env = e; return p }
+
+func (p FDMerge) rounds() int { return 1 }
+
+// Server implements Protocol.
+func (p FDMerge) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+	return ServerFDMerge(ctx, node, local, p.Eps, p.K, p.Env.Config)
+}
+
+// Coordinator implements Protocol.
+func (p FDMerge) Coordinator(ctx context.Context, node Node) (*Result, error) {
+	sk, missing, err := CoordFDMerge(ctx, node, p.Env.Servers, p.Env.Dim, p.Eps, p.K, p.Env.Config)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Sketch: sk, Missing: missing}, nil
+}
+
+// SVS is the §3.1 / Algorithm 2 randomized (α,0)-sketch protocol with the
+// two-round norm calibration. Streaming switches the servers to the
+// one-pass pipeline (FD at α/2 locally, then SVS on the local sketch) so no
+// server ever materializes its raw input.
+type SVS struct {
+	Alpha    float64
+	Delta    float64
+	Sampling SamplingFn
+	// Streaming selects the one-pass server pipeline (always quadratic
+	// sampling, as in the paper's framework).
+	Streaming bool
+	Env       Env
+}
+
+// Name implements Protocol.
+func (p SVS) Name() string {
+	if p.Streaming {
+		return "svs-streaming"
+	}
+	return "svs"
+}
+
+func (p SVS) withEnv(e Env) Protocol { p.Env = e; return p }
+
+func (p SVS) rounds() int { return 2 }
+
+// Server implements Protocol.
+func (p SVS) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+	if p.Streaming {
+		return ServerSVSStreaming(ctx, node, workload.NewRowStream(local), local.Cols(), p.Env.Servers, p.Alpha, p.Delta, p.Env.Config)
+	}
+	return ServerSVS(ctx, node, local, p.Env.Servers, p.Alpha, p.Delta, p.Sampling, p.Env.Config)
+}
+
+// Coordinator implements Protocol.
+func (p SVS) Coordinator(ctx context.Context, node Node) (*Result, error) {
+	sk, err := CoordSVS(ctx, node, p.Env.Servers, p.Env.Config)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Sketch: sk}, nil
+}
+
+// RowSampling is the [10] baseline: distributed squared-norm row sampling
+// with m = ⌈1/ε²⌉ global samples.
+type RowSampling struct {
+	Eps float64
+	Env Env
+}
+
+// Name implements Protocol.
+func (p RowSampling) Name() string { return "row-sampling" }
+
+func (p RowSampling) withEnv(e Env) Protocol { p.Env = e; return p }
+
+func (p RowSampling) rounds() int { return 2 }
+
+// Server implements Protocol.
+func (p RowSampling) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+	return ServerRowSampling(ctx, node, local, p.Env.Config)
+}
+
+// Coordinator implements Protocol.
+func (p RowSampling) Coordinator(ctx context.Context, node Node) (*Result, error) {
+	sk, err := CoordRowSampling(ctx, node, p.Env.Servers, rowsample.SampleSize(p.Eps), p.Env.Config)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Sketch: sk}, nil
+}
+
+// Adaptive is the §3.2 / Theorem 7 adaptive (ε,k)-sketch protocol.
+type Adaptive struct {
+	AdaptiveParams
+	Env Env
+}
+
+// Name implements Protocol.
+func (p Adaptive) Name() string { return "adaptive" }
+
+func (p Adaptive) withEnv(e Env) Protocol { p.Env = e; return p }
+
+func (p Adaptive) rounds() int { return 2 }
+
+// Server implements Protocol.
+func (p Adaptive) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+	return ServerAdaptive(ctx, node, local, p.Env.Servers, p.AdaptiveParams, p.Env.Config)
+}
+
+// Coordinator implements Protocol.
+func (p Adaptive) Coordinator(ctx context.Context, node Node) (*Result, error) {
+	sk, err := CoordAdaptive(ctx, node, p.Env.Servers, p.AdaptiveParams, p.Env.Config)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Sketch: sk}, nil
+}
+
+// LowRankExact is the §3.3 Case-1 exact protocol for inputs of rank at most
+// 2·KBound per server.
+type LowRankExact struct {
+	KBound int
+	Env    Env
+}
+
+// Name implements Protocol.
+func (p LowRankExact) Name() string { return "lowrank-exact" }
+
+func (p LowRankExact) withEnv(e Env) Protocol { p.Env = e; return p }
+
+func (p LowRankExact) rounds() int { return 1 }
+
+// Server implements Protocol.
+func (p LowRankExact) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+	return ServerLowRankExact(ctx, node, local, p.KBound, p.Env.Config)
+}
+
+// Coordinator implements Protocol.
+func (p LowRankExact) Coordinator(ctx context.Context, node Node) (*Result, error) {
+	gram, sketch, err := CoordLowRankExact(ctx, node, p.Env.Servers, p.Env.Dim, p.Env.Config)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Gram: gram, Sketch: sketch}, nil
+}
+
+// FullTransfer is the trivial exact baseline: ship every row to the
+// coordinator.
+type FullTransfer struct {
+	Env Env
+}
+
+// Name implements Protocol.
+func (p FullTransfer) Name() string { return "full-transfer" }
+
+func (p FullTransfer) withEnv(e Env) Protocol { p.Env = e; return p }
+
+func (p FullTransfer) rounds() int { return 1 }
+
+// Server implements Protocol.
+func (p FullTransfer) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+	return p.Env.Config.sendMatrix(ctx, node, CoordinatorID, "raw", local)
+}
+
+// Coordinator implements Protocol.
+func (p FullTransfer) Coordinator(ctx context.Context, node Node) (*Result, error) {
+	msgs, err := gatherAll(ctx, node, p.Env.Servers, "raw", p.Env.Config.Stragglers)
+	if err != nil {
+		return nil, err
+	}
+	all := make([]*matrix.Dense, 0, len(msgs))
+	for _, msg := range msgs {
+		m, err := recvMatrix(msg)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, m)
+	}
+	a := matrix.Stack(all...)
+	agg, err := core.Aggregated(a)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Sketch: agg, Gram: a.Gram()}, nil
+}

@@ -1,6 +1,7 @@
 package distributed
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -24,18 +25,21 @@ type Config struct {
 	QuantStep float64
 	// Seed seeds each server's private randomness (server i uses Seed+i).
 	Seed int64
+	// Stragglers bounds how long the coordinator waits for each server and
+	// whether quorum-tolerant protocols may proceed without stragglers.
+	Stragglers StragglerPolicy
 }
 
 // sendMatrix transmits m under the config's quantization policy.
-func (c Config) sendMatrix(node Node, to int, kind string, m *matrix.Dense) error {
+func (c Config) sendMatrix(ctx context.Context, node Node, to int, kind string, m *matrix.Dense) error {
 	if !c.Quantize {
-		return node.Send(to, &comm.Message{Kind: kind, Matrix: m})
+		return node.Send(ctx, to, &comm.Message{Kind: kind, Matrix: m})
 	}
 	q, err := comm.NewQuantizer(c.QuantStep).Quantize(m)
 	if err != nil {
 		return fmt.Errorf("distributed: quantize %s: %w", kind, err)
 	}
-	return node.Send(to, &comm.Message{Kind: kind, Quantized: q})
+	return node.Send(ctx, to, &comm.Message{Kind: kind, Quantized: q})
 }
 
 // recvMatrix extracts the matrix payload regardless of quantization.
@@ -68,62 +72,49 @@ func finish(res *Result, meter *comm.Meter) *Result {
 
 // ServerFDMerge is the server side of the deterministic protocol: stream the
 // local rows through FD and send the ℓ-row sketch to the coordinator.
-func ServerFDMerge(node Node, local *matrix.Dense, eps float64, k int, cfg Config) error {
+func ServerFDMerge(ctx context.Context, node Node, local *matrix.Dense, eps float64, k int, cfg Config) error {
 	b, err := fd.SketchEpsK(local, eps, k)
 	if err != nil {
 		return fmt.Errorf("server %d: %w", node.ID(), err)
 	}
-	return cfg.sendMatrix(node, comm.CoordinatorID, "fd-sketch", b)
+	return cfg.sendMatrix(ctx, node, comm.CoordinatorID, "fd-sketch", b)
 }
 
 // CoordFDMerge is the coordinator side: collect the s local sketches and
 // merge them with one more FD pass, yielding an (ε,k)-sketch of A
-// (mergeability, Theorem 2).
-func CoordFDMerge(node Node, s int, d int, eps float64, k int) (*matrix.Dense, error) {
-	msgs, err := gather(node, s, "fd-sketch")
+// (mergeability, Theorem 2). Under a quorum straggler policy
+// (cfg.Stragglers.Quorum > 0) the merge proceeds once the quorum has
+// reported and the returned missing slice lists the absent servers — the
+// sketch then covers only the responsive servers' rows.
+func CoordFDMerge(ctx context.Context, node Node, s, d int, eps float64, k int, cfg Config) (*matrix.Dense, []int, error) {
+	msgs, missing, err := gather(ctx, node, s, "fd-sketch", cfg.Stragglers, true)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	merged := fd.New(d, fd.SketchSize(eps, k), fd.Options{})
 	for _, msg := range msgs {
+		if msg == nil {
+			continue // straggler admitted by the quorum policy
+		}
 		m, err := recvMatrix(msg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := merged.UpdateMatrix(m); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return merged.Matrix()
+	sk, err := merged.Matrix()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sk, missing, nil
 }
 
 // RunFDMerge runs the full Theorem 2 protocol in-process over parts.
 // Expected communication: O(s·k·d/ε) words.
-func RunFDMerge(parts []*matrix.Dense, eps float64, k int, cfg Config) (*Result, error) {
-	s, d := len(parts), parts[0].Cols()
-	net := NewMemNetwork(s, nil)
-	defer net.Close()
-	serverFns := make([]func() error, s)
-	for i := range parts {
-		i := i
-		serverFns[i] = func() error {
-			return ServerFDMerge(net.Node(i), parts[i], eps, k, cfg)
-		}
-	}
-	res := &Result{}
-	err := runParties(net, serverFns, func() error {
-		net.Meter().AddRound()
-		sk, err := CoordFDMerge(net.Coordinator(), s, d, eps, k)
-		if err != nil {
-			return err
-		}
-		res.Sketch = sk
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return finish(res, net.Meter()), nil
+func RunFDMerge(ctx context.Context, parts []*matrix.Dense, eps float64, k int, cfg Config) (*Result, error) {
+	return Run(ctx, FDMerge{Eps: eps, K: k}, parts, WithConfig(cfg))
 }
 
 // ---------------------------------------------------------------------------
@@ -134,32 +125,28 @@ func RunFDMerge(parts []*matrix.Dense, eps float64, k int, cfg Config) (*Result,
 // the paper sketches in footnote 6: send ‖A_i‖F² (one word), receive the
 // global ‖A‖F² (one word), then run SVS with the shared sampling function
 // and send the sampled rows.
-func ServerSVS(node Node, local *matrix.Dense, s int, alpha, delta float64, useLinear bool, cfg Config) error {
-	if err := node.Send(comm.CoordinatorID, &comm.Message{Kind: "frob2", Scalars: []float64{local.Frob2()}}); err != nil {
+func ServerSVS(ctx context.Context, node Node, local *matrix.Dense, s int, alpha, delta float64, sampling SamplingFn, cfg Config) error {
+	if err := node.Send(ctx, comm.CoordinatorID, &comm.Message{Kind: "frob2", Scalars: []float64{local.Frob2()}}); err != nil {
 		return err
 	}
-	msg, err := expectKind(node, "frob2-total")
+	msg, err := expectKind(ctx, node, "frob2-total")
 	if err != nil {
 		return err
 	}
 	frob2 := msg.Scalars[0]
-	d := local.Cols()
-	var g core.SamplingFunc
-	if useLinear {
-		g = core.NewLinearSampling(s, d, alpha, delta, frob2)
-	} else {
-		g = core.NewQuadraticSampling(s, d, alpha, delta, frob2)
-	}
+	g := sampling.Build(s, local.Cols(), alpha, delta, frob2)
 	b, err := core.SVS(local, g, cfg.rng(node.ID()))
 	if err != nil {
 		return fmt.Errorf("server %d SVS: %w", node.ID(), err)
 	}
-	return cfg.sendMatrix(node, comm.CoordinatorID, "svs-sketch", b)
+	return cfg.sendMatrix(ctx, node, comm.CoordinatorID, "svs-sketch", b)
 }
 
-// CoordSVS is the coordinator side of Algorithm 2.
-func CoordSVS(node Node, s int) (*matrix.Dense, error) {
-	masses, err := gather(node, s, "frob2")
+// CoordSVS is the coordinator side of Algorithm 2. The calibration round
+// makes a partial merge unsound (the broadcast mass would include servers
+// whose rows never arrive), so stragglers are always fail-fast here.
+func CoordSVS(ctx context.Context, node Node, s int, cfg Config) (*matrix.Dense, error) {
+	masses, err := gatherAll(ctx, node, s, "frob2", cfg.Stragglers)
 	if err != nil {
 		return nil, err
 	}
@@ -167,10 +154,10 @@ func CoordSVS(node Node, s int) (*matrix.Dense, error) {
 	for _, m := range masses {
 		total += m.Scalars[0]
 	}
-	if err := broadcast(node, s, &comm.Message{Kind: "frob2-total", Scalars: []float64{total}}); err != nil {
+	if err := broadcast(ctx, node, s, &comm.Message{Kind: "frob2-total", Scalars: []float64{total}}); err != nil {
 		return nil, err
 	}
-	sketches, err := gather(node, s, "svs-sketch")
+	sketches, err := gatherAll(ctx, node, s, "svs-sketch", cfg.Stragglers)
 	if err != nil {
 		return nil, err
 	}
@@ -188,32 +175,8 @@ func CoordSVS(node Node, s int) (*matrix.Dense, error) {
 // RunSVS runs the §3.1 randomized (α,0)-sketch protocol in-process.
 // Expected communication: O(√s·d·√log(d/δ)/α) words (quadratic g) plus the
 // 2s calibration words.
-func RunSVS(parts []*matrix.Dense, alpha, delta float64, useLinear bool, cfg Config) (*Result, error) {
-	s := len(parts)
-	net := NewMemNetwork(s, nil)
-	defer net.Close()
-	serverFns := make([]func() error, s)
-	for i := range parts {
-		i := i
-		serverFns[i] = func() error {
-			return ServerSVS(net.Node(i), parts[i], s, alpha, delta, useLinear, cfg)
-		}
-	}
-	res := &Result{}
-	err := runParties(net, serverFns, func() error {
-		net.Meter().AddRound()
-		net.Meter().AddRound()
-		sk, err := CoordSVS(net.Coordinator(), s)
-		if err != nil {
-			return err
-		}
-		res.Sketch = sk
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return finish(res, net.Meter()), nil
+func RunSVS(ctx context.Context, parts []*matrix.Dense, alpha, delta float64, sampling SamplingFn, cfg Config) (*Result, error) {
+	return Run(ctx, SVS{Alpha: alpha, Delta: delta, Sampling: sampling}, parts, WithConfig(cfg))
 }
 
 // ServerSVSStreaming is the one-pass form of the §3.1 protocol, following
@@ -224,7 +187,7 @@ func RunSVS(parts []*matrix.Dense, alpha, delta float64, useLinear bool, cfg Con
 // FD sketch at accuracy ε/2. The combined covariance error is at most the
 // sum of the two stages' errors, so the output is still an (O(ε),0)-sketch,
 // and the server never holds its raw input in memory.
-func ServerSVSStreaming(node Node, rows *workload.RowStream, d, s int, alpha, delta float64, cfg Config) error {
+func ServerSVSStreaming(ctx context.Context, node Node, rows *workload.RowStream, d, s int, alpha, delta float64, cfg Config) error {
 	local := fd.New(d, fd.SketchSize(alpha/2, 0), fd.Options{})
 	for row, ok := rows.Next(); ok; row, ok = rows.Next() {
 		if err := local.Update(row); err != nil {
@@ -237,10 +200,10 @@ func ServerSVSStreaming(node Node, rows *workload.RowStream, d, s int, alpha, de
 	}
 	// The calibration uses the exact streamed mass, not the sketch's
 	// (shrunk) mass, so the shared g matches the true ‖A‖F².
-	if err := node.Send(comm.CoordinatorID, &comm.Message{Kind: "frob2", Scalars: []float64{local.InputFrob2()}}); err != nil {
+	if err := node.Send(ctx, comm.CoordinatorID, &comm.Message{Kind: "frob2", Scalars: []float64{local.InputFrob2()}}); err != nil {
 		return err
 	}
-	msg, err := expectKind(node, "frob2-total")
+	msg, err := expectKind(ctx, node, "frob2-total")
 	if err != nil {
 		return err
 	}
@@ -249,37 +212,13 @@ func ServerSVSStreaming(node Node, rows *workload.RowStream, d, s int, alpha, de
 	if err != nil {
 		return fmt.Errorf("server %d SVS: %w", node.ID(), err)
 	}
-	return cfg.sendMatrix(node, comm.CoordinatorID, "svs-sketch", w)
+	return cfg.sendMatrix(ctx, node, comm.CoordinatorID, "svs-sketch", w)
 }
 
 // RunSVSStreaming runs the one-pass §3.1 pipeline in-process; the
 // coordinator side is identical to RunSVS.
-func RunSVSStreaming(parts []*matrix.Dense, alpha, delta float64, cfg Config) (*Result, error) {
-	s, d := len(parts), parts[0].Cols()
-	net := NewMemNetwork(s, nil)
-	defer net.Close()
-	serverFns := make([]func() error, s)
-	for i := range parts {
-		i := i
-		serverFns[i] = func() error {
-			return ServerSVSStreaming(net.Node(i), workload.NewRowStream(parts[i]), d, s, alpha, delta, cfg)
-		}
-	}
-	res := &Result{}
-	err := runParties(net, serverFns, func() error {
-		net.Meter().AddRound()
-		net.Meter().AddRound()
-		sk, err := CoordSVS(net.Coordinator(), s)
-		if err != nil {
-			return err
-		}
-		res.Sketch = sk
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return finish(res, net.Meter()), nil
+func RunSVSStreaming(ctx context.Context, parts []*matrix.Dense, alpha, delta float64, cfg Config) (*Result, error) {
+	return Run(ctx, SVS{Alpha: alpha, Delta: delta, Streaming: true}, parts, WithConfig(cfg))
 }
 
 // ---------------------------------------------------------------------------
@@ -289,11 +228,11 @@ func RunSVSStreaming(parts []*matrix.Dense, alpha, delta float64, cfg Config) (*
 // ServerRowSampling is the server side of the sampling baseline: report the
 // local mass, receive the global mass and this server's sample count, sample
 // locally and send the rescaled rows. Cost O(s + d/ε²) words overall.
-func ServerRowSampling(node Node, local *matrix.Dense, cfg Config) error {
-	if err := node.Send(comm.CoordinatorID, &comm.Message{Kind: "mass", Scalars: []float64{local.Frob2()}}); err != nil {
+func ServerRowSampling(ctx context.Context, node Node, local *matrix.Dense, cfg Config) error {
+	if err := node.Send(ctx, comm.CoordinatorID, &comm.Message{Kind: "mass", Scalars: []float64{local.Frob2()}}); err != nil {
 		return err
 	}
-	msg, err := expectKind(node, "sample-plan")
+	msg, err := expectKind(ctx, node, "sample-plan")
 	if err != nil {
 		return err
 	}
@@ -314,14 +253,14 @@ func ServerRowSampling(node Node, local *matrix.Dense, cfg Config) error {
 		factor := math.Sqrt(float64(count) * total / (float64(m) * local.Frob2()))
 		out = sampled.Scale(factor)
 	}
-	return cfg.sendMatrix(node, comm.CoordinatorID, "sample-rows", out)
+	return cfg.sendMatrix(ctx, node, comm.CoordinatorID, "sample-rows", out)
 }
 
 // CoordRowSampling is the coordinator side: gather masses, split the m
-// global samples across servers proportionally (multinomially), then stack
-// the returned rows.
-func CoordRowSampling(node Node, s, m int, seed int64) (*matrix.Dense, error) {
-	masses, err := gather(node, s, "mass")
+// global samples across servers proportionally (multinomially, seeded by
+// cfg.Seed), then stack the returned rows.
+func CoordRowSampling(ctx context.Context, node Node, s, m int, cfg Config) (*matrix.Dense, error) {
+	masses, err := gatherAll(ctx, node, s, "mass", cfg.Stragglers)
 	if err != nil {
 		return nil, err
 	}
@@ -332,7 +271,7 @@ func CoordRowSampling(node Node, s, m int, seed int64) (*matrix.Dense, error) {
 		total += vals[i]
 	}
 	counts := make([]int64, s)
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	if total > 0 {
 		for t := 0; t < m; t++ {
 			u := rng.Float64() * total
@@ -347,7 +286,7 @@ func CoordRowSampling(node Node, s, m int, seed int64) (*matrix.Dense, error) {
 		}
 	}
 	for i := 0; i < s; i++ {
-		if err := node.Send(i, &comm.Message{
+		if err := node.Send(ctx, i, &comm.Message{
 			Kind:    "sample-plan",
 			Scalars: []float64{total},
 			Ints:    []int64{counts[i], int64(m)},
@@ -355,7 +294,7 @@ func CoordRowSampling(node Node, s, m int, seed int64) (*matrix.Dense, error) {
 			return nil, err
 		}
 	}
-	rowsMsgs, err := gather(node, s, "sample-rows")
+	rowsMsgs, err := gatherAll(ctx, node, s, "sample-rows", cfg.Stragglers)
 	if err != nil {
 		return nil, err
 	}
@@ -371,33 +310,8 @@ func CoordRowSampling(node Node, s, m int, seed int64) (*matrix.Dense, error) {
 }
 
 // RunRowSampling runs the [10] baseline in-process with m = ⌈1/ε²⌉ samples.
-func RunRowSampling(parts []*matrix.Dense, eps float64, cfg Config) (*Result, error) {
-	s := len(parts)
-	m := rowsample.SampleSize(eps)
-	net := NewMemNetwork(s, nil)
-	defer net.Close()
-	serverFns := make([]func() error, s)
-	for i := range parts {
-		i := i
-		serverFns[i] = func() error {
-			return ServerRowSampling(net.Node(i), parts[i], cfg)
-		}
-	}
-	res := &Result{}
-	err := runParties(net, serverFns, func() error {
-		net.Meter().AddRound()
-		net.Meter().AddRound()
-		sk, err := CoordRowSampling(net.Coordinator(), s, m, cfg.Seed)
-		if err != nil {
-			return err
-		}
-		res.Sketch = sk
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return finish(res, net.Meter()), nil
+func RunRowSampling(ctx context.Context, parts []*matrix.Dense, eps float64, cfg Config) (*Result, error) {
+	return Run(ctx, RowSampling{Eps: eps}, parts, WithConfig(cfg))
 }
 
 // ---------------------------------------------------------------------------
@@ -408,43 +322,6 @@ func RunRowSampling(parts []*matrix.Dense, eps float64, cfg Config) (*Result, er
 // algorithm whose O(n·d) (= O(d³) in the paper's headline setting with
 // n = s/ε = d²) cost anchors the comparisons. The coordinator returns the
 // exact aggregated form (≤ d rows), so downstream error is zero.
-func RunFullTransfer(parts []*matrix.Dense, cfg Config) (*Result, error) {
-	s := len(parts)
-	net := NewMemNetwork(s, nil)
-	defer net.Close()
-	serverFns := make([]func() error, s)
-	for i := range parts {
-		i := i
-		serverFns[i] = func() error {
-			return cfg.sendMatrix(net.Node(i), comm.CoordinatorID, "raw", parts[i])
-		}
-	}
-	res := &Result{}
-	err := runParties(net, serverFns, func() error {
-		net.Meter().AddRound()
-		msgs, err := gather(net.Coordinator(), s, "raw")
-		if err != nil {
-			return err
-		}
-		all := make([]*matrix.Dense, 0, s)
-		for _, msg := range msgs {
-			m, err := recvMatrix(msg)
-			if err != nil {
-				return err
-			}
-			all = append(all, m)
-		}
-		a := matrix.Stack(all...)
-		agg, err := core.Aggregated(a)
-		if err != nil {
-			return err
-		}
-		res.Sketch = agg
-		res.Gram = a.Gram()
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return finish(res, net.Meter()), nil
+func RunFullTransfer(ctx context.Context, parts []*matrix.Dense, cfg Config) (*Result, error) {
+	return Run(ctx, FullTransfer{}, parts, WithConfig(cfg))
 }

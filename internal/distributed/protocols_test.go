@@ -1,6 +1,7 @@
 package distributed
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -23,7 +24,7 @@ func split(t *testing.T, seed int64, n, d, s int) (*matrix.Dense, []*matrix.Dens
 func TestRunFDMergeGuaranteeAndCost(t *testing.T) {
 	a, parts := split(t, 1, 240, 16, 6)
 	eps, k := 0.25, 3
-	res, err := RunFDMerge(parts, eps, k, Config{})
+	res, err := RunFDMerge(context.Background(), parts, eps, k, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestRunSVSGuaranteeAndCost(t *testing.T) {
 	var lastWords float64
 	for trial := 0; trial < trials; trial++ {
 		a, parts := split(t, int64(100+trial), 320, 16, 8)
-		res, err := RunSVS(parts, alpha, delta, false, Config{Seed: int64(trial)})
+		res, err := RunSVS(context.Background(), parts, alpha, delta, SampleQuadratic, Config{Seed: int64(trial)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,11 +88,11 @@ func TestSVSBeatsFDMergeAtLargeS(t *testing.T) {
 	a := workload.PowerLawSpectrum(rng, 960, 24, 0.8, 20)
 	parts := workload.Split(a, s, workload.Contiguous, nil)
 	eps := 0.1
-	det, err := RunFDMerge(parts, eps, 0, Config{})
+	det, err := RunFDMerge(context.Background(), parts, eps, 0, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	randomized, err := RunSVS(parts, eps, 0.1, false, Config{})
+	randomized, err := RunSVS(context.Background(), parts, eps, 0.1, SampleQuadratic, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestRunRowSamplingGuarantee(t *testing.T) {
 		rng := rand.New(rand.NewSource(int64(200 + trial)))
 		a := workload.Gaussian(rng, 300, 12)
 		parts := workload.Split(a, 5, workload.Skewed, nil)
-		res, err := RunRowSampling(parts, eps, Config{Seed: int64(trial)})
+		res, err := RunRowSampling(context.Background(), parts, eps, Config{Seed: int64(trial)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,7 +135,7 @@ func TestRowSamplingUnbiasedThroughProtocol(t *testing.T) {
 	sum := matrix.New(6, 6)
 	const trials = 400
 	for i := 0; i < trials; i++ {
-		res, err := RunRowSampling(parts, 0.25, Config{Seed: int64(i)})
+		res, err := RunRowSampling(context.Background(), parts, 0.25, Config{Seed: int64(i)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func TestRunAdaptiveGuaranteeAndCost(t *testing.T) {
 	const trials = 8
 	for trial := 0; trial < trials; trial++ {
 		a, parts := split(t, int64(300+trial), 360, 18, 6)
-		res, err := RunAdaptive(parts, AdaptiveParams{Eps: eps, K: k}, Config{Seed: int64(trial)})
+		res, err := RunAdaptive(context.Background(), parts, AdaptiveParams{Eps: eps, K: k}, Config{Seed: int64(trial)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -180,11 +181,11 @@ func TestAdaptiveBeatsFDMergeAtLargeS(t *testing.T) {
 	a := workload.LowRankPlusNoise(rng, 1280, 24, 3, 40, 0.7, 0.5)
 	parts := workload.Split(a, s, workload.Contiguous, nil)
 	eps, k := 0.1, 3
-	det, err := RunFDMerge(parts, eps, k, Config{})
+	det, err := RunFDMerge(context.Background(), parts, eps, k, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ad, err := RunAdaptive(parts, AdaptiveParams{Eps: eps, K: k}, Config{})
+	ad, err := RunAdaptive(context.Background(), parts, AdaptiveParams{Eps: eps, K: k}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestAdaptiveBeatsFDMergeAtLargeS(t *testing.T) {
 func TestRunAdaptiveFinalCompress(t *testing.T) {
 	a, parts := split(t, 10, 300, 16, 5)
 	eps, k := 0.25, 3
-	res, err := RunAdaptive(parts, AdaptiveParams{Eps: eps, K: k, FinalCompress: true}, Config{})
+	res, err := RunAdaptive(context.Background(), parts, AdaptiveParams{Eps: eps, K: k, FinalCompress: true}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestRunAdaptiveFinalCompress(t *testing.T) {
 
 func TestRunFullTransferExact(t *testing.T) {
 	a, parts := split(t, 11, 120, 10, 4)
-	res, err := RunFullTransfer(parts, Config{})
+	res, err := RunFullTransfer(context.Background(), parts, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestRunLowRankExact(t *testing.T) {
 	k := 3
 	a := workload.ExactRank(rng, 120, 14, 2*k, 4)
 	parts := workload.Split(a, 5, workload.Contiguous, nil)
-	res, err := RunLowRankExact(parts, k, Config{})
+	res, err := RunLowRankExact(context.Background(), parts, k, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestLowRankExactRankOverflow(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	a := workload.Gaussian(rng, 40, 10) // full rank 10 > 2k = 4
 	parts := workload.Split(a, 2, workload.Contiguous, nil)
-	if _, err := RunLowRankExact(parts, 2, Config{}); err == nil {
+	if _, err := RunLowRankExact(context.Background(), parts, 2, Config{}); err == nil {
 		t.Fatal("expected rank-overflow error")
 	}
 }
@@ -305,12 +306,12 @@ func TestQuantizedProtocolSavesBits(t *testing.T) {
 	// the error penalty is below the quantizer's worst-case bound.
 	a, parts := split(t, 15, 200, 12, 4)
 	eps, k := 0.25, 3
-	plain, err := RunFDMerge(parts, eps, k, Config{})
+	plain, err := RunFDMerge(context.Background(), parts, eps, k, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	step := comm.StepFor(200, 12, eps)
-	quant, err := RunFDMerge(parts, eps, k, Config{Quantize: true, QuantStep: step})
+	quant, err := RunFDMerge(context.Background(), parts, eps, k, Config{Quantize: true, QuantStep: step})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,9 +338,9 @@ func TestMemNetworkBasics(t *testing.T) {
 	coord := net.Coordinator()
 	done := make(chan error, 1)
 	go func() {
-		done <- n0.Send(comm.CoordinatorID, &comm.Message{Kind: "hi", Scalars: []float64{3}})
+		done <- n0.Send(context.Background(), comm.CoordinatorID, &comm.Message{Kind: "hi", Scalars: []float64{3}})
 	}()
-	msg, err := coord.Recv()
+	msg, err := coord.Recv(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +357,7 @@ func TestMemNetworkBasics(t *testing.T) {
 		t.Fatal("Servers wrong")
 	}
 	// Unknown endpoint.
-	if err := n0.Send(99, &comm.Message{Kind: "x"}); err == nil {
+	if err := n0.Send(context.Background(), 99, &comm.Message{Kind: "x"}); err == nil {
 		t.Fatal("expected unknown-endpoint error")
 	}
 }
@@ -365,10 +366,10 @@ func TestMemNetworkClose(t *testing.T) {
 	net := NewMemNetwork(1, nil)
 	node := net.Node(0)
 	go net.Close()
-	if _, err := node.Recv(); err != ErrNetworkClosed {
+	if _, err := node.Recv(context.Background()); err != ErrNetworkClosed {
 		t.Fatalf("err = %v, want ErrNetworkClosed", err)
 	}
-	if err := node.Send(comm.CoordinatorID, &comm.Message{Kind: "x"}); err != ErrNetworkClosed {
+	if err := node.Send(context.Background(), comm.CoordinatorID, &comm.Message{Kind: "x"}); err != ErrNetworkClosed {
 		t.Fatalf("send err = %v", err)
 	}
 	net.Close() // double close is a no-op
@@ -377,8 +378,8 @@ func TestMemNetworkClose(t *testing.T) {
 func TestGatherRejectsWrongKind(t *testing.T) {
 	net := NewMemNetwork(1, nil)
 	defer net.Close()
-	go net.Node(0).Send(comm.CoordinatorID, &comm.Message{Kind: "wrong"})
-	if _, err := gather(net.Coordinator(), 1, "right"); err == nil {
+	go net.Node(0).Send(context.Background(), comm.CoordinatorID, &comm.Message{Kind: "wrong"})
+	if _, err := gatherAll(context.Background(), net.Coordinator(), 1, "right", StragglerPolicy{}); err == nil {
 		t.Fatal("expected kind mismatch error")
 	}
 }
@@ -391,7 +392,7 @@ func TestPartitionInvariance(t *testing.T) {
 	eps, k := 0.25, 3
 	for _, scheme := range []workload.Partition{workload.Contiguous, workload.RoundRobin, workload.Skewed, workload.RandomAssign} {
 		parts := workload.Split(a, 6, scheme, rand.New(rand.NewSource(17)))
-		res, err := RunFDMerge(parts, eps, k, Config{})
+		res, err := RunFDMerge(context.Background(), parts, eps, k, Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -415,7 +416,7 @@ func TestRunSVSStreamingGuarantee(t *testing.T) {
 		rng := rand.New(rand.NewSource(int64(400 + trial)))
 		a := workload.PowerLawSpectrum(rng, 400, 16, 0.8, 15)
 		parts := workload.Split(a, 5, workload.Contiguous, nil)
-		res, err := RunSVSStreaming(parts, alpha, delta, Config{Seed: int64(trial)})
+		res, err := RunSVSStreaming(context.Background(), parts, alpha, delta, Config{Seed: int64(trial)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -440,11 +441,11 @@ func TestSVSStreamingCheaperThanBatchSVSLocally(t *testing.T) {
 	rng := rand.New(rand.NewSource(410))
 	a := workload.PowerLawSpectrum(rng, 600, 24, 0.6, 20)
 	parts := workload.Split(a, 4, workload.Contiguous, nil)
-	stream, err := RunSVSStreaming(parts, 0.15, 0.1, Config{Seed: 1})
+	stream, err := RunSVSStreaming(context.Background(), parts, 0.15, 0.1, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch, err := RunSVS(parts, 0.15, 0.1, false, Config{Seed: 1})
+	batch, err := RunSVS(context.Background(), parts, 0.15, 0.1, SampleQuadratic, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

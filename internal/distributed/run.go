@@ -1,0 +1,142 @@
+package distributed
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/matrix"
+)
+
+// runOpts collects the cross-cutting options of a Run invocation.
+type runOpts struct {
+	cfg      Config
+	deadline time.Duration
+	faults   *FaultPlan
+	mailbox  int
+	meter    *comm.Meter
+}
+
+// RunOption configures a Run invocation.
+type RunOption func(*runOpts)
+
+// WithConfig replaces the whole common Config (quantization, seed,
+// straggler policy) in one option — the bridge for callers that already
+// hold a Config value.
+func WithConfig(cfg Config) RunOption {
+	return func(o *runOpts) { o.cfg = cfg }
+}
+
+// WithDeadline bounds the whole protocol run: when it expires, every
+// party's pending Send/Recv unblocks and Run returns the deadline error.
+func WithDeadline(d time.Duration) RunOption {
+	return func(o *runOpts) { o.deadline = d }
+}
+
+// WithSeed seeds each server's private randomness (server i uses seed+i).
+func WithSeed(seed int64) RunOption {
+	return func(o *runOpts) { o.cfg.Seed = seed }
+}
+
+// WithQuantization turns on §3.3 quantization with the given additive step
+// (use comm.StepFor).
+func WithQuantization(step float64) RunOption {
+	return func(o *runOpts) { o.cfg.Quantize, o.cfg.QuantStep = true, step }
+}
+
+// WithStragglers installs the coordinator's straggler policy: a per-server
+// receive timeout, and optionally a quorum for the protocols whose
+// guarantee permits proceeding without the stragglers.
+func WithStragglers(pol StragglerPolicy) RunOption {
+	return func(o *runOpts) { o.cfg.Stragglers = pol }
+}
+
+// WithFaults runs the protocol over a FaultNetwork injecting the plan —
+// the in-process way to rehearse drops, delays, duplicates, reorderings,
+// and partitions. Combine with WithDeadline (or WithStragglers) so a lost
+// message surfaces as a timely error rather than a hang.
+func WithFaults(plan FaultPlan) RunOption {
+	return func(o *runOpts) { o.faults = &plan }
+}
+
+// WithMailboxCapacity sets the per-server mailbox capacity of the run's
+// MemNetwork (the coordinator's mailbox is capacity×s). See Mailbox for the
+// backpressure semantics.
+func WithMailboxCapacity(capacity int) RunOption {
+	return func(o *runOpts) { o.mailbox = capacity }
+}
+
+// WithMeter records the run's communication on the given meter (sharing one
+// meter across runs accumulates their totals).
+func WithMeter(meter *comm.Meter) RunOption {
+	return func(o *runOpts) { o.meter = meter }
+}
+
+// Run executes proto in-process over len(parts) simulated servers (server i
+// holding parts[i]) plus a coordinator, and returns the coordinator's
+// result with exact communication accounting. It is the single driver all
+// RunFDMerge-style wrappers delegate to.
+//
+// Run derives the protocol's Env from parts and the options, spawns one
+// goroutine per server, runs the coordinator on the calling goroutine, and
+// guarantees that any single party failure — or cancellation of ctx, or an
+// expired WithDeadline — unblocks every other party promptly.
+func Run(ctx context.Context, proto Protocol, parts []*matrix.Dense, opts ...RunOption) (*Result, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("distributed: Run(%s) with no partitions", proto.Name())
+	}
+	var o runOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.deadline)
+		defer cancel()
+	}
+	s, d := len(parts), parts[0].Cols()
+	var memOpts []MemOption
+	if o.mailbox > 0 {
+		memOpts = append(memOpts, Mailbox(o.mailbox))
+	}
+	mem := NewMemNetwork(s, o.meter, memOpts...)
+	defer mem.Close()
+	var net Network = mem
+	if o.faults != nil && !o.faults.zero() {
+		net = NewFaultNetwork(mem, *o.faults)
+	}
+	if es, ok := proto.(envSetter); ok {
+		proto = es.withEnv(Env{Servers: s, Dim: d, Config: o.cfg})
+	}
+	if v, ok := proto.(validator); ok {
+		v.validate()
+	}
+	serverFns := make([]func() error, s)
+	for i := range parts {
+		i := i
+		serverFns[i] = func() error {
+			return proto.Server(ctx, net.Node(i), parts[i])
+		}
+	}
+	res := &Result{}
+	err := runParties(ctx, net, serverFns, func() error {
+		nRounds := 1
+		if rc, ok := proto.(roundCounter); ok {
+			nRounds = rc.rounds()
+		}
+		for r := 0; r < nRounds; r++ {
+			net.Meter().AddRound()
+		}
+		out, err := proto.Coordinator(ctx, net.Coordinator())
+		if err != nil {
+			return err
+		}
+		*res = *out
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", proto.Name(), err)
+	}
+	return finish(res, net.Meter()), nil
+}

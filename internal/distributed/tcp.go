@@ -1,11 +1,13 @@
 package distributed
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/comm"
 )
@@ -15,6 +17,84 @@ import (
 // matching the paper's coordinator model): the coordinator listens, each
 // server dials in and identifies itself with a hello message, and both ends
 // then exchange comm.Message frames.
+//
+// Unlike the failure-free model the paper analyses, the transport is built
+// for real networks: dials retry with exponential backoff, every read and
+// write carries a deadline derived from the caller's context (plus the
+// optional per-operation timeouts in TCPOptions), and cancelling the
+// context aborts in-flight socket operations.
+
+// TCPOptions tunes the fault-tolerance knobs of the TCP transport. The zero
+// value means "defaults" (see withDefaults).
+type TCPOptions struct {
+	// DialTimeout bounds each individual dial attempt (default 5s).
+	DialTimeout time.Duration
+	// DialRetries is how many times a failed dial is retried before giving
+	// up (default 4; set negative for no retries).
+	DialRetries int
+	// RetryBackoff is the initial pause between dial attempts; it doubles
+	// after every failure (default 100ms).
+	RetryBackoff time.Duration
+	// ReadTimeout bounds each message read when the caller's context has no
+	// earlier deadline; 0 means no per-read timeout.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each message write when the caller's context has
+	// no earlier deadline; 0 means no per-write timeout.
+	WriteTimeout time.Duration
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.DialRetries == 0 {
+		o.DialRetries = 4
+	}
+	if o.DialRetries < 0 {
+		o.DialRetries = 0
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 100 * time.Millisecond
+	}
+	return o
+}
+
+// ioDeadline arms conn's read or write deadline from ctx and the fallback
+// per-operation timeout, and returns a release function that must run after
+// the operation: it stops the cancellation watcher and clears the deadline.
+func ioDeadline(ctx context.Context, timeout time.Duration, set func(time.Time) error) func() {
+	deadline, ok := ctx.Deadline()
+	if timeout > 0 {
+		if t := time.Now().Add(timeout); !ok || t.Before(deadline) {
+			deadline, ok = t, true
+		}
+	}
+	if ok {
+		set(deadline)
+	} else {
+		set(time.Time{})
+	}
+	// A cancel (not just a deadline) must also abort the blocked syscall:
+	// retract the deadline to the past the moment ctx is done.
+	stop := context.AfterFunc(ctx, func() { set(time.Unix(1, 0)) })
+	return func() {
+		stop()
+		set(time.Time{})
+	}
+}
+
+// wrapIOErr converts a deadline-triggered socket error into the context's
+// error when the context caused it.
+func wrapIOErr(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}
 
 // TCPCoordinator is the coordinator's hub: it accepts exactly s server
 // connections and exposes a Node whose Send routes to the right connection.
@@ -22,6 +102,7 @@ type TCPCoordinator struct {
 	s     int
 	meter *comm.Meter
 	ln    net.Listener
+	opts  TCPOptions
 
 	mu    sync.Mutex
 	conns map[int]net.Conn
@@ -35,9 +116,14 @@ type recvResult struct {
 	err error
 }
 
-// NewTCPCoordinator listens on addr (e.g. "127.0.0.1:0") for s servers.
-// Call Accept before running a protocol.
+// NewTCPCoordinator listens on addr (e.g. "127.0.0.1:0") for s servers with
+// default options. Call Accept before running a protocol.
 func NewTCPCoordinator(addr string, s int, meter *comm.Meter) (*TCPCoordinator, error) {
+	return NewTCPCoordinatorOpts(addr, s, meter, TCPOptions{})
+}
+
+// NewTCPCoordinatorOpts is NewTCPCoordinator with explicit transport options.
+func NewTCPCoordinatorOpts(addr string, s int, meter *comm.Meter, opts TCPOptions) (*TCPCoordinator, error) {
 	if s <= 0 {
 		panic(fmt.Sprintf("distributed: TCP coordinator with s=%d", s))
 	}
@@ -49,7 +135,7 @@ func NewTCPCoordinator(addr string, s int, meter *comm.Meter) (*TCPCoordinator, 
 		return nil, fmt.Errorf("distributed: listen: %w", err)
 	}
 	return &TCPCoordinator{
-		s: s, meter: meter, ln: ln,
+		s: s, meter: meter, ln: ln, opts: opts.withDefaults(),
 		conns: make(map[int]net.Conn),
 		inbox: make(chan recvResult, 16*s),
 		done:  make(chan struct{}),
@@ -63,17 +149,24 @@ func (c *TCPCoordinator) Addr() string { return c.ln.Addr().String() }
 func (c *TCPCoordinator) Meter() *comm.Meter { return c.meter }
 
 // Accept waits for all s servers to connect and identify themselves, then
-// starts the demultiplexing readers.
-func (c *TCPCoordinator) Accept() error {
+// starts the demultiplexing readers. Cancelling ctx aborts the wait.
+func (c *TCPCoordinator) Accept(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() { c.ln.Close() })
+	defer stop()
 	for len(c.conns) < c.s {
 		conn, err := c.ln.Accept()
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return fmt.Errorf("distributed: accept: %w", ctxErr)
+			}
 			return fmt.Errorf("distributed: accept: %w", err)
 		}
+		release := ioDeadline(ctx, c.opts.ReadTimeout, conn.SetReadDeadline)
 		hello, err := comm.Decode(conn)
+		release()
 		if err != nil {
 			conn.Close()
-			return fmt.Errorf("distributed: bad hello: %w", err)
+			return fmt.Errorf("distributed: bad hello: %w", wrapIOErr(ctx, err))
 		}
 		if hello.Kind != "hello" || len(hello.Ints) != 1 {
 			conn.Close()
@@ -150,24 +243,31 @@ type tcpCoordNode struct{ c *TCPCoordinator }
 
 func (n *tcpCoordNode) ID() int { return comm.CoordinatorID }
 
-func (n *tcpCoordNode) Send(to int, msg *comm.Message) error {
+func (n *tcpCoordNode) Send(ctx context.Context, to int, msg *comm.Message) error {
 	n.c.mu.Lock()
 	conn, ok := n.c.conns[to]
 	n.c.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("distributed: no connection to server %d", to)
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	msg.From, msg.To = comm.CoordinatorID, to
 	n.c.meter.Record(msg)
-	return msg.Encode(conn)
+	release := ioDeadline(ctx, n.c.opts.WriteTimeout, conn.SetWriteDeadline)
+	defer release()
+	return wrapIOErr(ctx, msg.Encode(conn))
 }
 
-func (n *tcpCoordNode) Recv() (*comm.Message, error) {
+func (n *tcpCoordNode) Recv(ctx context.Context) (*comm.Message, error) {
 	select {
 	case r := <-n.c.inbox:
 		return r.msg, r.err
 	case <-n.c.done:
 		return nil, ErrNetworkClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
 }
 
@@ -176,24 +276,52 @@ type TCPServer struct {
 	id    int
 	meter *comm.Meter
 	conn  net.Conn
+	opts  TCPOptions
 }
 
-// DialTCPServer connects server id to the coordinator at addr.
+// DialTCPServer connects server id to the coordinator at addr with default
+// options and no external cancellation.
 func DialTCPServer(addr string, id int, meter *comm.Meter) (*TCPServer, error) {
+	return DialTCPServerContext(context.Background(), addr, id, meter, TCPOptions{})
+}
+
+// DialTCPServerContext connects server id to the coordinator at addr,
+// retrying failed dials with exponential backoff (opts.DialRetries /
+// opts.RetryBackoff) — servers in a real deployment routinely start before
+// the coordinator's listener is up.
+func DialTCPServerContext(ctx context.Context, addr string, id int, meter *comm.Meter, opts TCPOptions) (*TCPServer, error) {
 	if meter == nil {
 		meter = comm.NewMeter()
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("distributed: dial %s: %w", addr, err)
+	opts = opts.withDefaults()
+	var conn net.Conn
+	var err error
+	backoff := opts.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		d := net.Dialer{Timeout: opts.DialTimeout}
+		conn, err = d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil || attempt >= opts.DialRetries {
+			return nil, fmt.Errorf("distributed: dial %s (attempt %d): %w", addr, attempt+1, err)
+		}
+		if serr := sleepCtx(ctx, backoff); serr != nil {
+			return nil, fmt.Errorf("distributed: dial %s: %w", addr, serr)
+		}
+		backoff *= 2
 	}
+	srv := &TCPServer{id: id, meter: meter, conn: conn, opts: opts}
 	hello := &comm.Message{Kind: "hello", Ints: []int64{int64(id)}}
 	hello.From, hello.To = id, comm.CoordinatorID
-	if err := hello.Encode(conn); err != nil {
+	release := ioDeadline(ctx, opts.WriteTimeout, conn.SetWriteDeadline)
+	err = hello.Encode(conn)
+	release()
+	if err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("distributed: send hello: %w", err)
+		return nil, fmt.Errorf("distributed: send hello: %w", wrapIOErr(ctx, err))
 	}
-	return &TCPServer{id: id, meter: meter, conn: conn}, nil
+	return srv, nil
 }
 
 // Meter returns the server-side meter.
@@ -207,20 +335,30 @@ func (s *TCPServer) ID() int { return s.id }
 
 // Send implements Node; only the coordinator is reachable over this
 // transport (the star topology all protocols use).
-func (s *TCPServer) Send(to int, msg *comm.Message) error {
+func (s *TCPServer) Send(ctx context.Context, to int, msg *comm.Message) error {
 	if to != comm.CoordinatorID {
 		return fmt.Errorf("distributed: TCP server can only send to the coordinator, not %d", to)
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	msg.From, msg.To = s.id, to
 	s.meter.Record(msg)
-	return msg.Encode(s.conn)
+	release := ioDeadline(ctx, s.opts.WriteTimeout, s.conn.SetWriteDeadline)
+	defer release()
+	return wrapIOErr(ctx, msg.Encode(s.conn))
 }
 
 // Recv implements Node.
-func (s *TCPServer) Recv() (*comm.Message, error) {
+func (s *TCPServer) Recv(ctx context.Context) (*comm.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	release := ioDeadline(ctx, s.opts.ReadTimeout, s.conn.SetReadDeadline)
+	defer release()
 	msg, err := comm.Decode(s.conn)
 	if err != nil {
-		return nil, err
+		return nil, wrapIOErr(ctx, err)
 	}
 	return msg, nil
 }

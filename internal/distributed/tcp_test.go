@@ -1,10 +1,12 @@
 package distributed
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/core"
@@ -16,6 +18,7 @@ import (
 // sockets: a coordinator hub and s dialing servers, exchanging framed
 // messages, with word accounting on both sides.
 func TestTCPFDMergeEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(1))
 	a := workload.LowRankPlusNoise(rng, 200, 12, 3, 20, 0.7, 0.4)
 	s := 4
@@ -41,7 +44,7 @@ func TestTCPFDMergeEndToEnd(t *testing.T) {
 				return
 			}
 			defer srv.Close()
-			if err := ServerFDMerge(srv.Node(), parts[id], eps, k, Config{}); err != nil {
+			if err := ServerFDMerge(ctx, srv.Node(), parts[id], eps, k, Config{}); err != nil {
 				serverErrs <- err
 				return
 			}
@@ -49,12 +52,15 @@ func TestTCPFDMergeEndToEnd(t *testing.T) {
 		}(i)
 	}
 
-	if err := coord.Accept(); err != nil {
+	if err := coord.Accept(ctx); err != nil {
 		t.Fatal(err)
 	}
-	sketch, err := CoordFDMerge(coord.Node(), s, 12, eps, k)
+	sketch, missing, err := CoordFDMerge(ctx, coord.Node(), s, 12, eps, k, Config{})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("unexpected stragglers: %v", missing)
 	}
 	wg.Wait()
 	close(serverErrs)
@@ -82,6 +88,7 @@ func TestTCPFDMergeEndToEnd(t *testing.T) {
 // TestTCPSVSEndToEnd runs the randomized two-round protocol over TCP,
 // exercising coordinator→server broadcast over the sockets.
 func TestTCPSVSEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(2))
 	a := workload.PowerLawSpectrum(rng, 240, 10, 0.8, 10)
 	s := 3
@@ -106,16 +113,16 @@ func TestTCPSVSEndToEnd(t *testing.T) {
 				return
 			}
 			defer srv.Close()
-			if err := ServerSVS(srv.Node(), parts[id], s, alpha, 0.1, false, Config{Seed: 7}); err != nil {
+			if err := ServerSVS(ctx, srv.Node(), parts[id], s, alpha, 0.1, SampleQuadratic, Config{Seed: 7}); err != nil {
 				serverErrs <- err
 			}
 		}(i)
 	}
 
-	if err := coord.Accept(); err != nil {
+	if err := coord.Accept(ctx); err != nil {
 		t.Fatal(err)
 	}
-	sketch, err := CoordSVS(coord.Node(), s)
+	sketch, err := CoordSVS(ctx, coord.Node(), s, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +140,142 @@ func TestTCPSVSEndToEnd(t *testing.T) {
 	}
 }
 
+// TestTCPProtocolValueDrivesBothRoles runs the same Protocol struct value
+// through the two direct-TCP roles — the deployment path cmd/distsketch
+// uses — and checks the context-aware dialer against a live coordinator.
+func TestTCPProtocolValueDrivesBothRoles(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rng := rand.New(rand.NewSource(4))
+	a := workload.LowRankPlusNoise(rng, 160, 10, 2, 20, 0.7, 0.4)
+	s := 3
+	parts := workload.Split(a, s, workload.Contiguous, nil)
+	proto := Adaptive{
+		AdaptiveParams: AdaptiveParams{Eps: 0.25, K: 2},
+		Env:            Env{Servers: s, Dim: 10},
+	}
+
+	coord, err := NewTCPCoordinator("127.0.0.1:0", s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	var wg sync.WaitGroup
+	serverErrs := make(chan error, s)
+	for i := 0; i < s; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			srv, err := DialTCPServerContext(ctx, coord.Addr(), id, nil, TCPOptions{})
+			if err != nil {
+				serverErrs <- err
+				return
+			}
+			defer srv.Close()
+			sp := proto
+			sp.Env.Config.Seed = int64(id)
+			if err := sp.Server(ctx, srv.Node(), parts[id]); err != nil {
+				serverErrs <- err
+			}
+		}(i)
+	}
+
+	if err := coord.Accept(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := proto.Coordinator(ctx, coord.Node())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(serverErrs)
+	for err := range serverErrs {
+		t.Fatal(err)
+	}
+	ok, ce, bound, err := core.IsEpsKSketch(a, res.Sketch, 3*0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("TCP adaptive sketch error %v > %v", ce, bound)
+	}
+}
+
+// TestTCPDialRetriesUntilListen starts the dialer before the coordinator
+// exists: the context-aware dialer must retry with backoff and connect once
+// the listener appears, instead of failing on the first refused connection.
+func TestTCPDialRetriesUntilListen(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Reserve an address, then free it so the dialer races a dead port.
+	probe, err := NewTCPCoordinator("127.0.0.1:0", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr()
+	probe.Close()
+
+	dialErr := make(chan error, 1)
+	connected := make(chan *TCPServer, 1)
+	go func() {
+		srv, err := DialTCPServerContext(ctx, addr, 0, nil, TCPOptions{})
+		if err != nil {
+			dialErr <- err
+			return
+		}
+		connected <- srv
+	}()
+
+	// Give the dialer time to hit the refused port at least once.
+	time.Sleep(200 * time.Millisecond)
+	coord, err := NewTCPCoordinator(addr, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if err := coord.Accept(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-dialErr:
+		t.Fatalf("dialer gave up: %v", err)
+	case srv := <-connected:
+		srv.Close()
+	case <-ctx.Done():
+		t.Fatal("dialer never connected")
+	}
+}
+
+// TestTCPDialContextCancelled checks the retrying dialer aborts promptly
+// with the context error when nothing ever listens.
+func TestTCPDialContextCancelled(t *testing.T) {
+	// Reserve-and-release a port so nothing is listening there.
+	probe, err := NewTCPCoordinator("127.0.0.1:0", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr()
+	probe.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = DialTCPServerContext(ctx, addr, 0, nil, TCPOptions{})
+	if err == nil {
+		t.Fatal("expected dial failure with nothing listening")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled dial took %v", elapsed)
+	}
+}
+
 func TestTCPServerRestrictions(t *testing.T) {
+	ctx := context.Background()
 	coord, err := NewTCPCoordinator("127.0.0.1:0", 1, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -148,19 +290,19 @@ func TestTCPServerRestrictions(t *testing.T) {
 		}
 		defer srv.Close()
 		// Server-to-server sends are rejected in the star topology.
-		if err := srv.Send(1, &comm.Message{Kind: "x"}); err == nil {
+		if err := srv.Send(ctx, 1, &comm.Message{Kind: "x"}); err == nil {
 			done <- errors.New("expected star-topology error")
 			return
 		}
-		done <- srv.Send(comm.CoordinatorID, &comm.Message{Kind: "ping", Matrix: matrix.New(1, 1)})
+		done <- srv.Send(ctx, comm.CoordinatorID, &comm.Message{Kind: "ping", Matrix: matrix.New(1, 1)})
 	}()
-	if err := coord.Accept(); err != nil {
+	if err := coord.Accept(ctx); err != nil {
 		t.Fatal(err)
 	}
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
-	msg, err := coord.Node().Recv()
+	msg, err := coord.Node().Recv(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +324,7 @@ func TestTCPBadHello(t *testing.T) {
 			srv.Close()
 		}
 	}()
-	if err := coord.Accept(); err == nil {
+	if err := coord.Accept(context.Background()); err == nil {
 		t.Fatal("expected hello rejection")
 	}
 }

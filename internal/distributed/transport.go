@@ -6,41 +6,108 @@
 // Each protocol is split into a server side and a coordinator side operating
 // on the Node interface, so the same protocol code runs in-process over
 // channels (MemNetwork, used by tests and benchmarks) and across machines
-// over TCP (cmd/distsketch).
+// over TCP (cmd/distsketch). Unlike the paper's failure-free blackboard
+// model, the runtime is context-aware end to end: every Send/Recv takes a
+// context.Context, cancellation unblocks all parties, the coordinator can
+// bound how long it waits for stragglers (StragglerPolicy), and any network
+// can be wrapped in a FaultNetwork to inject drops, delays, duplicates,
+// reorderings, and partitions deterministically.
 package distributed
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/matrix"
 )
 
 // Node is one endpoint's view of the network: it can send a message to any
-// endpoint and receive messages addressed to itself in FIFO order.
+// endpoint and receive messages addressed to itself in FIFO order. Both
+// operations honour context cancellation and deadlines.
 type Node interface {
 	// ID returns this endpoint's ID (comm.CoordinatorID for the coordinator).
 	ID() int
 	// Send delivers msg to endpoint `to`. The message's From/To fields are
-	// filled in by the transport.
-	Send(to int, msg *comm.Message) error
-	// Recv blocks until a message addressed to this endpoint arrives.
-	Recv() (*comm.Message, error)
+	// filled in by the transport. Send blocks while the destination's mailbox
+	// is full (backpressure) and returns early with the context's error when
+	// ctx is cancelled or its deadline passes.
+	Send(ctx context.Context, to int, msg *comm.Message) error
+	// Recv blocks until a message addressed to this endpoint arrives, the
+	// network closes, or ctx is done.
+	Recv(ctx context.Context) (*comm.Message, error)
+}
+
+// Network is a set of endpoints the runtime can drive a protocol over:
+// MemNetwork, or a FaultNetwork wrapping it.
+type Network interface {
+	// Node returns the endpoint with the given ID.
+	Node(id int) Node
+	// Coordinator returns the coordinator endpoint.
+	Coordinator() Node
+	// Servers returns the number of servers s.
+	Servers() int
+	// Meter returns the shared communication meter.
+	Meter() *comm.Meter
+	// Close shuts the network down, unblocking every pending Send and Recv.
+	Close()
 }
 
 // ErrNetworkClosed is returned by Recv after the network shuts down.
 var ErrNetworkClosed = errors.New("distributed: network closed")
 
+// ErrStraggler is returned (wrapped) when a gather times out waiting for a
+// server under a StragglerPolicy and the quorum is not met.
+var ErrStraggler = errors.New("distributed: straggler timeout")
+
+// StragglerPolicy bounds how long the coordinator waits for each server
+// during a gather, and how it proceeds when servers miss the deadline.
+type StragglerPolicy struct {
+	// Timeout is the maximum time the coordinator waits for each expected
+	// message; 0 waits indefinitely (until the context is done).
+	Timeout time.Duration
+	// Quorum is the minimum number of servers that must respond before a
+	// quorum-tolerant protocol proceeds without the stragglers; 0 requires
+	// all s servers (fail-fast). Quorum is honoured only by protocols whose
+	// guarantee permits a partial merge (FD merge: the output then sketches
+	// the responsive servers' rows, reported via Result.Missing); everywhere
+	// else a straggler timeout is an error.
+	Quorum int
+}
+
+// DefaultMailbox is the per-endpoint mailbox capacity used when none is
+// configured. Protocol rounds are lockstep, so a server mailbox never holds
+// more than a few messages; the coordinator mailbox is sized per-server by
+// the constructor (capacity × s).
+const DefaultMailbox = 16
+
+// MemOption configures a MemNetwork.
+type MemOption func(*MemNetwork)
+
+// Mailbox sets the per-server mailbox capacity; the coordinator's mailbox is
+// capacity×s since all servers send to it. When a mailbox is full, Send
+// blocks (backpressure) until the receiver drains it, the context is done,
+// or the network closes — it never drops messages.
+func Mailbox(capacity int) MemOption {
+	return func(n *MemNetwork) {
+		if capacity > 0 {
+			n.mailbox = capacity
+		}
+	}
+}
+
 // MemNetwork is an in-process network of s servers plus a coordinator,
 // backed by buffered channels, with all sends metered. Closing the network
-// (which runParties does on the first party error) unblocks every pending
-// Send and Recv with ErrNetworkClosed, so a failing protocol can never
-// deadlock its peers.
+// (which runParties does on the first party error or context cancellation)
+// unblocks every pending Send and Recv with ErrNetworkClosed, so a failing
+// protocol can never deadlock its peers.
 type MemNetwork struct {
-	s     int
-	meter *comm.Meter
+	s       int
+	meter   *comm.Meter
+	mailbox int
 
 	closeOnce sync.Once
 	done      chan struct{}
@@ -48,17 +115,20 @@ type MemNetwork struct {
 }
 
 // NewMemNetwork creates a network with servers 0..s-1 and a coordinator.
-func NewMemNetwork(s int, meter *comm.Meter) *MemNetwork {
+func NewMemNetwork(s int, meter *comm.Meter, opts ...MemOption) *MemNetwork {
 	if s <= 0 {
 		panic(fmt.Sprintf("distributed: NewMemNetwork with s=%d", s))
 	}
 	if meter == nil {
 		meter = comm.NewMeter()
 	}
-	n := &MemNetwork{s: s, meter: meter, done: make(chan struct{}), boxes: make(map[int]chan *comm.Message)}
-	n.boxes[comm.CoordinatorID] = make(chan *comm.Message, 16*s)
+	n := &MemNetwork{s: s, meter: meter, mailbox: DefaultMailbox, done: make(chan struct{}), boxes: make(map[int]chan *comm.Message)}
+	for _, opt := range opts {
+		opt(n)
+	}
+	n.boxes[comm.CoordinatorID] = make(chan *comm.Message, n.mailbox*s)
 	for i := 0; i < s; i++ {
-		n.boxes[i] = make(chan *comm.Message, 64)
+		n.boxes[i] = make(chan *comm.Message, n.mailbox)
 	}
 	return n
 }
@@ -68,6 +138,9 @@ func (n *MemNetwork) Servers() int { return n.s }
 
 // Meter returns the shared communication meter.
 func (n *MemNetwork) Meter() *comm.Meter { return n.meter }
+
+// MailboxCapacity returns the per-server mailbox capacity.
+func (n *MemNetwork) MailboxCapacity() int { return n.mailbox }
 
 // Node returns the endpoint with the given ID.
 func (n *MemNetwork) Node(id int) Node {
@@ -93,10 +166,13 @@ type memNode struct {
 
 func (m *memNode) ID() int { return m.id }
 
-func (m *memNode) Send(to int, msg *comm.Message) error {
+func (m *memNode) Send(ctx context.Context, to int, msg *comm.Message) error {
 	box, ok := m.net.boxes[to]
 	if !ok {
 		return fmt.Errorf("distributed: send to unknown endpoint %d", to)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	select {
 	case <-m.net.done:
@@ -110,10 +186,12 @@ func (m *memNode) Send(to int, msg *comm.Message) error {
 		return nil
 	case <-m.net.done:
 		return ErrNetworkClosed
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
-func (m *memNode) Recv() (*comm.Message, error) {
+func (m *memNode) Recv(ctx context.Context) (*comm.Message, error) {
 	select {
 	case msg := <-m.net.boxes[m.id]:
 		return msg, nil
@@ -125,6 +203,8 @@ func (m *memNode) Recv() (*comm.Message, error) {
 		default:
 			return nil, ErrNetworkClosed
 		}
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
 }
 
@@ -137,6 +217,10 @@ type Result struct {
 	Gram *matrix.Dense
 	// PCs holds the top-k right singular vectors (d×k) for PCA protocols.
 	PCs *matrix.Dense
+	// Missing lists the servers that missed the straggler deadline when a
+	// quorum policy let the protocol proceed without them; empty on full
+	// participation.
+	Missing []int
 	// Words is the total communication cost of the run in machine words.
 	Words float64
 	// Bits is the same cost in bits.
@@ -149,9 +233,12 @@ type Result struct {
 
 // runParties runs each server function in its own goroutine and the
 // coordinator function in the calling goroutine, returning the first error.
-// When any party fails, the network is closed so the others unblock instead
-// of deadlocking mid-protocol.
-func runParties(net *MemNetwork, serverFns []func() error, coordFn func() error) error {
+// When any party fails — or ctx is cancelled or passes its deadline — the
+// network is closed so the others unblock instead of deadlocking
+// mid-protocol.
+func runParties(ctx context.Context, net Network, serverFns []func() error, coordFn func() error) error {
+	stop := context.AfterFunc(ctx, net.Close)
+	defer stop()
 	errs := make(chan error, len(serverFns))
 	var wg sync.WaitGroup
 	for _, fn := range serverFns {
@@ -170,21 +257,31 @@ func runParties(net *MemNetwork, serverFns []func() error, coordFn func() error)
 	}
 	wg.Wait()
 	close(errs)
-	// Report the root cause: ErrNetworkClosed is the symptom a party sees
-	// when another party failed first, so prefer any other error.
+	// Report the root cause: ErrNetworkClosed (or a context error observed
+	// by a party after the network died) is the symptom of another party
+	// failing first, so prefer any other error; when the context itself is
+	// done, it is the root cause.
+	secondary := func(err error) bool {
+		return errors.Is(err, ErrNetworkClosed) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	}
 	var fallback error = coordErr
-	if coordErr != nil && !errors.Is(coordErr, ErrNetworkClosed) {
+	if coordErr != nil && !secondary(coordErr) {
 		return coordErr
 	}
 	for err := range errs {
 		if err == nil {
 			continue
 		}
-		if !errors.Is(err, ErrNetworkClosed) {
+		if !secondary(err) {
 			return err
 		}
 		if fallback == nil {
 			fallback = err
+		}
+	}
+	if fallback != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return fmt.Errorf("distributed: protocol aborted: %w", ctxErr)
 		}
 	}
 	return fallback
@@ -192,35 +289,70 @@ func runParties(net *MemNetwork, serverFns []func() error, coordFn func() error)
 
 // gather receives exactly one message of the given kind from every server,
 // returning them indexed by server ID. Messages of other kinds are an error
-// (protocols are lockstep).
-func gather(node Node, s int, kind string) ([]*comm.Message, error) {
+// (protocols are lockstep). Under a StragglerPolicy with a timeout, each
+// receive waits at most pol.Timeout; when the timeout fires and partialOK
+// is set with pol.Quorum met, gather returns the partial results with the
+// missing servers listed (their entries are nil) — otherwise the timeout is
+// an ErrStraggler.
+func gather(ctx context.Context, node Node, s int, kind string, pol StragglerPolicy, partialOK bool) (msgs []*comm.Message, missing []int, err error) {
 	out := make([]*comm.Message, s)
-	for seen := 0; seen < s; {
-		msg, err := node.Recv()
+	seen := 0
+	for seen < s {
+		msg, err := recvPolicy(ctx, node, pol.Timeout)
 		if err != nil {
-			return nil, err
+			if errors.Is(err, ErrStraggler) && partialOK && pol.Quorum > 0 && seen >= pol.Quorum {
+				for i := 0; i < s; i++ {
+					if out[i] == nil {
+						missing = append(missing, i)
+					}
+				}
+				return out, missing, nil
+			}
+			return nil, nil, err
 		}
 		if msg.Kind != kind {
-			return nil, fmt.Errorf("distributed: expected %q message, got %q from %d", kind, msg.Kind, msg.From)
+			return nil, nil, fmt.Errorf("distributed: expected %q message, got %q from %d", kind, msg.Kind, msg.From)
 		}
 		if msg.From < 0 || msg.From >= s {
-			return nil, fmt.Errorf("distributed: message from unexpected endpoint %d", msg.From)
+			return nil, nil, fmt.Errorf("distributed: message from unexpected endpoint %d", msg.From)
 		}
 		if out[msg.From] != nil {
-			return nil, fmt.Errorf("distributed: duplicate %q message from %d", kind, msg.From)
+			return nil, nil, fmt.Errorf("distributed: duplicate %q message from %d", kind, msg.From)
 		}
 		out[msg.From] = msg
 		seen++
 	}
-	return out, nil
+	return out, nil, nil
+}
+
+// gatherAll is the strict form of gather: every server must respond within
+// the policy's per-server timeout or the gather fails.
+func gatherAll(ctx context.Context, node Node, s int, kind string, pol StragglerPolicy) ([]*comm.Message, error) {
+	msgs, _, err := gather(ctx, node, s, kind, pol, false)
+	return msgs, err
+}
+
+// recvPolicy is Recv bounded by an optional per-message timeout.
+func recvPolicy(ctx context.Context, node Node, timeout time.Duration) (*comm.Message, error) {
+	if timeout <= 0 {
+		return node.Recv(ctx)
+	}
+	tctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	msg, err := node.Recv(tctx)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+		// The per-message timer fired, not the protocol deadline.
+		return nil, fmt.Errorf("%w after %v", ErrStraggler, timeout)
+	}
+	return msg, err
 }
 
 // broadcast sends msg (same payload) to every server, point-to-point —
 // costing s times the message size, as in the message-passing model.
-func broadcast(node Node, s int, msg *comm.Message) error {
+func broadcast(ctx context.Context, node Node, s int, msg *comm.Message) error {
 	for i := 0; i < s; i++ {
 		m := *msg // shallow copy; payload slices are shared read-only
-		if err := node.Send(i, &m); err != nil {
+		if err := node.Send(ctx, i, &m); err != nil {
 			return err
 		}
 	}
@@ -228,8 +360,8 @@ func broadcast(node Node, s int, msg *comm.Message) error {
 }
 
 // expectKind receives one message and checks its kind.
-func expectKind(node Node, kind string) (*comm.Message, error) {
-	msg, err := node.Recv()
+func expectKind(ctx context.Context, node Node, kind string) (*comm.Message, error) {
+	msg, err := node.Recv(ctx)
 	if err != nil {
 		return nil, err
 	}
