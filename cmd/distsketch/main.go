@@ -46,6 +46,7 @@ type options struct {
 	seed     int64
 	timeout  time.Duration
 	verify   string
+	parallel int
 }
 
 func main() {
@@ -64,8 +65,12 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "random seed")
 	flag.DurationVar(&o.timeout, "timeout", 0, "overall run deadline and per-server straggler timeout (0 = none)")
 	flag.StringVar(&o.verify, "verify", "", "optional: matrix file to verify the sketch against (coordinator)")
+	flag.IntVar(&o.parallel, "parallel", 0, "compute worker pool width for local kernels (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	if o.parallel > 0 {
+		distsketch.SetParallelism(o.parallel)
+	}
 	ctx := context.Background()
 	if o.timeout > 0 {
 		var cancel context.CancelFunc
@@ -91,7 +96,7 @@ func main() {
 // buildProtocol turns the flags into a Protocol value with its Env filled
 // in; the same value serves both roles.
 func (o options) buildProtocol() (distsketch.Protocol, error) {
-	cfg := distsketch.Config{Seed: o.seed}
+	cfg := distsketch.Config{Seed: o.seed, Parallelism: o.parallel}
 	if o.timeout > 0 {
 		cfg.Stragglers.Timeout = o.timeout
 	}

@@ -31,6 +31,8 @@ func main() {
 		k          = flag.Int("k", 5, "rank parameter")
 		eps        = flag.Float64("eps", 0.1, "accuracy epsilon")
 		format     = flag.String("format", "text", "output format: text or csv")
+		par        = flag.Int("parallel", 0, "compute worker pool width (0 = GOMAXPROCS)")
+		baseline   = flag.String("baseline", "", "write a JSON timing/words baseline (table1+table2) to this file and exit")
 	)
 	flag.Parse()
 	csvOut = *format == "csv"
@@ -38,11 +40,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sketchbench: unknown format %q\n", *format)
 		os.Exit(1)
 	}
-	cfg := bench.Config{Seed: *seed, N: *n, D: *d, S: *s, K: *k, Eps: *eps}
+	cfg := bench.Config{Seed: *seed, N: *n, D: *d, S: *s, K: *k, Eps: *eps, Parallel: *par}
+	if *baseline != "" {
+		if err := writeBaseline(*baseline, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "sketchbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(strings.ToLower(*experiment), cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "sketchbench:", err)
 		os.Exit(1)
 	}
+}
+
+func writeBaseline(path string, cfg bench.Config) error {
+	b, err := bench.CollectBaseline(cfg)
+	if err != nil {
+		return err
+	}
+	out, err := b.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("baseline written to %s (%d experiments, pool width %d)\n", path, len(b.Experiments), b.PoolWorkers)
+	return nil
 }
 
 func run(experiment string, cfg bench.Config) error {

@@ -22,8 +22,19 @@ import (
 	"repro/internal/core"
 	"repro/internal/distributed"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 	"repro/internal/pca"
 )
+
+// SetParallelism sets the width of the process-wide compute worker pool
+// shared by every kernel (FD shrinks, SVDs, matrix products); n <= 0 resets
+// to GOMAXPROCS. Parallelism only affects local compute speed — metered
+// communication word counts are identical at every width. Per-run callers
+// can use WithParallelism instead.
+func SetParallelism(n int) { parallel.SetWorkers(n) }
+
+// Parallelism returns the current compute worker pool width.
+func Parallelism() int { return parallel.Workers() }
 
 // Dense is the row-major dense matrix all protocols consume and produce.
 type Dense = matrix.Dense
@@ -140,6 +151,7 @@ var (
 	WithFaults          = distributed.WithFaults
 	WithMailboxCapacity = distributed.WithMailboxCapacity
 	WithMeter           = distributed.WithMeter
+	WithParallelism     = distributed.WithParallelism
 )
 
 // Named single-protocol wrappers, for callers that prefer a function per

@@ -23,6 +23,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/lowerbound"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 	"repro/internal/pca"
 	"repro/internal/workload"
 )
@@ -35,6 +36,18 @@ type Config struct {
 	S    int     // servers
 	K    int     // rank parameter
 	Eps  float64 // accuracy
+	// Parallel sets the compute worker pool width for the run's kernels
+	// (0 leaves the process-wide pool untouched, i.e. GOMAXPROCS).
+	// Parallelism never changes measured communication words.
+	Parallel int
+}
+
+// applyParallel installs the config's pool width, if any; every experiment
+// entry point calls it so the knob threads uniformly through the harness.
+func (c Config) applyParallel() {
+	if c.Parallel > 0 {
+		parallel.SetWorkers(c.Parallel)
+	}
 }
 
 // DefaultConfig returns the workload used by the headline tables.
@@ -101,6 +114,7 @@ func covRow(exp, algo string, cfg Config, a, sketch *matrix.Dense, words, theory
 // guarantee checks for both error regimes, all four algorithm rows plus the
 // deterministic lower bound.
 func Table1(cfg Config) ([]Row, error) {
+	cfg.applyParallel()
 	a, parts := makeLowRank(cfg)
 	p := lowerbound.Params{S: cfg.S, D: cfg.D, K: 0, Eps: cfg.Eps, Delta: 0.1}
 	pk := lowerbound.Params{S: cfg.S, D: cfg.D, K: cfg.K, Eps: cfg.Eps, Delta: 0.1}
@@ -175,6 +189,7 @@ func Table1(cfg Config) ([]Row, error) {
 // quality ratio for the [5]-substitute baseline, the Theorem 9 algorithms,
 // and the FD-merge PCA baseline.
 func Table2(cfg Config) ([]Row, error) {
+	cfg.applyParallel()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	a := workload.ClusteredGaussians(rng, cfg.N, cfg.D, cfg.K, 40, 1.0)
 	parts := workload.Split(a, cfg.S, workload.Contiguous, nil)

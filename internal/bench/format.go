@@ -2,10 +2,68 @@ package bench
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
+
+	"repro/internal/parallel"
 )
+
+// Baseline captures one harness run for committing as a regression baseline
+// (e.g. BENCH_PR2.json): the workload config, the compute pool width, and
+// per-experiment wall-clock plus measured rows. Words are exact and must not
+// move across parallelism changes; wall-clock is machine-dependent context.
+type Baseline struct {
+	Config      Config               `json:"config"`
+	GoMaxProcs  int                  `json:"gomaxprocs"`
+	PoolWorkers int                  `json:"pool_workers"`
+	Experiments []BaselineExperiment `json:"experiments"`
+}
+
+// BaselineExperiment is one experiment's timing and rows inside a Baseline.
+type BaselineExperiment struct {
+	Name      string  `json:"name"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Rows      []Row   `json:"rows"`
+}
+
+// CollectBaseline runs the headline experiments (Table 1 and Table 2) under
+// cfg, timing each, and returns the result for serialization.
+func CollectBaseline(cfg Config) (*Baseline, error) {
+	cfg.applyParallel()
+	b := &Baseline{Config: cfg, GoMaxProcs: runtime.GOMAXPROCS(0), PoolWorkers: parallel.Workers()}
+	for _, exp := range []struct {
+		name string
+		fn   func(Config) ([]Row, error)
+	}{
+		{"table1", Table1},
+		{"table2", Table2},
+	} {
+		start := time.Now()
+		rows, err := exp.fn(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("baseline %s: %w", exp.name, err)
+		}
+		b.Experiments = append(b.Experiments, BaselineExperiment{
+			Name:      exp.name,
+			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+			Rows:      rows,
+		})
+	}
+	return b, nil
+}
+
+// JSON renders the baseline with stable indentation for committing.
+func (b *Baseline) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
 
 // RowsCSV renders rows as CSV with a header, for piping into plotting
 // tools.

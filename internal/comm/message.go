@@ -16,9 +16,19 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"repro/internal/matrix"
 )
+
+// encodeBufs recycles the frame-assembly buffers of Encode: protocols send
+// one framed message per round per party, and without pooling every send
+// allocates (and grows) a fresh buffer the size of the sketch.
+var encodeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// frameBufs recycles Decode's frame slices; entries are *[]byte so the pool
+// stores a pointer-sized value.
+var frameBufs = sync.Pool{New: func() any { return new([]byte) }}
 
 // CoordinatorID is the conventional endpoint ID of the coordinator.
 const CoordinatorID = -1
@@ -71,12 +81,16 @@ const (
 	fieldEnd       = uint8(0)
 )
 
-// Encode serializes the message to w (little-endian framing).
+// Encode serializes the message to w (little-endian framing). Frame
+// assembly uses a pooled buffer, so steady-state encoding does not allocate
+// per message.
 func (m *Message) Encode(w io.Writer) error {
-	var buf bytes.Buffer
+	buf := encodeBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer encodeBufs.Put(buf)
 	write := func(v any) {
 		// bytes.Buffer writes never fail.
-		_ = binary.Write(&buf, binary.LittleEndian, v)
+		_ = binary.Write(buf, binary.LittleEndian, v)
 	}
 	write(msgMagic)
 	kind := []byte(m.Kind)
@@ -135,7 +149,9 @@ func (m *Message) Encode(w io.Writer) error {
 // maxFrameBytes bounds a single message frame (1 GiB).
 const maxFrameBytes = 1 << 30
 
-// Decode reads one message from r.
+// Decode reads one message from r. The frame is staged in a pooled buffer
+// (all decoded payloads are copied out of it), so steady-state decoding
+// allocates only the message's own payload slices.
 func Decode(r io.Reader) (*Message, error) {
 	var frameLen uint32
 	if err := binary.Read(r, binary.LittleEndian, &frameLen); err != nil {
@@ -144,7 +160,12 @@ func Decode(r io.Reader) (*Message, error) {
 	if frameLen > maxFrameBytes {
 		return nil, fmt.Errorf("comm: frame of %d bytes exceeds limit", frameLen)
 	}
-	frame := make([]byte, frameLen)
+	fp := frameBufs.Get().(*[]byte)
+	defer frameBufs.Put(fp)
+	if cap(*fp) < int(frameLen) {
+		*fp = make([]byte, frameLen)
+	}
+	frame := (*fp)[:frameLen]
 	if _, err := io.ReadFull(r, frame); err != nil {
 		return nil, fmt.Errorf("comm: read frame: %w", err)
 	}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// A rank-deficient input leaves trailing singular values at exactly zero.
+// The i.i.d. sampler's CDF walk must never select one of those indices
+// (probability p_j = 0 would yield a 0/√0 = NaN row), no matter how
+// floating-point rounding places cum[lastPositive] relative to the draw.
+func TestIIDRowSampleAggregatedRankDeficient(t *testing.T) {
+	const d, rank, m = 16, 3, 500
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		// Only the first `rank` columns are nonzero, with widely spread
+		// magnitudes so the CDF accumulates real rounding error.
+		a := matrix.New(40, d)
+		for i := 0; i < a.Rows(); i++ {
+			row := a.Row(i)
+			for j := 0; j < rank; j++ {
+				row[j] = rng.NormFloat64() * math.Pow(10, float64(j-1))
+			}
+		}
+		b, err := IIDRowSampleAggregated(a, m, rng)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if b.Rows() != m {
+			t.Fatalf("seed %d: got %d rows, want %d", seed, b.Rows(), m)
+		}
+		for i := 0; i < b.Rows(); i++ {
+			for _, v := range b.Row(i) {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("seed %d: non-finite entry in sampled row %d", seed, i)
+				}
+			}
+		}
+	}
+}
+
+// The zero matrix (total mass 0) must come back as an empty sketch, not a
+// division by zero.
+func TestIIDRowSampleAggregatedZeroMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b, err := IIDRowSampleAggregated(matrix.New(10, 6), 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rows() != 0 || b.Cols() != 6 {
+		t.Fatalf("zero input: got %dx%d, want 0x6", b.Rows(), b.Cols())
+	}
+}

@@ -69,12 +69,20 @@ func IIDRowSampleAggregated(a *matrix.Dense, m int, rng *rand.Rand) (*matrix.Den
 	if total == 0 || m <= 0 {
 		return matrix.New(0, d), nil
 	}
-	// Cumulative distribution over singular indices.
+	// Cumulative distribution over singular indices. Zero singular values
+	// carry no mass, so the last index with positive mass is the largest
+	// the sampler may legally return: floating-point rounding can leave
+	// cum[lastPos] a hair below 1, and without the clamp below a draw in
+	// that gap would select a zero singular value and emit a 0/√0 = NaN row.
 	cum := make([]float64, len(svd.Sigma))
 	run := 0.0
+	lastPos := -1
 	for j, s := range svd.Sigma {
 		run += s * s / total
 		cum[j] = run
+		if s > 0 {
+			lastPos = j // sigma is sorted, so zeros only trail
+		}
 	}
 	out := matrix.New(m, d)
 	for i := 0; i < m; i++ {
@@ -82,6 +90,9 @@ func IIDRowSampleAggregated(a *matrix.Dense, m int, rng *rand.Rand) (*matrix.Den
 		j := 0
 		for j < len(cum)-1 && cum[j] < u {
 			j++
+		}
+		if j > lastPos {
+			j = lastPos // rounding walked past the positive-mass prefix
 		}
 		p := svd.Sigma[j] * svd.Sigma[j] / total
 		// Rescale by σ_j/√(m·p) so that E[Σ rows] = AᵀA.

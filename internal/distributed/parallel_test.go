@@ -1,0 +1,69 @@
+package distributed
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// Parallelism is a local-compute knob only: rerunning a protocol at a
+// different pool width must move zero communication words, and the
+// deterministic protocols must produce the identical sketch.
+func TestParallelismDoesNotChangeWords(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	_, parts := split(t, 3, 512, 24, 4)
+	ctx := context.Background()
+
+	type runner struct {
+		name string
+		fn   func(cfg Config) (*Result, error)
+	}
+	runners := []runner{
+		{"fd-merge", func(cfg Config) (*Result, error) {
+			return RunFDMerge(ctx, parts, 0.2, 2, cfg)
+		}},
+		{"svs", func(cfg Config) (*Result, error) {
+			return RunSVS(ctx, parts, 0.2, 0.1, SampleQuadratic, cfg)
+		}},
+		{"row-sampling", func(cfg Config) (*Result, error) {
+			return RunRowSampling(ctx, parts, 0.2, cfg)
+		}},
+		{"adaptive", func(cfg Config) (*Result, error) {
+			return RunAdaptive(ctx, parts, AdaptiveParams{Eps: 0.2, K: 2}, cfg)
+		}},
+	}
+	for _, r := range runners {
+		serial, err := r.fn(Config{Seed: 7, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%s at width 1: %v", r.name, err)
+		}
+		wide, err := r.fn(Config{Seed: 7, Parallelism: 4})
+		if err != nil {
+			t.Fatalf("%s at width 4: %v", r.name, err)
+		}
+		if serial.Words != wide.Words {
+			t.Errorf("%s: words moved with pool width: %v (w=1) vs %v (w=4)",
+				r.name, serial.Words, wide.Words)
+		}
+		if serial.Sketch != nil && wide.Sketch != nil {
+			if serial.Sketch.Rows() != wide.Sketch.Rows() || serial.Sketch.Cols() != wide.Sketch.Cols() {
+				t.Errorf("%s: sketch shape moved with pool width", r.name)
+			}
+		}
+	}
+}
+
+// WithParallelism must install the requested pool width for the run.
+func TestWithParallelismSetsPool(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	_, parts := split(t, 5, 256, 16, 2)
+	parallel.SetWorkers(1)
+	if _, err := Run(context.Background(), FDMerge{Eps: 0.25, K: 0}, parts,
+		WithSeed(1), WithParallelism(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := parallel.Workers(); got != 3 {
+		t.Fatalf("pool width after WithParallelism(3) run = %d", got)
+	}
+}

@@ -28,6 +28,11 @@ type Config struct {
 	// Stragglers bounds how long the coordinator waits for each server and
 	// whether quorum-tolerant protocols may proceed without stragglers.
 	Stragglers StragglerPolicy
+	// Parallelism sets the process-wide compute worker pool width before
+	// the run (0 leaves the pool unchanged; the default width is
+	// GOMAXPROCS). It only affects local kernel speed — communication word
+	// counts and protocol transcripts are identical at every width.
+	Parallelism int
 }
 
 // sendMatrix transmits m under the config's quantization policy.

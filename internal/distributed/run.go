@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 )
 
 // runOpts collects the cross-cutting options of a Run invocation.
@@ -73,6 +74,16 @@ func WithMeter(meter *comm.Meter) RunOption {
 	return func(o *runOpts) { o.meter = meter }
 }
 
+// WithParallelism sets the process-wide compute worker pool to n before the
+// run (n <= 0 leaves the pool at its current width, GOMAXPROCS by default).
+// The pool accelerates local kernels only — FD shrinks, SVDs, matrix
+// products — and never changes metered communication: word counts are
+// identical at every width. The setting is process-global and persists
+// after the run.
+func WithParallelism(n int) RunOption {
+	return func(o *runOpts) { o.cfg.Parallelism = n }
+}
+
 // Run executes proto in-process over len(parts) simulated servers (server i
 // holding parts[i]) plus a coordinator, and returns the coordinator's
 // result with exact communication accounting. It is the single driver all
@@ -89,6 +100,9 @@ func Run(ctx context.Context, proto Protocol, parts []*matrix.Dense, opts ...Run
 	var o runOpts
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.cfg.Parallelism > 0 {
+		parallel.SetWorkers(o.cfg.Parallelism)
 	}
 	if o.deadline > 0 {
 		var cancel context.CancelFunc

@@ -35,8 +35,10 @@ type Sketch struct {
 	ell        int
 	bufferRows int
 	method     SVDMethod
+	seed       int64
 	rng        *rand.Rand
 	buf        *matrix.Dense
+	ws         linalg.SVDWorkspace // reused across shrinks (no per-shrink allocs)
 	used       int
 
 	shrinks    int
@@ -80,10 +82,13 @@ func (m SVDMethod) String() string {
 
 // Options configures a Sketch beyond the required (d, ℓ).
 type Options struct {
-	// BufferRows sets the in-memory buffer size; values < ℓ+1 (including 0)
-	// default to 2ℓ. Larger buffers mean fewer, larger SVDs with identical
-	// guarantees; ℓ+1 reproduces Liberty's original one-row-at-a-time shrink
-	// schedule.
+	// BufferRows sets the in-memory buffer size. 0 selects the default 2ℓ
+	// (at least ℓ+1); any other value must be at least ℓ+1 — a smaller
+	// positive value is a configuration error and panics, since a buffer
+	// below ℓ+1 cannot hold even one row beyond the sketch and would have
+	// to be silently reinterpreted. Larger buffers mean fewer, larger SVDs
+	// with identical guarantees; ℓ+1 reproduces Liberty's original
+	// one-row-at-a-time shrink schedule.
 	BufferRows int
 	// SVD selects the shrink factorization (default SVDJacobi).
 	SVD SVDMethod
@@ -91,19 +96,23 @@ type Options struct {
 	Seed int64
 }
 
-// New returns a sketch of dimension d producing at most ell rows.
+// New returns a sketch of dimension d producing at most ell rows. It panics
+// on non-positive dimensions and on a BufferRows that is positive but below
+// ℓ+1 (see Options.BufferRows).
 func New(d, ell int, opts Options) *Sketch {
 	if d <= 0 || ell <= 0 {
 		panic(fmt.Sprintf("fd: invalid dimensions d=%d ell=%d", d, ell))
 	}
 	br := opts.BufferRows
-	if br < ell+1 {
+	if br == 0 {
 		br = 2 * ell
+		if br < ell+1 {
+			br = ell + 1
+		}
+	} else if br < ell+1 {
+		panic(fmt.Sprintf("fd: BufferRows=%d below minimum ℓ+1=%d", br, ell+1))
 	}
-	if br < ell+1 {
-		br = ell + 1
-	}
-	s := &Sketch{d: d, ell: ell, bufferRows: br, method: opts.SVD, buf: matrix.New(br, d)}
+	s := &Sketch{d: d, ell: ell, bufferRows: br, method: opts.SVD, seed: opts.Seed, buf: matrix.New(br, d)}
 	if opts.SVD == SVDRandomized {
 		s.rng = rand.New(rand.NewSource(opts.Seed + 0x5eed))
 	}
@@ -246,6 +255,8 @@ func (s *Sketch) UpdateMatrix(m *matrix.Dense) error {
 }
 
 // shrink runs one FD shrink step, reducing the buffer to at most ℓ rows.
+// The default Jacobi path factorizes through a workspace held by the sketch,
+// so steady-state shrinking allocates nothing.
 func (s *Sketch) shrink() error {
 	work := s.buf.SliceRows(0, s.used)
 	var svd *linalg.SVD
@@ -259,7 +270,7 @@ func (s *Sketch) shrink() error {
 		// which only discards mass the guarantee already charges for.
 		svd, err = linalg.RandomizedSVD(work, s.ell+1, 8, 2, s.rng)
 	default:
-		svd, err = linalg.ComputeSVD(work)
+		svd, err = linalg.ComputeSVDWith(work, &s.ws)
 	}
 	if err != nil {
 		s.err = fmt.Errorf("fd: shrink SVD (%v): %w", s.method, err)
@@ -281,7 +292,6 @@ func (s *Sketch) shrink() error {
 			row[l] = w * svd.V.At(l, j)
 		}
 		out++
-		_ = j
 	}
 	for i := out; i < s.used; i++ {
 		zero(s.buf.Row(i))
@@ -321,21 +331,57 @@ func (s *Sketch) Matrix() (*matrix.Dense, error) {
 	return s.buf.CopyRows(0, s.used), nil
 }
 
+// Snapshot returns the current sketch matrix (at most ℓ non-zero rows)
+// without mutating s: when the buffer holds more than ℓ rows, the shrink
+// runs on a private copy, leaving s's buffer, certificate (Shrinks,
+// TotalShrinkage) and accounting untouched. For SVDRandomized the private
+// shrink draws from a stream derived from (Seed, Shrinks) rather than
+// advancing s's generator.
+func (s *Sketch) Snapshot() (*matrix.Dense, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.used <= s.ell {
+		return s.buf.CopyRows(0, s.used), nil
+	}
+	tmp := &Sketch{
+		d: s.d, ell: s.ell, bufferRows: s.bufferRows, method: s.method,
+		seed: s.seed, buf: s.buf.CopyRows(0, s.bufferRows), used: s.used,
+	}
+	if s.method == SVDRandomized {
+		tmp.rng = rand.New(rand.NewSource(s.seed + 0x5eed + int64(s.shrinks) + 1))
+	}
+	if err := tmp.shrink(); err != nil {
+		return nil, err
+	}
+	return tmp.buf.CopyRows(0, tmp.used), nil
+}
+
 // Merge feeds the rows of other's current sketch into s (FD mergeability).
-// Both sketches must share the same dimension d.
+// Both sketches must share the same dimension d. other is never mutated (a
+// pending shrink of its buffer runs on a private copy — see Snapshot), and
+// on error s's input accounting is rolled back to its pre-merge values, so
+// a failed merge never leaves the certificate counters corrupted.
 func (s *Sketch) Merge(other *Sketch) error {
 	if other.d != s.d {
 		panic(fmt.Sprintf("fd: merge dimension mismatch %d vs %d", s.d, other.d))
 	}
-	m, err := other.Matrix()
+	if s.err != nil {
+		return s.err
+	}
+	m, err := other.Snapshot()
 	if err != nil {
 		return err
 	}
-	s.inputRows -= m.Rows() // UpdateMatrix counts sketch rows; track real input
-	s.inputFrob2 -= m.Frob2()
-	s.inputRows += other.inputRows
-	s.inputFrob2 += other.inputFrob2
-	return s.UpdateMatrix(m)
+	preRows, preFrob2 := s.inputRows, s.inputFrob2
+	if err := s.UpdateMatrix(m); err != nil {
+		s.inputRows, s.inputFrob2 = preRows, preFrob2
+		return err
+	}
+	// UpdateMatrix counted the ℓ sketch rows; track other's real input.
+	s.inputRows = preRows + other.inputRows
+	s.inputFrob2 = preFrob2 + other.inputFrob2
+	return nil
 }
 
 // SketchMatrix computes an FD sketch of a with ℓ rows in one call.

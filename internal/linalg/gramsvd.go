@@ -27,6 +27,7 @@ func ComputeSVDGram(a *matrix.Dense) (*SVD, error) {
 		}
 		return &SVD{U: s.V, Sigma: s.Sigma, V: s.U}, nil
 	}
+	// a.Gram() accumulates the d×d Gram matrix on the shared worker pool.
 	eig, err := ComputeEigSym(a.Gram())
 	if err != nil {
 		return nil, err
@@ -37,8 +38,10 @@ func ComputeSVDGram(a *matrix.Dense) (*SVD, error) {
 			sigma[j] = math.Sqrt(lam)
 		}
 	}
-	// U = A·V·Σ⁻¹ column by column; zero singular values get zero columns,
-	// matching ComputeSVD's convention.
+	// U = A·V·Σ⁻¹ as one parallel matmul (same ascending-index accumulation
+	// as the old column-by-column matvecs, so results are unchanged); zero
+	// singular values get zero columns, matching ComputeSVD's convention.
+	av := a.Mul(eig.V)
 	u := matrix.New(n, d)
 	thresh := 0.0
 	if sigma[0] > 0 {
@@ -49,10 +52,9 @@ func ComputeSVDGram(a *matrix.Dense) (*SVD, error) {
 			sigma[j] = 0
 			continue
 		}
-		av := a.MulVec(eig.V.Col(j))
 		inv := 1 / sigma[j]
 		for i := 0; i < n; i++ {
-			u.Set(i, j, av[i]*inv)
+			u.Set(i, j, av.At(i, j)*inv)
 		}
 	}
 	return &SVD{U: u, Sigma: sigma, V: eig.V}, nil

@@ -115,10 +115,14 @@ func TopKEigSymPower(s *matrix.Dense, k int, opts PowerOpts) (*EigSym, error) {
 		v.SetCol(j, randomUnit(o.Rng, n))
 	}
 	v = OrthonormalizeColumns(v, 0)
+	// Each iteration needs S·v twice (once to advance the block, once for
+	// the Rayleigh check); sv carries the block matvec from the convergence
+	// check into the next advance, halving the number of S·v products.
+	// The block matvecs themselves run on the shared worker pool via Mul.
+	sv := s.Mul(v)
 	prev := math.Inf(1)
 	for it := 0; it < o.MaxIter; it++ {
-		w := s.Mul(v)
-		v = OrthonormalizeColumns(w, 0)
+		v = OrthonormalizeColumns(sv, 0)
 		if v.Cols() < k {
 			// Rank deficiency: pad with fresh random directions.
 			pad := matrix.New(n, k)
@@ -130,20 +134,26 @@ func TopKEigSymPower(s *matrix.Dense, k int, opts PowerOpts) (*EigSym, error) {
 			}
 			v = OrthonormalizeColumns(pad, 0)
 		}
+		sv = s.Mul(v)
 		// Convergence on the trace of the Rayleigh block.
-		ray := v.TMul(s.Mul(v))
+		ray := v.TMul(sv)
 		tr := ray.Trace()
 		if it > 0 && math.Abs(tr-prev) <= o.Tol*math.Max(1, math.Abs(tr)) {
-			return rayleighRitz(s, v)
+			return rayleighRitzFrom(v, sv)
 		}
 		prev = tr
 	}
-	return rayleighRitz(s, v)
+	return rayleighRitzFrom(v, sv)
 }
 
 // rayleighRitz extracts eigenpair estimates of s restricted to span(v).
 func rayleighRitz(s, v *matrix.Dense) (*EigSym, error) {
-	ray := v.TMul(s.Mul(v)) // k×k symmetric
+	return rayleighRitzFrom(v, s.Mul(v))
+}
+
+// rayleighRitzFrom is rayleighRitz for a caller that already holds sv = S·v.
+func rayleighRitzFrom(v, sv *matrix.Dense) (*EigSym, error) {
+	ray := v.TMul(sv) // k×k symmetric
 	small, err := ComputeEigSym(ray)
 	if err != nil {
 		return nil, err

@@ -5,7 +5,28 @@ import (
 	"math"
 
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 )
+
+// applyHouseholder applies H = I − 2vvᵀ (v spanning rows [j,m) of r) to
+// columns [cFrom, cTo) of r. Columns are independent, so the panel update
+// runs in parallel on the shared worker pool; each column's arithmetic is
+// unchanged, keeping results bit-identical to serial.
+func applyHouseholder(r *matrix.Dense, v []float64, j, cFrom, cTo int) {
+	m, _ := r.Dims()
+	parallel.For(cTo-cFrom, parallel.Grain(4*(m-j)), func(lo, hi int) {
+		for c := cFrom + lo; c < cFrom+hi; c++ {
+			dot := 0.0
+			for i := j; i < m; i++ {
+				dot += v[i-j] * r.At(i, c)
+			}
+			dot *= 2
+			for i := j; i < m; i++ {
+				r.Set(i, c, r.At(i, c)-dot*v[i-j])
+			}
+		}
+	})
+}
 
 // QR holds a thin QR factorization A = Q·R with Q m×k orthonormal columns
 // and R k×n upper-triangular (trapezoidal when m < n), k = min(m,n).
@@ -45,17 +66,8 @@ func ComputeQR(a *matrix.Dense) *QR {
 			continue
 		}
 		matrix.ScaleVec(v, 1/vn)
-		// Apply H = I − 2vvᵀ to the trailing submatrix of R.
-		for c := j; c < n; c++ {
-			dot := 0.0
-			for i := j; i < m; i++ {
-				dot += v[i-j] * r.At(i, c)
-			}
-			dot *= 2
-			for i := j; i < m; i++ {
-				r.Set(i, c, r.At(i, c)-dot*v[i-j])
-			}
-		}
+		// Apply H = I − 2vvᵀ to the trailing panel of R.
+		applyHouseholder(r, v, j, j, n)
 		vs = append(vs, v)
 	}
 	// Thin Q: apply the Householder reflections (in reverse) to the first k
@@ -69,16 +81,7 @@ func ComputeQR(a *matrix.Dense) *QR {
 		if v == nil {
 			continue
 		}
-		for c := 0; c < k; c++ {
-			dot := 0.0
-			for i := j; i < m; i++ {
-				dot += v[i-j] * q.At(i, c)
-			}
-			dot *= 2
-			for i := j; i < m; i++ {
-				q.Set(i, c, q.At(i, c)-dot*v[i-j])
-			}
-		}
+		applyHouseholder(q, v, j, 0, k)
 	}
 	// Zero R's subdiagonal explicitly and trim to k rows.
 	rOut := matrix.New(k, n)
@@ -170,16 +173,21 @@ func ComputePivotedQR(a *matrix.Dense, tol float64) *PivotedQR {
 	rank := 0
 	for j := 0; j < k; j++ {
 		// Pivot: bring the column with the largest remaining norm to front.
+		// Recompute norms exactly (avoids downdating drift) in parallel,
+		// then take the argmax serially so ties break deterministically.
+		parallel.For(n-j, parallel.Grain(2*(m-j)), func(lo, hi int) {
+			for c := j + lo; c < j+hi; c++ {
+				v := 0.0
+				for i := j; i < m; i++ {
+					x := r.At(i, c)
+					v += x * x
+				}
+				colNorm2[c] = v
+			}
+		})
 		best, bestVal := j, -1.0
 		for c := j; c < n; c++ {
-			// Recompute exactly (cheap at our sizes, avoids downdating drift).
-			v := 0.0
-			for i := j; i < m; i++ {
-				x := r.At(i, c)
-				v += x * x
-			}
-			colNorm2[c] = v
-			if v > bestVal {
+			if v := colNorm2[c]; v > bestVal {
 				best, bestVal = c, v
 			}
 		}
@@ -207,16 +215,7 @@ func ComputePivotedQR(a *matrix.Dense, tol float64) *PivotedQR {
 			continue
 		}
 		matrix.ScaleVec(v, 1/vn)
-		for c := j; c < n; c++ {
-			dot := 0.0
-			for i := j; i < m; i++ {
-				dot += v[i-j] * r.At(i, c)
-			}
-			dot *= 2
-			for i := j; i < m; i++ {
-				r.Set(i, c, r.At(i, c)-dot*v[i-j])
-			}
-		}
+		applyHouseholder(r, v, j, j, n)
 		vs = append(vs, v)
 	}
 	q := matrix.New(m, rank)
@@ -228,16 +227,7 @@ func ComputePivotedQR(a *matrix.Dense, tol float64) *PivotedQR {
 		if v == nil {
 			continue
 		}
-		for c := 0; c < rank; c++ {
-			dot := 0.0
-			for i := j; i < m; i++ {
-				dot += v[i-j] * q.At(i, c)
-			}
-			dot *= 2
-			for i := j; i < m; i++ {
-				q.Set(i, c, q.At(i, c)-dot*v[i-j])
-			}
-		}
+		applyHouseholder(q, v, j, 0, rank)
 	}
 	rOut := matrix.New(rank, n)
 	for i := 0; i < rank; i++ {

@@ -14,8 +14,10 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 )
 
 // ErrNoConvergence is returned when an iterative routine exceeds its sweep or
@@ -45,14 +47,61 @@ const (
 //
 // The method is applied to whichever of a, aᵀ has fewer columns, so the cost
 // is O(min(n,d)² · max(n,d)) per sweep.
+//
+// Pairs are visited in round-robin tournament order: each sweep consists of
+// d−1 rounds of ⌊d/2⌋ pairwise-disjoint rotations, which run in parallel on
+// the shared worker pool. Disjoint rotations commute exactly, so the result
+// is bit-identical for any pool width (including the serial fallback).
 func ComputeSVD(a *matrix.Dense) (*SVD, error) {
+	return computeSVDWorkspace(a, nil)
+}
+
+// SVDWorkspace holds reusable buffers for repeated SVDs of equally-shaped
+// inputs (the FD shrink loop). The zero value is ready to use; pass the same
+// workspace to successive ComputeSVDWith calls. The returned SVD aliases
+// the workspace buffers, so it is valid only until the next call with the
+// same workspace.
+type SVDWorkspace struct {
+	w, vt, u, v *matrix.Dense
+	sigma       []float64
+	order       []int
+	pairs       []int32
+}
+
+// ComputeSVDWith is ComputeSVD with caller-managed scratch: all large
+// intermediates (the working transpose, rotation accumulator, and output
+// factors) are reused from ws across calls, eliminating the per-shrink
+// allocations of the FD loop.
+func ComputeSVDWith(a *matrix.Dense, ws *SVDWorkspace) (*SVD, error) {
+	return computeSVDWorkspace(a, ws)
+}
+
+// reuse returns a zeroed r×c matrix backed by *m when its capacity
+// suffices, (re)allocating and caching into *m otherwise.
+func reuse(m **matrix.Dense, r, c int) *matrix.Dense {
+	if m == nil {
+		return matrix.New(r, c)
+	}
+	if *m == nil || cap((*m).Data()) < r*c {
+		*m = matrix.New(r, c)
+		return *m
+	}
+	out := matrix.NewFromData(r, c, (*m).Data()[:r*c])
+	for i, data := 0, out.Data(); i < len(data); i++ {
+		data[i] = 0
+	}
+	*m = out
+	return out
+}
+
+func computeSVDWorkspace(a *matrix.Dense, ws *SVDWorkspace) (*SVD, error) {
 	n, d := a.Dims()
 	if n == 0 || d == 0 {
 		return &SVD{U: matrix.New(n, 0), Sigma: nil, V: matrix.New(d, 0)}, nil
 	}
 	if d > n {
 		// SVD(Aᵀ) = (V, Σ, U).
-		s, err := ComputeSVD(a.T())
+		s, err := computeSVDWorkspace(a.T(), ws)
 		if err != nil {
 			return nil, err
 		}
@@ -60,59 +109,96 @@ func ComputeSVD(a *matrix.Dense) (*SVD, error) {
 	}
 	// Work on W = Aᵀ stored row-major so each column of A is a contiguous
 	// row of W; rotations touch two rows at a time.
-	w := a.T() // d×n, row j = column j of A
-	vt := matrix.Identity(d)
+	var wBuf, vtBuf, uBuf, vBuf **matrix.Dense
+	if ws != nil {
+		wBuf, vtBuf, uBuf, vBuf = &ws.w, &ws.vt, &ws.u, &ws.v
+	}
+	w := reuse(wBuf, d, n) // d×n, row j = column j of A
+	for i := 0; i < n; i++ {
+		ai := a.Row(i)
+		for j := 0; j < d; j++ {
+			w.Row(j)[i] = ai[j]
+		}
+	}
+	vt := reuse(vtBuf, d, d)
+	for j := 0; j < d; j++ {
+		vt.Row(j)[j] = 1
+	}
 
 	// Columns whose norm is negligible relative to the matrix scale are
 	// zeroed outright: after heavy cancellation they carry only rounding
 	// noise, and chasing their rotations can cycle forever.
 	negligible2 := w.Frob2() * 1e-28
 
+	// Round-robin tournament schedule over an even number of slots (an odd
+	// d gets one bye slot per round). players holds the column indices;
+	// round r pairs players[i] with players[m−1−i].
+	m := d
+	if m%2 == 1 {
+		m++
+	}
+	var players []int32
+	if ws != nil {
+		if cap(ws.pairs) < m {
+			ws.pairs = make([]int32, m)
+		}
+		players = ws.pairs[:m]
+	} else {
+		players = make([]int32, m)
+	}
+	for i := range players {
+		players[i] = int32(i)
+	}
+	grain := parallel.Grain(12 * n) // ~6 length-n passes per rotated pair
+
 	converged := false
 	for sweep := 0; sweep < jacobiMaxSweeps && !converged; sweep++ {
-		converged = true
-		for p := 0; p < d-1; p++ {
-			wp := w.Row(p)
-			vp := vt.Row(p)
-			if dropNegligible(wp, negligible2) {
-				continue
-			}
-			for q := p + 1; q < d; q++ {
-				wq := w.Row(q)
-				if dropNegligible(wq, negligible2) {
-					continue
+		var rotated atomic.Bool
+		for round := 0; round < m-1; round++ {
+			parallel.For(m/2, grain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					p, q := int(players[i]), int(players[m-1-i])
+					if p >= d || q >= d {
+						continue // bye slot of an odd d
+					}
+					if q < p {
+						p, q = q, p
+					}
+					if jacobiRotatePair(w, vt, p, q, negligible2) {
+						rotated.Store(true)
+					}
 				}
-				alpha := matrix.Norm2(wp)
-				beta := matrix.Norm2(wq)
-				gamma := matrix.Dot(wp, wq)
-				if math.Abs(gamma) <= jacobiTol*math.Sqrt(alpha*beta) || gamma == 0 {
-					continue
-				}
-				converged = false
-				zeta := (beta - alpha) / (2 * gamma)
-				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
-				c := 1 / math.Sqrt(1+t*t)
-				s := c * t
-				rotateRows(wp, wq, c, s)
-				rotateRows(vp, vt.Row(q), c, s)
-			}
+			})
+			// Rotate all slots but the first by one position.
+			last := players[m-1]
+			copy(players[2:], players[1:m-1])
+			players[1] = last
 		}
+		converged = !rotated.Load()
 	}
 	if !converged {
 		return nil, ErrNoConvergence
 	}
 
 	// Extract singular values and sort non-increasing.
-	sigma := make([]float64, d)
-	order := make([]int, d)
+	var sigma []float64
+	var order []int
+	if ws != nil {
+		if cap(ws.sigma) < d {
+			ws.sigma, ws.order = make([]float64, d), make([]int, d)
+		}
+		sigma, order = ws.sigma[:d], ws.order[:d]
+	} else {
+		sigma, order = make([]float64, d), make([]int, d)
+	}
 	for j := 0; j < d; j++ {
 		sigma[j] = matrix.Norm(w.Row(j))
 		order[j] = j
 	}
 	sort.SliceStable(order, func(i, j int) bool { return sigma[order[i]] > sigma[order[j]] })
 
-	u := matrix.New(n, d)
-	v := matrix.New(d, d)
+	u := reuse(uBuf, n, d)
+	v := reuse(vBuf, d, d)
 	outSigma := make([]float64, d)
 	for out, j := range order {
 		outSigma[out] = sigma[j]
@@ -129,6 +215,30 @@ func ComputeSVD(a *matrix.Dense) (*SVD, error) {
 		}
 	}
 	return &SVD{U: u, Sigma: outSigma, V: v}, nil
+}
+
+// jacobiRotatePair orthogonalizes columns p and q of the implicit A (rows p,
+// q of w), accumulating the rotation into vt. It reports whether a rotation
+// was applied. Row pairs are disjoint across a tournament round, so
+// concurrent calls within a round are race-free and commute exactly.
+func jacobiRotatePair(w, vt *matrix.Dense, p, q int, negligible2 float64) bool {
+	wp, wq := w.Row(p), w.Row(q)
+	if dropNegligible(wp, negligible2) || dropNegligible(wq, negligible2) {
+		return false
+	}
+	alpha := matrix.Norm2(wp)
+	beta := matrix.Norm2(wq)
+	gamma := matrix.Dot(wp, wq)
+	if math.Abs(gamma) <= jacobiTol*math.Sqrt(alpha*beta) || gamma == 0 {
+		return false
+	}
+	zeta := (beta - alpha) / (2 * gamma)
+	t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+	c := 1 / math.Sqrt(1+t*t)
+	s := c * t
+	rotateRows(wp, wq, c, s)
+	rotateRows(vt.Row(p), vt.Row(q), c, s)
+	return true
 }
 
 // dropNegligible zeroes v if ‖v‖² ≤ thresh2, reporting whether it did (or

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"repro/internal/parallel"
 )
 
 // Dense is a dense row-major matrix.
@@ -236,77 +238,93 @@ func (m *Dense) AppendRow(v []float64) *Dense {
 	return &Dense{rows: m.rows + 1, cols: m.cols, data: data}
 }
 
-// Mul returns the product m · b.
+// Mul returns the product m · b. Rows of the output are computed in
+// parallel on the shared worker pool; each row's accumulation order is
+// unchanged, so the result is bit-identical to a serial run.
 func (m *Dense) Mul(b *Dense) *Dense {
 	if m.cols != b.rows {
 		panic(fmt.Sprintf("matrix: Mul dimension mismatch %d×%d · %d×%d", m.rows, m.cols, b.rows, b.cols))
 	}
 	out := New(m.rows, b.cols)
 	// ikj loop order: stream through b's rows for cache friendliness.
-	for i := 0; i < m.rows; i++ {
-		oi := out.data[i*b.cols : (i+1)*b.cols]
-		mi := m.data[i*m.cols : (i+1)*m.cols]
-		for k := 0; k < m.cols; k++ {
-			a := mi[k]
-			if a == 0 {
-				continue
-			}
-			bk := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range bk {
-				oi[j] += a * bv
+	parallel.For(m.rows, parallel.Grain(2*m.cols*b.cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			oi := out.data[i*b.cols : (i+1)*b.cols]
+			mi := m.data[i*m.cols : (i+1)*m.cols]
+			for k := 0; k < m.cols; k++ {
+				a := mi[k]
+				if a == 0 {
+					continue
+				}
+				bk := b.data[k*b.cols : (k+1)*b.cols]
+				for j, bv := range bk {
+					oi[j] += a * bv
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
-// MulVec returns the matrix-vector product m · x.
+// MulVec returns the matrix-vector product m · x. Output entries are
+// computed in parallel (bit-identical to serial).
 func (m *Dense) MulVec(x []float64) []float64 {
 	if len(x) != m.cols {
 		panic(fmt.Sprintf("matrix: MulVec length %d != %d cols", len(x), m.cols))
 	}
 	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		out[i] = Dot(m.Row(i), x)
-	}
+	parallel.For(m.rows, parallel.Grain(2*m.cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = Dot(m.data[i*m.cols:(i+1)*m.cols], x)
+		}
+	})
 	return out
 }
 
-// TMulVec returns mᵀ · x.
+// TMulVec returns mᵀ · x. The output is split into column bands, each
+// accumulated over rows in ascending order — bit-identical to serial.
 func (m *Dense) TMulVec(x []float64) []float64 {
 	if len(x) != m.rows {
 		panic(fmt.Sprintf("matrix: TMulVec length %d != %d rows", len(x), m.rows))
 	}
 	out := make([]float64, m.cols)
-	for i := 0; i < m.rows; i++ {
-		xi := x[i]
-		if xi == 0 {
-			continue
+	parallel.For(m.cols, parallel.Grain(2*m.rows), func(lo, hi int) {
+		band := out[lo:hi]
+		for i := 0; i < m.rows; i++ {
+			xi := x[i]
+			if xi == 0 {
+				continue
+			}
+			mi := m.data[i*m.cols+lo : i*m.cols+hi]
+			for j, v := range mi {
+				band[j] += xi * v
+			}
 		}
-		mi := m.data[i*m.cols : (i+1)*m.cols]
-		for j, v := range mi {
-			out[j] += xi * v
-		}
-	}
+	})
 	return out
 }
 
 // Gram returns mᵀ · m (the d×d covariance Gram matrix), exploiting symmetry.
+// Rows of the upper triangle are accumulated in parallel; each output entry
+// sums over input rows in ascending order, bit-identical to serial.
 func (m *Dense) Gram() *Dense {
 	d := m.cols
 	out := New(d, d)
-	for r := 0; r < m.rows; r++ {
-		row := m.data[r*d : (r+1)*d]
-		for i, vi := range row {
-			if vi == 0 {
-				continue
-			}
-			oi := out.data[i*d:]
-			for j := i; j < d; j++ {
-				oi[j] += vi * row[j]
+	parallel.For(d, parallel.Grain(m.rows*(d+1)), func(lo, hi int) {
+		for r := 0; r < m.rows; r++ {
+			row := m.data[r*d : (r+1)*d]
+			for i := lo; i < hi; i++ {
+				vi := row[i]
+				if vi == 0 {
+					continue
+				}
+				oi := out.data[i*d:]
+				for j := i; j < d; j++ {
+					oi[j] += vi * row[j]
+				}
 			}
 		}
-	}
+	})
 	for i := 0; i < d; i++ {
 		for j := i + 1; j < d; j++ {
 			out.data[j*d+i] = out.data[i*d+j]
@@ -315,41 +333,67 @@ func (m *Dense) Gram() *Dense {
 	return out
 }
 
-// TMul returns mᵀ · b.
+// TMul returns mᵀ · b. Row blocks accumulate into private partial products
+// merged in block order: deterministic for a fixed pool width, but the
+// chunked summation may differ from a serial run by rounding (the serial
+// fallback below the grain is exact).
 func (m *Dense) TMul(b *Dense) *Dense {
 	if m.rows != b.rows {
 		panic(fmt.Sprintf("matrix: TMul dimension mismatch (%d×%d)ᵀ · %d×%d", m.rows, m.cols, b.rows, b.cols))
 	}
-	out := New(m.cols, b.cols)
-	for r := 0; r < m.rows; r++ {
-		mr := m.data[r*m.cols : (r+1)*m.cols]
-		br := b.data[r*b.cols : (r+1)*b.cols]
-		for i, a := range mr {
-			if a == 0 {
-				continue
-			}
-			oi := out.data[i*b.cols : (i+1)*b.cols]
-			for j, bv := range br {
-				oi[j] += a * bv
+	accumulate := func(acc *Dense, lo, hi int) *Dense {
+		if acc == nil {
+			acc = New(m.cols, b.cols)
+		}
+		for r := lo; r < hi; r++ {
+			mr := m.data[r*m.cols : (r+1)*m.cols]
+			br := b.data[r*b.cols : (r+1)*b.cols]
+			for i, a := range mr {
+				if a == 0 {
+					continue
+				}
+				oi := acc.data[i*b.cols : (i+1)*b.cols]
+				for j, bv := range br {
+					oi[j] += a * bv
+				}
 			}
 		}
+		return acc
+	}
+	out := parallel.Reduce(m.rows, parallel.Grain(2*m.cols*b.cols), (*Dense)(nil), accumulate,
+		func(a, b *Dense) *Dense {
+			if a == nil {
+				return b
+			}
+			if b != nil {
+				for i, v := range b.data {
+					a.data[i] += v
+				}
+			}
+			return a
+		})
+	if out == nil {
+		out = New(m.cols, b.cols)
 	}
 	return out
 }
 
-// MulT returns m · bᵀ.
+// MulT returns m · bᵀ. Output rows are computed in parallel (bit-identical
+// to serial).
 func (m *Dense) MulT(b *Dense) *Dense {
 	if m.cols != b.cols {
 		panic(fmt.Sprintf("matrix: MulT dimension mismatch %d×%d · (%d×%d)ᵀ", m.rows, m.cols, b.rows, b.cols))
 	}
 	out := New(m.rows, b.rows)
-	for i := 0; i < m.rows; i++ {
-		mi := m.Row(i)
-		oi := out.data[i*b.rows : (i+1)*b.rows]
-		for j := 0; j < b.rows; j++ {
-			oi[j] = Dot(mi, b.Row(j))
+	parallel.For(m.rows, parallel.Grain(2*m.cols*b.rows), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mi := m.data[i*m.cols : (i+1)*m.cols]
+			oi := out.data[i*b.rows : (i+1)*b.rows]
+			for j := 0; j < b.rows; j++ {
+				oi[j] = Dot(mi, b.data[j*b.cols:(j+1)*b.cols])
+			}
 		}
-	}
+	})
 	return out
 }
 

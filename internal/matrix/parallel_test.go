@@ -1,0 +1,135 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// atWidth evaluates fn under a temporary pool width and restores the old one.
+func atWidth(w int, fn func() *Dense) *Dense {
+	prev := parallel.Workers()
+	parallel.SetWorkers(w)
+	defer parallel.SetWorkers(prev)
+	return fn()
+}
+
+func bitIdentical(a, b *Dense) bool {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		return false
+	}
+	ad, bd := a.Data(), b.Data()
+	for i := range ad {
+		if math.Float64bits(ad[i]) != math.Float64bits(bd[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func maxRelDiff(a, b *Dense) float64 {
+	ad, bd := a.Data(), b.Data()
+	worst := 0.0
+	for i := range ad {
+		diff := math.Abs(ad[i] - bd[i])
+		scale := math.Max(math.Abs(ad[i]), math.Abs(bd[i]))
+		if scale == 0 {
+			if diff != 0 {
+				return math.Inf(1)
+			}
+			continue
+		}
+		if r := diff / scale; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// Mul, MulT, MulVec, TMulVec and Gram parallelize over disjoint outputs
+// without changing any per-entry accumulation order, so every pool width
+// must reproduce the serial result bit for bit.
+func TestParallelKernelsBitIdenticalToSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randDense(rng, 67, 41)
+	b := randDense(rng, 41, 29)
+	x := make([]float64, 41)
+	y := make([]float64, 67)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+
+	serialMul := atWidth(1, func() *Dense { return a.Mul(b) })
+	serialMulT := atWidth(1, func() *Dense { return a.MulT(a) })
+	serialGram := atWidth(1, func() *Dense { return a.Gram() })
+	var serialMulVec, serialTMulVec []float64
+	atWidth(1, func() *Dense {
+		serialMulVec = a.MulVec(x)
+		serialTMulVec = a.TMulVec(y)
+		return nil
+	})
+
+	for _, w := range []int{2, 4, 8} {
+		if got := atWidth(w, func() *Dense { return a.Mul(b) }); !bitIdentical(got, serialMul) {
+			t.Errorf("w=%d: Mul differs from serial", w)
+		}
+		if got := atWidth(w, func() *Dense { return a.MulT(a) }); !bitIdentical(got, serialMulT) {
+			t.Errorf("w=%d: MulT differs from serial", w)
+		}
+		if got := atWidth(w, func() *Dense { return a.Gram() }); !bitIdentical(got, serialGram) {
+			t.Errorf("w=%d: Gram differs from serial", w)
+		}
+		atWidth(w, func() *Dense {
+			mv := a.MulVec(x)
+			tv := a.TMulVec(y)
+			for i := range mv {
+				if math.Float64bits(mv[i]) != math.Float64bits(serialMulVec[i]) {
+					t.Errorf("w=%d: MulVec[%d] differs from serial", w, i)
+					break
+				}
+			}
+			for i := range tv {
+				if math.Float64bits(tv[i]) != math.Float64bits(serialTMulVec[i]) {
+					t.Errorf("w=%d: TMulVec[%d] differs from serial", w, i)
+					break
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// TMul accumulates into per-chunk partials merged in chunk order, so its
+// rounding may differ from the serial single-accumulator pass — but only
+// at the level of floating-point reassociation.
+func TestParallelTMulMatchesSerialWithinTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randDense(rng, 200, 23)
+	b := randDense(rng, 200, 17)
+	serial := atWidth(1, func() *Dense { return a.TMul(b) })
+	for _, w := range []int{2, 4, 8} {
+		got := atWidth(w, func() *Dense { return a.TMul(b) })
+		if rel := maxRelDiff(got, serial); rel > 1e-12 {
+			t.Errorf("w=%d: TMul rel diff %g exceeds reassociation tolerance", w, rel)
+		}
+	}
+}
+
+// A fixed pool width must also be internally deterministic: the chunk
+// decomposition depends only on (n, grain, width), never on scheduling.
+func TestParallelTMulDeterministicAtFixedWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randDense(rng, 300, 19)
+	b := randDense(rng, 300, 13)
+	first := atWidth(4, func() *Dense { return a.TMul(b) })
+	for trial := 0; trial < 5; trial++ {
+		if got := atWidth(4, func() *Dense { return a.TMul(b) }); !bitIdentical(got, first) {
+			t.Fatalf("trial %d: TMul not deterministic at fixed width", trial)
+		}
+	}
+}

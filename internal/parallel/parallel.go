@@ -1,0 +1,206 @@
+// Package parallel provides the shared bounded worker pool behind the
+// repository's compute kernels (matrix products, Jacobi SVD sweeps,
+// Householder panel updates, FD shrinks).
+//
+// Design:
+//
+//   - One process-wide width W (default GOMAXPROCS) bounds the total number
+//     of helper goroutines across *all* concurrent For/Reduce calls: a
+//     shared semaphore hands out W−1 helper slots, and every caller always
+//     works on its own chunks too. Nested parallel calls (a parallel kernel
+//     invoked from inside another parallel region, or from the simulated
+//     server goroutines of a protocol run) therefore degrade gracefully to
+//     serial execution instead of oversubscribing or deadlocking.
+//
+//   - Work is split into contiguous chunks of at least `grain` items, so
+//     small problems run serially with zero goroutine overhead; chunk
+//     boundaries depend only on (n, grain, W), never on scheduling.
+//
+//   - No goroutine outlives a call: helpers exit when the chunk counter is
+//     exhausted, so the pool leaks nothing (see the leak test).
+//
+// Determinism: For imposes no ordering between chunks, so bodies must write
+// disjoint outputs; kernels built this way (Mul, MulT, MulVec, Gram, …) are
+// bit-for-bit identical to their serial runs. Reduce merges chunk results in
+// chunk-index order, which is deterministic for a fixed width but may differ
+// from the serial sum by reduction-order rounding.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// TargetChunkWork is the approximate number of scalar operations a chunk
+// should contain to amortize the goroutine hand-off (~1µs) well below 1%.
+const TargetChunkWork = 1 << 15
+
+// Grain converts a per-item operation count into a chunk grain: the minimum
+// number of items per chunk so each chunk holds about TargetChunkWork
+// scalar operations.
+func Grain(opsPerItem int) int {
+	if opsPerItem < 1 {
+		opsPerItem = 1
+	}
+	g := TargetChunkWork / opsPerItem
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// pool is one immutable configuration of the shared worker pool; SetWorkers
+// swaps the whole value atomically so concurrent For calls always see a
+// consistent (width, semaphore) pair.
+type pool struct {
+	width int
+	sem   chan struct{} // width−1 helper slots shared by all calls
+}
+
+var cur atomic.Pointer[pool]
+
+func init() { SetWorkers(0) }
+
+// SetWorkers sets the process-wide pool width. n <= 0 resets to
+// runtime.GOMAXPROCS(0). In-flight calls finish under the width they
+// started with.
+func SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, n-1)
+	cur.Store(&pool{width: n, sem: sem})
+}
+
+// Workers returns the current pool width.
+func Workers() int { return cur.Load().width }
+
+// For runs body over [0, n) split into contiguous chunks of at least grain
+// items, using up to Workers() goroutines (the caller included). body may be
+// invoked concurrently and must write only to outputs indexed by its [lo,hi)
+// range. Serial fallback (n <= grain or width 1) is exactly body(0, n).
+func For(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	p := cur.Load()
+	if p.width <= 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	// Aim for a few chunks per worker so triangular or ragged workloads
+	// balance, without dropping below the grain.
+	chunk := (n + 4*p.width - 1) / (4 * p.width)
+	if chunk < grain {
+		chunk = grain
+	}
+	nchunks := (n + chunk - 1) / chunk
+	if nchunks == 1 {
+		body(0, n)
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		panicked atomic.Pointer[any]
+	)
+	run := func() {
+		for {
+			c := next.Add(1) - 1
+			if c >= int64(nchunks) || panicked.Load() != nil {
+				return
+			}
+			lo := int(c) * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+		}
+	}
+	safeRun := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				v := r
+				panicked.CompareAndSwap(nil, &v)
+			}
+		}()
+		run()
+	}
+
+	// Recruit helpers without blocking: if the shared pool is saturated
+	// (nested call, concurrent kernels), the caller just does the work
+	// itself — progress never depends on acquiring a slot.
+	var wg sync.WaitGroup
+	maxHelpers := nchunks - 1
+	if w := p.width - 1; w < maxHelpers {
+		maxHelpers = w
+	}
+	for h := 0; h < maxHelpers; h++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-p.sem
+					wg.Done()
+				}()
+				safeRun()
+			}()
+		default:
+			h = maxHelpers // pool saturated; stop recruiting
+		}
+	}
+	safeRun()
+	wg.Wait()
+	if pv := panicked.Load(); pv != nil {
+		panic(*pv) // re-raise in the caller, matching serial semantics
+	}
+}
+
+// Reduce folds body over [0, n) in chunks of at least grain items and merges
+// the per-chunk results in chunk-index order: acc = merge(acc, chunk_i) for
+// i = 0, 1, …, starting from identity. The serial fallback returns
+// body(identity, 0, n) exactly; the parallel result is deterministic for a
+// fixed Workers() width but may differ from serial by reduction-order
+// rounding.
+func Reduce[T any](n, grain int, identity T, body func(acc T, lo, hi int) T, merge func(a, b T) T) T {
+	if n <= 0 {
+		return identity
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	p := cur.Load()
+	if p.width <= 1 || n <= grain {
+		return body(identity, 0, n)
+	}
+	chunk := (n + 4*p.width - 1) / (4 * p.width)
+	if chunk < grain {
+		chunk = grain
+	}
+	nchunks := (n + chunk - 1) / chunk
+	if nchunks == 1 {
+		return body(identity, 0, n)
+	}
+	parts := make([]T, nchunks)
+	For(nchunks, 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			clo := c * chunk
+			chi := clo + chunk
+			if chi > n {
+				chi = n
+			}
+			parts[c] = body(identity, clo, chi)
+		}
+	})
+	acc := identity
+	for _, v := range parts {
+		acc = merge(acc, v)
+	}
+	return acc
+}

@@ -1,0 +1,193 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// withWorkers runs fn under a temporary pool width, restoring the previous
+// width afterwards (tests share the process-global pool).
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := Workers()
+	SetWorkers(n)
+	defer SetWorkers(prev)
+	fn()
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8} {
+		withWorkers(t, w, func() {
+			const n = 1000
+			var hits [n]int32
+			For(n, 3, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("w=%d: bad chunk [%d,%d)", w, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("w=%d: index %d visited %d times", w, i, h)
+				}
+			}
+		})
+	}
+}
+
+func TestForSerialFallbackIsSingleCall(t *testing.T) {
+	withWorkers(t, 8, func() {
+		calls := 0
+		For(10, 10, func(lo, hi int) {
+			calls++
+			if lo != 0 || hi != 10 {
+				t.Fatalf("fallback chunk [%d,%d), want [0,10)", lo, hi)
+			}
+		})
+		if calls != 1 {
+			t.Fatalf("n <= grain made %d calls, want 1", calls)
+		}
+	})
+}
+
+func TestForEmptyAndNegative(t *testing.T) {
+	For(0, 1, func(lo, hi int) { t.Fatal("body called for n=0") })
+	For(-5, 1, func(lo, hi int) { t.Fatal("body called for n<0") })
+}
+
+func TestReduceMatchesSerialSum(t *testing.T) {
+	// Integer sums are order-independent, so parallel and serial must agree
+	// exactly at every width.
+	const n = 4096
+	want := n * (n - 1) / 2
+	body := func(acc int, lo, hi int) int {
+		for i := lo; i < hi; i++ {
+			acc += i
+		}
+		return acc
+	}
+	merge := func(a, b int) int { return a + b }
+	for _, w := range []int{1, 2, 7} {
+		withWorkers(t, w, func() {
+			if got := Reduce(n, 8, 0, body, merge); got != want {
+				t.Fatalf("w=%d: Reduce = %d, want %d", w, got, want)
+			}
+		})
+	}
+}
+
+func TestNestedForMakesProgress(t *testing.T) {
+	// A parallel body that itself calls For must not deadlock even when the
+	// pool is saturated: callers always run their own chunks.
+	withWorkers(t, 4, func() {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			var total atomic.Int64
+			For(64, 1, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					For(128, 1, func(ilo, ihi int) {
+						total.Add(int64(ihi - ilo))
+					})
+				}
+			})
+			if total.Load() != 64*128 {
+				t.Errorf("nested total = %d", total.Load())
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("nested For deadlocked")
+		}
+	})
+}
+
+func TestConcurrentCallsShareThePool(t *testing.T) {
+	withWorkers(t, 4, func() {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var sum atomic.Int64
+				For(512, 1, func(lo, hi int) { sum.Add(int64(hi - lo)) })
+				if sum.Load() != 512 {
+					t.Errorf("sum = %d", sum.Load())
+				}
+			}()
+		}
+		wg.Wait()
+	})
+}
+
+func TestForPanicPropagatesToCaller(t *testing.T) {
+	withWorkers(t, 4, func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Fatalf("recovered %v, want boom", r)
+			}
+		}()
+		For(1024, 1, func(lo, hi int) {
+			if lo == 0 {
+				panic("boom")
+			}
+		})
+		t.Fatal("For returned despite panic")
+	})
+}
+
+func TestNoGoroutineLeak(t *testing.T) {
+	withWorkers(t, 8, func() {
+		before := runtime.NumGoroutine()
+		for iter := 0; iter < 50; iter++ {
+			For(10000, 1, func(lo, hi int) {
+				s := 0.0
+				for i := lo; i < hi; i++ {
+					s += float64(i)
+				}
+				_ = s
+			})
+		}
+		// Helpers exit once the chunk counter drains; give the scheduler a
+		// beat, then require the goroutine count to settle back.
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before+1 {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("goroutines: before %d, after %d", before, runtime.NumGoroutine())
+	})
+}
+
+func TestSetWorkersBounds(t *testing.T) {
+	withWorkers(t, 3, func() {
+		if Workers() != 3 {
+			t.Fatalf("Workers() = %d, want 3", Workers())
+		}
+	})
+	withWorkers(t, 0, func() {
+		if Workers() != runtime.GOMAXPROCS(0) {
+			t.Fatalf("Workers() = %d, want GOMAXPROCS", Workers())
+		}
+	})
+}
+
+func TestGrain(t *testing.T) {
+	if g := Grain(0); g != TargetChunkWork {
+		t.Fatalf("Grain(0) = %d", g)
+	}
+	if g := Grain(TargetChunkWork * 10); g != 1 {
+		t.Fatalf("Grain(huge) = %d, want 1", g)
+	}
+	if g := Grain(64); g != TargetChunkWork/64 {
+		t.Fatalf("Grain(64) = %d", g)
+	}
+}
