@@ -19,6 +19,16 @@
 // ([10] baseline), lowrank (§3.3 Case 1), pca (Theorem 9 sketch+solve).
 // -sampling picks the SVS sampling function (quadratic or linear);
 // -timeout bounds the whole run and the coordinator's per-server waits.
+//
+// Observability (both roles):
+//
+//	-trace run.jsonl    structured JSONL trace of protocol events
+//	-metrics out.json   metrics registry snapshot on exit ("-" = stdout)
+//	-debug 127.0.0.1:0  expvar (/debug/vars) + pprof HTTP endpoint
+//
+// A written trace can be schema-checked offline:
+//
+//	distsketch -role check-trace -trace run.jsonl
 package main
 
 import (
@@ -47,6 +57,9 @@ type options struct {
 	timeout  time.Duration
 	verify   string
 	parallel int
+	trace    string
+	metrics  string
+	debug    string
 }
 
 func main() {
@@ -66,10 +79,32 @@ func main() {
 	flag.DurationVar(&o.timeout, "timeout", 0, "overall run deadline and per-server straggler timeout (0 = none)")
 	flag.StringVar(&o.verify, "verify", "", "optional: matrix file to verify the sketch against (coordinator)")
 	flag.IntVar(&o.parallel, "parallel", 0, "compute worker pool width for local kernels (0 = GOMAXPROCS)")
+	flag.StringVar(&o.trace, "trace", "", "write a JSONL protocol trace to this file (check-trace: file to validate)")
+	flag.StringVar(&o.metrics, "metrics", "", "write a metrics registry snapshot (JSON) to this file on exit, - for stdout")
+	flag.StringVar(&o.debug, "debug", "", "serve expvar and pprof on this address (e.g. 127.0.0.1:0)")
 	flag.Parse()
+
+	if o.role == "check-trace" {
+		if o.trace == "" {
+			fmt.Fprintln(os.Stderr, "distsketch: check-trace needs -trace <file>")
+			os.Exit(1)
+		}
+		n, err := distsketch.ValidateTraceFile(o.trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "distsketch: trace %s invalid: %v\n", o.trace, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace %s OK: %d events\n", o.trace, n)
+		return
+	}
 
 	if o.parallel > 0 {
 		distsketch.SetParallelism(o.parallel)
+	}
+	finish, err := setupObservability(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "distsketch:", err)
+		os.Exit(1)
 	}
 	ctx := context.Background()
 	if o.timeout > 0 {
@@ -78,19 +113,65 @@ func main() {
 		defer cancel()
 	}
 
-	var err error
 	switch o.role {
 	case "coordinator":
 		err = runCoordinator(ctx, o)
 	case "server":
 		err = runServer(ctx, o)
 	default:
-		err = fmt.Errorf("missing or unknown -role %q (want coordinator or server)", o.role)
+		err = fmt.Errorf("missing or unknown -role %q (want coordinator, server or check-trace)", o.role)
+	}
+	if ferr := finish(); err == nil {
+		err = ferr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "distsketch:", err)
 		os.Exit(1)
 	}
+}
+
+// setupObservability installs the process-wide observer when any of the
+// -trace/-metrics/-debug flags ask for one. Every runtime layer falls back
+// to the default observer, so no further plumbing is needed; the returned
+// finish flushes the trace and writes the metrics snapshot.
+func setupObservability(o options) (finish func() error, err error) {
+	if o.trace == "" && o.metrics == "" && o.debug == "" {
+		return func() error { return nil }, nil
+	}
+	reg := distsketch.NewRegistry()
+	reg.PublishExpvar("distsketch")
+	var tr *distsketch.Tracer
+	if o.trace != "" {
+		tr, err = distsketch.NewTracerFile(o.trace)
+		if err != nil {
+			return nil, err
+		}
+	}
+	distsketch.SetDefaultObserver(distsketch.NewObserver(reg, tr))
+	return func() error {
+		var first error
+		if tr != nil {
+			first = tr.Close()
+		}
+		if o.metrics != "" {
+			out := os.Stdout
+			if o.metrics != "-" {
+				f, err := os.Create(o.metrics)
+				if err != nil {
+					if first == nil {
+						first = err
+					}
+					return first
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := reg.WriteJSON(out); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
 }
 
 // buildProtocol turns the flags into a Protocol value with its Env filled
@@ -137,7 +218,7 @@ func runCoordinator(ctx context.Context, o options) error {
 	if err != nil {
 		return err
 	}
-	coord, err := distsketch.NewTCPCoordinator(o.addr, o.servers, nil)
+	coord, err := distsketch.NewTCPCoordinatorOpts(o.addr, o.servers, nil, distsketch.TCPOptions{DebugAddr: o.debug})
 	if err != nil {
 		return err
 	}
@@ -146,7 +227,12 @@ func runCoordinator(ctx context.Context, o options) error {
 	if err := coord.Accept(ctx); err != nil {
 		return err
 	}
+	// The CLI drives the protocol role directly (not through Run), so it
+	// brackets the trace itself.
+	ob := distsketch.DefaultObserver()
+	ob.RunStart(proto.Name(), o.servers)
 	res, err := proto.Coordinator(ctx, coord.Node())
+	ob.RunEnd(proto.Name(), coord.Meter().Words(), err)
 	if err != nil {
 		return err
 	}
@@ -192,12 +278,24 @@ func runServer(ctx context.Context, o options) error {
 		parts := distsketch.Split(m, o.servers, distsketch.Contiguous, nil)
 		local = parts[o.id]
 	}
+	if o.debug != "" {
+		addr, closeDebug, err := distsketch.ServeDebug(o.debug)
+		if err != nil {
+			return err
+		}
+		defer closeDebug()
+		fmt.Printf("server %d: debug endpoint on %s\n", o.id, addr)
+	}
 	srv, err := distsketch.DialTCPServerContext(ctx, o.addr, o.id, nil, distsketch.TCPOptions{})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
-	if err := proto.Server(ctx, srv.Node(), local); err != nil {
+	ob := distsketch.DefaultObserver()
+	ob.RunStart(proto.Name(), o.servers)
+	err = proto.Server(ctx, srv.Node(), local)
+	ob.RunEnd(proto.Name(), srv.Meter().Words(), err)
+	if err != nil {
 		return err
 	}
 	fmt.Printf("server %d: processed %d×%d rows, sent %.1f words\n", o.id, local.Rows(), local.Cols(), srv.Meter().Words())

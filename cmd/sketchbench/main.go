@@ -18,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/distsketch"
 	"repro/internal/bench"
 )
 
@@ -33,6 +34,8 @@ func main() {
 		format     = flag.String("format", "text", "output format: text or csv")
 		par        = flag.Int("parallel", 0, "compute worker pool width (0 = GOMAXPROCS)")
 		baseline   = flag.String("baseline", "", "write a JSON timing/words baseline (table1+table2) to this file and exit")
+		trace      = flag.String("trace", "", "write a JSONL protocol trace of every run to this file")
+		metrics    = flag.String("metrics", "", "write a metrics registry snapshot (JSON) on exit, - for stdout")
 	)
 	flag.Parse()
 	csvOut = *format == "csv"
@@ -40,18 +43,67 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sketchbench: unknown format %q\n", *format)
 		os.Exit(1)
 	}
-	cfg := bench.Config{Seed: *seed, N: *n, D: *d, S: *s, K: *k, Eps: *eps, Parallel: *par}
-	if *baseline != "" {
-		if err := writeBaseline(*baseline, cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "sketchbench:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := run(strings.ToLower(*experiment), cfg); err != nil {
+	finish, err := setupObservability(*trace, *metrics)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sketchbench:", err)
 		os.Exit(1)
 	}
+	cfg := bench.Config{Seed: *seed, N: *n, D: *d, S: *s, K: *k, Eps: *eps, Parallel: *par}
+	if *baseline != "" {
+		err = writeBaseline(*baseline, cfg)
+	} else {
+		err = run(strings.ToLower(*experiment), cfg)
+	}
+	if ferr := finish(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sketchbench:", err)
+		os.Exit(1)
+	}
+}
+
+// setupObservability installs a process-wide observer when -trace or
+// -metrics is given; every protocol run the experiments launch reports into
+// it through the default-observer fallback. The returned finish flushes the
+// trace and writes the metrics snapshot.
+func setupObservability(trace, metrics string) (finish func() error, err error) {
+	if trace == "" && metrics == "" {
+		return func() error { return nil }, nil
+	}
+	reg := distsketch.NewRegistry()
+	var tr *distsketch.Tracer
+	if trace != "" {
+		tr, err = distsketch.NewTracerFile(trace)
+		if err != nil {
+			return nil, err
+		}
+	}
+	distsketch.SetDefaultObserver(distsketch.NewObserver(reg, tr))
+	return func() error {
+		var first error
+		if tr != nil {
+			first = tr.Close()
+		}
+		if metrics != "" {
+			out := os.Stdout
+			if metrics != "-" {
+				f, err := os.Create(metrics)
+				if err != nil {
+					if first == nil {
+						first = err
+					}
+					return first
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := reg.WriteJSON(out); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
 }
 
 func writeBaseline(path string, cfg bench.Config) error {

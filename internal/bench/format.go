@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -25,9 +26,23 @@ type Baseline struct {
 
 // BaselineExperiment is one experiment's timing and rows inside a Baseline.
 type BaselineExperiment struct {
-	Name      string  `json:"name"`
-	ElapsedMS float64 `json:"elapsed_ms"`
-	Rows      []Row   `json:"rows"`
+	Name      string       `json:"name"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+	Rows      []Row        `json:"rows"`
+	Comm      BaselineComm `json:"comm"`
+}
+
+// BaselineComm is the observability layer's view of one experiment: exact
+// communication totals plus kernel activity, captured by an observer scoped
+// to the experiment. Bits/messages/rounds are deterministic for a fixed
+// config and must not move across parallelism changes.
+type BaselineComm struct {
+	Bits           int64 `json:"bits"`
+	Messages       int64 `json:"messages"`
+	Rounds         int64 `json:"rounds"`
+	FDShrinks      int64 `json:"fd_shrinks"`
+	SVSSampledRows int64 `json:"svs_sampled_rows"`
+	PoolForCalls   int64 `json:"pool_for_calls"`
 }
 
 // CollectBaseline runs the headline experiments (Table 1 and Table 2) under
@@ -35,6 +50,11 @@ type BaselineExperiment struct {
 func CollectBaseline(cfg Config) (*Baseline, error) {
 	cfg.applyParallel()
 	b := &Baseline{Config: cfg, GoMaxProcs: runtime.GOMAXPROCS(0), PoolWorkers: parallel.Workers()}
+	// Scope a fresh observer to each experiment so the baseline records its
+	// exact communication and kernel activity; the caller's default observer
+	// is restored afterwards.
+	prev := obs.Default()
+	defer obs.SetDefault(prev)
 	for _, exp := range []struct {
 		name string
 		fn   func(Config) ([]Row, error)
@@ -42,15 +62,26 @@ func CollectBaseline(cfg Config) (*Baseline, error) {
 		{"table1", Table1},
 		{"table2", Table2},
 	} {
+		reg := obs.NewRegistry()
+		obs.SetDefault(obs.NewObserver(reg, nil))
 		start := time.Now()
 		rows, err := exp.fn(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("baseline %s: %w", exp.name, err)
 		}
+		snap := reg.Snapshot()
 		b.Experiments = append(b.Experiments, BaselineExperiment{
 			Name:      exp.name,
 			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 			Rows:      rows,
+			Comm: BaselineComm{
+				Bits:           snap.Counters["comm.bits_total"],
+				Messages:       snap.Counters["comm.messages_total"],
+				Rounds:         snap.Counters["comm.rounds_total"],
+				FDShrinks:      snap.Counters["fd.shrinks"],
+				SVSSampledRows: snap.Counters["svs.sampled_rows"],
+				PoolForCalls:   snap.Counters["pool.for_calls"],
+			},
 		})
 	}
 	return b, nil

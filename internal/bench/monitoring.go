@@ -44,7 +44,7 @@ func MonitoringComparison(cfg Config, rowsPerServer int) ([]Row, error) {
 			Words:  res.TotalWords,
 			CovErr: res.MaxRelErr, Budget: budget,
 			OK:   res.MaxRelErr <= budget,
-			Note: fmt.Sprintf("%d uploads, %d broadcasts", res.Uploads, res.Broadcasts),
+			Note: fmt.Sprintf("%d uploads, %d announces, %d broadcasts", res.Uploads, res.Announces, res.Broadcasts),
 		})
 	}
 	rows = append(rows, Row{

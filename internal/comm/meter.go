@@ -7,14 +7,33 @@ import (
 	"sync"
 )
 
+// Recorder mirrors the meter's accounting into an external sink (the
+// observability layer). Hooking here — rather than wrapping the network —
+// guarantees the sink sees exactly the messages the ledger charges, in the
+// same units, so the two can never drift apart. Implementations must be safe
+// for concurrent use; calls are made outside the meter's lock.
+type Recorder interface {
+	RecordMessage(from, to int, kind string, bits int64)
+	RecordRound()
+}
+
 // Meter accumulates communication cost per directed link and in total.
 // It is safe for concurrent use (protocol goroutines share one meter).
 type Meter struct {
 	mu       sync.Mutex
+	rec      Recorder
 	linkBits map[[2]int]int64
 	bits     int64
 	messages int64
 	rounds   int64
+}
+
+// SetRecorder installs (or, with nil, removes) a recorder mirroring every
+// subsequent Record/AddRound call.
+func (m *Meter) SetRecorder(r Recorder) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rec = r
 }
 
 // NewMeter returns an empty meter.
@@ -26,18 +45,26 @@ func NewMeter() *Meter {
 func (m *Meter) Record(msg *Message) {
 	b := msg.Bits()
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.linkBits[[2]int{msg.From, msg.To}] += b
 	m.bits += b
 	m.messages++
+	rec := m.rec
+	m.mu.Unlock()
+	if rec != nil {
+		rec.RecordMessage(msg.From, msg.To, msg.Kind, b)
+	}
 }
 
 // AddRound increments the round counter; protocols call it once per
 // synchronous communication round.
 func (m *Meter) AddRound() {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.rounds++
+	rec := m.rec
+	m.mu.Unlock()
+	if rec != nil {
+		rec.RecordRound()
+	}
 }
 
 // Bits returns the total bits sent.

@@ -63,6 +63,7 @@ func ServerAdaptiveLocal(ctx context.Context, node Node, local *matrix.Dense, s 
 	if err != nil {
 		return nil, fmt.Errorf("server %d SVS: %w", node.ID(), err)
 	}
+	cfg.observer().SVSSampled(w.Rows(), minDim(r))
 	return t.Stack(w), nil
 }
 
@@ -79,7 +80,7 @@ func ServerAdaptive(ctx context.Context, node Node, local *matrix.Dense, s int, 
 // CoordTailRelay performs the coordinator's half of the tail-mass exchange:
 // gather each server's ‖R_i‖F², broadcast the sum, return it.
 func CoordTailRelay(ctx context.Context, node Node, s int, cfg Config) (float64, error) {
-	tails, err := gatherAll(ctx, node, s, "tail-frob2", cfg.Stragglers)
+	tails, err := gatherAll(ctx, node, s, "tail-frob2", cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -87,7 +88,7 @@ func CoordTailRelay(ctx context.Context, node Node, s int, cfg Config) (float64,
 	for _, m := range tails {
 		total += m.Scalars[0]
 	}
-	if err := broadcast(ctx, node, s, &comm.Message{Kind: "tail-total", Scalars: []float64{total}}); err != nil {
+	if err := broadcast(ctx, node, s, &comm.Message{Kind: "tail-total", Scalars: []float64{total}}, cfg.observer()); err != nil {
 		return 0, err
 	}
 	return total, nil
@@ -100,7 +101,7 @@ func CoordAdaptive(ctx context.Context, node Node, s int, p AdaptiveParams, cfg 
 	if _, err := CoordTailRelay(ctx, node, s, cfg); err != nil {
 		return nil, err
 	}
-	msgs, err := gatherAll(ctx, node, s, "adaptive-sketch", cfg.Stragglers)
+	msgs, err := gatherAll(ctx, node, s, "adaptive-sketch", cfg)
 	if err != nil {
 		return nil, err
 	}

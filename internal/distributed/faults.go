@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/obs"
 )
 
 // FaultPlan describes the failures a FaultNetwork injects. All randomness is
@@ -54,12 +55,25 @@ type FaultNetwork struct {
 	plan  FaultPlan
 
 	mu    sync.Mutex
+	ob    *obs.Observer
 	nodes map[int]*faultNode
 }
 
 // NewFaultNetwork wraps inner with the given fault plan.
 func NewFaultNetwork(inner Network, plan FaultPlan) *FaultNetwork {
 	return &FaultNetwork{inner: inner, plan: plan, nodes: make(map[int]*faultNode)}
+}
+
+// SetObserver makes every injected fault visible on ob (a counter per fault
+// kind plus a trace event). It applies to endpoints created afterwards and
+// to any already handed out.
+func (f *FaultNetwork) SetObserver(ob *obs.Observer) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ob = ob
+	for _, n := range f.nodes {
+		n.ob = ob
+	}
 }
 
 // Node returns the fault-injecting endpoint with the given ID. The same
@@ -74,6 +88,7 @@ func (f *FaultNetwork) Node(id int) Node {
 	n := &faultNode{
 		inner: f.inner.Node(id),
 		plan:  f.plan,
+		ob:    f.ob,
 		rng:   rand.New(rand.NewSource(f.plan.Seed + int64(id))),
 		cut:   f.plan.Partition[id],
 	}
@@ -100,6 +115,7 @@ func (f *FaultNetwork) Close() { f.inner.Close() }
 type faultNode struct {
 	inner Node
 	plan  FaultPlan
+	ob    *obs.Observer
 	cut   bool
 
 	mu   sync.Mutex
@@ -137,13 +153,26 @@ func (n *faultNode) Send(ctx context.Context, to int, msg *comm.Message) error {
 	}
 	n.mu.Unlock()
 
+	id := n.inner.ID()
 	if delay > 0 {
+		n.ob.Fault("delay", id, to)
 		if err := sleepCtx(ctx, delay); err != nil {
 			return err
 		}
 	}
 	if drop {
+		if n.cut {
+			n.ob.Fault("partition", id, to)
+		} else {
+			n.ob.Fault("drop", id, to)
+		}
 		return nil // lost in transit; the sender cannot tell
+	}
+	if dup {
+		n.ob.Fault("duplicate", id, to)
+	}
+	if hold {
+		n.ob.Fault("reorder", id, to)
 	}
 	if !hold {
 		if err := n.deliver(ctx, to, msg, dup); err != nil {

@@ -50,11 +50,11 @@ func (p PCAParams) withDefaults() PCAParams {
 
 // coordBroadcastPCs optionally ships the answer to all servers (s·k·d words)
 // so every server knows it, matching the all-servers output model of [5].
-func coordBroadcastPCs(ctx context.Context, node Node, s int, p PCAParams, v *matrix.Dense) error {
+func coordBroadcastPCs(ctx context.Context, node Node, s int, p PCAParams, v *matrix.Dense, cfg Config) error {
 	if !p.Broadcast {
 		return nil
 	}
-	return broadcast(ctx, node, s, &comm.Message{Kind: "pcs", Matrix: v})
+	return broadcast(ctx, node, s, &comm.Message{Kind: "pcs", Matrix: v}, cfg.observer())
 }
 
 func serverMaybeRecvPCs(ctx context.Context, node Node, p PCAParams) error {
@@ -110,7 +110,7 @@ func (p PCASketchSolve) Coordinator(ctx context.Context, node Node) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	if err := coordBroadcastPCs(ctx, node, p.Env.Servers, pp, v); err != nil {
+	if err := coordBroadcastPCs(ctx, node, p.Env.Servers, pp, v, p.Env.Config); err != nil {
 		return nil, err
 	}
 	return &Result{Sketch: q, PCs: v}, nil
@@ -236,7 +236,7 @@ func scatterSparse(frame *matrix.Dense, buckets []int64, rows *matrix.Dense) err
 // dimension of the inputs. Returns the d×k approximate PCs.
 func CoordBWZSolve(ctx context.Context, node Node, s, d int, p PCAParams, cfg Config) (*matrix.Dense, error) {
 	p = p.withDefaults()
-	counts, err := gatherAll(ctx, node, s, "nrows", cfg.Stragglers)
+	counts, err := gatherAll(ctx, node, s, "nrows", cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -277,10 +277,10 @@ func coordBWZBody(ctx context.Context, node Node, s, d int, p PCAParams, cfg Con
 	if err != nil {
 		return nil, err
 	}
-	if err := broadcast(ctx, node, s, &comm.Message{Kind: "bwz-u", Matrix: u}); err != nil {
+	if err := broadcast(ctx, node, s, &comm.Message{Kind: "bwz-u", Matrix: u}, cfg.observer()); err != nil {
 		return nil, err
 	}
-	gs, err := gatherAll(ctx, node, s, "bwz-g", cfg.Stragglers)
+	gs, err := gatherAll(ctx, node, s, "bwz-g", cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -370,7 +370,7 @@ func (p BWZ) Coordinator(ctx context.Context, node Node) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := coordBroadcastPCs(ctx, node, p.Env.Servers, pp, v); err != nil {
+	if err := coordBroadcastPCs(ctx, node, p.Env.Servers, pp, v, p.Env.Config); err != nil {
 		return nil, err
 	}
 	return &Result{PCs: v}, nil
@@ -411,7 +411,7 @@ func (p BWZArbitrary) Coordinator(ctx context.Context, node Node) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	if err := coordBroadcastPCs(ctx, node, p.Env.Servers, pp, v); err != nil {
+	if err := coordBroadcastPCs(ctx, node, p.Env.Servers, pp, v, p.Env.Config); err != nil {
 		return nil, err
 	}
 	return &Result{PCs: v}, nil
@@ -479,7 +479,7 @@ func (p PCACombined) Coordinator(ctx context.Context, node Node) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	if err := coordBroadcastPCs(ctx, node, p.Env.Servers, pp, v); err != nil {
+	if err := coordBroadcastPCs(ctx, node, p.Env.Servers, pp, v, p.Env.Config); err != nil {
 		return nil, err
 	}
 	return &Result{PCs: v}, nil
@@ -531,7 +531,7 @@ func (p PCAFDMerge) Coordinator(ctx context.Context, node Node) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	if err := coordBroadcastPCs(ctx, node, p.Env.Servers, pp, v); err != nil {
+	if err := coordBroadcastPCs(ctx, node, p.Env.Servers, pp, v, p.Env.Config); err != nil {
 		return nil, err
 	}
 	return &Result{Sketch: sk, PCs: v}, nil

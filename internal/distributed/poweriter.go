@@ -79,10 +79,10 @@ func CoordPowerIter(ctx context.Context, node Node, s, d int, p PowerIterParams,
 	}
 	v = linalg.OrthonormalizeColumns(v, 0)
 	for round := 0; round < p.Rounds; round++ {
-		if err := broadcast(ctx, node, s, &comm.Message{Kind: "pi-v", Matrix: v}); err != nil {
+		if err := broadcast(ctx, node, s, &comm.Message{Kind: "pi-v", Matrix: v}, cfg.observer()); err != nil {
 			return nil, err
 		}
-		msgs, err := gatherAll(ctx, node, s, "pi-g", cfg.Stragglers)
+		msgs, err := gatherAll(ctx, node, s, "pi-g", cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -113,7 +113,7 @@ func CoordPowerIter(ctx context.Context, node Node, s, d int, p PowerIterParams,
 		}
 		v = next
 	}
-	if err := broadcast(ctx, node, s, &comm.Message{Kind: "pi-done"}); err != nil {
+	if err := broadcast(ctx, node, s, &comm.Message{Kind: "pi-done"}, cfg.observer()); err != nil {
 		return nil, err
 	}
 	return v, nil

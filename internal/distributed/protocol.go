@@ -264,7 +264,7 @@ func (p FullTransfer) Server(ctx context.Context, node Node, local *matrix.Dense
 
 // Coordinator implements Protocol.
 func (p FullTransfer) Coordinator(ctx context.Context, node Node) (*Result, error) {
-	msgs, err := gatherAll(ctx, node, p.Env.Servers, "raw", p.Env.Config.Stragglers)
+	msgs, err := gatherAll(ctx, node, p.Env.Servers, "raw", p.Env.Config)
 	if err != nil {
 		return nil, err
 	}

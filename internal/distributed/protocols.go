@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fd"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/rowsample"
 	"repro/internal/workload"
 )
@@ -33,6 +34,22 @@ type Config struct {
 	// GOMAXPROCS). It only affects local kernel speed — communication word
 	// counts and protocol transcripts are identical at every width.
 	Parallelism int
+	// Obs is the observability sink for this run's protocol events (nil
+	// falls back to the process-wide obs.Default(), which is itself nil —
+	// the no-op observer — unless installed). Observation never changes
+	// metered communication: word counts and transcripts are identical
+	// with and without it.
+	Obs *obs.Observer
+}
+
+// observer resolves the config's observability sink: the explicit Obs, or
+// the process-wide default. The result may be nil — every Observer method
+// is a no-op on a nil receiver.
+func (c Config) observer() *obs.Observer {
+	if c.Obs != nil {
+		return c.Obs
+	}
+	return obs.Default()
 }
 
 // sendMatrix transmits m under the config's quantization policy.
@@ -61,6 +78,15 @@ func recvMatrix(msg *comm.Message) (*matrix.Dense, error) {
 
 func (c Config) rng(serverID int) *rand.Rand {
 	return rand.New(rand.NewSource(c.Seed + int64(serverID) + 1))
+}
+
+// minDim is the number of singular triples of m — the SVS candidate count.
+func minDim(m *matrix.Dense) int {
+	r, c := m.Dims()
+	if r < c {
+		return r
+	}
+	return c
 }
 
 func finish(res *Result, meter *comm.Meter) *Result {
@@ -92,11 +118,11 @@ func ServerFDMerge(ctx context.Context, node Node, local *matrix.Dense, eps floa
 // reported and the returned missing slice lists the absent servers — the
 // sketch then covers only the responsive servers' rows.
 func CoordFDMerge(ctx context.Context, node Node, s, d int, eps float64, k int, cfg Config) (*matrix.Dense, []int, error) {
-	msgs, missing, err := gather(ctx, node, s, "fd-sketch", cfg.Stragglers, true)
+	msgs, missing, err := gather(ctx, node, s, "fd-sketch", cfg, true)
 	if err != nil {
 		return nil, nil, err
 	}
-	merged := fd.New(d, fd.SketchSize(eps, k), fd.Options{})
+	merged := fd.New(d, fd.SketchSize(eps, k), fd.Options{Obs: cfg.Obs})
 	for _, msg := range msgs {
 		if msg == nil {
 			continue // straggler admitted by the quorum policy
@@ -144,6 +170,7 @@ func ServerSVS(ctx context.Context, node Node, local *matrix.Dense, s int, alpha
 	if err != nil {
 		return fmt.Errorf("server %d SVS: %w", node.ID(), err)
 	}
+	cfg.observer().SVSSampled(b.Rows(), minDim(local))
 	return cfg.sendMatrix(ctx, node, comm.CoordinatorID, "svs-sketch", b)
 }
 
@@ -151,7 +178,7 @@ func ServerSVS(ctx context.Context, node Node, local *matrix.Dense, s int, alpha
 // makes a partial merge unsound (the broadcast mass would include servers
 // whose rows never arrive), so stragglers are always fail-fast here.
 func CoordSVS(ctx context.Context, node Node, s int, cfg Config) (*matrix.Dense, error) {
-	masses, err := gatherAll(ctx, node, s, "frob2", cfg.Stragglers)
+	masses, err := gatherAll(ctx, node, s, "frob2", cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -159,10 +186,10 @@ func CoordSVS(ctx context.Context, node Node, s int, cfg Config) (*matrix.Dense,
 	for _, m := range masses {
 		total += m.Scalars[0]
 	}
-	if err := broadcast(ctx, node, s, &comm.Message{Kind: "frob2-total", Scalars: []float64{total}}); err != nil {
+	if err := broadcast(ctx, node, s, &comm.Message{Kind: "frob2-total", Scalars: []float64{total}}, cfg.observer()); err != nil {
 		return nil, err
 	}
-	sketches, err := gatherAll(ctx, node, s, "svs-sketch", cfg.Stragglers)
+	sketches, err := gatherAll(ctx, node, s, "svs-sketch", cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -193,7 +220,7 @@ func RunSVS(ctx context.Context, parts []*matrix.Dense, alpha, delta float64, sa
 // sum of the two stages' errors, so the output is still an (O(ε),0)-sketch,
 // and the server never holds its raw input in memory.
 func ServerSVSStreaming(ctx context.Context, node Node, rows *workload.RowStream, d, s int, alpha, delta float64, cfg Config) error {
-	local := fd.New(d, fd.SketchSize(alpha/2, 0), fd.Options{})
+	local := fd.New(d, fd.SketchSize(alpha/2, 0), fd.Options{Obs: cfg.Obs})
 	for row, ok := rows.Next(); ok; row, ok = rows.Next() {
 		if err := local.Update(row); err != nil {
 			return fmt.Errorf("server %d: %w", node.ID(), err)
@@ -217,6 +244,7 @@ func ServerSVSStreaming(ctx context.Context, node Node, rows *workload.RowStream
 	if err != nil {
 		return fmt.Errorf("server %d SVS: %w", node.ID(), err)
 	}
+	cfg.observer().SVSSampled(w.Rows(), minDim(b))
 	return cfg.sendMatrix(ctx, node, comm.CoordinatorID, "svs-sketch", w)
 }
 
@@ -265,7 +293,7 @@ func ServerRowSampling(ctx context.Context, node Node, local *matrix.Dense, cfg 
 // global samples across servers proportionally (multinomially, seeded by
 // cfg.Seed), then stack the returned rows.
 func CoordRowSampling(ctx context.Context, node Node, s, m int, cfg Config) (*matrix.Dense, error) {
-	masses, err := gatherAll(ctx, node, s, "mass", cfg.Stragglers)
+	masses, err := gatherAll(ctx, node, s, "mass", cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -275,20 +303,13 @@ func CoordRowSampling(ctx context.Context, node Node, s, m int, cfg Config) (*ma
 		vals[i] = msg.Scalars[0]
 		total += vals[i]
 	}
+	// The proportional split is the same multinomial walk the estimator
+	// uses locally; rowsample.MultinomialSplit handles the rounding and
+	// zero-mass edge cases (a hand-rolled copy here used to drop samples).
+	split := rowsample.MultinomialSplit(vals, m, rand.New(rand.NewSource(cfg.Seed)))
 	counts := make([]int64, s)
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	if total > 0 {
-		for t := 0; t < m; t++ {
-			u := rng.Float64() * total
-			run := 0.0
-			for i := 0; i < s; i++ {
-				run += vals[i]
-				if u <= run {
-					counts[i]++
-					break
-				}
-			}
-		}
+	for i, c := range split {
+		counts[i] = int64(c)
 	}
 	for i := 0; i < s; i++ {
 		if err := node.Send(ctx, i, &comm.Message{
@@ -299,7 +320,7 @@ func CoordRowSampling(ctx context.Context, node Node, s, m int, cfg Config) (*ma
 			return nil, err
 		}
 	}
-	rowsMsgs, err := gatherAll(ctx, node, s, "sample-rows", cfg.Stragglers)
+	rowsMsgs, err := gatherAll(ctx, node, s, "sample-rows", cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -74,6 +75,17 @@ func WithMeter(meter *comm.Meter) RunOption {
 	return func(o *runOpts) { o.meter = meter }
 }
 
+// WithObserver records the run's protocol events — messages, rounds,
+// broadcasts, stragglers, faults, FD shrinks, SVS sampling — on the given
+// observer (see the obs package). Without this option the run falls back to
+// the Config's Obs field, then to the process-wide obs.Default(). Word
+// counts and protocol transcripts are identical with and without an
+// observer; the observer's message totals are taken at the metering point,
+// so they always equal the run's Result totals exactly.
+func WithObserver(ob *obs.Observer) RunOption {
+	return func(o *runOpts) { o.cfg.Obs = ob }
+}
+
 // WithParallelism sets the process-wide compute worker pool to n before the
 // run (n <= 0 leaves the pool at its current width, GOMAXPROCS by default).
 // The pool accelerates local kernels only — FD shrinks, SVDs, matrix
@@ -110,15 +122,26 @@ func Run(ctx context.Context, proto Protocol, parts []*matrix.Dense, opts ...Run
 		defer cancel()
 	}
 	s, d := len(parts), parts[0].Cols()
+	ob := o.cfg.observer()
+	o.cfg.Obs = ob // resolve the fallback once so protocol code reads cfg.Obs directly
 	var memOpts []MemOption
 	if o.mailbox > 0 {
 		memOpts = append(memOpts, Mailbox(o.mailbox))
 	}
 	mem := NewMemNetwork(s, o.meter, memOpts...)
 	defer mem.Close()
+	if ob != nil {
+		// Mirror the meter's accounting into the observer for this run (and
+		// clear the hook on exit so a meter shared via WithMeter does not
+		// keep feeding a stale observer in later runs).
+		mem.Meter().SetRecorder(ob)
+		defer mem.Meter().SetRecorder(nil)
+	}
 	var net Network = mem
 	if o.faults != nil && !o.faults.zero() {
-		net = NewFaultNetwork(mem, *o.faults)
+		fn := NewFaultNetwork(mem, *o.faults)
+		fn.SetObserver(ob)
+		net = fn
 	}
 	if es, ok := proto.(envSetter); ok {
 		proto = es.withEnv(Env{Servers: s, Dim: d, Config: o.cfg})
@@ -134,6 +157,7 @@ func Run(ctx context.Context, proto Protocol, parts []*matrix.Dense, opts ...Run
 		}
 	}
 	res := &Result{}
+	ob.RunStart(proto.Name(), s)
 	err := runParties(ctx, net, serverFns, func() error {
 		nRounds := 1
 		if rc, ok := proto.(roundCounter); ok {
@@ -150,7 +174,10 @@ func Run(ctx context.Context, proto Protocol, parts []*matrix.Dense, opts ...Run
 		return nil
 	})
 	if err != nil {
+		ob.RunEnd(proto.Name(), net.Meter().Words(), err)
 		return nil, fmt.Errorf("%s: %w", proto.Name(), err)
 	}
-	return finish(res, net.Meter()), nil
+	out := finish(res, net.Meter())
+	ob.RunEnd(proto.Name(), out.Words, nil)
+	return out, nil
 }

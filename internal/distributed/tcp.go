@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/obs"
 )
 
 // The TCP transport implements the star topology every protocol in this
@@ -41,6 +42,23 @@ type TCPOptions struct {
 	// WriteTimeout bounds each message write when the caller's context has
 	// no earlier deadline; 0 means no per-write timeout.
 	WriteTimeout time.Duration
+	// Obs is the observability sink: the endpoint's meter is mirrored into
+	// it (per-message metrics + trace), raw wire bytes are counted, and dial
+	// retries are reported. Nil falls back to the process-wide obs.Default().
+	Obs *obs.Observer
+	// DebugAddr, when non-empty on the coordinator, serves pprof and expvar
+	// on that address (e.g. "127.0.0.1:6060") for the lifetime of the
+	// coordinator; see obs.ServeDebug. Mount a registry with PublishExpvar
+	// to see live metrics under /debug/vars.
+	DebugAddr string
+}
+
+// observer resolves the options' observability sink (possibly nil: no-op).
+func (o TCPOptions) observer() *obs.Observer {
+	if o.Obs != nil {
+		return o.Obs
+	}
+	return obs.Default()
 }
 
 func (o TCPOptions) withDefaults() TCPOptions {
@@ -103,12 +121,14 @@ type TCPCoordinator struct {
 	meter *comm.Meter
 	ln    net.Listener
 	opts  TCPOptions
+	ob    *obs.Observer
 
 	mu    sync.Mutex
 	conns map[int]net.Conn
 
-	inbox chan recvResult
-	done  chan struct{}
+	inbox      chan recvResult
+	done       chan struct{}
+	debugClose func() error
 }
 
 type recvResult struct {
@@ -134,13 +154,30 @@ func NewTCPCoordinatorOpts(addr string, s int, meter *comm.Meter, opts TCPOption
 	if err != nil {
 		return nil, fmt.Errorf("distributed: listen: %w", err)
 	}
-	return &TCPCoordinator{
+	c := &TCPCoordinator{
 		s: s, meter: meter, ln: ln, opts: opts.withDefaults(),
+		ob:    opts.observer(),
 		conns: make(map[int]net.Conn),
 		inbox: make(chan recvResult, 16*s),
 		done:  make(chan struct{}),
-	}, nil
+	}
+	if c.ob != nil {
+		meter.SetRecorder(c.ob)
+	}
+	if opts.DebugAddr != "" {
+		dbgAddr, closeFn, err := obs.ServeDebug(opts.DebugAddr)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("distributed: debug server: %w", err)
+		}
+		c.debugClose = closeFn
+		c.ob.Note("debug server on " + dbgAddr)
+	}
+	return c, nil
 }
+
+// DebugServing reports whether the opt-in pprof/expvar server is running.
+func (c *TCPCoordinator) DebugServing() bool { return c.debugClose != nil }
 
 // Addr returns the listening address for servers to dial.
 func (c *TCPCoordinator) Addr() string { return c.ln.Addr().String() }
@@ -161,6 +198,7 @@ func (c *TCPCoordinator) Accept(ctx context.Context) error {
 			}
 			return fmt.Errorf("distributed: accept: %w", err)
 		}
+		conn = countedConn(conn, c.ob)
 		release := ioDeadline(ctx, c.opts.ReadTimeout, conn.SetReadDeadline)
 		hello, err := comm.Decode(conn)
 		release()
@@ -232,6 +270,9 @@ func (c *TCPCoordinator) Close() {
 		close(c.done)
 	}
 	c.ln.Close()
+	if c.debugClose != nil {
+		c.debugClose()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, conn := range c.conns {
@@ -294,6 +335,10 @@ func DialTCPServerContext(ctx context.Context, addr string, id int, meter *comm.
 		meter = comm.NewMeter()
 	}
 	opts = opts.withDefaults()
+	ob := opts.observer()
+	if ob != nil {
+		meter.SetRecorder(ob)
+	}
 	var conn net.Conn
 	var err error
 	backoff := opts.RetryBackoff
@@ -306,11 +351,13 @@ func DialTCPServerContext(ctx context.Context, addr string, id int, meter *comm.
 		if ctx.Err() != nil || attempt >= opts.DialRetries {
 			return nil, fmt.Errorf("distributed: dial %s (attempt %d): %w", addr, attempt+1, err)
 		}
+		ob.DialRetry(attempt + 1)
 		if serr := sleepCtx(ctx, backoff); serr != nil {
 			return nil, fmt.Errorf("distributed: dial %s: %w", addr, serr)
 		}
 		backoff *= 2
 	}
+	conn = countedConn(conn, ob)
 	srv := &TCPServer{id: id, meter: meter, conn: conn, opts: opts}
 	hello := &comm.Message{Kind: "hello", Ints: []int64{int64(id)}}
 	hello.From, hello.To = id, comm.CoordinatorID
@@ -365,3 +412,33 @@ func (s *TCPServer) Recv(ctx context.Context) (*comm.Message, error) {
 
 // Close closes the connection.
 func (s *TCPServer) Close() { s.conn.Close() }
+
+// countConn wraps a net.Conn so every wire byte — framing and payload, in
+// both directions — is counted on the observer. This is the transport's
+// actual byte cost, distinct from (and slightly above) the paper's metered
+// word cost, so the overhead of the codec is itself observable.
+type countConn struct {
+	net.Conn
+	ob *obs.Observer
+}
+
+// countedConn wraps conn for byte accounting; a nil observer leaves the
+// connection untouched (zero overhead when observability is off).
+func countedConn(conn net.Conn, ob *obs.Observer) net.Conn {
+	if ob == nil {
+		return conn
+	}
+	return &countConn{Conn: conn, ob: ob}
+}
+
+func (c *countConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.ob.TransportBytes(false, int64(n))
+	return n, err
+}
+
+func (c *countConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.ob.TransportBytes(true, int64(n))
+	return n, err
+}

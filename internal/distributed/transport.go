@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 )
 
 // Node is one endpoint's view of the network: it can send a message to any
@@ -289,17 +290,22 @@ func runParties(ctx context.Context, net Network, serverFns []func() error, coor
 
 // gather receives exactly one message of the given kind from every server,
 // returning them indexed by server ID. Messages of other kinds are an error
-// (protocols are lockstep). Under a StragglerPolicy with a timeout, each
-// receive waits at most pol.Timeout; when the timeout fires and partialOK
-// is set with pol.Quorum met, gather returns the partial results with the
-// missing servers listed (their entries are nil) — otherwise the timeout is
-// an ErrStraggler.
-func gather(ctx context.Context, node Node, s int, kind string, pol StragglerPolicy, partialOK bool) (msgs []*comm.Message, missing []int, err error) {
+// (protocols are lockstep). Under cfg.Stragglers with a timeout, each
+// receive waits at most the policy's Timeout; when the timeout fires and
+// partialOK is set with the quorum met, gather returns the partial results
+// with the missing servers listed (their entries are nil) — otherwise the
+// timeout is an ErrStraggler. Straggler timeouts are reported to the
+// config's observer either way.
+func gather(ctx context.Context, node Node, s int, kind string, cfg Config, partialOK bool) (msgs []*comm.Message, missing []int, err error) {
+	pol := cfg.Stragglers
 	out := make([]*comm.Message, s)
 	seen := 0
 	for seen < s {
 		msg, err := recvPolicy(ctx, node, pol.Timeout)
 		if err != nil {
+			if errors.Is(err, ErrStraggler) {
+				cfg.observer().Straggler(kind)
+			}
 			if errors.Is(err, ErrStraggler) && partialOK && pol.Quorum > 0 && seen >= pol.Quorum {
 				for i := 0; i < s; i++ {
 					if out[i] == nil {
@@ -327,8 +333,8 @@ func gather(ctx context.Context, node Node, s int, kind string, pol StragglerPol
 
 // gatherAll is the strict form of gather: every server must respond within
 // the policy's per-server timeout or the gather fails.
-func gatherAll(ctx context.Context, node Node, s int, kind string, pol StragglerPolicy) ([]*comm.Message, error) {
-	msgs, _, err := gather(ctx, node, s, kind, pol, false)
+func gatherAll(ctx context.Context, node Node, s int, kind string, cfg Config) ([]*comm.Message, error) {
+	msgs, _, err := gather(ctx, node, s, kind, cfg, false)
 	return msgs, err
 }
 
@@ -348,8 +354,11 @@ func recvPolicy(ctx context.Context, node Node, timeout time.Duration) (*comm.Me
 }
 
 // broadcast sends msg (same payload) to every server, point-to-point —
-// costing s times the message size, as in the message-passing model.
-func broadcast(ctx context.Context, node Node, s int, msg *comm.Message) error {
+// costing s times the message size, as in the message-passing model. The
+// observer (nil for none) gets one broadcast event covering all s sends; the
+// individual messages are still metered (and traced) one by one.
+func broadcast(ctx context.Context, node Node, s int, msg *comm.Message, ob *obs.Observer) error {
+	ob.Broadcast(msg.Kind, s)
 	for i := 0; i < s; i++ {
 		m := *msg // shallow copy; payload slices are shared read-only
 		if err := node.Send(ctx, i, &m); err != nil {

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/linalg"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 )
 
 // Sketch is a streaming Frequent Directions sketch. It is not safe for
@@ -40,6 +41,7 @@ type Sketch struct {
 	buf        *matrix.Dense
 	ws         linalg.SVDWorkspace // reused across shrinks (no per-shrink allocs)
 	used       int
+	obs        *obs.Observer
 
 	shrinks    int
 	totalDelta float64 // Σ δ_i — an a-posteriori certificate for the error
@@ -94,6 +96,10 @@ type Options struct {
 	SVD SVDMethod
 	// Seed seeds SVDRandomized (ignored otherwise).
 	Seed int64
+	// Obs records each shrink (count, δ, rows shrunk) on the observability
+	// layer; nil falls back to the process-wide obs.Default(). The shrink
+	// hot path stays allocation-free either way.
+	Obs *obs.Observer
 }
 
 // New returns a sketch of dimension d producing at most ell rows. It panics
@@ -112,7 +118,7 @@ func New(d, ell int, opts Options) *Sketch {
 	} else if br < ell+1 {
 		panic(fmt.Sprintf("fd: BufferRows=%d below minimum ℓ+1=%d", br, ell+1))
 	}
-	s := &Sketch{d: d, ell: ell, bufferRows: br, method: opts.SVD, seed: opts.Seed, buf: matrix.New(br, d)}
+	s := &Sketch{d: d, ell: ell, bufferRows: br, method: opts.SVD, seed: opts.Seed, buf: matrix.New(br, d), obs: opts.Obs}
 	if opts.SVD == SVDRandomized {
 		s.rng = rand.New(rand.NewSource(opts.Seed + 0x5eed))
 	}
@@ -296,8 +302,14 @@ func (s *Sketch) shrink() error {
 	for i := out; i < s.used; i++ {
 		zero(s.buf.Row(i))
 	}
+	shrunk := s.used
 	s.used = out
 	s.shrinks++
+	ob := s.obs
+	if ob == nil {
+		ob = obs.Default()
+	}
+	ob.FDShrink(shrunk, delta)
 	if s.method == SVDRandomized {
 		// The truncated factorization also discards directions beyond
 		// ℓ+1, each carrying at most δ of spectral mass: charge 2δ so the
@@ -347,6 +359,7 @@ func (s *Sketch) Snapshot() (*matrix.Dense, error) {
 	tmp := &Sketch{
 		d: s.d, ell: s.ell, bufferRows: s.bufferRows, method: s.method,
 		seed: s.seed, buf: s.buf.CopyRows(0, s.bufferRows), used: s.used,
+		obs: s.obs,
 	}
 	if s.method == SVDRandomized {
 		tmp.rng = rand.New(rand.NewSource(s.seed + 0x5eed + int64(s.shrinks) + 1))

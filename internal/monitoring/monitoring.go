@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fd"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 )
 
 // Policy selects the upload compression scheme.
@@ -68,6 +69,17 @@ type Config struct {
 	Policy Policy
 	// Seed drives the randomized policy.
 	Seed int64
+	// Obs receives upload/announce/broadcast events and counters. Nil falls
+	// back to the process default observer (obs.Default()); observation
+	// never changes the protocol's communication.
+	Obs *obs.Observer
+}
+
+func (c Config) observer() *obs.Observer {
+	if c.Obs != nil {
+		return c.Obs
+	}
+	return obs.Default()
 }
 
 func (c Config) validate() {
@@ -93,6 +105,7 @@ type Server struct {
 	localMass      float64 // ‖A_i(t)‖F²
 	unreportedMass float64
 	threshold      float64 // current per-server unreported-mass budget
+	announced      bool    // one-time mass announcement sent (bootstrap)
 	rng            *rand.Rand
 }
 
@@ -104,6 +117,11 @@ type Upload struct {
 	// Replace indicates the block supersedes all previous blocks from this
 	// server (PolicyFullSketch); otherwise it is additive (delta policies).
 	Replace bool
+	// Announce marks the one-word bootstrap message a server sends the first
+	// time it holds unreported mass while no threshold is installed yet. It
+	// carries Mass only (Rows is nil); the rows stay pending locally until a
+	// real threshold-triggered upload.
+	Announce bool
 	// Mass is the server's exact local mass at upload time (one word).
 	Mass float64
 	// Words is the message cost.
@@ -124,6 +142,13 @@ func newServer(cfg Config, id int) *Server {
 
 // Offer feeds one row; it returns a non-nil Upload when the server's
 // unreported mass crosses its budget and a message must be sent.
+//
+// Before the coordinator has broadcast any threshold the budget is zero; a
+// naive "mass > threshold" trigger would then ship a full sketch block on
+// every single row until the first broadcast arrives (an upload storm at
+// stream start, s blocks for s first rows). Instead the server sends a
+// one-time one-word Announce carrying its mass; the rows stay pending until
+// a real threshold is installed and crossed.
 func (s *Server) Offer(row []float64) (*Upload, error) {
 	if err := s.pending.Update(row); err != nil {
 		return nil, err
@@ -134,7 +159,17 @@ func (s *Server) Offer(row []float64) (*Upload, error) {
 	m := matrix.Norm2(row)
 	s.localMass += m
 	s.unreportedMass += m
-	if s.unreportedMass <= s.threshold || s.unreportedMass == 0 {
+	if s.unreportedMass == 0 {
+		return nil, nil
+	}
+	if s.threshold == 0 {
+		if s.announced {
+			return nil, nil
+		}
+		s.announced = true
+		return &Upload{From: s.id, Announce: true, Mass: s.localMass, Words: 1}, nil
+	}
+	if s.unreportedMass <= s.threshold {
 		return nil, nil
 	}
 	return s.flush()
@@ -198,6 +233,7 @@ type Coordinator struct {
 	lastBroadcast float64
 	words         float64
 	uploads       int
+	announces     int
 	broadcasts    int
 }
 
@@ -217,11 +253,23 @@ func NewCoordinator(cfg Config) *Coordinator {
 // 2× since the last broadcast), else 0.
 func (c *Coordinator) Absorb(up *Upload) (newThreshold float64, err error) {
 	c.words += up.Words
-	c.uploads++
-	if up.Replace {
+	ob := c.cfg.observer()
+	switch {
+	case up.Announce:
+		// Bootstrap mass report: no rows, just makes the server's mass
+		// visible so the first threshold broadcast covers it.
+		c.announces++
+		ob.MonitoringUpload(up.From, 0, up.Words, true)
+	case up.Replace:
+		c.uploads++
 		c.replaced[up.From] = up.Rows
-	} else if err := c.additive.UpdateMatrix(up.Rows); err != nil {
-		return 0, err
+		ob.MonitoringUpload(up.From, up.Rows.Rows(), up.Words, false)
+	default:
+		c.uploads++
+		if err := c.additive.UpdateMatrix(up.Rows); err != nil {
+			return 0, err
+		}
+		ob.MonitoringUpload(up.From, up.Rows.Rows(), up.Words, false)
 	}
 	c.reportedMass[up.From] = up.Mass
 	total := 0.0
@@ -235,7 +283,9 @@ func (c *Coordinator) Absorb(up *Upload) (newThreshold float64, err error) {
 		// Budget split: each server may hold ε/2 · T/s unreported mass, so
 		// the total unreported (hence untracked) mass stays ≤ ε/2·T even as
 		// T doubles before the next broadcast.
-		return c.cfg.Eps / 2 * total / float64(c.cfg.S), nil
+		t := c.cfg.Eps / 2 * total / float64(c.cfg.S)
+		ob.MonitoringBroadcast(t, c.cfg.S)
+		return t, nil
 	}
 	return 0, nil
 }
@@ -260,8 +310,12 @@ func (c *Coordinator) Sketch() (*matrix.Dense, error) {
 // Words returns the total communication so far.
 func (c *Coordinator) Words() float64 { return c.words }
 
-// Uploads returns the number of server uploads so far.
+// Uploads returns the number of sketch-carrying server uploads so far
+// (announces are counted separately).
 func (c *Coordinator) Uploads() int { return c.uploads }
+
+// Announces returns the number of one-word bootstrap mass announcements.
+func (c *Coordinator) Announces() int { return c.announces }
 
 // Broadcasts returns the number of threshold broadcasts.
 func (c *Coordinator) Broadcasts() int { return c.broadcasts }

@@ -1,6 +1,7 @@
 package monitoring
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -112,6 +113,133 @@ func TestWordsNondecreasingAcrossCheckpoints(t *testing.T) {
 			t.Fatalf("words decreased: %v after %v", cp.Words, prev)
 		}
 		prev = cp.Words
+	}
+}
+
+func TestNoUploadStormAtStreamStart(t *testing.T) {
+	// Before any threshold broadcast the budget is zero. The first row at
+	// each server must produce a one-word mass announcement, not a full
+	// sketch upload — the old trigger shipped s sketch blocks for the first
+	// s rows of the system.
+	const s, d = 4, 8
+	cfg := Config{Eps: 0.2, S: s, D: d, Policy: PolicyFullSketch, Seed: 9}
+	coord := NewCoordinator(cfg)
+	servers := make([]*Server, s)
+	for i := range servers {
+		servers[i] = newServer(cfg, i)
+	}
+	row := make([]float64, d)
+	row[0] = 1
+	for i, sv := range servers {
+		up, err := sv.Offer(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if up == nil {
+			t.Fatalf("server %d: no announcement on first row", i)
+		}
+		if !up.Announce || up.Rows != nil || up.Words != 1 {
+			t.Fatalf("server %d: first message not a one-word announce: %+v", i, up)
+		}
+		if _, err := coord.Absorb(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if coord.Uploads() != 0 {
+		t.Fatalf("upload storm: %d sketch uploads before any threshold", coord.Uploads())
+	}
+	if coord.Announces() != s {
+		t.Fatalf("announces = %d, want %d", coord.Announces(), s)
+	}
+	// A second row with the threshold still uninstalled must stay silent.
+	up, err := servers[0].Offer(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up != nil {
+		t.Fatalf("second pre-threshold row produced a message: %+v", up)
+	}
+	// Once a threshold is installed and crossed, real uploads flow and the
+	// pending (announced-but-unshipped) rows ride along.
+	servers[0].SetThreshold(1e-9)
+	up, err = servers[0].Offer(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up == nil || up.Announce || up.Rows == nil || up.Rows.Rows() == 0 {
+		t.Fatalf("post-threshold upload missing pending rows: %+v", up)
+	}
+}
+
+func TestAbsorbBroadcastCadence(t *testing.T) {
+	// The coordinator re-broadcasts exactly when the total reported mass
+	// doubles since the last broadcast (plus the initial bootstrap).
+	cfg := Config{Eps: 0.2, S: 2, D: 4, Policy: PolicyDelta, Seed: 10}
+	coord := NewCoordinator(cfg)
+	absorb := func(from int, mass float64) float64 {
+		t.Helper()
+		thresh, err := coord.Absorb(&Upload{From: from, Announce: true, Mass: mass, Words: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return thresh
+	}
+	if th := absorb(0, 1); th <= 0 {
+		t.Fatal("first absorb must broadcast a threshold")
+	}
+	// total 1 → broadcast at mass > 2.
+	if th := absorb(0, 1.5); th != 0 {
+		t.Fatalf("broadcast at total 1.5 ≤ 2: %v", th)
+	}
+	if th := absorb(1, 0.4); th != 0 {
+		t.Fatalf("broadcast at total 1.9 ≤ 2: %v", th)
+	}
+	th := absorb(0, 2.1) // total 2.5 > 2 → broadcast
+	if th <= 0 {
+		t.Fatal("no broadcast after total mass doubled")
+	}
+	want := cfg.Eps / 2 * 2.5 / float64(cfg.S)
+	if math.Abs(th-want) > 1e-12 {
+		t.Fatalf("threshold %v, want ε/2·T/s = %v", th, want)
+	}
+	// total 2.5 → next broadcast strictly above 5 (server 0 holds 2.1).
+	if th := absorb(1, 2.9); th != 0 {
+		t.Fatalf("broadcast at total 5.0, needs > 5: %v", th)
+	}
+	if th := absorb(1, 3.0); th <= 0 {
+		t.Fatal("no broadcast at total 5.1 > 5")
+	}
+	if got := coord.Broadcasts(); got != 3 {
+		t.Fatalf("broadcasts = %d, want 3", got)
+	}
+}
+
+func TestSVSDeltaTrackingErrorEndToEnd(t *testing.T) {
+	// End-to-end audit of the experimental SVS-compressed-delta policy: the
+	// realized tracking error must stay within the probabilistic budget at
+	// EVERY checkpoint (not only the max), and the announce bootstrap must
+	// not starve the protocol of uploads.
+	cfg := Config{Eps: 0.25, S: 4, D: 12, Policy: PolicySVSDelta, Seed: 11}
+	res, err := Simulate(cfg, streams(11, 4, 200, 12), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Checkpoints) == 0 {
+		t.Fatal("no checkpoints")
+	}
+	for _, cp := range res.Checkpoints {
+		if cp.RelErr > 2*cfg.Eps {
+			t.Fatalf("checkpoint t=%d: tracking error %v exceeded 2ε=%v", cp.Time, cp.RelErr, 2*cfg.Eps)
+		}
+	}
+	if res.Uploads == 0 || res.Broadcasts == 0 {
+		t.Fatalf("protocol starved: %d uploads, %d broadcasts", res.Uploads, res.Broadcasts)
+	}
+	if res.Announces == 0 {
+		t.Fatal("no bootstrap announcement recorded")
+	}
+	if res.TotalWords >= res.NaiveWords {
+		t.Fatalf("tracking cost %v not below naive %v", res.TotalWords, res.NaiveWords)
 	}
 }
 

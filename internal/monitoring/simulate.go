@@ -24,6 +24,7 @@ type Result struct {
 	Checkpoints []Checkpoint
 	TotalWords  float64
 	Uploads     int
+	Announces   int
 	Broadcasts  int
 	// NaiveWords is the cost of streaming every row to the coordinator —
 	// the trivial continuous protocol the tracking schemes beat.
@@ -108,6 +109,7 @@ func Simulate(cfg Config, streams []*matrix.Dense, checkpointEvery int) (*Result
 	}
 	res.TotalWords = coord.Words()
 	res.Uploads = coord.Uploads()
+	res.Announces = coord.Announces()
 	res.Broadcasts = coord.Broadcasts()
 	res.NaiveWords = float64(delivered * cfg.D)
 	return res, nil

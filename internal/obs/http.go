@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServeDebug starts an opt-in debug HTTP server on addr exposing the
+// standard pprof endpoints under /debug/pprof/ and a live expvar snapshot
+// (including any registry mounted via PublishExpvar) under /debug/vars. It
+// uses its own mux, so nothing leaks onto http.DefaultServeMux.
+//
+// The listener address actually bound (useful with ":0") and a shutdown
+// function are returned; the server itself runs until closed.
+func ServeDebug(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			c.Add(5)
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8*1005 {
+		t.Fatalf("counter = %d, want %d", got, 8*1005)
+	}
+}
+
+func TestGaugeAddConcurrent(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				g.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 10+8*500*0.5 {
+		t.Fatalf("gauge = %v, want %v", got, 10+8*500*0.5)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 0.5+1+2+10+50+1000 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	snap := r.Snapshot().Histograms["h"]
+	// ≤1: {0.5, 1}; ≤10: {2, 10}; ≤100: {50}; overflow: {1000}.
+	want := []int64{2, 2, 1, 1}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(64, 4, 4)
+	want := []float64{64, 256, 1024, 4096}
+	for i, w := range want {
+		if b[i] != w {
+			t.Fatalf("ExpBuckets[%d] = %v, want %v", i, b[i], w)
+		}
+	}
+	for _, bad := range [][3]float64{{0, 2, 4}, {1, 1, 4}, {1, 2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ExpBuckets(%v) did not panic", bad)
+				}
+			}()
+			ExpBuckets(bad[0], bad[1], int(bad[2]))
+		}()
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("counter handle not stable")
+	}
+	if r.Gauge("y") != r.Gauge("y") {
+		t.Fatal("gauge handle not stable")
+	}
+	if r.Histogram("z", []float64{1, 2}) != r.Histogram("z", nil) {
+		t.Fatal("histogram handle not stable")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unsorted histogram bounds did not panic")
+			}
+		}()
+		r.Histogram("bad", []float64{2, 1})
+	}()
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(7)
+	r.Gauge("b").Set(1.5)
+	r.Histogram("c", []float64{10}).Observe(3)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["a"] != 7 || s.Gauges["b"] != 1.5 || s.Histograms["c"].Count != 1 {
+		t.Fatalf("round trip mismatch: %+v", s)
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pub").Inc()
+	r.PublishExpvar("obs_test_registry")
+	r.PublishExpvar("obs_test_registry") // second publish must not panic
+	v := expvar.Get("obs_test_registry")
+	if v == nil {
+		t.Fatal("registry not published")
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["pub"] != 1 {
+		t.Fatalf("published snapshot missing counter: %+v", s)
+	}
+}

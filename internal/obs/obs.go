@@ -1,0 +1,333 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Observer is the single handle the runtime threads through every layer:
+// each instrumentation point calls one method, which updates the metrics
+// registry and (when tracing) appends a trace event.
+//
+// A nil *Observer is the no-op observer: every method returns immediately on
+// a nil receiver, so hot paths pay a nil check and nothing else when
+// observability is disabled. Construct one with NewObserver, install a
+// process-wide one with SetDefault, or pass one per run via the runtime's
+// WithObserver option.
+type Observer struct {
+	reg *Registry
+	tr  *Tracer
+
+	// Cached handles for the hot counters, resolved once at construction so
+	// per-message work is a couple of atomic adds.
+	bitsTotal   *Counter
+	msgsTotal   *Counter
+	roundsTotal *Counter
+	msgBits     *Histogram
+	bytesSent   *Counter
+	bytesRecv   *Counter
+	dialRetries *Counter
+	stragglers  *Counter
+	fdShrinks   *Counter
+	fdDelta     *Gauge
+	fdShrinkRows *Histogram
+	svsSampled  *Counter
+	svsCands    *Counter
+	poolCalls   *Counter
+	poolHelpers *Counter
+	poolWidth   *Gauge
+	monUploads  *Counter
+	monAnnounces *Counter
+	monBcasts   *Counter
+	runsStarted *Counter
+	runsOK      *Counter
+	runsErr     *Counter
+
+	mu     sync.Mutex
+	byFrom map[int]*Counter    // comm.bits.from.<endpoint>
+	byKind map[string]*Counter // comm.bits.kind.<kind>
+	faults map[string]*Counter // faults.<kind>
+}
+
+// NewObserver returns an observer recording into reg (required) and, when tr
+// is non-nil, appending trace events to it.
+func NewObserver(reg *Registry, tr *Tracer) *Observer {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Observer{
+		reg:          reg,
+		tr:           tr,
+		bitsTotal:    reg.Counter("comm.bits_total"),
+		msgsTotal:    reg.Counter("comm.messages_total"),
+		roundsTotal:  reg.Counter("comm.rounds_total"),
+		msgBits:      reg.Histogram("comm.message_bits", ExpBuckets(64, 4, 16)),
+		bytesSent:    reg.Counter("tcp.bytes_sent"),
+		bytesRecv:    reg.Counter("tcp.bytes_recv"),
+		dialRetries:  reg.Counter("tcp.dial_retries"),
+		stragglers:   reg.Counter("straggler.timeouts"),
+		fdShrinks:    reg.Counter("fd.shrinks"),
+		fdDelta:      reg.Gauge("fd.shrink_delta_total"),
+		fdShrinkRows: reg.Histogram("fd.shrink_rows", ExpBuckets(1, 2, 12)),
+		svsSampled:   reg.Counter("svs.sampled_rows"),
+		svsCands:     reg.Counter("svs.candidate_rows"),
+		poolCalls:    reg.Counter("pool.for_calls"),
+		poolHelpers:  reg.Counter("pool.helpers_recruited"),
+		poolWidth:    reg.Gauge("pool.width"),
+		monUploads:   reg.Counter("monitoring.uploads"),
+		monAnnounces: reg.Counter("monitoring.announces"),
+		monBcasts:    reg.Counter("monitoring.broadcasts"),
+		runsStarted:  reg.Counter("runs.started"),
+		runsOK:       reg.Counter("runs.ok"),
+		runsErr:      reg.Counter("runs.err"),
+		byFrom:       make(map[int]*Counter),
+		byKind:       make(map[string]*Counter),
+		faults:       make(map[string]*Counter),
+	}
+}
+
+// Registry returns the observer's metrics registry (nil on a nil observer).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Tracer returns the observer's tracer, which may be nil.
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tr
+}
+
+var defaultObs atomic.Pointer[Observer]
+
+// Default returns the process-wide observer installed by SetDefault, or nil
+// (the no-op observer) when none is installed. Instrumented layers that are
+// not handed an observer explicitly fall back to this.
+func Default() *Observer { return defaultObs.Load() }
+
+// SetDefault installs o as the process-wide fallback observer. Passing nil
+// disables the fallback again.
+func SetDefault(o *Observer) { defaultObs.Store(o) }
+
+func (o *Observer) fromCounter(ep int) *Counter {
+	o.mu.Lock()
+	c, ok := o.byFrom[ep]
+	if !ok {
+		c = o.reg.Counter(fmt.Sprintf("comm.bits.from.%d", ep))
+		o.byFrom[ep] = c
+	}
+	o.mu.Unlock()
+	return c
+}
+
+func (o *Observer) kindCounter(kind string) *Counter {
+	o.mu.Lock()
+	c, ok := o.byKind[kind]
+	if !ok {
+		c = o.reg.Counter("comm.bits.kind." + kind)
+		o.byKind[kind] = c
+	}
+	o.mu.Unlock()
+	return c
+}
+
+// RecordMessage charges one metered message: from/to are node IDs
+// (coordinator −1), kind the protocol message kind, bits its metered cost.
+// Together with RecordRound this implements the comm package's Recorder
+// hook, so observer totals are taken at exactly the metering point and can
+// never drift from the communication ledger.
+func (o *Observer) RecordMessage(from, to int, kind string, bits int64) {
+	if o == nil {
+		return
+	}
+	o.bitsTotal.Add(bits)
+	o.msgsTotal.Inc()
+	o.msgBits.Observe(float64(bits))
+	o.fromCounter(from).Add(bits)
+	o.kindCounter(kind).Add(bits)
+	if o.tr != nil {
+		f, t := from, to
+		o.tr.Emit(Event{Type: "msg", Kind: kind, From: &f, To: &t, Bits: bits})
+	}
+}
+
+// RecordRound counts one synchronous communication round (Recorder hook).
+func (o *Observer) RecordRound() {
+	if o == nil {
+		return
+	}
+	o.roundsTotal.Inc()
+	if o.tr != nil {
+		o.tr.Emit(Event{Type: "round", Round: o.roundsTotal.Value()})
+	}
+}
+
+// RunStart marks the start of a protocol run over n servers.
+func (o *Observer) RunStart(proto string, n int) {
+	if o == nil {
+		return
+	}
+	o.runsStarted.Inc()
+	if o.tr != nil {
+		o.tr.Emit(Event{Type: "run_start", Proto: proto, N: int64(n)})
+	}
+}
+
+// RunEnd marks the end of a protocol run with its total word cost and error.
+func (o *Observer) RunEnd(proto string, words float64, err error) {
+	if o == nil {
+		return
+	}
+	msg := ""
+	if err != nil {
+		o.runsErr.Inc()
+		msg = err.Error()
+	} else {
+		o.runsOK.Inc()
+	}
+	if o.tr != nil {
+		o.tr.Emit(Event{Type: "run_end", Proto: proto, Words: words, Err: msg})
+	}
+}
+
+// Broadcast marks a coordinator broadcast of kind to n servers.
+func (o *Observer) Broadcast(kind string, n int) {
+	if o == nil {
+		return
+	}
+	if o.tr != nil {
+		o.tr.Emit(Event{Type: "broadcast", Kind: kind, N: int64(n)})
+	}
+}
+
+// TransportBytes counts wire bytes on the TCP transport (sent=false means
+// received). This is raw framing bytes, distinct from the metered bit cost.
+func (o *Observer) TransportBytes(sent bool, n int64) {
+	if o == nil || n <= 0 {
+		return
+	}
+	if sent {
+		o.bytesSent.Add(n)
+	} else {
+		o.bytesRecv.Add(n)
+	}
+}
+
+// DialRetry counts one TCP dial retry (attempt is 1-based).
+func (o *Observer) DialRetry(attempt int) {
+	if o == nil {
+		return
+	}
+	o.dialRetries.Inc()
+	if o.tr != nil {
+		o.tr.Emit(Event{Type: "retry", N: int64(attempt)})
+	}
+}
+
+// Straggler counts a straggler timeout during a gather of the given kind.
+func (o *Observer) Straggler(kind string) {
+	if o == nil {
+		return
+	}
+	o.stragglers.Inc()
+	if o.tr != nil {
+		o.tr.Emit(Event{Type: "straggler", Kind: kind})
+	}
+}
+
+// Fault records one injected fault (drop, delay, duplicate, reorder,
+// partition) on the from→to link.
+func (o *Observer) Fault(kind string, from, to int) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	c, ok := o.faults[kind]
+	if !ok {
+		c = o.reg.Counter("faults." + kind)
+		o.faults[kind] = c
+	}
+	o.mu.Unlock()
+	c.Inc()
+	if o.tr != nil {
+		f, t := from, to
+		o.tr.Emit(Event{Type: "fault", Kind: kind, From: &f, To: &t})
+	}
+}
+
+// FDShrink records one Frequent Directions shrink over rows buffer rows with
+// the given shrink offset δ. Hot path: two atomic adds, a histogram insert,
+// no trace event (shrinks are far too frequent to trace individually).
+func (o *Observer) FDShrink(rows int, delta float64) {
+	if o == nil {
+		return
+	}
+	o.fdShrinks.Inc()
+	o.fdDelta.Add(delta)
+	o.fdShrinkRows.Observe(float64(rows))
+}
+
+// SVSSampled records one SVS sampling pass keeping kept of candidates rows.
+func (o *Observer) SVSSampled(kept, candidates int) {
+	if o == nil {
+		return
+	}
+	o.svsSampled.Add(int64(kept))
+	o.svsCands.Add(int64(candidates))
+}
+
+// PoolFor records one parallel.For dispatch: n items, helpers goroutines
+// recruited, under pool width. Hot path: no trace event.
+func (o *Observer) PoolFor(n, helpers, width int) {
+	if o == nil {
+		return
+	}
+	o.poolCalls.Inc()
+	o.poolHelpers.Add(int64(helpers))
+	o.poolWidth.Set(float64(width))
+}
+
+// MonitoringUpload records one continuous-monitoring server upload of rows
+// sketch rows costing words; announce marks the one-time bootstrap mass
+// report sent before the first threshold is installed.
+func (o *Observer) MonitoringUpload(from, rows int, words float64, announce bool) {
+	if o == nil {
+		return
+	}
+	typ := "upload"
+	if announce {
+		o.monAnnounces.Inc()
+		typ = "announce"
+	} else {
+		o.monUploads.Inc()
+	}
+	if o.tr != nil {
+		f := from
+		o.tr.Emit(Event{Type: typ, From: &f, N: int64(rows), Words: words})
+	}
+}
+
+// MonitoringBroadcast records a coordinator threshold broadcast in the
+// continuous-monitoring protocol.
+func (o *Observer) MonitoringBroadcast(threshold float64, n int) {
+	if o == nil {
+		return
+	}
+	o.monBcasts.Inc()
+	if o.tr != nil {
+		o.tr.Emit(Event{Type: "threshold", Words: threshold, N: int64(n)})
+	}
+}
+
+// Note appends a free-form annotation to the trace (no metric).
+func (o *Observer) Note(detail string) {
+	if o == nil || o.tr == nil {
+		return
+	}
+	o.tr.Emit(Event{Type: "note", Detail: detail})
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func TestNilObserverSafe(t *testing.T) {
+	var o *Observer
+	o.RecordMessage(0, -1, "x", 64)
+	o.RecordRound()
+	o.RunStart("p", 2)
+	o.RunEnd("p", 1, nil)
+	o.RunEnd("p", 1, errors.New("boom"))
+	o.Broadcast("b", 2)
+	o.TransportBytes(true, 10)
+	o.DialRetry(1)
+	o.Straggler("g")
+	o.Fault("drop", 0, 1)
+	o.FDShrink(10, 0.5)
+	o.SVSSampled(3, 9)
+	o.PoolFor(100, 3, 4)
+	o.MonitoringUpload(0, 5, 41, false)
+	o.MonitoringBroadcast(0.1, 4)
+	o.Note("n")
+	if o.Registry() != nil || o.Tracer() != nil {
+		t.Fatal("nil observer leaked non-nil components")
+	}
+}
+
+func TestNilObserverZeroAllocs(t *testing.T) {
+	var o *Observer
+	for name, fn := range map[string]func(){
+		"RecordMessage": func() { o.RecordMessage(0, -1, "x", 64) },
+		"FDShrink":      func() { o.FDShrink(10, 0.5) },
+		"PoolFor":       func() { o.PoolFor(100, 3, 4) },
+		"SVSSampled":    func() { o.SVSSampled(3, 9) },
+	} {
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s on nil observer: %v allocs/op", name, allocs)
+		}
+	}
+}
+
+func TestInstalledObserverHotPathZeroAllocs(t *testing.T) {
+	// The disabled path must be free, but the enabled metrics-only path
+	// (no tracer) must also stay allocation-free on the kernel-side hooks.
+	o := NewObserver(NewRegistry(), nil)
+	for name, fn := range map[string]func(){
+		"FDShrink":   func() { o.FDShrink(10, 0.5) },
+		"PoolFor":    func() { o.PoolFor(100, 3, 4) },
+		"SVSSampled": func() { o.SVSSampled(3, 9) },
+	} {
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s with metrics-only observer: %v allocs/op", name, allocs)
+		}
+	}
+}
+
+func TestObserverCountersAndTrace(t *testing.T) {
+	reg := NewRegistry()
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	o := NewObserver(reg, tr)
+
+	o.RunStart("fd-merge", 3)
+	o.RecordMessage(0, -1, "fd-sketch", 640)
+	o.RecordMessage(1, -1, "fd-sketch", 320)
+	o.RecordMessage(-1, 0, "frob2", 64)
+	o.RecordRound()
+	o.Broadcast("pi-v", 3)
+	o.TransportBytes(true, 100)
+	o.TransportBytes(false, 80)
+	o.DialRetry(2)
+	o.Straggler("fd-sketch")
+	o.Fault("drop", 1, -1)
+	o.Fault("drop", 2, -1)
+	o.FDShrink(16, 0.25)
+	o.SVSSampled(4, 12)
+	o.PoolFor(1000, 3, 4)
+	o.MonitoringUpload(1, 8, 65, false)
+	o.MonitoringUpload(2, 0, 1, true)
+	o.MonitoringBroadcast(0.05, 3)
+	o.Note("checkpoint")
+	o.RunEnd("fd-merge", 16, nil)
+	o.RunEnd("fd-merge", 0, errors.New("quorum"))
+
+	s := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"comm.bits_total":          640 + 320 + 64,
+		"comm.messages_total":      3,
+		"comm.rounds_total":        1,
+		"comm.bits.from.0":         640,
+		"comm.bits.from.1":         320,
+		"comm.bits.from.-1":        64,
+		"comm.bits.kind.fd-sketch": 960,
+		"comm.bits.kind.frob2":     64,
+		"tcp.bytes_sent":           100,
+		"tcp.bytes_recv":           80,
+		"tcp.dial_retries":         1,
+		"straggler.timeouts":       1,
+		"faults.drop":              2,
+		"fd.shrinks":               1,
+		"svs.sampled_rows":         4,
+		"svs.candidate_rows":       12,
+		"pool.for_calls":           1,
+		"pool.helpers_recruited":   3,
+		"monitoring.uploads":       1,
+		"monitoring.announces":     1,
+		"monitoring.broadcasts":    1,
+		"runs.started":             1,
+		"runs.ok":                  1,
+		"runs.err":                 1,
+	} {
+		if got := s.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := s.Gauges["fd.shrink_delta_total"]; got != 0.25 {
+		t.Errorf("fd.shrink_delta_total = %v", got)
+	}
+	if got := s.Gauges["pool.width"]; got != 4 {
+		t.Errorf("pool.width = %v", got)
+	}
+	if got := s.Histograms["comm.message_bits"].Count; got != 3 {
+		t.Errorf("message_bits count = %d", got)
+	}
+
+	tr.Flush()
+	n, err := ValidateTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("observer trace invalid: %v", err)
+	}
+	// Every hook except FDShrink/SVSSampled/PoolFor (hot paths) traces.
+	const want = 1 /*run_start*/ + 3 /*msg*/ + 1 /*round*/ + 1 /*broadcast*/ +
+		1 /*retry*/ + 1 /*straggler*/ + 2 /*fault*/ + 2 /*upload+announce*/ +
+		1 /*threshold*/ + 1 /*note*/ + 2 /*run_end*/
+	if n != want {
+		t.Fatalf("trace has %d events, want %d:\n%s", n, want, buf.String())
+	}
+}
+
+func TestDefaultObserver(t *testing.T) {
+	if Default() != nil {
+		t.Fatal("default observer not nil at start")
+	}
+	o := NewObserver(nil, nil)
+	SetDefault(o)
+	defer SetDefault(nil)
+	if Default() != o {
+		t.Fatal("SetDefault not visible via Default")
+	}
+	if o.Registry() == nil {
+		t.Fatal("NewObserver(nil, nil) must create a registry")
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("served").Add(3)
+	reg.PublishExpvar("obs_test_serve")
+	addr, closeFn, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Overhead proof for the observability layer: with no observer installed
+// (the default), and even with a metrics-only observer installed, the
+// instrumented hot paths — Dense multiply through the parallel pool and the
+// FD shrink cycle — must allocate exactly as much as they would without the
+// hooks. The tests compare allocation counts with the default observer
+// absent and present; the benchmarks give the wall-clock picture.
+package obs_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/matrix"
+	"repro/internal/obs"
+)
+
+func randMatrix(seed int64, n, d int) *matrix.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	m := matrix.New(n, d)
+	data := m.Data()
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// fdWork runs a fixed update schedule through a fresh sketch: the same
+// number of buffer fills and SVD shrinks every call, so allocation counts
+// are deterministic and comparable across observer configurations.
+func fdWork(rows *matrix.Dense) {
+	sk := fd.New(rows.Cols(), 8, fd.Options{})
+	for i := 0; i < rows.Rows(); i++ {
+		if err := sk.Update(rows.Row(i)); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func TestObserverAddsNoAllocsToFDShrink(t *testing.T) {
+	rows := randMatrix(1, 64, 12) // 64 updates through ℓ=8 → several shrinks
+	base := testing.AllocsPerRun(20, func() { fdWork(rows) })
+
+	obs.SetDefault(obs.NewObserver(obs.NewRegistry(), nil))
+	defer obs.SetDefault(nil)
+	withObs := testing.AllocsPerRun(20, func() { fdWork(rows) })
+
+	if withObs != base {
+		t.Fatalf("FD update/shrink allocs changed with observer installed: %v → %v", base, withObs)
+	}
+}
+
+func TestObserverAddsNoAllocsToDenseMul(t *testing.T) {
+	// Small enough that Mul stays on the serial fast path, which must not
+	// touch the observer at all.
+	a := randMatrix(2, 16, 16)
+	b := randMatrix(3, 16, 16)
+	base := testing.AllocsPerRun(20, func() { _ = a.Mul(b) })
+
+	obs.SetDefault(obs.NewObserver(obs.NewRegistry(), nil))
+	defer obs.SetDefault(nil)
+	withObs := testing.AllocsPerRun(20, func() { _ = a.Mul(b) })
+
+	if withObs != base {
+		t.Fatalf("Dense Mul allocs changed with observer installed: %v → %v", base, withObs)
+	}
+}
+
+func benchMul(b *testing.B, n int) {
+	x := randMatrix(4, n, n)
+	y := randMatrix(5, n, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Mul(y)
+	}
+}
+
+func BenchmarkDenseMulNoObserver(b *testing.B) { benchMul(b, 128) }
+
+func BenchmarkDenseMulWithObserver(b *testing.B) {
+	obs.SetDefault(obs.NewObserver(obs.NewRegistry(), nil))
+	defer obs.SetDefault(nil)
+	benchMul(b, 128)
+}
+
+func BenchmarkFDUpdateNoObserver(b *testing.B) {
+	rows := randMatrix(6, 256, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fdWork(rows)
+	}
+}
+
+func BenchmarkFDUpdateWithObserver(b *testing.B) {
+	obs.SetDefault(obs.NewObserver(obs.NewRegistry(), nil))
+	defer obs.SetDefault(nil)
+	rows := randMatrix(6, 256, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fdWork(rows)
+	}
+}

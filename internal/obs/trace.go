@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event is one structured trace record. Events are written as JSONL, one
+// object per line; T is seconds since the tracer started, taken from the
+// monotonic clock, so intervals are immune to wall-clock steps.
+//
+// The schema (validated by ValidateTrace):
+//
+//	t       float64  required, ≥ 0, non-decreasing within a file
+//	type    string   required, one of EventTypes
+//	proto   string   run_start / run_end: protocol name
+//	kind    string   msg/broadcast: message kind; fault: fault kind;
+//	                 straggler: the gather's expected message kind
+//	from,to int      endpoints (coordinator is -1); omitted when absent
+//	round   int      round events: the 1-based round number
+//	bits    int      msg events: payload cost in bits
+//	words   float64  run_end / upload: words
+//	n       int      type-specific count (servers, rows, attempt, …)
+//	err     string   run_end: failure, empty on success
+//	detail  string   free-form annotation
+type Event struct {
+	T      float64 `json:"t"`
+	Type   string  `json:"type"`
+	Proto  string  `json:"proto,omitempty"`
+	Kind   string  `json:"kind,omitempty"`
+	From   *int    `json:"from,omitempty"`
+	To     *int    `json:"to,omitempty"`
+	Round  int64   `json:"round,omitempty"`
+	Bits   int64   `json:"bits,omitempty"`
+	Words  float64 `json:"words,omitempty"`
+	N      int64   `json:"n,omitempty"`
+	Err    string  `json:"err,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// EventTypes is the closed set of trace event types the runtime emits.
+var EventTypes = map[string]bool{
+	"run_start": true, // a protocol run began (proto, n = servers)
+	"run_end":   true, // a protocol run finished (proto, words, err)
+	"round":     true, // a synchronous communication round started (round)
+	"msg":       true, // a metered message (from, to, kind, bits)
+	"broadcast": true, // a coordinator broadcast (kind, n = servers)
+	"fault":     true, // an injected fault (kind = drop/delay/duplicate/reorder/partition)
+	"straggler": true, // a straggler timeout during a gather (kind)
+	"retry":     true, // a TCP dial retry (n = attempt)
+	"upload":    true, // a monitoring upload (from, n = rows, words)
+	"announce":  true, // a monitoring bootstrap mass report (from, words)
+	"threshold": true, // a monitoring threshold broadcast (words = new threshold)
+	"note":      true, // free-form annotation (detail)
+}
+
+// Tracer writes Events as JSONL. It is safe for concurrent use (protocol
+// goroutines share one tracer); events are buffered, so call Close (or
+// Flush) before reading the output.
+type Tracer struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	closer io.Closer
+	enc    *json.Encoder
+	start  time.Time
+	lastT  float64
+	n      int64
+}
+
+// NewTracer returns a tracer writing JSONL to w.
+func NewTracer(w io.Writer) *Tracer {
+	bw := bufio.NewWriter(w)
+	return &Tracer{bw: bw, enc: json.NewEncoder(bw), start: time.Now()}
+}
+
+// NewTracerFile creates (truncating) the named file and returns a tracer
+// writing to it; Close closes the file.
+func NewTracerFile(path string) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: trace file: %w", err)
+	}
+	t := NewTracer(f)
+	t.closer = f
+	return t, nil
+}
+
+// Emit writes one event, stamping its T from the monotonic clock. The
+// timestamp is forced non-decreasing so a trace file always validates.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e.T = time.Since(t.start).Seconds()
+	if e.T < t.lastT {
+		e.T = t.lastT
+	}
+	t.lastT = e.T
+	t.n++
+	t.enc.Encode(e) // an IO error here latches into the writer; Close reports it
+}
+
+// Events returns the number of events emitted.
+func (t *Tracer) Events() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Flush flushes buffered events to the underlying writer.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bw.Flush()
+}
+
+// Close flushes and, when the tracer owns its file, closes it.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	err := t.Flush()
+	if t.closer != nil {
+		if cerr := t.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ValidateTrace checks a JSONL trace against the Event schema: every line
+// must parse, carry a known type, a non-negative and non-decreasing
+// timestamp, and the per-type required fields. It returns the event count.
+func ValidateTrace(r io.Reader) (int, error) {
+	dec := json.NewDecoder(r)
+	n := 0
+	last := -1.0
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return n, fmt.Errorf("obs: trace event %d: %w", n+1, err)
+		}
+		n++
+		if e.Type == "" || !EventTypes[e.Type] {
+			return n, fmt.Errorf("obs: trace event %d: unknown type %q", n, e.Type)
+		}
+		if e.T < 0 {
+			return n, fmt.Errorf("obs: trace event %d: negative timestamp %v", n, e.T)
+		}
+		if e.T < last {
+			return n, fmt.Errorf("obs: trace event %d: timestamp %v before %v", n, e.T, last)
+		}
+		last = e.T
+		switch e.Type {
+		case "run_start", "run_end":
+			if e.Proto == "" {
+				return n, fmt.Errorf("obs: trace event %d: %s without proto", n, e.Type)
+			}
+		case "msg":
+			if e.Kind == "" || e.From == nil || e.To == nil {
+				return n, fmt.Errorf("obs: trace event %d: msg needs kind/from/to", n)
+			}
+			if e.Bits < 0 {
+				return n, fmt.Errorf("obs: trace event %d: negative bits", n)
+			}
+		case "broadcast", "fault", "straggler":
+			if e.Kind == "" {
+				return n, fmt.Errorf("obs: trace event %d: %s without kind", n, e.Type)
+			}
+		case "round":
+			if e.Round <= 0 {
+				return n, fmt.Errorf("obs: trace event %d: round without number", n)
+			}
+		}
+	}
+	return n, nil
+}
+
+// ValidateTraceFile runs ValidateTrace on the named file.
+func ValidateTraceFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return ValidateTrace(f)
+}

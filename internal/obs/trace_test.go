@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func intp(v int) *int { return &v }
+
+func TestTracerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit(Event{Type: "run_start", Proto: "fd-merge", N: 4})
+	tr.Emit(Event{Type: "msg", Kind: "fd-sketch", From: intp(0), To: intp(-1), Bits: 640})
+	tr.Emit(Event{Type: "round", Round: 1})
+	tr.Emit(Event{Type: "run_end", Proto: "fd-merge", Words: 10})
+	if tr.Events() != 4 {
+		t.Fatalf("events = %d", tr.Events())
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("emitted trace does not validate: %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("validated %d events, want 4", n)
+	}
+	// from/to must survive JSON even when they are 0 and -1.
+	out := buf.String()
+	if !strings.Contains(out, `"from":0`) || !strings.Contains(out, `"to":-1`) {
+		t.Fatalf("endpoint 0/-1 lost to omitempty:\n%s", out)
+	}
+}
+
+func TestTracerFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	tr, err := NewTracerFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Emit(Event{Type: "note", Detail: "hello"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateTraceFile(path)
+	if err != nil || n != 1 {
+		t.Fatalf("ValidateTraceFile: n=%d err=%v", n, err)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Type: "note"})
+	if tr.Events() != 0 {
+		t.Fatal("nil tracer counted events")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        `{not json}`,
+		"unknown type":   `{"t":0,"type":"nope"}`,
+		"missing type":   `{"t":0}`,
+		"negative t":     `{"t":-1,"type":"note"}`,
+		"decreasing t":   `{"t":2,"type":"note"}` + "\n" + `{"t":1,"type":"note"}`,
+		"msg no from":    `{"t":0,"type":"msg","kind":"x","to":0}`,
+		"msg no kind":    `{"t":0,"type":"msg","from":0,"to":-1}`,
+		"msg neg bits":   `{"t":0,"type":"msg","kind":"x","from":0,"to":-1,"bits":-5}`,
+		"start no proto": `{"t":0,"type":"run_start"}`,
+		"fault no kind":  `{"t":0,"type":"fault"}`,
+		"round no num":   `{"t":0,"type":"round"}`,
+	}
+	for name, in := range cases {
+		if _, err := ValidateTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+	// And the empty trace is valid (zero events).
+	if n, err := ValidateTrace(strings.NewReader("")); err != nil || n != 0 {
+		t.Fatalf("empty trace: n=%d err=%v", n, err)
+	}
+}
+
+func TestEmitForcesMonotonicT(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	for i := 0; i < 100; i++ {
+		tr.Emit(Event{Type: "note"})
+	}
+	tr.Flush()
+	if _, err := ValidateTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("timestamps not monotone: %v", err)
+	}
+}

@@ -30,6 +30,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // TargetChunkWork is the approximate number of scalar operations a chunk
@@ -140,10 +142,12 @@ func For(n, grain int, body func(lo, hi int)) {
 	if w := p.width - 1; w < maxHelpers {
 		maxHelpers = w
 	}
+	recruited := 0
 	for h := 0; h < maxHelpers; h++ {
 		select {
 		case p.sem <- struct{}{}:
 			wg.Add(1)
+			recruited++
 			go func() {
 				defer func() {
 					<-p.sem
@@ -155,6 +159,10 @@ func For(n, grain int, body func(lo, hi int)) {
 			h = maxHelpers // pool saturated; stop recruiting
 		}
 	}
+	// Pool-utilization accounting covers only parallel dispatches — the
+	// serial fast path above stays untouched, and with no observer
+	// installed this is a nil check and nothing else.
+	obs.Default().PoolFor(n, recruited, p.width)
 	safeRun()
 	wg.Wait()
 	if pv := panicked.Load(); pv != nil {

@@ -9,6 +9,15 @@
 // The paper uses it as the baseline whose quadratic 1/ε² dependence SVS
 // beats. A one-pass weighted reservoir variant is provided for the
 // streaming servers.
+//
+// Floating-point edge cases in the estimator are handled explicitly
+// (MultinomialSplit): a cumulative-mass walk can end with run < total after
+// rounding, which used to silently drop a sample (undercounting m and
+// biasing BᵀB low), and a draw of exactly 0 could land on a zero-mass
+// bucket, which used to emit never-populated all-zero rows. The split now
+// skips zero-mass buckets entirely and clamps any rounding fall-through to
+// the last positive-mass bucket, so exactly m samples always land on
+// positive-mass buckets.
 package rowsample
 
 import (
@@ -63,6 +72,54 @@ func Sample(a *matrix.Dense, m int, rng *rand.Rand) *matrix.Dense {
 		}
 	}
 	return out
+}
+
+// MultinomialSplit distributes m draws over buckets proportionally to their
+// masses (one rng.Float64 per draw, so fixed-seed callers keep a stable
+// draw sequence). All m draws land on positive-mass buckets: zero-mass
+// buckets are skipped outright — a draw of exactly 0 can otherwise select
+// one — and a draw that floating-point rounding pushes past the accumulated
+// total is clamped to the last positive-mass bucket instead of being
+// silently discarded. With zero total mass (or no buckets) all counts are 0.
+func MultinomialSplit(masses []float64, m int, rng *rand.Rand) []int {
+	return splitMultinomial(masses, m, rng.Float64)
+}
+
+// splitMultinomial is MultinomialSplit over an arbitrary draw() ∈ [0,1)
+// source, so tests can force the exact edge-case draws.
+func splitMultinomial(masses []float64, m int, draw func() float64) []int {
+	counts := make([]int, len(masses))
+	total := 0.0
+	lastPos := -1
+	for i, v := range masses {
+		total += v
+		if v > 0 {
+			lastPos = i
+		}
+	}
+	if total <= 0 || lastPos < 0 {
+		return counts
+	}
+	for t := 0; t < m; t++ {
+		u := draw() * total
+		run := 0.0
+		chosen := -1
+		for i, v := range masses {
+			if v == 0 {
+				continue
+			}
+			run += v
+			if u <= run {
+				chosen = i
+				break
+			}
+		}
+		if chosen < 0 {
+			chosen = lastPos // rounding left u > Σ masses; never drop the draw
+		}
+		counts[chosen]++
+	}
+	return counts
 }
 
 func searchCum(cum []float64, u float64) int {
@@ -169,19 +226,7 @@ func DistributedSample(parts []*matrix.Dense, m int, rng *rand.Rand) []*matrix.D
 		}
 		return out
 	}
-	// Multinomial split of m by mass.
-	counts := make([]int, s)
-	for t := 0; t < m; t++ {
-		u := rng.Float64() * total
-		run := 0.0
-		for i := 0; i < s; i++ {
-			run += masses[i]
-			if u <= run {
-				counts[i]++
-				break
-			}
-		}
-	}
+	counts := MultinomialSplit(masses, m, rng)
 	for i, p := range parts {
 		d := p.Cols()
 		mi := counts[i]

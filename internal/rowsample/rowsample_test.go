@@ -230,3 +230,96 @@ func TestDistributedSampleZeroMass(t *testing.T) {
 		}
 	}
 }
+
+func TestMultinomialSplitSkipsZeroMassBuckets(t *testing.T) {
+	// A draw of exactly 0 used to select bucket 0 even with zero mass
+	// (u=0 ≤ run=0 after adding masses[0]=0), assigning samples to servers
+	// that then emitted never-populated all-zero rows.
+	masses := []float64{0, 2, 0, 3, 0}
+	counts := splitMultinomial(masses, 1, func() float64 { return 0 })
+	if counts[0] != 0 || counts[1] != 1 {
+		t.Fatalf("draw 0 with leading zero mass: counts = %v, want bucket 1", counts)
+	}
+	// Property: across many random draws no zero-mass bucket ever receives a
+	// sample and no sample is lost.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		counts := MultinomialSplit(masses, 200, rng)
+		total := 0
+		for i, c := range counts {
+			if masses[i] == 0 && c != 0 {
+				t.Fatalf("trial %d: zero-mass bucket %d got %d samples", trial, i, c)
+			}
+			total += c
+		}
+		if total != 200 {
+			t.Fatalf("trial %d: %d of 200 samples assigned", trial, total)
+		}
+	}
+}
+
+func TestMultinomialSplitClampsRoundingOverflow(t *testing.T) {
+	// If floating-point rounding leaves u beyond the accumulated mass, the
+	// cumulative walk finds no bucket; the old code silently dropped the
+	// sample. The split must clamp such draws to the last positive-mass
+	// bucket instead.
+	masses := []float64{1, 3, 0} // trailing zero: clamp must land on 1, not 2
+	counts := splitMultinomial(masses, 3, func() float64 { return 1.0000000000000002 })
+	if counts[1] != 3 {
+		t.Fatalf("overflow draws not clamped to last positive bucket: %v", counts)
+	}
+	if counts[0]+counts[1]+counts[2] != 3 {
+		t.Fatalf("samples dropped: %v", counts)
+	}
+}
+
+func TestMultinomialSplitDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, tc := range []struct {
+		masses []float64
+		m      int
+	}{
+		{nil, 5},
+		{[]float64{}, 5},
+		{[]float64{0, 0}, 5},
+		{[]float64{1, 2}, 0},
+	} {
+		counts := MultinomialSplit(tc.masses, tc.m, rng)
+		if len(counts) != len(tc.masses) {
+			t.Fatalf("len(counts) = %d, want %d", len(counts), len(tc.masses))
+		}
+		for _, c := range counts {
+			if c != 0 {
+				t.Fatalf("degenerate input %v m=%d: counts = %v", tc.masses, tc.m, counts)
+			}
+		}
+	}
+}
+
+func TestDistributedSampleNoZeroRows(t *testing.T) {
+	// A server holding only zero mass must contribute no rows, and every
+	// emitted row must carry positive norm — the old split could assign
+	// samples to zero-mass servers, whose output rows stayed all-zero.
+	rng := rand.New(rand.NewSource(13))
+	a := workload.Gaussian(rng, 50, 6)
+	parts := workload.Split(a, 2, workload.Contiguous, nil)
+	parts = append([]*matrix.Dense{matrix.New(5, 6)}, parts...) // zero-mass server first
+	for trial := 0; trial < 30; trial++ {
+		locals := DistributedSample(parts, 25, rng)
+		if locals[0].Rows() != 0 {
+			t.Fatalf("trial %d: zero-mass server sampled %d rows", trial, locals[0].Rows())
+		}
+		total := 0
+		for si, l := range locals {
+			total += l.Rows()
+			for r := 0; r < l.Rows(); r++ {
+				if matrix.Norm2(l.Row(r)) == 0 {
+					t.Fatalf("trial %d: server %d emitted all-zero sampled row %d", trial, si, r)
+				}
+			}
+		}
+		if total != 25 {
+			t.Fatalf("trial %d: %d of 25 samples returned", trial, total)
+		}
+	}
+}

@@ -21,10 +21,16 @@ import (
 //	entries float64 × rows·cols, row-major, little-endian
 const matrixMagic uint32 = 0x44534b4d
 
-// WriteMatrix writes m to w in the binary matrix format.
+// WriteMatrix writes m to w in the binary matrix format. Dimensions beyond
+// the format's uint32 header fields are rejected up front — the old code
+// silently truncated them, producing a well-formed file describing a
+// different (smaller) matrix.
 func WriteMatrix(w io.Writer, m *matrix.Dense) error {
 	bw := bufio.NewWriter(w)
 	r, c := m.Dims()
+	if uint64(r) > math.MaxUint32 || uint64(c) > math.MaxUint32 {
+		return fmt.Errorf("workload: matrix %d×%d exceeds the format's uint32 dimensions", r, c)
+	}
 	hdr := []uint32{matrixMagic, uint32(r), uint32(c)}
 	for _, h := range hdr {
 		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
@@ -122,6 +128,11 @@ func ReadCSVMatrix(r io.Reader) (*matrix.Dense, error) {
 	}
 	if err := scanner.Err(); err != nil {
 		return nil, fmt.Errorf("workload: csv read: %w", err)
+	}
+	if len(rows) == 0 {
+		// Comment-only or empty input: a defined 0×0 matrix, not the
+		// zero-value Dense NewFromRows would hand back.
+		return matrix.New(0, 0), nil
 	}
 	return matrix.NewFromRows(rows), nil
 }

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestWriteMatrixRejectsUint32Overflow(t *testing.T) {
+	// The binary header stores dimensions as uint32; larger dimensions used
+	// to be silently truncated, yielding a valid file for a different
+	// matrix. A 2³³×0 matrix allocates no data, so the overflow path is
+	// testable directly.
+	m := matrix.New(1<<33, 0)
+	var buf bytes.Buffer
+	err := WriteMatrix(&buf, m)
+	if err == nil {
+		t.Fatal("WriteMatrix accepted a 2³³-row matrix")
+	}
+	if !strings.Contains(err.Error(), "uint32") {
+		t.Fatalf("error does not name the format limit: %v", err)
+	}
+	if buf.Len() > 0 {
+		t.Fatalf("rejected write still emitted %d bytes", buf.Len())
+	}
+}
+
+func TestWriteMatrixInRangeStillWorks(t *testing.T) {
+	m := matrix.New(2, 3)
+	m.Set(1, 2, 4.5)
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 2 || got.Cols() != 3 || got.At(1, 2) != 4.5 {
+		t.Fatalf("round trip mismatch: %d×%d", got.Rows(), got.Cols())
+	}
+}
+
+func TestReadCSVMatrixEmptyInput(t *testing.T) {
+	// Empty and comment-only inputs must yield a defined 0×0 matrix whose
+	// methods are safe to call, not the zero-value Dense.
+	for _, in := range []string{"", "\n\n", "# only\n# comments\n", "  \n\t\n"} {
+		m, err := ReadCSVMatrix(bytes.NewBufferString(in))
+		if err != nil {
+			t.Fatalf("input %q: %v", in, err)
+		}
+		if m == nil {
+			t.Fatalf("input %q: nil matrix", in)
+		}
+		if m.Rows() != 0 || m.Cols() != 0 {
+			t.Fatalf("input %q: got %d×%d, want 0×0", in, m.Rows(), m.Cols())
+		}
+		if got := m.Frob2(); got != 0 {
+			t.Fatalf("input %q: Frob2 = %v on empty matrix", in, got)
+		}
+	}
+}
