@@ -11,9 +11,10 @@
 //	distsketch -role server -addr host:9009 -id 0 -servers 4 -protocol fd \
 //	    -input data.dskm -eps 0.1 -k 5
 //
-// Each server loads the full matrix file and takes its contiguous row block
-// (so the demo needs only one shared file); pass -part to load a pre-split
-// file as-is.
+// Each server streams its contiguous row block straight from the file
+// (.dskm or .csv, picked by extension) without materializing the matrix, so
+// the demo needs only one shared file and server memory stays bounded; pass
+// -part to stream a pre-split shard file whole.
 //
 // Protocols: fd (Theorem 2), svs (§3.1), adaptive (Theorem 7), sampling
 // ([10] baseline), lowrank (§3.3 Case 1), pca (Theorem 9 sketch+solve).
@@ -70,7 +71,7 @@ func main() {
 	flag.IntVar(&o.id, "id", 0, "server id (0..s-1)")
 	flag.StringVar(&o.protocol, "protocol", "fd", "fd, svs, adaptive, sampling, lowrank, pca")
 	flag.StringVar(&o.sampling, "sampling", "quadratic", "SVS sampling function: quadratic or linear")
-	flag.StringVar(&o.input, "input", "", "matrix file (server role)")
+	flag.StringVar(&o.input, "input", "", "matrix file, .dskm or .csv (server role)")
 	flag.BoolVar(&o.part, "part", false, "input file is already this server's partition")
 	flag.IntVar(&o.d, "d", 0, "column dimension (coordinator role)")
 	flag.Float64Var(&o.eps, "eps", 0.1, "accuracy epsilon")
@@ -269,14 +270,22 @@ func runServer(ctx context.Context, o options) error {
 	if err != nil {
 		return err
 	}
-	m, err := distsketch.LoadMatrix(o.input)
+	// Open the input as a streaming source (.dskm or .csv by extension); the
+	// matrix is never materialized here, so the server's memory stays bounded
+	// by the protocol's working space even for out-of-core inputs. Without
+	// -part, the server streams only its contiguous row shard of the shared
+	// file — the same rows Split(…, Contiguous, nil) would assign it.
+	src, err := distsketch.OpenSource(o.input)
 	if err != nil {
 		return err
 	}
-	local := m
+	defer src.Close()
+	var local distsketch.RowSource = src
+	n, d := src.Dims()
 	if !o.part {
-		parts := distsketch.Split(m, o.servers, distsketch.Contiguous, nil)
-		local = parts[o.id]
+		lo, hi := distsketch.ContiguousRange(n, o.servers, o.id)
+		local = distsketch.NewSectionSource(src, lo, hi)
+		n = hi - lo
 	}
 	if o.debug != "" {
 		addr, closeDebug, err := distsketch.ServeDebug(o.debug)
@@ -298,6 +307,6 @@ func runServer(ctx context.Context, o options) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("server %d: processed %d×%d rows, sent %.1f words\n", o.id, local.Rows(), local.Cols(), srv.Meter().Words())
+	fmt.Printf("server %d: streamed %d×%d rows, sent %.1f words\n", o.id, n, d, srv.Meter().Words())
 	return nil
 }

@@ -1,12 +1,21 @@
 // Command genmatrix generates a synthetic workload matrix and writes it in
-// the repository's binary matrix format, for use with cmd/distsketch.
+// the repository's binary matrix format (or CSV), for use with
+// cmd/distsketch.
 //
 // Usage:
 //
 //	genmatrix -kind lowrank -n 8192 -d 64 -k 5 -out data.dskm
 //	genmatrix -kind sign -n 4096 -d 128 -out hard.dskm
+//	genmatrix -kind gaussian -n 8192 -d 64 -split 4 -out shard.dskm
 //
 // Kinds: gaussian, sign, lowrank, powerlaw, clustered, integer, exactrank.
+//
+// -format csv writes comma-separated text instead of the binary format
+// (values survive a round-trip bit-exactly); with -out ending in .csv the
+// format is inferred. -split s additionally writes the s contiguous
+// per-server shards next to -out as <base>.0<ext> … <base>.(s-1)<ext> — the
+// same row blocks distsketch servers stream with -part, matching what
+// Split(…, Contiguous, nil) would assign them.
 package main
 
 import (
@@ -14,10 +23,29 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/matrix"
 	"repro/internal/workload"
 )
+
+// save writes m to path in the requested format ("dskm" or "csv"; "" infers
+// from the path's extension, defaulting to the binary format).
+func save(path, format string, m *matrix.Dense) error {
+	csv := format == "csv" || (format == "" && strings.EqualFold(filepath.Ext(path), ".csv"))
+	if csv {
+		return workload.SaveCSVMatrix(path, m)
+	}
+	return workload.SaveMatrix(path, m)
+}
+
+// shardPath inserts the shard id before the path's extension:
+// data.dskm → data.0.dskm.
+func shardPath(path string, id int) string {
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.%d%s", strings.TrimSuffix(path, ext), id, ext)
+}
 
 func main() {
 	var (
@@ -31,6 +59,8 @@ func main() {
 		noise  = flag.Float64("noise", 0.5, "noise level")
 		mag    = flag.Int("magnitude", 8, "integer magnitude (integer/exactrank)")
 		out    = flag.String("out", "matrix.dskm", "output file")
+		format = flag.String("format", "", "output format: dskm or csv (default: by -out extension)")
+		split  = flag.Int("split", 0, "also write this many contiguous per-server shard files")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
@@ -54,9 +84,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "genmatrix: unknown kind %q\n", *kind)
 		os.Exit(1)
 	}
-	if err := workload.SaveMatrix(*out, m); err != nil {
+	if *format != "" && *format != "dskm" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "genmatrix: unknown -format %q (want dskm or csv)\n", *format)
+		os.Exit(1)
+	}
+	if err := save(*out, *format, m); err != nil {
 		fmt.Fprintln(os.Stderr, "genmatrix:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s: %d×%d %s matrix, ‖A‖F² = %.4g\n", *out, m.Rows(), m.Cols(), *kind, m.Frob2())
+	if *split > 0 {
+		parts := workload.Split(m, *split, workload.Contiguous, nil)
+		for i, p := range parts {
+			sp := shardPath(*out, i)
+			if err := save(sp, *format, p); err != nil {
+				fmt.Fprintln(os.Stderr, "genmatrix:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s: shard %d/%d, %d rows\n", sp, i, *split, p.Rows())
+		}
+	}
 }

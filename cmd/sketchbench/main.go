@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: all, table1, table2, f1..f10")
+		experiment = flag.String("experiment", "all", "which experiment to run: all, table1, table2, f1..f10, a1..a5, p1, m1, i1")
 		seed       = flag.Int64("seed", 1, "random seed")
 		n          = flag.Int("n", 1<<13, "global row count")
 		d          = flag.Int("d", 64, "column dimension")
@@ -146,6 +146,7 @@ func run(experiment string, cfg bench.Config) error {
 		{"a5", a5},
 		{"p1", p1},
 		{"m1", m1},
+		{"i1", i1},
 	}
 	if experiment == "all" {
 		for _, r := range runners {
@@ -369,6 +370,16 @@ func p1(cfg bench.Config) error {
 		return err
 	}
 	printSeries("rounds", series)
+	return nil
+}
+
+func i1(cfg bench.Config) error {
+	header("I1: ingestion throughput — in-memory vs file-backed vs sparse sources")
+	rows, err := bench.IngestionThroughput(cfg)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
 	return nil
 }
 

@@ -139,6 +139,11 @@ var ParseSamplingFn = distributed.ParseSamplingFn
 // fault plans, straggler policies, quantization, and seeding.
 var Run = distributed.Run
 
+// RunSources is Run over RowSources instead of in-memory partitions: server
+// i streams sources[i], so handing it file-backed sources (OpenSource plus
+// NewSectionSource per shard) runs the whole protocol out of core.
+var RunSources = distributed.RunSources
+
 // RunOption configures a Run invocation.
 type RunOption = distributed.RunOption
 

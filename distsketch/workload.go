@@ -24,10 +24,37 @@ const (
 // Split partitions a into s per-server row blocks.
 var Split = workload.Split
 
-// RowStream replays a matrix row by row (the streaming-server input).
+// RowSource is the streaming-ingestion abstraction every protocol server
+// consumes: Dims, then Next row by row, Reset for two-pass protocols. See
+// the workload package for the full contract (copy-on-next: the caller owns
+// every returned slice).
+type RowSource = workload.RowSource
+
+// SparseRowSource is a RowSource that can additionally deliver rows in
+// sparse form (SparseNext), letting FD servers take the nnz-proportional
+// update path.
+type SparseRowSource = workload.SparseRowSource
+
+// RowStream replays a matrix row by row (the streaming-server input). It is
+// an alias of DenseSource, kept for existing callers.
 type RowStream = workload.RowStream
 
 var NewRowStream = workload.NewRowStream
+
+// Source constructors and helpers: wrap in-memory matrices, open .dskm/.csv
+// files out of core, window a source to a contiguous shard, or materialize a
+// source back into a dense matrix.
+var (
+	NewDenseSource   = workload.NewDenseSource
+	NewSparseSource  = workload.NewSparseSource
+	OpenSource       = workload.OpenSource
+	OpenFileSource   = workload.OpenFileSource
+	OpenCSVSource    = workload.OpenCSVSource
+	NewSectionSource = workload.NewSectionSource
+	Materialize      = workload.Materialize
+	DenseSources     = workload.DenseSources
+	ContiguousRange  = workload.ContiguousRange
+)
 
 // Synthetic matrix generators covering the regimes the theory
 // distinguishes: low-rank structure, flat adversarial spectra, power-law
@@ -44,9 +71,10 @@ var (
 	SparseRandom       = workload.SparseRandom
 )
 
-// Matrix file I/O (binary .dskm format plus CSV import).
+// Matrix file I/O (binary .dskm format plus CSV import/export).
 var (
 	LoadMatrix    = workload.LoadMatrix
 	SaveMatrix    = workload.SaveMatrix
 	LoadCSVMatrix = workload.LoadCSVMatrix
+	SaveCSVMatrix = workload.SaveCSVMatrix
 )

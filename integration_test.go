@@ -137,7 +137,7 @@ func TestEndToEndTCPPipeline(t *testing.T) {
 			}
 			defer srv.Close()
 			p := distributed.AdaptiveParams{Eps: eps, K: k}
-			if err := distributed.ServerAdaptive(ctx, srv.Node(), parts[id], 3, p, distributed.Config{Seed: int64(id)}); err != nil {
+			if err := distributed.ServerAdaptive(ctx, srv.Node(), workload.NewDenseSource(parts[id]), 3, p, distributed.Config{Seed: int64(id)}); err != nil {
 				errs <- err
 			}
 		}(i)

@@ -226,5 +226,25 @@ func SparseInputAblation(cfg Config, density float64) ([]Row, error) {
 		r.Note = fmt.Sprintf("%v, density %.2f, nnz %d", elapsed.Round(time.Millisecond), density, sp.NNZ())
 		rows = append(rows, r)
 	}
-	return rows, nil
+	// The same regime through the distributed protocol: each server streams
+	// its contiguous sparse shard via a SparseSource, so ServerFDMerge takes
+	// the nnz-proportional fd.UpdateSparse hot path end-to-end.
+	spParts := workload.SplitSparseContiguous(sp, cfg.S)
+	sources := make([]workload.RowSource, len(spParts))
+	for i, p := range spParts {
+		sources[i] = workload.NewSparseSource(p)
+	}
+	start := time.Now()
+	res, err := distributed.RunSources(context.Background(),
+		distributed.FDMerge{Eps: cfg.Eps}, sources, distributed.WithSeed(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	r, err := covRow("A5", "FD sparse distributed", cfg, dense, res.Sketch, res.Words, 0, cfg.Eps, 0)
+	if err != nil {
+		return nil, err
+	}
+	r.Note = fmt.Sprintf("%v, density %.2f, nnz %d", elapsed.Round(time.Millisecond), density, sp.NNZ())
+	return append(rows, r), nil
 }

@@ -45,8 +45,9 @@ type BaselineComm struct {
 	PoolForCalls   int64 `json:"pool_for_calls"`
 }
 
-// CollectBaseline runs the headline experiments (Table 1 and Table 2) under
-// cfg, timing each, and returns the result for serialization.
+// CollectBaseline runs the headline experiments (Table 1, Table 2, and the
+// I1 ingestion-throughput comparison) under cfg, timing each, and returns
+// the result for serialization.
 func CollectBaseline(cfg Config) (*Baseline, error) {
 	cfg.applyParallel()
 	b := &Baseline{Config: cfg, GoMaxProcs: runtime.GOMAXPROCS(0), PoolWorkers: parallel.Workers()}
@@ -61,6 +62,7 @@ func CollectBaseline(cfg Config) (*Baseline, error) {
 	}{
 		{"table1", Table1},
 		{"table2", Table2},
+		{"ingest", IngestionThroughput},
 	} {
 		reg := obs.NewRegistry()
 		obs.SetDefault(obs.NewObserver(reg, nil))

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fd"
 	"repro/internal/matrix"
+	"repro/internal/workload"
 )
 
 // AdaptiveParams parameterizes the Theorem 7 protocol.
@@ -40,9 +41,22 @@ func (p AdaptiveParams) withDefaults() AdaptiveParams {
 // costs only the two calibration words per server, and the caller decides
 // whether to ship Q_i (covariance sketch protocol) or to keep it local and
 // run a distributed solve on it (PCA, Theorem 9).
-func ServerAdaptiveLocal(ctx context.Context, node Node, local *matrix.Dense, s int, p AdaptiveParams, cfg Config) (*matrix.Dense, error) {
+func ServerAdaptiveLocal(ctx context.Context, node Node, local workload.RowSource, s int, p AdaptiveParams, cfg Config) (*matrix.Dense, error) {
 	p = p.withDefaults()
-	t, r, err := core.LocalTail(local, p.Eps, p.K)
+	_, d := local.Dims()
+	// Stream the local rows through FD (core.LocalTail's first stage,
+	// unrolled so the input never materializes), then split the sketch.
+	sk := fd.New(d, fd.SketchSize(p.Eps, p.K), fd.Options{Obs: cfg.Obs})
+	rows, sparse, err := streamRows(local, sk.Update, sk.UpdateSparse)
+	if err != nil {
+		return nil, fmt.Errorf("server %d: %w", node.ID(), err)
+	}
+	cfg.observer().RowsIngested(int64(rows), sparse)
+	b, err := sk.Matrix()
+	if err != nil {
+		return nil, fmt.Errorf("server %d: %w", node.ID(), err)
+	}
+	t, r, err := core.Decomp(b, p.K)
 	if err != nil {
 		return nil, fmt.Errorf("server %d: %w", node.ID(), err)
 	}
@@ -58,7 +72,7 @@ func ServerAdaptiveLocal(ctx context.Context, node Node, local *matrix.Dense, s 
 	if alpha >= 1 {
 		alpha = 0.999999
 	}
-	g := p.Sampling.Build(s, local.Cols(), alpha, p.Delta, tailTotal)
+	g := p.Sampling.Build(s, d, alpha, p.Delta, tailTotal)
 	w, err := core.SVS(r, g, cfg.rng(node.ID()))
 	if err != nil {
 		return nil, fmt.Errorf("server %d SVS: %w", node.ID(), err)
@@ -69,7 +83,7 @@ func ServerAdaptiveLocal(ctx context.Context, node Node, local *matrix.Dense, s 
 
 // ServerAdaptive is the server side of the full Theorem 7 sketch protocol:
 // compute Q_i and ship it to the coordinator.
-func ServerAdaptive(ctx context.Context, node Node, local *matrix.Dense, s int, p AdaptiveParams, cfg Config) error {
+func ServerAdaptive(ctx context.Context, node Node, local workload.RowSource, s int, p AdaptiveParams, cfg Config) error {
 	q, err := ServerAdaptiveLocal(ctx, node, local, s, p, cfg)
 	if err != nil {
 		return err

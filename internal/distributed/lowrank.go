@@ -8,6 +8,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/linalg"
 	"repro/internal/matrix"
+	"repro/internal/workload"
 )
 
 // IndependentRowTracker is the streaming data structure of the §3.3 Case-1
@@ -127,14 +128,17 @@ func (t *IndependentRowTracker) Y() *matrix.Dense {
 }
 
 // ServerLowRankExact is the server side of §3.3 Case 1 (rank(A) ≤ 2k): one
-// streaming pass builds (Q_i, Y_i); both are sent. Cost ≤ 2k·d + (2k)²
-// words per server; Y's entries are O(log(nd/ε))-bit when the input is
-// integer-valued, which the Quantize option exploits.
-func ServerLowRankExact(ctx context.Context, node Node, local *matrix.Dense, kBound int, cfg Config) error {
-	tr := NewIndependentRowTracker(local.Cols(), 2*kBound, 0)
-	if err := tr.UpdateMatrix(local); err != nil {
+// streaming pass builds (Q_i, Y_i) in O(k·d) working space; both are sent.
+// Cost ≤ 2k·d + (2k)² words per server; Y's entries are O(log(nd/ε))-bit
+// when the input is integer-valued, which the Quantize option exploits.
+func ServerLowRankExact(ctx context.Context, node Node, local workload.RowSource, kBound int, cfg Config) error {
+	_, d := local.Dims()
+	tr := NewIndependentRowTracker(d, 2*kBound, 0)
+	rows, _, err := streamRows(local, tr.Update, nil)
+	if err != nil {
 		return fmt.Errorf("server %d: %w", node.ID(), err)
 	}
+	cfg.observer().RowsIngested(int64(rows), false)
 	if err := cfg.sendMatrix(ctx, node, comm.CoordinatorID, "lr-q", tr.Q()); err != nil {
 		return err
 	}

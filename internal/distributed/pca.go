@@ -92,7 +92,7 @@ func (p PCASketchSolve) adaptive() AdaptiveParams {
 }
 
 // Server implements Protocol.
-func (p PCASketchSolve) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+func (p PCASketchSolve) Server(ctx context.Context, node Node, local RowSource) error {
 	if err := ServerAdaptive(ctx, node, local, p.Env.Servers, p.adaptive(), p.Env.Config); err != nil {
 		return err
 	}
@@ -355,7 +355,12 @@ func (p BWZ) rounds() int { return 2 }
 func (p BWZ) validate() { p.PCAParams.withDefaults() }
 
 // Server implements Protocol.
-func (p BWZ) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+func (p BWZ) Server(ctx context.Context, node Node, src RowSource) error {
+	local, err := materializeLocal(node, src)
+	if err != nil {
+		return err
+	}
+	p.Env.Config.observer().RowsIngested(int64(local.Rows()), false)
 	pp := p.PCAParams.withDefaults()
 	if err := ServerBWZSolve(ctx, node, local, pp, p.Env.Config); err != nil {
 		return err
@@ -396,7 +401,12 @@ func (p BWZArbitrary) rounds() int { return 1 }
 func (p BWZArbitrary) validate() { p.PCAParams.withDefaults() }
 
 // Server implements Protocol.
-func (p BWZArbitrary) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+func (p BWZArbitrary) Server(ctx context.Context, node Node, src RowSource) error {
+	local, err := materializeLocal(node, src)
+	if err != nil {
+		return err
+	}
+	p.Env.Config.observer().RowsIngested(int64(local.Rows()), false)
 	pp := p.PCAParams.withDefaults()
 	if err := ServerBWZArbitrary(ctx, node, local, pp, p.Env.Config); err != nil {
 		return err
@@ -457,7 +467,7 @@ func (p PCACombined) adaptive() AdaptiveParams {
 }
 
 // Server implements Protocol.
-func (p PCACombined) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+func (p PCACombined) Server(ctx context.Context, node Node, local RowSource) error {
 	pp := p.PCAParams.withDefaults()
 	q, err := ServerAdaptiveLocal(ctx, node, local, p.Env.Servers, p.adaptive(), p.Env.Config)
 	if err != nil {
@@ -508,7 +518,7 @@ func (p PCAFDMerge) rounds() int { return 1 }
 func (p PCAFDMerge) validate() { p.PCAParams.withDefaults() }
 
 // Server implements Protocol.
-func (p PCAFDMerge) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+func (p PCAFDMerge) Server(ctx context.Context, node Node, local RowSource) error {
 	pp := p.PCAParams.withDefaults()
 	if err := ServerFDMerge(ctx, node, local, pp.Eps/2, pp.K, p.Env.Config); err != nil {
 		return err

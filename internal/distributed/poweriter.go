@@ -137,7 +137,14 @@ func (p PowerIteration) rounds() int { return p.PowerIterParams.withDefaults().R
 func (p PowerIteration) validate() { p.PowerIterParams.withDefaults() }
 
 // Server implements Protocol.
-func (p PowerIteration) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+func (p PowerIteration) Server(ctx context.Context, node Node, src RowSource) error {
+	// The iterative solver multiplies the local block every round, so the
+	// source is materialized (documented O(n_i·d) server memory).
+	local, err := materializeLocal(node, src)
+	if err != nil {
+		return err
+	}
+	p.Env.Config.observer().RowsIngested(int64(local.Rows()), false)
 	return ServerPowerIter(ctx, node, local)
 }
 
@@ -183,7 +190,7 @@ func (p PCACombinedPowerIter) rounds() int { return 0 }
 func (p PCACombinedPowerIter) validate() { p.PowerIterParams.withDefaults() }
 
 // Server implements Protocol.
-func (p PCACombinedPowerIter) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+func (p PCACombinedPowerIter) Server(ctx context.Context, node Node, local RowSource) error {
 	ap := AdaptiveParams{Eps: p.Eps / 2, K: p.PowerIterParams.withDefaults().K}
 	q, err := ServerAdaptiveLocal(ctx, node, local, p.Env.Servers, ap, p.Env.Config)
 	if err != nil {

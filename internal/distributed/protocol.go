@@ -5,9 +5,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/core"
-	"repro/internal/matrix"
 	"repro/internal/rowsample"
-	"repro/internal/workload"
 )
 
 // CoordinatorID is the conventional endpoint ID of the coordinator
@@ -26,8 +24,14 @@ const CoordinatorID = comm.CoordinatorID
 type Protocol interface {
 	// Name identifies the protocol (stable, flag-friendly).
 	Name() string
-	// Server runs the server role over node on the local row block.
-	Server(ctx context.Context, node Node, local *matrix.Dense) error
+	// Server runs the server role over node, streaming the local row block
+	// from the source. Streaming protocols (FD merge, streaming SVS,
+	// adaptive, low-rank exact, full transfer) read it in one or two
+	// bounded-memory passes; batch protocols materialize it (documented
+	// O(n_i·d) memory). Wrap an in-memory partition with
+	// workload.NewDenseSource — or use the []*matrix.Dense Run entry
+	// points, which do it for you.
+	Server(ctx context.Context, node Node, local RowSource) error
 	// Coordinator runs the coordinator role over node and returns the
 	// protocol's output; communication totals are filled in by the driver.
 	Coordinator(ctx context.Context, node Node) (*Result, error)
@@ -105,7 +109,7 @@ func (p FDMerge) withEnv(e Env) Protocol { p.Env = e; return p }
 func (p FDMerge) rounds() int { return 1 }
 
 // Server implements Protocol.
-func (p FDMerge) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+func (p FDMerge) Server(ctx context.Context, node Node, local RowSource) error {
 	return ServerFDMerge(ctx, node, local, p.Eps, p.K, p.Env.Config)
 }
 
@@ -145,9 +149,9 @@ func (p SVS) withEnv(e Env) Protocol { p.Env = e; return p }
 func (p SVS) rounds() int { return 2 }
 
 // Server implements Protocol.
-func (p SVS) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+func (p SVS) Server(ctx context.Context, node Node, local RowSource) error {
 	if p.Streaming {
-		return ServerSVSStreaming(ctx, node, workload.NewRowStream(local), local.Cols(), p.Env.Servers, p.Alpha, p.Delta, p.Env.Config)
+		return ServerSVSStreaming(ctx, node, local, p.Env.Servers, p.Alpha, p.Delta, p.Env.Config)
 	}
 	return ServerSVS(ctx, node, local, p.Env.Servers, p.Alpha, p.Delta, p.Sampling, p.Env.Config)
 }
@@ -176,7 +180,7 @@ func (p RowSampling) withEnv(e Env) Protocol { p.Env = e; return p }
 func (p RowSampling) rounds() int { return 2 }
 
 // Server implements Protocol.
-func (p RowSampling) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+func (p RowSampling) Server(ctx context.Context, node Node, local RowSource) error {
 	return ServerRowSampling(ctx, node, local, p.Env.Config)
 }
 
@@ -203,7 +207,7 @@ func (p Adaptive) withEnv(e Env) Protocol { p.Env = e; return p }
 func (p Adaptive) rounds() int { return 2 }
 
 // Server implements Protocol.
-func (p Adaptive) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+func (p Adaptive) Server(ctx context.Context, node Node, local RowSource) error {
 	return ServerAdaptive(ctx, node, local, p.Env.Servers, p.AdaptiveParams, p.Env.Config)
 }
 
@@ -231,7 +235,7 @@ func (p LowRankExact) withEnv(e Env) Protocol { p.Env = e; return p }
 func (p LowRankExact) rounds() int { return 1 }
 
 // Server implements Protocol.
-func (p LowRankExact) Server(ctx context.Context, node Node, local *matrix.Dense) error {
+func (p LowRankExact) Server(ctx context.Context, node Node, local RowSource) error {
 	return ServerLowRankExact(ctx, node, local, p.KBound, p.Env.Config)
 }
 
@@ -258,28 +262,11 @@ func (p FullTransfer) withEnv(e Env) Protocol { p.Env = e; return p }
 func (p FullTransfer) rounds() int { return 1 }
 
 // Server implements Protocol.
-func (p FullTransfer) Server(ctx context.Context, node Node, local *matrix.Dense) error {
-	return p.Env.Config.sendMatrix(ctx, node, CoordinatorID, "raw", local)
+func (p FullTransfer) Server(ctx context.Context, node Node, local RowSource) error {
+	return ServerFullTransfer(ctx, node, local, p.Env.Config)
 }
 
 // Coordinator implements Protocol.
 func (p FullTransfer) Coordinator(ctx context.Context, node Node) (*Result, error) {
-	msgs, err := gatherAll(ctx, node, p.Env.Servers, "raw", p.Env.Config)
-	if err != nil {
-		return nil, err
-	}
-	all := make([]*matrix.Dense, 0, len(msgs))
-	for _, msg := range msgs {
-		m, err := recvMatrix(msg)
-		if err != nil {
-			return nil, err
-		}
-		all = append(all, m)
-	}
-	a := matrix.Stack(all...)
-	agg, err := core.Aggregated(a)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Sketch: agg, Gram: a.Gram()}, nil
+	return CoordFullTransfer(ctx, node, p.Env.Servers, p.Env.Config)
 }

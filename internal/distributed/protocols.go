@@ -3,7 +3,6 @@ package distributed
 import (
 	"context"
 	"fmt"
-	"math"
 	"math/rand"
 
 	"repro/internal/comm"
@@ -102,9 +101,18 @@ func finish(res *Result, meter *comm.Meter) *Result {
 // ---------------------------------------------------------------------------
 
 // ServerFDMerge is the server side of the deterministic protocol: stream the
-// local rows through FD and send the ℓ-row sketch to the coordinator.
-func ServerFDMerge(ctx context.Context, node Node, local *matrix.Dense, eps float64, k int, cfg Config) error {
-	b, err := fd.SketchEpsK(local, eps, k)
+// local rows through FD — one pass, O(d·ℓ) working space regardless of the
+// source's size — and send the ℓ-row sketch to the coordinator. Sparse
+// sources take the nnz-proportional update path.
+func ServerFDMerge(ctx context.Context, node Node, local workload.RowSource, eps float64, k int, cfg Config) error {
+	_, d := local.Dims()
+	sk := fd.New(d, fd.SketchSize(eps, k), fd.Options{Obs: cfg.Obs})
+	rows, sparse, err := streamRows(local, sk.Update, sk.UpdateSparse)
+	if err != nil {
+		return fmt.Errorf("server %d: %w", node.ID(), err)
+	}
+	cfg.observer().RowsIngested(int64(rows), sparse)
+	b, err := sk.Matrix()
 	if err != nil {
 		return fmt.Errorf("server %d: %w", node.ID(), err)
 	}
@@ -155,8 +163,15 @@ func RunFDMerge(ctx context.Context, parts []*matrix.Dense, eps float64, k int, 
 // ServerSVS is the server side of Algorithm 2 with the two-round calibration
 // the paper sketches in footnote 6: send ‖A_i‖F² (one word), receive the
 // global ‖A‖F² (one word), then run SVS with the shared sampling function
-// and send the sampled rows.
-func ServerSVS(ctx context.Context, node Node, local *matrix.Dense, s int, alpha, delta float64, sampling SamplingFn, cfg Config) error {
+// and send the sampled rows. The batch SVS needs the full local block (its
+// SVD), so the source is materialized — O(n_i·d) memory; use the Streaming
+// variant for bounded space.
+func ServerSVS(ctx context.Context, node Node, src workload.RowSource, s int, alpha, delta float64, sampling SamplingFn, cfg Config) error {
+	local, err := materializeLocal(node, src)
+	if err != nil {
+		return err
+	}
+	cfg.observer().RowsIngested(int64(local.Rows()), false)
 	if err := node.Send(ctx, comm.CoordinatorID, &comm.Message{Kind: "frob2", Scalars: []float64{local.Frob2()}}); err != nil {
 		return err
 	}
@@ -219,13 +234,14 @@ func RunSVS(ctx context.Context, parts []*matrix.Dense, alpha, delta float64, sa
 // FD sketch at accuracy ε/2. The combined covariance error is at most the
 // sum of the two stages' errors, so the output is still an (O(ε),0)-sketch,
 // and the server never holds its raw input in memory.
-func ServerSVSStreaming(ctx context.Context, node Node, rows *workload.RowStream, d, s int, alpha, delta float64, cfg Config) error {
+func ServerSVSStreaming(ctx context.Context, node Node, rows workload.RowSource, s int, alpha, delta float64, cfg Config) error {
+	_, d := rows.Dims()
 	local := fd.New(d, fd.SketchSize(alpha/2, 0), fd.Options{Obs: cfg.Obs})
-	for row, ok := rows.Next(); ok; row, ok = rows.Next() {
-		if err := local.Update(row); err != nil {
-			return fmt.Errorf("server %d: %w", node.ID(), err)
-		}
+	n, sparse, err := streamRows(rows, local.Update, local.UpdateSparse)
+	if err != nil {
+		return fmt.Errorf("server %d: %w", node.ID(), err)
 	}
+	cfg.observer().RowsIngested(int64(n), sparse)
 	b, err := local.Matrix()
 	if err != nil {
 		return fmt.Errorf("server %d: %w", node.ID(), err)
@@ -261,8 +277,25 @@ func RunSVSStreaming(ctx context.Context, parts []*matrix.Dense, alpha, delta fl
 // ServerRowSampling is the server side of the sampling baseline: report the
 // local mass, receive the global mass and this server's sample count, sample
 // locally and send the rescaled rows. Cost O(s + d/ε²) words overall.
-func ServerRowSampling(ctx context.Context, node Node, local *matrix.Dense, cfg Config) error {
-	if err := node.Send(ctx, comm.CoordinatorID, &comm.Message{Kind: "mass", Scalars: []float64{local.Frob2()}}); err != nil {
+//
+// It runs in two streaming passes over the source — pass 1 accumulates
+// ‖A_i‖F² for the calibration round, Reset, pass 2 draws the assigned count
+// of rows with rowsample.SampleStream — so working space is O(count·d)
+// regardless of the local block's size. Each sampled row is rescaled by
+// 1/√(m·p_global) directly against the global mass.
+func ServerRowSampling(ctx context.Context, node Node, local workload.RowSource, cfg Config) error {
+	_, d := local.Dims()
+	frob2 := 0.0
+	rows := 0
+	for row, ok := local.Next(); ok; row, ok = local.Next() {
+		frob2 += matrix.Norm2(row)
+		rows++
+	}
+	if err := local.Err(); err != nil {
+		return fmt.Errorf("server %d: %w", node.ID(), err)
+	}
+	cfg.observer().RowsIngested(int64(rows), false)
+	if err := node.Send(ctx, comm.CoordinatorID, &comm.Message{Kind: "mass", Scalars: []float64{frob2}}); err != nil {
 		return err
 	}
 	msg, err := expectKind(ctx, node, "sample-plan")
@@ -270,21 +303,24 @@ func ServerRowSampling(ctx context.Context, node Node, local *matrix.Dense, cfg 
 		return err
 	}
 	total, count, m := msg.Scalars[0], int(msg.Ints[0]), int(msg.Ints[1])
-	rng := cfg.rng(node.ID())
-	d := local.Cols()
 	out := matrix.New(0, d)
-	if count > 0 && local.Frob2() > 0 {
-		// Sample locally with global rescaling 1/√(m·p_global).
-		sampled := rowsample.Sample(local, count, rng)
-		// rowsample.Sample rescales against the LOCAL mass at count draws;
-		// convert to the global scaling: multiply by
-		// √(count/ m) · √(localMass/total)... Derive directly instead:
-		// local row r drawn w.p. pLocal = ‖r‖²/localMass, rescale factor
-		// applied was 1/√(count·pLocal). Want 1/√(m·pGlobal) with
-		// pGlobal = ‖r‖²/total = pLocal·localMass/total. Correction factor:
-		// √(count·pLocal)/√(m·pGlobal) = √(count·total/(m·localMass)).
-		factor := math.Sqrt(float64(count) * total / (float64(m) * local.Frob2()))
-		out = sampled.Scale(factor)
+	if count > 0 && frob2 > 0 {
+		if err := local.Reset(); err != nil {
+			return fmt.Errorf("server %d: second sampling pass: %w", node.ID(), err)
+		}
+		pass2 := 0
+		next := func() ([]float64, bool) {
+			row, ok := local.Next()
+			if ok {
+				pass2++
+			}
+			return row, ok
+		}
+		out = rowsample.SampleStream(next, d, count, m, frob2, total, cfg.rng(node.ID()))
+		if err := local.Err(); err != nil {
+			return fmt.Errorf("server %d: %w", node.ID(), err)
+		}
+		cfg.observer().RowsIngested(int64(pass2), false)
 	}
 	return cfg.sendMatrix(ctx, node, comm.CoordinatorID, "sample-rows", out)
 }
@@ -344,9 +380,107 @@ func RunRowSampling(ctx context.Context, parts []*matrix.Dense, eps float64, cfg
 // Trivial baseline: ship everything.
 // ---------------------------------------------------------------------------
 
+// fullTransferChunk is the number of rows per "raw" message: large enough
+// that framing is negligible, small enough that a server streaming a
+// file-backed source holds O(fullTransferChunk·d) rows at a time instead of
+// its whole block.
+const fullTransferChunk = 512
+
+// ServerFullTransfer streams the local rows to the coordinator in chunks of
+// fullTransferChunk: one "raw-dims" header (the chunk count, one word)
+// followed by the "raw" chunk messages. Exact cost: n_i·d + 1 words.
+func ServerFullTransfer(ctx context.Context, node Node, local workload.RowSource, cfg Config) error {
+	n, d := local.Dims()
+	chunks := (n + fullTransferChunk - 1) / fullTransferChunk
+	if err := node.Send(ctx, comm.CoordinatorID, &comm.Message{Kind: "raw-dims", Ints: []int64{int64(chunks)}}); err != nil {
+		return err
+	}
+	sent := 0
+	for c := 0; c < chunks; c++ {
+		rows := fullTransferChunk
+		if n-sent < rows {
+			rows = n - sent
+		}
+		// A fresh matrix per chunk: the in-memory transport shares the
+		// message payload by pointer, so a reused buffer would alias rows
+		// still in flight.
+		chunk := matrix.New(rows, d)
+		for i := 0; i < rows; i++ {
+			row, ok := local.Next()
+			if !ok {
+				if err := local.Err(); err != nil {
+					return fmt.Errorf("server %d: %w", node.ID(), err)
+				}
+				return fmt.Errorf("server %d: source delivered %d of its declared %d rows", node.ID(), sent+i, n)
+			}
+			copy(chunk.Row(i), row)
+		}
+		sent += rows
+		if err := cfg.sendMatrix(ctx, node, comm.CoordinatorID, "raw", chunk); err != nil {
+			return err
+		}
+	}
+	cfg.observer().RowsIngested(int64(sent), false)
+	return nil
+}
+
+// CoordFullTransfer collects every server's chunked rows, reassembles them
+// in server order, and returns the exact aggregated form plus the Gram
+// matrix.
+func CoordFullTransfer(ctx context.Context, node Node, s int, cfg Config) (*Result, error) {
+	// Headers and chunks interleave freely across servers (a fast server's
+	// chunks can arrive before a slow server's header), so one loop accepts
+	// both kinds and reconciles the declared chunk counts at the end.
+	declared := make([]int, s)
+	headers := 0
+	wantChunks, gotChunks := 0, 0
+	chunks := make([][]*matrix.Dense, s)
+	for headers < s || gotChunks < wantChunks {
+		msg, err := recvPolicy(ctx, node, cfg.Stragglers.Timeout)
+		if err != nil {
+			return nil, err
+		}
+		if msg.From < 0 || msg.From >= s {
+			return nil, fmt.Errorf("distributed: %q message from unknown server %d", msg.Kind, msg.From)
+		}
+		switch msg.Kind {
+		case "raw-dims":
+			if len(msg.Ints) != 1 || msg.Ints[0] < 0 {
+				return nil, fmt.Errorf("distributed: malformed raw-dims from server %d", msg.From)
+			}
+			declared[msg.From] = int(msg.Ints[0])
+			headers++
+			wantChunks += declared[msg.From]
+		case "raw":
+			m, err := recvMatrix(msg)
+			if err != nil {
+				return nil, err
+			}
+			chunks[msg.From] = append(chunks[msg.From], m)
+			gotChunks++
+		default:
+			return nil, fmt.Errorf("distributed: unexpected %q message (want raw-dims or raw)", msg.Kind)
+		}
+	}
+	all := make([]*matrix.Dense, 0, gotChunks)
+	for i := 0; i < s; i++ {
+		if len(chunks[i]) != declared[i] {
+			return nil, fmt.Errorf("distributed: server %d sent %d raw chunks, declared %d", i, len(chunks[i]), declared[i])
+		}
+		all = append(all, chunks[i]...)
+	}
+	a := matrix.Stack(all...)
+	agg, err := core.Aggregated(a)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Sketch: agg, Gram: a.Gram()}, nil
+}
+
 // RunFullTransfer ships every row to the coordinator — the trivial exact
 // algorithm whose O(n·d) (= O(d³) in the paper's headline setting with
-// n = s/ε = d²) cost anchors the comparisons. The coordinator returns the
+// n = s/ε = d²) cost anchors the comparisons. Exact cost: n·d + s words
+// (one chunk-count header word per server). The coordinator returns the
 // exact aggregated form (≤ d rows), so downstream error is zero.
 func RunFullTransfer(ctx context.Context, parts []*matrix.Dense, cfg Config) (*Result, error) {
 	return Run(ctx, FullTransfer{}, parts, WithConfig(cfg))

@@ -229,8 +229,9 @@ func TestRunFullTransferExact(t *testing.T) {
 	if ce > 1e-6 {
 		t.Fatalf("full transfer sketch coverr = %v", ce)
 	}
-	if res.Words != float64(120*10) {
-		t.Fatalf("words = %v, want %v", res.Words, 120*10)
+	// n·d row words plus one chunk-count header word per server.
+	if res.Words != float64(120*10+4) {
+		t.Fatalf("words = %v, want %v", res.Words, 120*10+4)
 	}
 }
 

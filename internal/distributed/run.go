@@ -9,6 +9,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/workload"
 )
 
 // runOpts collects the cross-cutting options of a Run invocation.
@@ -98,16 +99,29 @@ func WithParallelism(n int) RunOption {
 
 // Run executes proto in-process over len(parts) simulated servers (server i
 // holding parts[i]) plus a coordinator, and returns the coordinator's
-// result with exact communication accounting. It is the single driver all
-// RunFDMerge-style wrappers delegate to.
-//
-// Run derives the protocol's Env from parts and the options, spawns one
-// goroutine per server, runs the coordinator on the calling goroutine, and
-// guarantees that any single party failure — or cancellation of ctx, or an
-// expired WithDeadline — unblocks every other party promptly.
+// result with exact communication accounting. It is the thin dense adapter
+// over RunSources — each partition is wrapped in a workload.DenseSource —
+// kept so existing callers and examples work unchanged.
 func Run(ctx context.Context, proto Protocol, parts []*matrix.Dense, opts ...RunOption) (*Result, error) {
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("distributed: Run(%s) with no partitions", proto.Name())
+	}
+	return RunSources(ctx, proto, workload.DenseSources(parts), opts...)
+}
+
+// RunSources executes proto in-process over len(sources) simulated servers
+// (server i streaming sources[i]) plus a coordinator, and returns the
+// coordinator's result with exact communication accounting. It is the
+// single driver Run and all RunFDMerge-style wrappers delegate to; handing
+// it file-backed sources runs the whole protocol out of core.
+//
+// RunSources derives the protocol's Env from the sources and the options,
+// spawns one goroutine per server, runs the coordinator on the calling
+// goroutine, and guarantees that any single party failure — or cancellation
+// of ctx, or an expired WithDeadline — unblocks every other party promptly.
+func RunSources(ctx context.Context, proto Protocol, sources []RowSource, opts ...RunOption) (*Result, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("distributed: Run(%s) with no sources", proto.Name())
 	}
 	var o runOpts
 	for _, opt := range opts {
@@ -121,7 +135,8 @@ func Run(ctx context.Context, proto Protocol, parts []*matrix.Dense, opts ...Run
 		ctx, cancel = context.WithTimeout(ctx, o.deadline)
 		defer cancel()
 	}
-	s, d := len(parts), parts[0].Cols()
+	s := len(sources)
+	_, d := sources[0].Dims()
 	ob := o.cfg.observer()
 	o.cfg.Obs = ob // resolve the fallback once so protocol code reads cfg.Obs directly
 	var memOpts []MemOption
@@ -150,10 +165,10 @@ func Run(ctx context.Context, proto Protocol, parts []*matrix.Dense, opts ...Run
 		v.validate()
 	}
 	serverFns := make([]func() error, s)
-	for i := range parts {
+	for i := range sources {
 		i := i
 		serverFns[i] = func() error {
-			return proto.Server(ctx, net.Node(i), parts[i])
+			return proto.Server(ctx, net.Node(i), sources[i])
 		}
 	}
 	res := &Result{}

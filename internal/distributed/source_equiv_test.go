@@ -1,0 +1,223 @@
+package distributed
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+// fileSources saves each partition to its own shard file and opens a
+// streaming FileSource per server; cleanup is registered on t.
+func fileSources(t *testing.T, parts []*matrix.Dense) []RowSource {
+	t.Helper()
+	dir := t.TempDir()
+	out := make([]RowSource, len(parts))
+	for i, p := range parts {
+		path := filepath.Join(dir, fmt.Sprintf("shard.%d.dskm", i))
+		if err := workload.SaveMatrix(path, p); err != nil {
+			t.Fatal(err)
+		}
+		src, err := workload.OpenFileSource(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { src.Close() })
+		out[i] = src
+	}
+	return out
+}
+
+// requireIdentical asserts two runs of the same protocol produced
+// bit-identical sketches and exactly equal communication accounting.
+func requireIdentical(t *testing.T, name string, mem, file *Result) {
+	t.Helper()
+	if (mem.Sketch == nil) != (file.Sketch == nil) {
+		t.Fatalf("%s: one run produced a sketch, the other did not", name)
+	}
+	if mem.Sketch != nil && !mem.Sketch.Equal(file.Sketch) {
+		t.Fatalf("%s: sketches differ between in-memory and file-backed runs", name)
+	}
+	if mem.Words != file.Words || mem.Bits != file.Bits ||
+		mem.Messages != file.Messages || mem.Rounds != file.Rounds {
+		t.Fatalf("%s: accounting differs: mem {w=%v b=%d m=%d r=%d} file {w=%v b=%d m=%d r=%d}",
+			name, mem.Words, mem.Bits, mem.Messages, mem.Rounds,
+			file.Words, file.Bits, file.Messages, file.Rounds)
+	}
+}
+
+// TestSourceEquivalence is the PR's equivalence proof: all four covariance
+// protocols produce bit-identical results — sketch bytes and exact
+// communication totals — whether the servers stream in-memory DenseSources
+// or file-backed sources. There is a single source-based code path, so any
+// divergence would mean the file layer altered the rows or the rng sequence.
+func TestSourceEquivalence(t *testing.T) {
+	ctx := context.Background()
+	_, parts := split(t, 7, 600, 20, 5)
+	for _, tc := range []struct {
+		name  string
+		proto Protocol
+	}{
+		{"fd-merge", FDMerge{Eps: 0.2, K: 3}},
+		{"svs", SVS{Alpha: 0.3, Delta: 0.1, Sampling: SampleQuadratic}},
+		{"svs-streaming", SVS{Alpha: 0.3, Delta: 0.1, Streaming: true}},
+		{"row-sampling", RowSampling{Eps: 0.25}},
+		{"adaptive", Adaptive{AdaptiveParams: AdaptiveParams{Eps: 0.25, K: 3}}},
+	} {
+		mem, err := RunSources(ctx, tc.proto, workload.DenseSources(parts), WithSeed(11))
+		if err != nil {
+			t.Fatalf("%s (mem): %v", tc.name, err)
+		}
+		file, err := RunSources(ctx, tc.proto, fileSources(t, parts), WithSeed(11))
+		if err != nil {
+			t.Fatalf("%s (file): %v", tc.name, err)
+		}
+		requireIdentical(t, tc.name, mem, file)
+	}
+}
+
+// TestSparseSourceEquivalence proves the A5 sparse regime runs through the
+// distributed protocol bit-identically: FD's nnz-proportional sparse update
+// path lands on the same sketch as dense updates over the same rows.
+func TestSparseSourceEquivalence(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(9))
+	sp := workload.SparseRandom(rng, 400, 24, 0.1)
+	s := 4
+	spParts := workload.SplitSparseContiguous(sp, s)
+	sparse := make([]RowSource, s)
+	for i, p := range spParts {
+		sparse[i] = workload.NewSparseSource(p)
+	}
+	denseParts := workload.Split(sp.ToDense(), s, workload.Contiguous, nil)
+	proto := FDMerge{Eps: 0.2}
+	mem, err := RunSources(ctx, proto, workload.DenseSources(denseParts), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spRes, err := RunSources(ctx, proto, sparse, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "fd-merge sparse", mem, spRes)
+}
+
+// TestFullTransferChunking exercises the chunked raw-row path: shards larger
+// than the 512-row chunk produce multiple "raw" messages per server, the
+// coordinator reassembles them in server order, and the exact word cost is
+// n·d + s (one header word per server).
+func TestFullTransferChunking(t *testing.T) {
+	a, parts := split(t, 13, 2600, 8, 2) // 1300 rows/server → 3 chunks each
+	res, err := RunFullTransfer(context.Background(), parts, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Gram.EqualApprox(a.Gram(), 1e-7) {
+		t.Fatal("chunked full transfer Gram inexact")
+	}
+	if want := float64(2600*8 + 2); res.Words != want {
+		t.Fatalf("words = %v, want %v", res.Words, want)
+	}
+	// And through file-backed sources, identically.
+	file, err := RunSources(context.Background(), FullTransfer{}, fileSources(t, parts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !file.Gram.Equal(res.Gram) {
+		t.Fatal("file-backed full transfer differs")
+	}
+}
+
+// TestFDMergeBoundedMemory is the PR's bounded-memory proof: FD merge over
+// file-backed sources must complete with peak heap growth a small constant —
+// far below the dataset size — because no layer ever materializes a shard.
+// The dataset is ≥ 8× the allowed heap delta.
+func TestFDMergeBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates a multi-MB on-disk dataset")
+	}
+	const (
+		n, d, s      = 40960, 80, 4
+		datasetBytes = n * d * 8        // 26.2 MB
+		allowedDelta = datasetBytes / 8 // 3.3 MB — the ≥8× headroom claim
+	)
+	// Write the shards one at a time so no full copy of the dataset is ever
+	// live; each shard matrix is dropped before the next is generated.
+	dir := t.TempDir()
+	paths := make([]string, s)
+	for i := 0; i < s; i++ {
+		lo, hi := workload.ContiguousRange(n, s, i)
+		src := workload.NewSectionSource(workload.NewGaussianSource(n, d, 99), lo, hi)
+		shard, err := workload.Materialize(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = filepath.Join(dir, fmt.Sprintf("shard.%d.dskm", i))
+		if err := workload.SaveMatrix(paths[i], shard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sources := make([]RowSource, s)
+	for i, p := range paths {
+		src, err := workload.OpenFileSource(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer src.Close()
+		sources[i] = src
+	}
+
+	// Aggressive GC keeps HeapAlloc tracking the live set rather than the
+	// allocation rate (copy-on-next allocates one row per Next by design).
+	defer debug.SetGCPercent(debug.SetGCPercent(10))
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	baseline := ms.HeapAlloc
+
+	var peak atomic.Uint64
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(500 * time.Microsecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				var m runtime.MemStats
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > peak.Load() {
+					peak.Store(m.HeapAlloc)
+				}
+			}
+		}
+	}()
+	res, err := RunSources(context.Background(), FDMerge{Eps: 0.25}, sources)
+	close(done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sketch == nil || res.Sketch.Rows() == 0 {
+		t.Fatal("no sketch produced")
+	}
+	delta := int64(peak.Load()) - int64(baseline)
+	t.Logf("dataset %d B, baseline heap %d B, peak delta %d B (allowed %d B)",
+		datasetBytes, baseline, delta, allowedDelta)
+	if delta > allowedDelta {
+		t.Fatalf("peak heap grew %d B over baseline; want ≤ %d B (dataset is %d B)",
+			delta, allowedDelta, datasetBytes)
+	}
+	if _, err := os.Stat(paths[0]); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -44,7 +44,7 @@ func TestTCPFDMergeEndToEnd(t *testing.T) {
 				return
 			}
 			defer srv.Close()
-			if err := ServerFDMerge(ctx, srv.Node(), parts[id], eps, k, Config{}); err != nil {
+			if err := ServerFDMerge(ctx, srv.Node(), workload.NewDenseSource(parts[id]), eps, k, Config{}); err != nil {
 				serverErrs <- err
 				return
 			}
@@ -113,7 +113,7 @@ func TestTCPSVSEndToEnd(t *testing.T) {
 				return
 			}
 			defer srv.Close()
-			if err := ServerSVS(ctx, srv.Node(), parts[id], s, alpha, 0.1, SampleQuadratic, Config{Seed: 7}); err != nil {
+			if err := ServerSVS(ctx, srv.Node(), workload.NewDenseSource(parts[id]), s, alpha, 0.1, SampleQuadratic, Config{Seed: 7}); err != nil {
 				serverErrs <- err
 			}
 		}(i)
@@ -175,7 +175,7 @@ func TestTCPProtocolValueDrivesBothRoles(t *testing.T) {
 			defer srv.Close()
 			sp := proto
 			sp.Env.Config.Seed = int64(id)
-			if err := sp.Server(ctx, srv.Node(), parts[id]); err != nil {
+			if err := sp.Server(ctx, srv.Node(), workload.NewDenseSource(parts[id])); err != nil {
 				serverErrs <- err
 			}
 		}(i)

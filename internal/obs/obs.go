@@ -21,28 +21,30 @@ type Observer struct {
 
 	// Cached handles for the hot counters, resolved once at construction so
 	// per-message work is a couple of atomic adds.
-	bitsTotal   *Counter
-	msgsTotal   *Counter
-	roundsTotal *Counter
-	msgBits     *Histogram
-	bytesSent   *Counter
-	bytesRecv   *Counter
-	dialRetries *Counter
-	stragglers  *Counter
-	fdShrinks   *Counter
-	fdDelta     *Gauge
+	bitsTotal    *Counter
+	msgsTotal    *Counter
+	roundsTotal  *Counter
+	msgBits      *Histogram
+	bytesSent    *Counter
+	bytesRecv    *Counter
+	dialRetries  *Counter
+	stragglers   *Counter
+	fdShrinks    *Counter
+	fdDelta      *Gauge
 	fdShrinkRows *Histogram
-	svsSampled  *Counter
-	svsCands    *Counter
-	poolCalls   *Counter
-	poolHelpers *Counter
-	poolWidth   *Gauge
-	monUploads  *Counter
+	svsSampled   *Counter
+	svsCands     *Counter
+	poolCalls    *Counter
+	poolHelpers  *Counter
+	poolWidth    *Gauge
+	rowsIngested *Counter
+	rowsSparse   *Counter
+	monUploads   *Counter
 	monAnnounces *Counter
-	monBcasts   *Counter
-	runsStarted *Counter
-	runsOK      *Counter
-	runsErr     *Counter
+	monBcasts    *Counter
+	runsStarted  *Counter
+	runsOK       *Counter
+	runsErr      *Counter
 
 	mu     sync.Mutex
 	byFrom map[int]*Counter    // comm.bits.from.<endpoint>
@@ -75,6 +77,8 @@ func NewObserver(reg *Registry, tr *Tracer) *Observer {
 		poolCalls:    reg.Counter("pool.for_calls"),
 		poolHelpers:  reg.Counter("pool.helpers_recruited"),
 		poolWidth:    reg.Gauge("pool.width"),
+		rowsIngested: reg.Counter("ingest.rows_total"),
+		rowsSparse:   reg.Counter("ingest.sparse_rows_total"),
 		monUploads:   reg.Counter("monitoring.uploads"),
 		monAnnounces: reg.Counter("monitoring.announces"),
 		monBcasts:    reg.Counter("monitoring.broadcasts"),
@@ -270,6 +274,21 @@ func (o *Observer) FDShrink(rows int, delta float64) {
 	o.fdShrinks.Inc()
 	o.fdDelta.Add(delta)
 	o.fdShrinkRows.Observe(float64(rows))
+}
+
+// RowsIngested records one server-side ingestion pass of n rows delivered
+// by a RowSource; sparse marks passes that took the nnz-proportional sparse
+// update path. Two-pass protocols report each pass. Metrics only — no trace
+// event (the trace schema is closed, and ingestion totals are per-run
+// aggregates, not protocol events).
+func (o *Observer) RowsIngested(n int64, sparse bool) {
+	if o == nil || n <= 0 {
+		return
+	}
+	o.rowsIngested.Add(n)
+	if sparse {
+		o.rowsSparse.Add(n)
+	}
 }
 
 // SVSSampled records one SVS sampling pass keeping kept of candidates rows.

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/matrix"
 )
@@ -69,6 +70,80 @@ func Sample(a *matrix.Dense, m int, rng *rand.Rand) *matrix.Dense {
 		row := out.Row(t)
 		for j, v := range a.Row(i) {
 			row[j] = w * v
+		}
+	}
+	return out
+}
+
+// RowIter delivers one stream row per call, returning false after the last
+// row — the minimal iteration contract, satisfied by the Next method of any
+// workload row source.
+type RowIter func() ([]float64, bool)
+
+// SampleStream draws count rows from the stream i.i.d. proportional to
+// squared norm, with replacement, in one pass and O(count·d) working space.
+// localMass must equal the stream's exact Σ‖row‖² (from a prior pass; the
+// distributed protocol learns it in the calibration round), and each sampled
+// row is rescaled by 1/√(m·p) against the global probability
+// p = ‖row‖²/globalMass, where m is the global draw count across all
+// servers. It consumes exactly count rng.Float64 draws in slot order — the
+// same sequence Sample consumes — so fixed-seed runs are stable, and it
+// never reads past the row that satisfies the last draw.
+//
+// Zero-norm rows receive no probability mass, and a draw that floating-point
+// rounding pushes past the accumulated mass is clamped to the last
+// positive-norm row (mirroring MultinomialSplit) instead of being dropped.
+func SampleStream(next RowIter, d, count, m int, localMass, globalMass float64, rng *rand.Rand) *matrix.Dense {
+	if count <= 0 || localMass <= 0 || globalMass <= 0 {
+		return matrix.New(0, d)
+	}
+	// Draw all count uniforms up front in slot order, then serve them in
+	// sorted order as the cumulative normalized mass passes each target.
+	type target struct {
+		u    float64
+		slot int
+	}
+	targets := make([]target, count)
+	for t := 0; t < count; t++ {
+		targets[t] = target{rng.Float64(), t}
+	}
+	sort.Slice(targets, func(a, b int) bool {
+		if targets[a].u != targets[b].u {
+			return targets[a].u < targets[b].u
+		}
+		return targets[a].slot < targets[b].slot
+	})
+	out := matrix.New(count, d)
+	run := 0.0
+	ptr := 0
+	lastPos := make([]float64, d) // most recent positive-norm row, for clamping
+	lastN2 := 0.0
+	for ptr < count {
+		row, ok := next()
+		if !ok {
+			break
+		}
+		n2 := matrix.Norm2(row)
+		if n2 == 0 {
+			continue
+		}
+		copy(lastPos, row)
+		lastN2 = n2
+		run += n2 / localMass
+		w := 1 / math.Sqrt(float64(m)*n2/globalMass)
+		for ptr < count && targets[ptr].u <= run {
+			dst := out.Row(targets[ptr].slot)
+			for j, v := range row {
+				dst[j] = w * v
+			}
+			ptr++
+		}
+	}
+	for ; ptr < count && lastN2 > 0; ptr++ {
+		w := 1 / math.Sqrt(float64(m)*lastN2/globalMass)
+		dst := out.Row(targets[ptr].slot)
+		for j, v := range lastPos {
+			dst[j] = w * v
 		}
 	}
 	return out

@@ -112,14 +112,9 @@ func ReadCSVMatrix(r io.Reader) (*matrix.Dense, error) {
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
-		fields := strings.Split(text, ",")
-		row := make([]float64, len(fields))
-		for i, f := range fields {
-			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-			if err != nil {
-				return nil, fmt.Errorf("workload: csv line %d field %d: %w", line, i+1, err)
-			}
-			row[i] = v
+		row, err := parseCSVRow(text, line)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
 		}
 		if len(rows) > 0 && len(row) != len(rows[0]) {
 			return nil, fmt.Errorf("workload: csv line %d has %d fields, want %d", line, len(row), len(rows[0]))
@@ -145,4 +140,60 @@ func LoadCSVMatrix(path string) (*matrix.Dense, error) {
 	}
 	defer f.Close()
 	return ReadCSVMatrix(f)
+}
+
+// parseCSVRow parses one data line of the CSV dialect (comma-separated
+// float64 fields); line is 1-based for error messages. Shared between the
+// materializing reader and the streaming CSVSource so the two accept exactly
+// the same inputs.
+func parseCSVRow(text string, line int) ([]float64, error) {
+	fields := strings.Split(text, ",")
+	row := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("csv line %d field %d: %w", line, i+1, err)
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+// WriteCSVMatrix writes m as CSV text. Entries use the shortest decimal
+// representation that round-trips the exact float64 ('g', precision −1), so
+// a matrix written here and read back by ReadCSVMatrix (or streamed by
+// CSVSource) is bit-identical to the original.
+func WriteCSVMatrix(w io.Writer, m *matrix.Dense) error {
+	bw := bufio.NewWriter(w)
+	r, c := m.Dims()
+	for i := 0; i < r; i++ {
+		row := m.Row(i)
+		for j := 0; j < c; j++ {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return fmt.Errorf("workload: write csv: %w", err)
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(row[j], 'g', -1, 64)); err != nil {
+				return fmt.Errorf("workload: write csv: %w", err)
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("workload: write csv: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveCSVMatrix writes m to the named file as CSV.
+func SaveCSVMatrix(path string, m *matrix.Dense) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSVMatrix(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

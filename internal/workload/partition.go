@@ -100,31 +100,3 @@ func Split(a *matrix.Dense, s int, scheme Partition, rng *rand.Rand) []*matrix.D
 	}
 	return parts
 }
-
-// RowStream delivers the rows of a matrix one at a time, modelling the
-// paper's streaming servers (one pass, bounded working space).
-type RowStream struct {
-	m  *matrix.Dense
-	at int
-}
-
-// NewRowStream returns a stream over the rows of m.
-func NewRowStream(m *matrix.Dense) *RowStream { return &RowStream{m: m} }
-
-// Next returns the next row and true, or nil and false after the last row.
-// The returned slice aliases the matrix and must not be retained across
-// calls if the caller mutates it.
-func (s *RowStream) Next() ([]float64, bool) {
-	if s.at >= s.m.Rows() {
-		return nil, false
-	}
-	r := s.m.Row(s.at)
-	s.at++
-	return r, true
-}
-
-// Remaining returns the number of rows not yet delivered.
-func (s *RowStream) Remaining() int { return s.m.Rows() - s.at }
-
-// Reset rewinds the stream to the first row.
-func (s *RowStream) Reset() { s.at = 0 }
