@@ -21,6 +21,25 @@
 // -sampling picks the SVS sampling function (quadratic or linear);
 // -timeout bounds the whole run and the coordinator's per-server waits.
 //
+// Tree aggregation (-topology tree -fanout f, protocol fd only) interposes
+// aggregator processes between the leaves and the coordinator. Every
+// process must be started with the same -servers/-topology/-fanout so they
+// derive the same plan; aggregator IDs continue upward from s (print the
+// plan's shape with any role by getting it wrong once — errors name the
+// valid IDs). A 3-level tree over 4 servers (aggregators 4 and 5):
+//
+//	distsketch -role coordinator -addr :9009 -servers 4 -topology tree -fanout 2 \
+//	    -protocol fd -d 64
+//	distsketch -role aggregator -id 4 -listen :9010 -addr host:9009 -servers 4 \
+//	    -topology tree -fanout 2 -protocol fd -d 64
+//	distsketch -role aggregator -id 5 -listen :9011 -addr host:9009 -servers 4 \
+//	    -topology tree -fanout 2 -protocol fd -d 64
+//	distsketch -role server -id 0 -addr host:9010 -servers 4 -topology tree \
+//	    -fanout 2 -protocol fd -input data.dskm   # leaves 0,1 dial agg 4; 2,3 dial agg 5
+//
+// Each leaf's -addr is its parent aggregator's -listen address; each
+// aggregator's -addr is its own parent (here the coordinator).
+//
 // Observability (both roles):
 //
 //	-trace run.jsonl    structured JSONL trace of protocol events
@@ -45,8 +64,11 @@ import (
 type options struct {
 	role     string
 	addr     string
+	listen   string
 	servers  int
 	id       int
+	topology string
+	fanout   int
 	protocol string
 	sampling string
 	input    string
@@ -65,10 +87,13 @@ type options struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.role, "role", "", "coordinator or server")
-	flag.StringVar(&o.addr, "addr", "127.0.0.1:9009", "coordinator address")
+	flag.StringVar(&o.role, "role", "", "coordinator, server, or aggregator")
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:9009", "parent address (the coordinator in a star; this node's parent in a tree)")
+	flag.StringVar(&o.listen, "listen", "", "listen address for the aggregator role's children")
 	flag.IntVar(&o.servers, "servers", 2, "number of servers s")
-	flag.IntVar(&o.id, "id", 0, "server id (0..s-1)")
+	flag.IntVar(&o.id, "id", 0, "node id: servers 0..s-1, aggregators s.. (tree topology)")
+	flag.StringVar(&o.topology, "topology", "star", "aggregation topology: star or tree")
+	flag.IntVar(&o.fanout, "fanout", 2, "tree fan-out (children per interior node; tree topology)")
 	flag.StringVar(&o.protocol, "protocol", "fd", "fd, svs, adaptive, sampling, lowrank, pca")
 	flag.StringVar(&o.sampling, "sampling", "quadratic", "SVS sampling function: quadratic or linear")
 	flag.StringVar(&o.input, "input", "", "matrix file, .dskm or .csv (server role)")
@@ -119,8 +144,10 @@ func main() {
 		err = runCoordinator(ctx, o)
 	case "server":
 		err = runServer(ctx, o)
+	case "aggregator":
+		err = runAggregator(ctx, o)
 	default:
-		err = fmt.Errorf("missing or unknown -role %q (want coordinator, server or check-trace)", o.role)
+		err = fmt.Errorf("missing or unknown -role %q (want coordinator, server, aggregator or check-trace)", o.role)
 	}
 	if ferr := finish(); err == nil {
 		err = ferr
@@ -175,14 +202,32 @@ func setupObservability(o options) (finish func() error, err error) {
 	}, nil
 }
 
+// plan materializes the -topology/-fanout flags for -servers servers. Every
+// role derives the same plan from the same flags, so the processes agree on
+// node IDs, parents, and children without any coordination.
+func (o options) plan() (*distsketch.Plan, error) {
+	var topo distsketch.Topology
+	switch o.topology {
+	case "star", "":
+	case "tree":
+		topo = distsketch.Tree(o.fanout)
+	default:
+		return nil, fmt.Errorf("unknown -topology %q (want star or tree)", o.topology)
+	}
+	return topo.Plan(o.servers)
+}
+
 // buildProtocol turns the flags into a Protocol value with its Env filled
-// in; the same value serves both roles.
-func (o options) buildProtocol() (distsketch.Protocol, error) {
+// in; the same value serves every role.
+func (o options) buildProtocol(plan *distsketch.Plan) (distsketch.Protocol, error) {
+	if !plan.IsStar() && o.protocol != "fd" {
+		return nil, fmt.Errorf("protocol %q does not support -topology tree (only fd merges at interior nodes)", o.protocol)
+	}
 	cfg := distsketch.Config{Seed: o.seed, Parallelism: o.parallel}
 	if o.timeout > 0 {
 		cfg.Stragglers.Timeout = o.timeout
 	}
-	env := distsketch.Env{Servers: o.servers, Dim: o.d, Config: cfg}
+	env := distsketch.Env{Servers: o.servers, Dim: o.d, Config: cfg, Topology: plan}
 	sampling, err := distsketch.ParseSamplingFn(o.sampling)
 	if err != nil {
 		return nil, err
@@ -215,16 +260,21 @@ func runCoordinator(ctx context.Context, o options) error {
 	if o.d <= 0 {
 		return fmt.Errorf("coordinator needs -d (column dimension)")
 	}
-	proto, err := o.buildProtocol()
+	plan, err := o.plan()
 	if err != nil {
 		return err
 	}
-	coord, err := distsketch.NewTCPCoordinatorOpts(o.addr, o.servers, nil, distsketch.TCPOptions{DebugAddr: o.debug})
+	proto, err := o.buildProtocol(plan)
+	if err != nil {
+		return err
+	}
+	coord, err := distsketch.NewTCPRoot(o.addr, plan, nil, distsketch.TCPOptions{DebugAddr: o.debug})
 	if err != nil {
 		return err
 	}
 	defer coord.Close()
-	fmt.Printf("coordinator listening on %s for %d servers (protocol %s)\n", coord.Addr(), o.servers, proto.Name())
+	fmt.Printf("coordinator listening on %s for %d children of %s (protocol %s)\n",
+		coord.Addr(), len(plan.Children(distsketch.CoordinatorID)), plan, proto.Name())
 	if err := coord.Accept(ctx); err != nil {
 		return err
 	}
@@ -242,7 +292,9 @@ func runCoordinator(ctx context.Context, o options) error {
 		fmt.Printf("top-%d principal components (d×k = %d×%d) computed\n", o.k, res.PCs.Rows(), res.PCs.Cols())
 	}
 	if sketch != nil {
-		fmt.Printf("sketch: %d×%d rows·cols, ‖B‖F² = %.6g\n", sketch.Rows(), sketch.Cols(), sketch.Frob2())
+		// %.17g round-trips float64 exactly, so CI can diff a tree run's
+		// sketch line against a star run's bit for bit.
+		fmt.Printf("sketch: %d×%d rows·cols, ‖B‖F² = %.17g\n", sketch.Rows(), sketch.Cols(), sketch.Frob2())
 	}
 	if len(res.Missing) > 0 {
 		fmt.Printf("proceeded without stragglers: servers %v\n", res.Missing)
@@ -266,7 +318,14 @@ func runServer(ctx context.Context, o options) error {
 	if o.input == "" {
 		return fmt.Errorf("server needs -input")
 	}
-	proto, err := o.buildProtocol()
+	plan, err := o.plan()
+	if err != nil {
+		return err
+	}
+	if o.id < 0 || o.id >= o.servers {
+		return fmt.Errorf("server -id %d out of range 0..%d", o.id, o.servers-1)
+	}
+	proto, err := o.buildProtocol(plan)
 	if err != nil {
 		return err
 	}
@@ -295,7 +354,9 @@ func runServer(ctx context.Context, o options) error {
 		defer closeDebug()
 		fmt.Printf("server %d: debug endpoint on %s\n", o.id, addr)
 	}
-	srv, err := distsketch.DialTCPServerContext(ctx, o.addr, o.id, nil, distsketch.TCPOptions{})
+	// In a tree, -addr is the parent aggregator's listen address; the plan
+	// supplies the parent's endpoint ID so metering names the right link.
+	srv, err := distsketch.DialTCPUplink(ctx, o.addr, o.id, plan.Parent(o.id), nil, distsketch.TCPOptions{})
 	if err != nil {
 		return err
 	}
@@ -308,5 +369,51 @@ func runServer(ctx context.Context, o options) error {
 		return err
 	}
 	fmt.Printf("server %d: streamed %d×%d rows, sent %.1f words\n", o.id, n, d, srv.Meter().Words())
+	return nil
+}
+
+func runAggregator(ctx context.Context, o options) error {
+	if o.listen == "" {
+		return fmt.Errorf("aggregator needs -listen (address for its children)")
+	}
+	if o.d <= 0 {
+		return fmt.Errorf("aggregator needs -d (column dimension)")
+	}
+	plan, err := o.plan()
+	if err != nil {
+		return err
+	}
+	if r := plan.Role(o.id); r != distsketch.RoleAggregator {
+		return fmt.Errorf("-id %d is a %s in %s, not an aggregator (aggregator ids are %v)",
+			o.id, r, plan, plan.Aggregators())
+	}
+	proto, err := o.buildProtocol(plan)
+	if err != nil {
+		return err
+	}
+	agg, err := distsketch.NewTCPAggregator(o.listen, o.id, plan, nil, distsketch.TCPOptions{DebugAddr: o.debug})
+	if err != nil {
+		return err
+	}
+	defer agg.Close()
+	fmt.Printf("aggregator %d listening on %s for children %v (parent %d at %s)\n",
+		o.id, agg.Addr(), plan.Children(o.id), plan.Parent(o.id), o.addr)
+	// Reach up before waiting on the subtree: parents are started first, so
+	// this ordering brings the whole tree up with dial retries alone.
+	if err := agg.DialParent(ctx, o.addr); err != nil {
+		return err
+	}
+	if err := agg.Accept(ctx); err != nil {
+		return err
+	}
+	ob := distsketch.DefaultObserver()
+	ob.RunStart(proto.Name(), o.servers)
+	err = distsketch.AggregateTree(ctx, proto, agg.Node(), plan)
+	ob.RunEnd(proto.Name(), agg.Meter().Words(), err)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("aggregator %d: merged %d children, sent %.1f words upward\n",
+		o.id, len(plan.Children(o.id)), agg.Meter().Words())
 	return nil
 }

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: all, table1, table2, f1..f10, a1..a5, p1, m1, i1")
+		experiment = flag.String("experiment", "all", "which experiment to run: all, table1, table2, f1..f10, a1..a5, p1, m1, i1, t1")
 		seed       = flag.Int64("seed", 1, "random seed")
 		n          = flag.Int("n", 1<<13, "global row count")
 		d          = flag.Int("d", 64, "column dimension")
@@ -34,6 +34,7 @@ func main() {
 		format     = flag.String("format", "text", "output format: text or csv")
 		par        = flag.Int("parallel", 0, "compute worker pool width (0 = GOMAXPROCS)")
 		baseline   = flag.String("baseline", "", "write a JSON timing/words baseline (table1+table2) to this file and exit")
+		baselineT  = flag.String("baseline-topology", "", "write a JSON fan-out sweep baseline (t1) to this file and exit")
 		trace      = flag.String("trace", "", "write a JSONL protocol trace of every run to this file")
 		metrics    = flag.String("metrics", "", "write a metrics registry snapshot (JSON) on exit, - for stdout")
 	)
@@ -51,6 +52,8 @@ func main() {
 	cfg := bench.Config{Seed: *seed, N: *n, D: *d, S: *s, K: *k, Eps: *eps, Parallel: *par}
 	if *baseline != "" {
 		err = writeBaseline(*baseline, cfg)
+	} else if *baselineT != "" {
+		err = writeTopologyBaseline(*baselineT, cfg)
 	} else {
 		err = run(strings.ToLower(*experiment), cfg)
 	}
@@ -122,6 +125,36 @@ func writeBaseline(path string, cfg bench.Config) error {
 	return nil
 }
 
+func writeTopologyBaseline(path string, cfg bench.Config) error {
+	b, err := bench.CollectTopologyBaseline(cfg, sweepFanouts(cfg.S))
+	if err != nil {
+		return err
+	}
+	out, err := b.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("topology baseline written to %s (pool width %d)\n", path, b.PoolWorkers)
+	return nil
+}
+
+// sweepFanouts picks the fan-outs for the t1 sweep: powers of two up to s/2
+// (bit-identical to the star by the canonical-merge grouping invariance),
+// capped so the table stays readable at large s.
+func sweepFanouts(s int) []int {
+	var fs []int
+	for f := 2; f <= s/2 && len(fs) < 6; f *= 2 {
+		fs = append(fs, f)
+	}
+	if len(fs) == 0 {
+		fs = []int{2}
+	}
+	return fs
+}
+
 func run(experiment string, cfg bench.Config) error {
 	runners := []struct {
 		name string
@@ -147,6 +180,7 @@ func run(experiment string, cfg bench.Config) error {
 		{"p1", p1},
 		{"m1", m1},
 		{"i1", i1},
+		{"t1", t1},
 	}
 	if experiment == "all" {
 		for _, r := range runners {
@@ -376,6 +410,16 @@ func p1(cfg bench.Config) error {
 func i1(cfg bench.Config) error {
 	header("I1: ingestion throughput — in-memory vs file-backed vs sparse sources")
 	rows, err := bench.IngestionThroughput(cfg)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+	return nil
+}
+
+func t1(cfg bench.Config) error {
+	header("T1: tree aggregation — words, root fan-in, and bit-identity vs fan-out")
+	rows, err := bench.FanoutSweep(cfg, sweepFanouts(cfg.S))
 	if err != nil {
 		return err
 	}

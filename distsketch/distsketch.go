@@ -119,6 +119,30 @@ type (
 	PowerIterParams = distributed.PowerIterParams
 )
 
+// Topology selects the run's aggregation shape: Star() (every server
+// reports straight to the coordinator — the default and the paper's model)
+// or Tree(fanout) (k-ary aggregation tree; interior nodes merge their
+// subtree's FD sketches and forward one summary upward). Plan is a
+// topology materialized for s servers: it names every node's Role (leaf,
+// aggregator, root), parent, children, and subtree leaf span, and computes
+// per-subtree straggler quorums.
+type (
+	Topology = distributed.Topology
+	Plan     = distributed.Plan
+	Role     = distributed.Role
+)
+
+var (
+	Star = distributed.Star
+	Tree = distributed.Tree
+)
+
+const (
+	RoleLeaf       = distributed.RoleLeaf
+	RoleAggregator = distributed.RoleAggregator
+	RoleRoot       = distributed.RoleRoot
+)
+
 // SamplingFn selects the SVS sampling function (SampleQuadratic or
 // SampleLinear) — the typed replacement for the old `useLinear bool`.
 type SamplingFn = distributed.SamplingFn
@@ -153,6 +177,7 @@ var (
 	WithSeed            = distributed.WithSeed
 	WithQuantization    = distributed.WithQuantization
 	WithStragglers      = distributed.WithStragglers
+	WithTopology        = distributed.WithTopology
 	WithFaults          = distributed.WithFaults
 	WithMailboxCapacity = distributed.WithMailboxCapacity
 	WithMeter           = distributed.WithMeter

@@ -55,15 +55,29 @@ var NewFaultNetwork = distributed.NewFaultNetwork
 // TCP transport: a TCPCoordinator listens for s servers; each server
 // process dials in with DialTCPServer(Context). TCPOptions adds dial
 // retries with exponential backoff and per-operation read/write deadlines.
+// Tree deployments use NewTCPRoot (the root's hub under a Plan),
+// TCPAggregator (interior node: child-facing hub plus parent uplink), and
+// DialTCPUplink (leaf dialing its aggregator).
 type (
 	TCPCoordinator = distributed.TCPCoordinator
 	TCPServer      = distributed.TCPServer
+	TCPAggregator  = distributed.TCPAggregator
 	TCPOptions     = distributed.TCPOptions
 )
 
 var (
 	NewTCPCoordinator     = distributed.NewTCPCoordinator
 	NewTCPCoordinatorOpts = distributed.NewTCPCoordinatorOpts
+	NewTCPRoot            = distributed.NewTCPRoot
+	NewTCPNodeHub         = distributed.NewTCPNodeHub
+	NewTCPAggregator      = distributed.NewTCPAggregator
 	DialTCPServer         = distributed.DialTCPServer
 	DialTCPServerContext  = distributed.DialTCPServerContext
+	DialTCPUplink         = distributed.DialTCPUplink
 )
+
+// AggregateTree runs one interior tree node's role: gather the subtree's
+// summaries, merge, forward one summary to the parent. The protocol must be
+// tree-capable (FDMerge); cmd/distsketch's aggregator role drives it over a
+// TCPAggregator node.
+var AggregateTree = distributed.AggregateTree

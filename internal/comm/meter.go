@@ -23,6 +23,7 @@ type Meter struct {
 	mu       sync.Mutex
 	rec      Recorder
 	linkBits map[[2]int]int64
+	linkMsgs map[[2]int]int64
 	bits     int64
 	messages int64
 	rounds   int64
@@ -38,7 +39,7 @@ func (m *Meter) SetRecorder(r Recorder) {
 
 // NewMeter returns an empty meter.
 func NewMeter() *Meter {
-	return &Meter{linkBits: make(map[[2]int]int64)}
+	return &Meter{linkBits: make(map[[2]int]int64), linkMsgs: make(map[[2]int]int64)}
 }
 
 // Record charges one message to the meter.
@@ -46,6 +47,7 @@ func (m *Meter) Record(msg *Message) {
 	b := msg.Bits()
 	m.mu.Lock()
 	m.linkBits[[2]int{msg.From, msg.To}] += b
+	m.linkMsgs[[2]int{msg.From, msg.To}]++
 	m.bits += b
 	m.messages++
 	rec := m.rec
@@ -100,11 +102,35 @@ func (m *Meter) LinkWords(from, to int) float64 {
 	return float64(m.linkBits[[2]int{from, to}]) / WordBits
 }
 
+// LinkMessages returns the number of messages sent from endpoint `from` to
+// endpoint `to`.
+func (m *Meter) LinkMessages(from, to int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.linkMsgs[[2]int{from, to}]
+}
+
+// InboundMessages returns the number of messages addressed to endpoint `to`
+// over all senders — the fan-in figure of a tree node (O(fan-out) at the
+// root of a tree plan versus s in the star).
+func (m *Meter) InboundMessages(to int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for k, v := range m.linkMsgs {
+		if k[1] == to {
+			n += v
+		}
+	}
+	return n
+}
+
 // Reset zeroes all counters.
 func (m *Meter) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.linkBits = make(map[[2]int]int64)
+	m.linkMsgs = make(map[[2]int]int64)
 	m.bits, m.messages, m.rounds = 0, 0, 0
 }
 

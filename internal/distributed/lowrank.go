@@ -152,24 +152,29 @@ func ServerLowRankExact(ctx context.Context, node Node, local workload.RowSource
 func CoordLowRankExact(ctx context.Context, node Node, s, d int, cfg Config) (gram, sketch *matrix.Dense, err error) {
 	qs := make([]*matrix.Dense, s)
 	ys := make([]*matrix.Dense, s)
-	for seen := 0; seen < 2*s; {
-		msg, err := recvPolicy(ctx, node, cfg.Stragglers.Timeout)
-		if err != nil {
-			return nil, nil, err
-		}
+	spec := gatherSpec{Label: "lr-q/lr-y", Peers: serverPeers(s), Each: 2}
+	if _, err := gatherFrom(ctx, node, cfg, spec, func(msg *comm.Message) error {
 		m, err := recvMatrix(msg)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		switch msg.Kind {
 		case "lr-q":
+			if qs[msg.From] != nil {
+				return fmt.Errorf("distributed: duplicate %q message from %d", msg.Kind, msg.From)
+			}
 			qs[msg.From] = m
 		case "lr-y":
+			if ys[msg.From] != nil {
+				return fmt.Errorf("distributed: duplicate %q message from %d", msg.Kind, msg.From)
+			}
 			ys[msg.From] = m
 		default:
-			return nil, nil, fmt.Errorf("distributed: unexpected %q message", msg.Kind)
+			return fmt.Errorf("distributed: unexpected %q message", msg.Kind)
 		}
-		seen++
+		return nil
+	}); err != nil {
+		return nil, nil, err
 	}
 	gram = matrix.New(d, d)
 	for i := 0; i < s; i++ {

@@ -299,16 +299,7 @@ func coordBWZBody(ctx context.Context, node Node, s, d int, p PCAParams, cfg Con
 // ("<kind>") or sparse ("<kind>-sparse", bucket indices + signed rows) —
 // and accumulates all of them into frame.
 func gatherEmbedded(ctx context.Context, node Node, s int, kind string, frame *matrix.Dense, cfg Config) error {
-	seen := make([]bool, s)
-	for got := 0; got < s; got++ {
-		msg, err := recvPolicy(ctx, node, cfg.Stragglers.Timeout)
-		if err != nil {
-			return err
-		}
-		if msg.From < 0 || msg.From >= s || seen[msg.From] {
-			return fmt.Errorf("distributed: unexpected %q message from %d", msg.Kind, msg.From)
-		}
-		seen[msg.From] = true
+	_, err := gatherFrom(ctx, node, cfg, gatherSpec{Label: kind, Peers: serverPeers(s)}, func(msg *comm.Message) error {
 		switch msg.Kind {
 		case kind:
 			mm, err := recvMatrix(msg)
@@ -323,19 +314,18 @@ func gatherEmbedded(ctx context.Context, node Node, s int, kind string, frame *m
 			for i, v := range mm.Data() {
 				dst[i] += v
 			}
+			return nil
 		case kind + "-sparse":
 			mm, err := recvMatrix(msg)
 			if err != nil {
 				return err
 			}
-			if err := scatterSparse(frame, msg.Ints, mm); err != nil {
-				return err
-			}
+			return scatterSparse(frame, msg.Ints, mm)
 		default:
 			return fmt.Errorf("distributed: expected %q message, got %q from %d", kind, msg.Kind, msg.From)
 		}
-	}
-	return nil
+	})
+	return err
 }
 
 // BWZ is the batch baseline on the raw partitioned input — the Table 2
@@ -529,11 +519,12 @@ func (p PCAFDMerge) Server(ctx context.Context, node Node, local RowSource) erro
 // Coordinator implements Protocol.
 func (p PCAFDMerge) Coordinator(ctx context.Context, node Node) (*Result, error) {
 	pp := p.PCAParams.withDefaults()
-	// PCA needs every server's sketch: quorum merges are disabled here by
-	// clearing the quorum, so stragglers fail fast.
-	cfg := p.Env.Config
-	cfg.Stragglers.Quorum = 0
-	sk, _, err := CoordFDMerge(ctx, node, p.Env.Servers, p.Env.Dim, pp.Eps/2, pp.K, cfg)
+	// PCA needs every server's sketch, so a quorum merge is unsound here:
+	// reject a user-supplied quorum instead of silently clearing it.
+	if err := rejectQuorum(p.Env.Config, "pca-fd-merge"); err != nil {
+		return nil, err
+	}
+	sk, _, err := CoordFDMerge(ctx, node, p.Env.Servers, p.Env.Dim, pp.Eps/2, pp.K, p.Env.Config)
 	if err != nil {
 		return nil, err
 	}

@@ -2,9 +2,11 @@ package distributed
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/fd"
 	"repro/internal/rowsample"
 )
 
@@ -48,6 +50,31 @@ type Env struct {
 	Dim int
 	// Config carries quantization, seeding, and straggler options.
 	Config Config
+	// Topology is the run's aggregation plan; nil means the star (the
+	// compatible default for direct TCP callers that build Env by hand).
+	Topology *Plan
+}
+
+// plan resolves the run's aggregation plan, materializing the degenerate
+// star when none was installed.
+func (e Env) plan() *Plan {
+	if e.Topology != nil {
+		return e.Topology
+	}
+	p, err := Star().Plan(e.Servers)
+	if err != nil {
+		panic(fmt.Sprintf("distributed: Env with %d servers: %v", e.Servers, err))
+	}
+	return p
+}
+
+// parent returns where node id forwards its summary: its plan parent, or
+// the coordinator under the star.
+func (e Env) parent(id int) int {
+	if e.Topology == nil {
+		return comm.CoordinatorID
+	}
+	return e.Topology.Parent(id)
 }
 
 // envSetter lets the Run driver install the Env it derived without widening
@@ -90,11 +117,12 @@ func ParseSamplingFn(s string) (SamplingFn, error) { return core.ParseSamplingFn
 // ---------------------------------------------------------------------------
 
 // FDMerge is the deterministic Theorem 2 protocol: each server streams its
-// rows through FD and the coordinator merges the s sketches with one more
-// FD pass. It is the one protocol whose coordinator honours a straggler
-// quorum: FD sketches merge associatively, so the coordinator can proceed
-// with any subset, sketching the responsive servers' rows and reporting the
-// absentees in Result.Missing.
+// rows through FD and the aggregation plan's interior merges the sketches
+// with the canonical FD reduction. It is the one protocol whose gathers
+// honour a straggler quorum: FD sketches merge associatively, so any node
+// can proceed with a subset of its subtree, sketching the responsive
+// servers' rows and reporting the absentees in Result.Missing. For the same
+// reason it is the one built-in protocol that runs under a tree Topology.
 type FDMerge struct {
 	Eps float64
 	K   int
@@ -108,14 +136,15 @@ func (p FDMerge) withEnv(e Env) Protocol { p.Env = e; return p }
 
 func (p FDMerge) rounds() int { return 1 }
 
-// Server implements Protocol.
+// Server implements Protocol. Under a tree plan the leaf's summary goes to
+// its aggregator rather than the coordinator.
 func (p FDMerge) Server(ctx context.Context, node Node, local RowSource) error {
-	return ServerFDMerge(ctx, node, local, p.Eps, p.K, p.Env.Config)
+	return serverFDMergeTo(ctx, node, p.Env.parent(node.ID()), local, p.Eps, p.K, p.Env.Config)
 }
 
 // Coordinator implements Protocol.
 func (p FDMerge) Coordinator(ctx context.Context, node Node) (*Result, error) {
-	sk, missing, err := CoordFDMerge(ctx, node, p.Env.Servers, p.Env.Dim, p.Eps, p.K, p.Env.Config)
+	sk, missing, err := coordFDGather(ctx, node, p.Env.plan(), p.Env.Dim, fd.SketchSize(p.Eps, p.K), p.Env.Config)
 	if err != nil {
 		return nil, err
 	}

@@ -103,8 +103,16 @@ func finish(res *Result, meter *comm.Meter) *Result {
 // ServerFDMerge is the server side of the deterministic protocol: stream the
 // local rows through FD — one pass, O(d·ℓ) working space regardless of the
 // source's size — and send the ℓ-row sketch to the coordinator. Sparse
-// sources take the nnz-proportional update path.
+// sources take the nnz-proportional update path. Under a tree plan the
+// driver routes the summary to the leaf's aggregator instead (see
+// serverFDMergeTo); this star entry point is kept for direct callers.
 func ServerFDMerge(ctx context.Context, node Node, local workload.RowSource, eps float64, k int, cfg Config) error {
+	return serverFDMergeTo(ctx, node, comm.CoordinatorID, local, eps, k, cfg)
+}
+
+// serverFDMergeTo is ServerFDMerge with an explicit uplink destination —
+// the coordinator in the star, the leaf's aggregator in a tree.
+func serverFDMergeTo(ctx context.Context, node Node, dest int, local workload.RowSource, eps float64, k int, cfg Config) error {
 	_, d := local.Dims()
 	sk := fd.New(d, fd.SketchSize(eps, k), fd.Options{Obs: cfg.Obs})
 	rows, sparse, err := streamRows(local, sk.Update, sk.UpdateSparse)
@@ -116,38 +124,24 @@ func ServerFDMerge(ctx context.Context, node Node, local workload.RowSource, eps
 	if err != nil {
 		return fmt.Errorf("server %d: %w", node.ID(), err)
 	}
-	return cfg.sendMatrix(ctx, node, comm.CoordinatorID, "fd-sketch", b)
+	return cfg.sendMatrix(ctx, node, dest, "fd-sketch", b)
 }
 
-// CoordFDMerge is the coordinator side: collect the s local sketches and
-// merge them with one more FD pass, yielding an (ε,k)-sketch of A
-// (mergeability, Theorem 2). Under a quorum straggler policy
+// CoordFDMerge is the star coordinator side: collect the s local sketches
+// and reduce them with the canonical FD merge, yielding an (ε,k)-sketch of
+// A (mergeability, Theorem 2). Under a quorum straggler policy
 // (cfg.Stragglers.Quorum > 0) the merge proceeds once the quorum has
 // reported and the returned missing slice lists the absent servers — the
-// sketch then covers only the responsive servers' rows.
+// sketch then covers only the responsive servers' rows. Tree runs go
+// through the same gather-and-merge code with a deeper plan (WithTopology),
+// so their results are bit-identical to this star path at every
+// power-of-two fan-out (see fd.MergeCanonical).
 func CoordFDMerge(ctx context.Context, node Node, s, d int, eps float64, k int, cfg Config) (*matrix.Dense, []int, error) {
-	msgs, missing, err := gather(ctx, node, s, "fd-sketch", cfg, true)
+	plan, err := Star().Plan(s)
 	if err != nil {
 		return nil, nil, err
 	}
-	merged := fd.New(d, fd.SketchSize(eps, k), fd.Options{Obs: cfg.Obs})
-	for _, msg := range msgs {
-		if msg == nil {
-			continue // straggler admitted by the quorum policy
-		}
-		m, err := recvMatrix(msg)
-		if err != nil {
-			return nil, nil, err
-		}
-		if err := merged.UpdateMatrix(m); err != nil {
-			return nil, nil, err
-		}
-	}
-	sk, err := merged.Matrix()
-	if err != nil {
-		return nil, nil, err
-	}
-	return sk, missing, nil
+	return coordFDGather(ctx, node, plan, d, fd.SketchSize(eps, k), cfg)
 }
 
 // RunFDMerge runs the full Theorem 2 protocol in-process over parts.
@@ -428,6 +422,11 @@ func ServerFullTransfer(ctx context.Context, node Node, local workload.RowSource
 // in server order, and returns the exact aggregated form plus the Gram
 // matrix.
 func CoordFullTransfer(ctx context.Context, node Node, s int, cfg Config) (*Result, error) {
+	// Exactness needs every row, so a partial-participation quorum is a
+	// configuration error here, same as in every strict gather.
+	if err := rejectQuorum(cfg, "full-transfer"); err != nil {
+		return nil, err
+	}
 	// Headers and chunks interleave freely across servers (a fast server's
 	// chunks can arrive before a slow server's header), so one loop accepts
 	// both kinds and reconciles the declared chunk counts at the end.

@@ -19,6 +19,7 @@ type runOpts struct {
 	faults   *FaultPlan
 	mailbox  int
 	meter    *comm.Meter
+	topo     Topology
 }
 
 // RunOption configures a Run invocation.
@@ -53,6 +54,18 @@ func WithQuantization(step float64) RunOption {
 // guarantee permits proceeding without the stragglers.
 func WithStragglers(pol StragglerPolicy) RunOption {
 	return func(o *runOpts) { o.cfg.Stragglers = pol }
+}
+
+// WithTopology selects the run's aggregation topology: Star() (the default,
+// every server reports straight to the coordinator) or Tree(fanout), which
+// interposes aggregator nodes that each merge their subtree's summaries and
+// forward one summary upward. Trees require a protocol whose summaries
+// merge at interior nodes (FDMerge); other protocols reject the option with
+// a descriptive error. Straggler quorums apply per subtree
+// (Plan.SubtreeQuorum), and each aggregation level adds one communication
+// round.
+func WithTopology(t Topology) RunOption {
+	return func(o *runOpts) { o.topo = t }
 }
 
 // WithFaults runs the protocol over a FaultNetwork injecting the plan —
@@ -137,11 +150,22 @@ func RunSources(ctx context.Context, proto Protocol, sources []RowSource, opts .
 	}
 	s := len(sources)
 	_, d := sources[0].Dims()
+	plan, err := o.topo.Plan(s)
+	if err != nil {
+		return nil, err
+	}
 	ob := o.cfg.observer()
 	o.cfg.Obs = ob // resolve the fallback once so protocol code reads cfg.Obs directly
 	var memOpts []MemOption
 	if o.mailbox > 0 {
 		memOpts = append(memOpts, Mailbox(o.mailbox))
+	}
+	if aggs := plan.Aggregators(); len(aggs) > 0 {
+		fanin := make(map[int]int, len(aggs))
+		for _, id := range aggs {
+			fanin[id] = len(plan.Children(id))
+		}
+		memOpts = append(memOpts, ExtraEndpoints(fanin))
 	}
 	mem := NewMemNetwork(s, o.meter, memOpts...)
 	defer mem.Close()
@@ -159,25 +183,41 @@ func RunSources(ctx context.Context, proto Protocol, sources []RowSource, opts .
 		net = fn
 	}
 	if es, ok := proto.(envSetter); ok {
-		proto = es.withEnv(Env{Servers: s, Dim: d, Config: o.cfg})
+		proto = es.withEnv(Env{Servers: s, Dim: d, Config: o.cfg, Topology: plan})
 	}
 	if v, ok := proto.(validator); ok {
 		v.validate()
 	}
-	serverFns := make([]func() error, s)
+	serverFns := make([]func() error, s, s+len(plan.Aggregators()))
 	for i := range sources {
 		i := i
 		serverFns[i] = func() error {
 			return proto.Server(ctx, net.Node(i), sources[i])
 		}
 	}
+	if !plan.IsStar() {
+		// The type assertion runs after withEnv: withEnv returns a fresh
+		// protocol value and the aggregator must read the installed Env.
+		ta, ok := proto.(treeAggregator)
+		if !ok {
+			return nil, fmt.Errorf("distributed: protocol %s does not support tree aggregation (it is star-only); drop WithTopology or use fd-merge", proto.Name())
+		}
+		for _, id := range plan.Aggregators() {
+			id := id
+			serverFns = append(serverFns, func() error {
+				return ta.Aggregate(ctx, net.Node(id), plan)
+			})
+		}
+	}
 	res := &Result{}
 	ob.RunStart(proto.Name(), s)
-	err := runParties(ctx, net, serverFns, func() error {
+	err = runParties(ctx, net, serverFns, func() error {
 		nRounds := 1
 		if rc, ok := proto.(roundCounter); ok {
 			nRounds = rc.rounds()
 		}
+		// Each aggregation level below the root is one more lockstep wave.
+		nRounds += plan.Depth() - 1
 		for r := 0; r < nRounds; r++ {
 			net.Meter().AddRound()
 		}

@@ -13,11 +13,13 @@ import (
 	"repro/internal/obs"
 )
 
-// The TCP transport implements the star topology every protocol in this
-// repository uses (all messages flow between a server and the coordinator,
-// matching the paper's coordinator model): the coordinator listens, each
-// server dials in and identifies itself with a hello message, and both ends
-// then exchange comm.Message frames.
+// The TCP transport implements the uplink topology the protocols use — the
+// star by default (all messages flow between a server and the coordinator,
+// matching the paper's coordinator model), or any tree Plan: every interior
+// node runs a hub that listens for its children, each child dials in and
+// identifies itself with a hello message, and both ends then exchange
+// comm.Message frames. A TCPAggregator (tcp_tree.go) is a hub plus an
+// uplink to its own parent.
 //
 // Unlike the failure-free model the paper analyses, the transport is built
 // for real networks: dials retry with exponential backoff, every read and
@@ -114,14 +116,18 @@ func wrapIOErr(ctx context.Context, err error) error {
 	return err
 }
 
-// TCPCoordinator is the coordinator's hub: it accepts exactly s server
-// connections and exposes a Node whose Send routes to the right connection.
+// TCPCoordinator is a tree node's hub: it accepts exactly one connection
+// per expected child and exposes a Node whose Send routes to the right
+// connection. The default constructors build the star coordinator (self is
+// comm.CoordinatorID, children are 0..s-1); NewTCPRoot and NewTCPNodeHub
+// build hubs for arbitrary plan nodes.
 type TCPCoordinator struct {
-	s     int
-	meter *comm.Meter
-	ln    net.Listener
-	opts  TCPOptions
-	ob    *obs.Observer
+	self   int
+	expect map[int]bool
+	meter  *comm.Meter
+	ln     net.Listener
+	opts   TCPOptions
+	ob     *obs.Observer
 
 	mu    sync.Mutex
 	conns map[int]net.Conn
@@ -147,6 +153,22 @@ func NewTCPCoordinatorOpts(addr string, s int, meter *comm.Meter, opts TCPOption
 	if s <= 0 {
 		panic(fmt.Sprintf("distributed: TCP coordinator with s=%d", s))
 	}
+	return NewTCPNodeHub(addr, comm.CoordinatorID, serverPeers(s), meter, opts)
+}
+
+// NewTCPRoot listens for the root's children under plan — the coordinator
+// of a TCP tree run. With a star plan it is NewTCPCoordinatorOpts.
+func NewTCPRoot(addr string, plan *Plan, meter *comm.Meter, opts TCPOptions) (*TCPCoordinator, error) {
+	return NewTCPNodeHub(addr, comm.CoordinatorID, plan.Children(comm.CoordinatorID), meter, opts)
+}
+
+// NewTCPNodeHub listens on addr as tree node self, expecting exactly one
+// connection from each listed child. Call Accept before running the node's
+// role.
+func NewTCPNodeHub(addr string, self int, children []int, meter *comm.Meter, opts TCPOptions) (*TCPCoordinator, error) {
+	if len(children) == 0 {
+		panic(fmt.Sprintf("distributed: TCP hub for node %d with no children", self))
+	}
 	if meter == nil {
 		meter = comm.NewMeter()
 	}
@@ -154,11 +176,15 @@ func NewTCPCoordinatorOpts(addr string, s int, meter *comm.Meter, opts TCPOption
 	if err != nil {
 		return nil, fmt.Errorf("distributed: listen: %w", err)
 	}
+	expect := make(map[int]bool, len(children))
+	for _, id := range children {
+		expect[id] = true
+	}
 	c := &TCPCoordinator{
-		s: s, meter: meter, ln: ln, opts: opts.withDefaults(),
+		self: self, expect: expect, meter: meter, ln: ln, opts: opts.withDefaults(),
 		ob:    opts.observer(),
 		conns: make(map[int]net.Conn),
-		inbox: make(chan recvResult, 16*s),
+		inbox: make(chan recvResult, 16*len(children)),
 		done:  make(chan struct{}),
 	}
 	if c.ob != nil {
@@ -185,12 +211,12 @@ func (c *TCPCoordinator) Addr() string { return c.ln.Addr().String() }
 // Meter returns the coordinator-side meter (records coordinator sends).
 func (c *TCPCoordinator) Meter() *comm.Meter { return c.meter }
 
-// Accept waits for all s servers to connect and identify themselves, then
-// starts the demultiplexing readers. Cancelling ctx aborts the wait.
+// Accept waits for every expected child to connect and identify itself,
+// then starts the demultiplexing readers. Cancelling ctx aborts the wait.
 func (c *TCPCoordinator) Accept(ctx context.Context) error {
 	stop := context.AfterFunc(ctx, func() { c.ln.Close() })
 	defer stop()
-	for len(c.conns) < c.s {
+	for len(c.conns) < len(c.expect) {
 		conn, err := c.ln.Accept()
 		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
@@ -211,7 +237,7 @@ func (c *TCPCoordinator) Accept(ctx context.Context) error {
 			return fmt.Errorf("distributed: malformed hello %q", hello.Kind)
 		}
 		id := int(hello.Ints[0])
-		if id < 0 || id >= c.s {
+		if !c.expect[id] {
 			conn.Close()
 			return fmt.Errorf("distributed: hello from out-of-range server %d", id)
 		}
@@ -249,7 +275,7 @@ func (c *TCPCoordinator) readLoop(id int, conn net.Conn) {
 			}
 			return
 		}
-		msg.From, msg.To = id, comm.CoordinatorID
+		msg.From, msg.To = id, c.self
 		select {
 		case c.inbox <- recvResult{msg: msg}:
 		case <-c.done:
@@ -282,7 +308,7 @@ func (c *TCPCoordinator) Close() {
 
 type tcpCoordNode struct{ c *TCPCoordinator }
 
-func (n *tcpCoordNode) ID() int { return comm.CoordinatorID }
+func (n *tcpCoordNode) ID() int { return n.c.self }
 
 func (n *tcpCoordNode) Send(ctx context.Context, to int, msg *comm.Message) error {
 	n.c.mu.Lock()
@@ -294,7 +320,7 @@ func (n *tcpCoordNode) Send(ctx context.Context, to int, msg *comm.Message) erro
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	msg.From, msg.To = comm.CoordinatorID, to
+	msg.From, msg.To = n.c.self, to
 	n.c.meter.Record(msg)
 	release := ioDeadline(ctx, n.c.opts.WriteTimeout, conn.SetWriteDeadline)
 	defer release()
@@ -312,9 +338,11 @@ func (n *tcpCoordNode) Recv(ctx context.Context) (*comm.Message, error) {
 	}
 }
 
-// TCPServer is one server's connection to the coordinator hub.
+// TCPServer is one node's uplink connection to its parent hub — the
+// coordinator in a star, or an aggregator in a tree plan.
 type TCPServer struct {
 	id    int
+	peer  int
 	meter *comm.Meter
 	conn  net.Conn
 	opts  TCPOptions
@@ -331,6 +359,14 @@ func DialTCPServer(addr string, id int, meter *comm.Meter) (*TCPServer, error) {
 // opts.RetryBackoff) — servers in a real deployment routinely start before
 // the coordinator's listener is up.
 func DialTCPServerContext(ctx context.Context, addr string, id int, meter *comm.Meter, opts TCPOptions) (*TCPServer, error) {
+	return DialTCPUplink(ctx, addr, id, comm.CoordinatorID, meter, opts)
+}
+
+// DialTCPUplink connects node id to its parent hub at addr (the parent's
+// endpoint ID comes from Plan.Parent). It retries failed dials with
+// exponential backoff like DialTCPServerContext; leaves in a tree plan use
+// this to reach their aggregator.
+func DialTCPUplink(ctx context.Context, addr string, id, parent int, meter *comm.Meter, opts TCPOptions) (*TCPServer, error) {
 	if meter == nil {
 		meter = comm.NewMeter()
 	}
@@ -358,9 +394,9 @@ func DialTCPServerContext(ctx context.Context, addr string, id int, meter *comm.
 		backoff *= 2
 	}
 	conn = countedConn(conn, ob)
-	srv := &TCPServer{id: id, meter: meter, conn: conn, opts: opts}
+	srv := &TCPServer{id: id, peer: parent, meter: meter, conn: conn, opts: opts}
 	hello := &comm.Message{Kind: "hello", Ints: []int64{int64(id)}}
-	hello.From, hello.To = id, comm.CoordinatorID
+	hello.From, hello.To = id, parent
 	release := ioDeadline(ctx, opts.WriteTimeout, conn.SetWriteDeadline)
 	err = hello.Encode(conn)
 	release()
@@ -380,11 +416,11 @@ func (s *TCPServer) Node() Node { return s }
 // ID implements Node.
 func (s *TCPServer) ID() int { return s.id }
 
-// Send implements Node; only the coordinator is reachable over this
-// transport (the star topology all protocols use).
+// Send implements Node; only the uplink's parent is reachable over this
+// transport (all protocol traffic flows along tree edges).
 func (s *TCPServer) Send(ctx context.Context, to int, msg *comm.Message) error {
-	if to != comm.CoordinatorID {
-		return fmt.Errorf("distributed: TCP server can only send to the coordinator, not %d", to)
+	if to != s.peer {
+		return fmt.Errorf("distributed: TCP server can only send to its parent %d, not %d", s.peer, to)
 	}
 	if err := ctx.Err(); err != nil {
 		return err

@@ -1,0 +1,164 @@
+package distributed
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+)
+
+// TestPlanInvariants checks the structural invariants every tree plan must
+// satisfy: contiguous leaf spans, parent/child symmetry, no pass-through
+// aggregators, level-ordered aggregator IDs starting at s, and consistent
+// heights and edge counts.
+func TestPlanInvariants(t *testing.T) {
+	for _, tc := range []struct{ s, fanout int }{
+		{1, 2}, {2, 2}, {3, 2}, {4, 2}, {5, 2}, {7, 2}, {8, 2}, {9, 2},
+		{16, 2}, {5, 3}, {9, 3}, {27, 3}, {16, 4}, {17, 4}, {64, 8}, {100, 7},
+	} {
+		plan, err := Tree(tc.fanout).Plan(tc.s)
+		if err != nil {
+			t.Fatalf("Tree(%d).Plan(%d): %v", tc.fanout, tc.s, err)
+		}
+		if got := plan.Servers(); got != tc.s {
+			t.Fatalf("s=%d f=%d: Servers() = %d", tc.s, tc.fanout, got)
+		}
+		if got := plan.Edges(); got != tc.s+len(plan.Aggregators()) {
+			t.Fatalf("s=%d f=%d: Edges() = %d", tc.s, tc.fanout, got)
+		}
+		for i, id := range plan.Aggregators() {
+			if id != tc.s+i {
+				t.Fatalf("s=%d f=%d: aggregator %d has ID %d, want %d", tc.s, tc.fanout, i, id, tc.s+i)
+			}
+			kids := plan.Children(id)
+			if len(kids) < 2 || len(kids) > tc.fanout {
+				t.Fatalf("s=%d f=%d: aggregator %d has %d children", tc.s, tc.fanout, id, len(kids))
+			}
+		}
+		// Every node: parent/child symmetry and span composition.
+		check := func(id int) {
+			kids := plan.Children(id)
+			lo, hi := plan.LeafSpan(id)
+			if len(kids) == 0 {
+				if plan.Role(id) != RoleLeaf || hi-lo != 1 {
+					t.Fatalf("s=%d f=%d: childless node %d: role %s span [%d,%d)", tc.s, tc.fanout, id, plan.Role(id), lo, hi)
+				}
+				return
+			}
+			want := lo
+			for _, c := range kids {
+				if plan.Parent(c) != id {
+					t.Fatalf("s=%d f=%d: Parent(%d) = %d, want %d", tc.s, tc.fanout, c, plan.Parent(c), id)
+				}
+				clo, chi := plan.LeafSpan(c)
+				if clo != want {
+					t.Fatalf("s=%d f=%d: node %d children spans not contiguous at %d", tc.s, tc.fanout, id, c)
+				}
+				want = chi
+			}
+			if want != hi {
+				t.Fatalf("s=%d f=%d: node %d span [%d,%d) not covered by children", tc.s, tc.fanout, id, lo, hi)
+			}
+		}
+		for i := 0; i < tc.s; i++ {
+			check(i)
+		}
+		for _, id := range plan.Aggregators() {
+			check(id)
+		}
+		check(comm.CoordinatorID)
+		if lo, hi := plan.LeafSpan(comm.CoordinatorID); lo != 0 || hi != tc.s {
+			t.Fatalf("s=%d f=%d: root span [%d,%d)", tc.s, tc.fanout, lo, hi)
+		}
+		if d := plan.Depth(); d != plan.Height(comm.CoordinatorID) || d < 1 {
+			t.Fatalf("s=%d f=%d: Depth() = %d, Height(root) = %d", tc.s, tc.fanout, d, plan.Height(comm.CoordinatorID))
+		}
+	}
+}
+
+// TestPlanStarDegenerate: the star plan — and any tree whose fan-out covers
+// all servers in one level — has no aggregators and depth 1.
+func TestPlanStarDegenerate(t *testing.T) {
+	for _, topo := range []Topology{Star(), Tree(4), Tree(97)} {
+		plan, err := topo.Plan(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plan.IsStar() || len(plan.Aggregators()) != 0 || plan.Depth() != 1 {
+			t.Fatalf("%s over 4 servers: aggs=%v depth=%d", topo, plan.Aggregators(), plan.Depth())
+		}
+		if kids := plan.Children(comm.CoordinatorID); len(kids) != 4 {
+			t.Fatalf("%s: root children %v", topo, kids)
+		}
+		for i := 0; i < 4; i++ {
+			if plan.Parent(i) != comm.CoordinatorID {
+				t.Fatalf("%s: Parent(%d) = %d", topo, i, plan.Parent(i))
+			}
+		}
+	}
+}
+
+// TestPlanSingletonPromotion: a trailing group of one is promoted unchanged
+// instead of being wrapped in a pass-through aggregator. With s=5, f=2 the
+// first level packs (0,1)(2,3)(4): leaf 4 must climb without an extra hop.
+func TestPlanSingletonPromotion(t *testing.T) {
+	plan, err := Tree(2).Plan(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range plan.Aggregators() {
+		if len(plan.Children(id)) < 2 {
+			t.Fatalf("pass-through aggregator %d with children %v", id, plan.Children(id))
+		}
+	}
+	// Leaf 4's parent chain must reach the root without any single-child hop.
+	seen := map[int]bool{}
+	for id := 4; id != comm.CoordinatorID; id = plan.Parent(id) {
+		if seen[id] {
+			t.Fatalf("cycle at node %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestPlanErrors: invalid shapes are rejected.
+func TestPlanErrors(t *testing.T) {
+	if _, err := Tree(1).Plan(4); err == nil {
+		t.Fatal("Tree(1) accepted")
+	}
+	if _, err := Star().Plan(0); err == nil {
+		t.Fatal("Plan(0) accepted")
+	}
+	if _, err := Tree(2).Plan(-3); err == nil {
+		t.Fatal("Plan(-3) accepted")
+	}
+}
+
+// TestSubtreeQuorum: the proportional share ⌈Q·L/s⌉, capped at the subtree
+// size, summing to ≥ Q across any sibling set, and exactly Q at the root.
+func TestSubtreeQuorum(t *testing.T) {
+	for _, tc := range []struct{ s, fanout, global int }{
+		{8, 2, 4}, {8, 2, 7}, {8, 2, 8}, {9, 2, 5}, {27, 3, 11}, {100, 7, 63},
+	} {
+		plan, err := Tree(tc.fanout).Plan(tc.s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q := plan.SubtreeQuorum(tc.global, comm.CoordinatorID); q != tc.global {
+			t.Fatalf("s=%d f=%d Q=%d: root quorum %d", tc.s, tc.fanout, tc.global, q)
+		}
+		nodes := append([]int{comm.CoordinatorID}, plan.Aggregators()...)
+		for _, id := range nodes {
+			sum := 0
+			for _, c := range plan.Children(id) {
+				q := plan.SubtreeQuorum(tc.global, c)
+				if q > plan.Leaves(c) {
+					t.Fatalf("s=%d f=%d Q=%d: node %d quorum %d exceeds %d leaves", tc.s, tc.fanout, tc.global, c, q, plan.Leaves(c))
+				}
+				sum += q
+			}
+			if share := plan.SubtreeQuorum(tc.global, id); sum < share {
+				t.Fatalf("s=%d f=%d Q=%d: children of %d sum to %d < %d", tc.s, tc.fanout, tc.global, id, sum, share)
+			}
+		}
+	}
+}

@@ -100,6 +100,21 @@ func Mailbox(capacity int) MemOption {
 	}
 }
 
+// ExtraEndpoints adds mailboxes beyond the s servers and the coordinator —
+// the aggregator endpoints of a tree Plan. fanin[id] is the number of peers
+// sending to endpoint id; its mailbox is sized mailbox×fanin like the
+// coordinator's.
+func ExtraEndpoints(fanin map[int]int) MemOption {
+	return func(n *MemNetwork) {
+		if n.extra == nil {
+			n.extra = make(map[int]int, len(fanin))
+		}
+		for id, f := range fanin {
+			n.extra[id] = f
+		}
+	}
+}
+
 // MemNetwork is an in-process network of s servers plus a coordinator,
 // backed by buffered channels, with all sends metered. Closing the network
 // (which runParties does on the first party error or context cancellation)
@@ -109,6 +124,7 @@ type MemNetwork struct {
 	s       int
 	meter   *comm.Meter
 	mailbox int
+	extra   map[int]int // aggregator endpoint → fan-in (ExtraEndpoints)
 
 	closeOnce sync.Once
 	done      chan struct{}
@@ -130,6 +146,15 @@ func NewMemNetwork(s int, meter *comm.Meter, opts ...MemOption) *MemNetwork {
 	n.boxes[comm.CoordinatorID] = make(chan *comm.Message, n.mailbox*s)
 	for i := 0; i < s; i++ {
 		n.boxes[i] = make(chan *comm.Message, n.mailbox)
+	}
+	for id, fanin := range n.extra {
+		if _, taken := n.boxes[id]; taken {
+			panic(fmt.Sprintf("distributed: extra endpoint %d collides with an existing one", id))
+		}
+		if fanin < 1 {
+			fanin = 1
+		}
+		n.boxes[id] = make(chan *comm.Message, n.mailbox*fanin)
 	}
 	return n
 }
@@ -288,6 +313,104 @@ func runParties(ctx context.Context, net Network, serverFns []func() error, coor
 	return fallback
 }
 
+// gatherSpec describes one policy-aware gather: which peers must deliver how
+// many messages, and under what quorum rule the gather may end early.
+type gatherSpec struct {
+	// Label names the expected payload in straggler events and errors.
+	Label string
+	// Peers are the endpoint IDs the gather expects messages from.
+	Peers []int
+	// Each is the number of messages every peer must deliver (default 1).
+	Each int
+	// Quorum, when non-nil, is consulted after a straggler timeout with the
+	// peers that have fully delivered; returning true ends the gather early,
+	// reporting the rest as missing. Nil makes the gather strict: every peer
+	// must deliver, and a user-supplied Stragglers.Quorum is rejected up
+	// front (see rejectQuorum) instead of being silently ignored.
+	Quorum func(done []int) bool
+}
+
+// gatherFrom is the single policy-aware receive loop behind every
+// coordinator- and aggregator-side gather: per-message straggler timeouts,
+// quorum decisions, peer-membership and duplicate checks all live here, so
+// straggler semantics cannot drift between protocols or tree levels. The
+// accept callback validates each message's kind and stores its payload.
+// The returned missing slice lists, in spec.Peers order, the peers a met
+// quorum allowed the gather to proceed without (nil on full delivery).
+func gatherFrom(ctx context.Context, node Node, cfg Config, spec gatherSpec, accept func(*comm.Message) error) (missing []int, err error) {
+	pol := cfg.Stragglers
+	if spec.Quorum == nil {
+		if err := rejectQuorum(cfg, spec.Label); err != nil {
+			return nil, err
+		}
+	}
+	each := spec.Each
+	if each <= 0 {
+		each = 1
+	}
+	got := make(map[int]int, len(spec.Peers))
+	for _, p := range spec.Peers {
+		got[p] = 0
+	}
+	for pending := each * len(spec.Peers); pending > 0; {
+		msg, err := recvPolicy(ctx, node, pol.Timeout)
+		if err != nil {
+			if errors.Is(err, ErrStraggler) {
+				cfg.observer().Straggler(spec.Label)
+				if spec.Quorum != nil {
+					var done []int
+					for _, p := range spec.Peers {
+						if got[p] == each {
+							done = append(done, p)
+						}
+					}
+					if spec.Quorum(done) {
+						for _, p := range spec.Peers {
+							if got[p] != each {
+								missing = append(missing, p)
+							}
+						}
+						return missing, nil
+					}
+				}
+			}
+			return nil, err
+		}
+		n, expected := got[msg.From]
+		if !expected {
+			return nil, fmt.Errorf("distributed: message from unexpected endpoint %d", msg.From)
+		}
+		if n == each {
+			return nil, fmt.Errorf("distributed: duplicate %q message from %d", spec.Label, msg.From)
+		}
+		if err := accept(msg); err != nil {
+			return nil, err
+		}
+		got[msg.From] = n + 1
+		pending--
+	}
+	return nil, nil
+}
+
+// rejectQuorum guards a strict receive path: protocols whose guarantee needs
+// every server cannot honour a partial-participation quorum, so a
+// user-supplied one is a configuration error, not a silently dropped option.
+func rejectQuorum(cfg Config, label string) error {
+	if q := cfg.Stragglers.Quorum; q > 0 {
+		return fmt.Errorf("distributed: %s requires every server: Stragglers.Quorum=%d is not supported (quorum merging is only defined for quorum-tolerant protocols such as fd-merge); clear the quorum or keep a timeout-only policy", label, q)
+	}
+	return nil
+}
+
+// serverPeers returns the peer list 0..s-1 of a star gather.
+func serverPeers(s int) []int {
+	peers := make([]int, s)
+	for i := range peers {
+		peers[i] = i
+	}
+	return peers
+}
+
 // gather receives exactly one message of the given kind from every server,
 // returning them indexed by server ID. Messages of other kinds are an error
 // (protocols are lockstep). Under cfg.Stragglers with a timeout, each
@@ -297,38 +420,23 @@ func runParties(ctx context.Context, net Network, serverFns []func() error, coor
 // timeout is an ErrStraggler. Straggler timeouts are reported to the
 // config's observer either way.
 func gather(ctx context.Context, node Node, s int, kind string, cfg Config, partialOK bool) (msgs []*comm.Message, missing []int, err error) {
-	pol := cfg.Stragglers
 	out := make([]*comm.Message, s)
-	seen := 0
-	for seen < s {
-		msg, err := recvPolicy(ctx, node, pol.Timeout)
-		if err != nil {
-			if errors.Is(err, ErrStraggler) {
-				cfg.observer().Straggler(kind)
-			}
-			if errors.Is(err, ErrStraggler) && partialOK && pol.Quorum > 0 && seen >= pol.Quorum {
-				for i := 0; i < s; i++ {
-					if out[i] == nil {
-						missing = append(missing, i)
-					}
-				}
-				return out, missing, nil
-			}
-			return nil, nil, err
-		}
+	spec := gatherSpec{Label: kind, Peers: serverPeers(s)}
+	if partialOK {
+		pol := cfg.Stragglers
+		spec.Quorum = func(done []int) bool { return pol.Quorum > 0 && len(done) >= pol.Quorum }
+	}
+	missing, err = gatherFrom(ctx, node, cfg, spec, func(msg *comm.Message) error {
 		if msg.Kind != kind {
-			return nil, nil, fmt.Errorf("distributed: expected %q message, got %q from %d", kind, msg.Kind, msg.From)
-		}
-		if msg.From < 0 || msg.From >= s {
-			return nil, nil, fmt.Errorf("distributed: message from unexpected endpoint %d", msg.From)
-		}
-		if out[msg.From] != nil {
-			return nil, nil, fmt.Errorf("distributed: duplicate %q message from %d", kind, msg.From)
+			return fmt.Errorf("distributed: expected %q message, got %q from %d", kind, msg.Kind, msg.From)
 		}
 		out[msg.From] = msg
-		seen++
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	return out, nil, nil
+	return out, missing, nil
 }
 
 // gatherAll is the strict form of gather: every server must respond within

@@ -42,14 +42,17 @@ type Observer struct {
 	monUploads   *Counter
 	monAnnounces *Counter
 	monBcasts    *Counter
+	treeMerges   *Counter
+	treeForwards *Counter
 	runsStarted  *Counter
 	runsOK       *Counter
 	runsErr      *Counter
 
-	mu     sync.Mutex
-	byFrom map[int]*Counter    // comm.bits.from.<endpoint>
-	byKind map[string]*Counter // comm.bits.kind.<kind>
-	faults map[string]*Counter // faults.<kind>
+	mu          sync.Mutex
+	byFrom      map[int]*Counter    // comm.bits.from.<endpoint>
+	byKind      map[string]*Counter // comm.bits.kind.<kind>
+	faults      map[string]*Counter // faults.<kind>
+	mergeLevels map[int]*Counter    // tree.merges.level.<level>
 }
 
 // NewObserver returns an observer recording into reg (required) and, when tr
@@ -82,12 +85,15 @@ func NewObserver(reg *Registry, tr *Tracer) *Observer {
 		monUploads:   reg.Counter("monitoring.uploads"),
 		monAnnounces: reg.Counter("monitoring.announces"),
 		monBcasts:    reg.Counter("monitoring.broadcasts"),
+		treeMerges:   reg.Counter("tree.merges"),
+		treeForwards: reg.Counter("tree.forwards"),
 		runsStarted:  reg.Counter("runs.started"),
 		runsOK:       reg.Counter("runs.ok"),
 		runsErr:      reg.Counter("runs.err"),
 		byFrom:       make(map[int]*Counter),
 		byKind:       make(map[string]*Counter),
 		faults:       make(map[string]*Counter),
+		mergeLevels:  make(map[int]*Counter),
 	}
 }
 
@@ -340,6 +346,45 @@ func (o *Observer) MonitoringBroadcast(threshold float64, n int) {
 	o.monBcasts.Inc()
 	if o.tr != nil {
 		o.tr.Emit(Event{Type: "threshold", Words: threshold, N: int64(n)})
+	}
+}
+
+// TreeMerge records one tree-node merge at the given level (the node's
+// height: aggregators just above the leaves are 1, the root is the plan's
+// depth) combining children child summaries, with missing leaves absent
+// from the merged subtree. Counted per level under tree.merges.level.<L>.
+func (o *Observer) TreeMerge(level, children, missing int) {
+	if o == nil {
+		return
+	}
+	o.treeMerges.Inc()
+	o.mu.Lock()
+	c, ok := o.mergeLevels[level]
+	if !ok {
+		c = o.reg.Counter(fmt.Sprintf("tree.merges.level.%d", level))
+		o.mergeLevels[level] = c
+	}
+	o.mu.Unlock()
+	c.Inc()
+	if o.tr != nil {
+		e := Event{Type: "merge", Level: level, N: int64(children)}
+		if missing > 0 {
+			e.Detail = fmt.Sprintf("missing=%d", missing)
+		}
+		o.tr.Emit(e)
+	}
+}
+
+// TreeForward records one merged summary forwarded up the tree, from the
+// aggregator `from` (at the given level) to its parent `to`.
+func (o *Observer) TreeForward(level, from, to int) {
+	if o == nil {
+		return
+	}
+	o.treeForwards.Inc()
+	if o.tr != nil {
+		f, t := from, to
+		o.tr.Emit(Event{Type: "forward", Level: level, From: &f, To: &t})
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 //	bits    int      msg events: payload cost in bits
 //	words   float64  run_end / upload: words
 //	n       int      type-specific count (servers, rows, attempt, …)
+//	level   int      merge/forward: tree height of the acting node (leaves 0)
 //	err     string   run_end: failure, empty on success
 //	detail  string   free-form annotation
 type Event struct {
@@ -39,6 +40,7 @@ type Event struct {
 	Bits   int64   `json:"bits,omitempty"`
 	Words  float64 `json:"words,omitempty"`
 	N      int64   `json:"n,omitempty"`
+	Level  int     `json:"level,omitempty"`
 	Err    string  `json:"err,omitempty"`
 	Detail string  `json:"detail,omitempty"`
 }
@@ -56,6 +58,8 @@ var EventTypes = map[string]bool{
 	"upload":    true, // a monitoring upload (from, n = rows, words)
 	"announce":  true, // a monitoring bootstrap mass report (from, words)
 	"threshold": true, // a monitoring threshold broadcast (words = new threshold)
+	"merge":     true, // a tree-node merge of child summaries (level, n = children)
+	"forward":   true, // a tree-node summary forwarded to its parent (level, from, to)
 	"note":      true, // free-form annotation (detail)
 }
 
@@ -185,6 +189,14 @@ func ValidateTrace(r io.Reader) (int, error) {
 		case "round":
 			if e.Round <= 0 {
 				return n, fmt.Errorf("obs: trace event %d: round without number", n)
+			}
+		case "merge":
+			if e.Level < 1 || e.N < 1 {
+				return n, fmt.Errorf("obs: trace event %d: merge needs level/n", n)
+			}
+		case "forward":
+			if e.Level < 1 || e.From == nil || e.To == nil {
+				return n, fmt.Errorf("obs: trace event %d: forward needs level/from/to", n)
 			}
 		}
 	}
