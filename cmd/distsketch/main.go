@@ -19,6 +19,8 @@
 // Protocols: fd (Theorem 2), svs (§3.1), adaptive (Theorem 7), sampling
 // ([10] baseline), lowrank (§3.3 Case 1), pca (Theorem 9 sketch+solve).
 // -sampling picks the SVS sampling function (quadratic or linear);
+// -shrink/-alpha pick the fd protocol's FD shrink strategy (fd, fast-fd,
+// alpha-fd; strategies without a mergeability proof are rejected);
 // -timeout bounds the whole run and the coordinator's per-server waits.
 //
 // Tree aggregation (-topology tree -fanout f, protocol fd only) interposes
@@ -71,6 +73,8 @@ type options struct {
 	fanout   int
 	protocol string
 	sampling string
+	shrink   string
+	alpha    float64
 	input    string
 	part     bool
 	d        int
@@ -96,6 +100,8 @@ func main() {
 	flag.IntVar(&o.fanout, "fanout", 2, "tree fan-out (children per interior node; tree topology)")
 	flag.StringVar(&o.protocol, "protocol", "fd", "fd, svs, adaptive, sampling, lowrank, pca")
 	flag.StringVar(&o.sampling, "sampling", "quadratic", "SVS sampling function: quadratic or linear")
+	flag.StringVar(&o.shrink, "shrink", "", "FD shrink strategy: fd, fast-fd (default), alpha-fd (merge-legal; isvd and compensative are rejected by fd-merge)")
+	flag.Float64Var(&o.alpha, "alpha", 0.5, "alpha for -shrink alpha-fd, in (0,1]")
 	flag.StringVar(&o.input, "input", "", "matrix file, .dskm or .csv (server role)")
 	flag.BoolVar(&o.part, "part", false, "input file is already this server's partition")
 	flag.IntVar(&o.d, "d", 0, "column dimension (coordinator role)")
@@ -224,6 +230,13 @@ func (o options) buildProtocol(plan *distsketch.Plan) (distsketch.Protocol, erro
 		return nil, fmt.Errorf("protocol %q does not support -topology tree (only fd merges at interior nodes)", o.protocol)
 	}
 	cfg := distsketch.Config{Seed: o.seed, Parallelism: o.parallel}
+	if o.shrink != "" {
+		st, err := distsketch.ParseShrinkStrategy(o.shrink, o.alpha)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Shrink = st
+	}
 	if o.timeout > 0 {
 		cfg.Stragglers.Timeout = o.timeout
 	}

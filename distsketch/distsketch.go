@@ -21,6 +21,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/distributed"
+	"repro/internal/fd"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
 	"repro/internal/pca"
@@ -143,6 +144,34 @@ const (
 	RoleRoot       = distributed.RoleRoot
 )
 
+// ShrinkStrategy is the pluggable FD shrink rule — the error-vs-time dial
+// of the fd-merge protocol's hot path. Vanilla is Liberty's ℓ+1 one-SVD-
+// per-row schedule, FastFD the 2ℓ doubling buffer (the default), ISVD pure
+// truncation, Compensative the query-time-compensated variant; AlphaFD(α)
+// subtracts only from the bottom ⌈αℓ⌉ retained directions. Pass one via
+// Config.Shrink or WithShrink. Merge paths (and therefore every fd-merge
+// run) accept only the mergeable strategies — Vanilla, FastFD, AlphaFD —
+// and reject ISVD/Compensative with a descriptive error.
+type ShrinkStrategy = fd.ShrinkStrategy
+
+var (
+	// Vanilla is the original ℓ+1-buffer FD schedule.
+	Vanilla = fd.Vanilla
+	// FastFD is the amortized 2ℓ-buffer schedule (the default).
+	FastFD = fd.FastFD
+	// ISVD is truncation-only incremental SVD (not mergeable).
+	ISVD = fd.ISVD
+	// Compensative is CompensativeFD (not mergeable).
+	Compensative = fd.Compensative
+	// AlphaFD builds the parameterized α-FD strategy, α ∈ (0,1].
+	AlphaFD = fd.AlphaFD
+)
+
+// ParseShrinkStrategy converts a -shrink flag string ("fd", "fast-fd",
+// "alpha-fd", "isvd", "compensative"; "" = fast-fd) plus the -alpha value
+// to a ShrinkStrategy.
+var ParseShrinkStrategy = fd.ParseStrategy
+
 // SamplingFn selects the SVS sampling function (SampleQuadratic or
 // SampleLinear) — the typed replacement for the old `useLinear bool`.
 type SamplingFn = distributed.SamplingFn
@@ -176,6 +205,7 @@ var (
 	WithDeadline        = distributed.WithDeadline
 	WithSeed            = distributed.WithSeed
 	WithQuantization    = distributed.WithQuantization
+	WithShrink          = distributed.WithShrink
 	WithStragglers      = distributed.WithStragglers
 	WithTopology        = distributed.WithTopology
 	WithFaults          = distributed.WithFaults

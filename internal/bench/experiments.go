@@ -20,6 +20,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/distributed"
+	"repro/internal/fd"
 	"repro/internal/linalg"
 	"repro/internal/lowerbound"
 	"repro/internal/matrix"
@@ -40,6 +41,29 @@ type Config struct {
 	// (0 leaves the process-wide pool untouched, i.e. GOMAXPROCS).
 	// Parallelism never changes measured communication words.
 	Parallel int
+	// Shrink names the FD shrink strategy the FD-based experiments run
+	// under ("" = fast-fd, the default; see fd.ParseStrategy for the
+	// accepted names). Strategy choice never changes measured words.
+	Shrink string `json:",omitempty"`
+	// Alpha parameterizes the alpha-fd strategy (0 = the 0.5 default).
+	Alpha float64 `json:",omitempty"`
+}
+
+// shrinkStrategy resolves the config's strategy name (nil when the default
+// is in effect, so downstream Options/Config values stay zero).
+func (c Config) shrinkStrategy() (fd.ShrinkStrategy, error) {
+	if c.Shrink == "" {
+		return nil, nil
+	}
+	return fd.ParseStrategy(c.Shrink, c.alphaOrDefault())
+}
+
+// alphaOrDefault is the α used when the config selects alpha-fd.
+func (c Config) alphaOrDefault() float64 {
+	if c.Alpha > 0 {
+		return c.Alpha
+	}
+	return 0.5
 }
 
 // applyParallel installs the config's pool width, if any; every experiment
@@ -67,6 +91,10 @@ type Row struct {
 	Budget     float64 // error budget the guarantee promises
 	OK         bool    // guarantee satisfied
 	Note       string
+	// ElapsedMS and Throughput carry the timing axis of the experiments
+	// whose point is an error-vs-time frontier (S1); zero elsewhere.
+	ElapsedMS  float64 `json:",omitempty"` // wall-clock of the measured stage
+	Throughput float64 `json:",omitempty"` // ingested rows per second
 }
 
 // FormatRows renders rows as an aligned text table.
@@ -115,6 +143,10 @@ func covRow(exp, algo string, cfg Config, a, sketch *matrix.Dense, words, theory
 // deterministic lower bound.
 func Table1(cfg Config) ([]Row, error) {
 	cfg.applyParallel()
+	st, err := cfg.shrinkStrategy()
+	if err != nil {
+		return nil, err
+	}
 	a, parts := makeLowRank(cfg)
 	p := lowerbound.Params{S: cfg.S, D: cfg.D, K: 0, Eps: cfg.Eps, Delta: 0.1}
 	pk := lowerbound.Params{S: cfg.S, D: cfg.D, K: cfg.K, Eps: cfg.Eps, Delta: 0.1}
@@ -122,7 +154,7 @@ func Table1(cfg Config) ([]Row, error) {
 
 	// --- (ε,0) column: error budget ε‖A‖F². ---
 	ctx := context.Background()
-	det, err := distributed.RunFDMerge(ctx, parts, cfg.Eps, 0, distributed.Config{Seed: cfg.Seed})
+	det, err := distributed.RunFDMerge(ctx, parts, cfg.Eps, 0, distributed.Config{Seed: cfg.Seed, Shrink: st})
 	if err != nil {
 		return nil, fmt.Errorf("T1.1: %w", err)
 	}
@@ -155,7 +187,7 @@ func Table1(cfg Config) ([]Row, error) {
 	rows = append(rows, r)
 
 	// --- (ε,k) column: error budget ε‖A−[A]_k‖F²/k. ---
-	detK, err := distributed.RunFDMerge(ctx, parts, cfg.Eps, cfg.K, distributed.Config{Seed: cfg.Seed})
+	detK, err := distributed.RunFDMerge(ctx, parts, cfg.Eps, cfg.K, distributed.Config{Seed: cfg.Seed, Shrink: st})
 	if err != nil {
 		return nil, fmt.Errorf("T1.1k: %w", err)
 	}

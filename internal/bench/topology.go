@@ -24,6 +24,10 @@ import (
 // guarantee but may differ in low-order bits (noted per row).
 func FanoutSweep(cfg Config, fanouts []int) ([]Row, error) {
 	cfg.applyParallel()
+	st, err := cfg.shrinkStrategy()
+	if err != nil {
+		return nil, err
+	}
 	_, parts := makeLowRank(cfg)
 	ell := fd.SketchSize(cfg.Eps, cfg.K)
 	ctx := context.Background()
@@ -43,6 +47,7 @@ func FanoutSweep(cfg Config, fanouts []int) ([]Row, error) {
 		start := time.Now()
 		res, err := distributed.Run(ctx, distributed.FDMerge{Eps: cfg.Eps, K: cfg.K}, parts,
 			distributed.WithSeed(cfg.Seed),
+			distributed.WithShrink(st),
 			distributed.WithTopology(topo),
 			distributed.WithMeter(meter))
 		if err != nil {

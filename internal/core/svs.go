@@ -37,6 +37,15 @@ func SVSFromSVD(svd *linalg.SVD, g SamplingFunc, rng *rand.Rand) *matrix.Dense {
 		if p < 1 && rng.Float64() >= p {
 			continue
 		}
+		// A sampling function may return p > 1 (the paper's g's are capped
+		// analytically, but nothing enforces that at this interface). The
+		// row is then kept surely, so the unbiasedness weight is 1/√1, not
+		// 1/√p — without the clamp the kept row would be rescaled by
+		// σ/√p < σ, silently biasing E[BᵀB] below AᵀA. No RNG draw happens
+		// in that branch, so clamping cannot perturb the random stream.
+		if p > 1 {
+			p = 1
+		}
 		w := sigma / math.Sqrt(p)
 		row := make([]float64, d)
 		for l := 0; l < d; l++ {

@@ -211,3 +211,40 @@ func TestSVSEmptyAndZeroInput(t *testing.T) {
 		t.Fatal("zero input must sample nothing")
 	}
 }
+
+// overUnitySampling is a synthetic SamplingFunc returning p = 3 > 1 for
+// every candidate — legal at the interface, since nothing caps Prob
+// analytically. Every row must then be kept with weight exactly σ (a sure
+// keep has unbiasedness weight 1/√1): the old code rescaled by σ/√3,
+// silently biasing E[BᵀB] to AᵀA/3.
+type overUnitySampling struct{}
+
+func (overUnitySampling) Prob(x float64) float64 { return 3 }
+func (overUnitySampling) Name() string           { return "over-unity" }
+
+func TestSVSClampsOverUnityProbability(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := workload.Gaussian(rng, 30, 8)
+	b, err := SVS(a, overUnitySampling{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rows() != 8 {
+		t.Fatalf("p>1 must keep every candidate: got %d of 8 rows", b.Rows())
+	}
+	ce, err := CovErr(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce > 1e-8*a.Frob2() {
+		t.Fatalf("p>1 keeps all rows, so BᵀB must equal AᵀA exactly; coverr = %v", ce)
+	}
+	// The clamp must not consume randomness: the same seeded generator run
+	// against a p ≤ 1 function afterwards draws the same stream as a fresh
+	// generator, i.e. the sure-keep branch made zero Float64 calls.
+	want := rand.New(rand.NewSource(7))
+	workload.Gaussian(want, 30, 8) // replay the stream position
+	if g, w := rng.Float64(), want.Float64(); g != w {
+		t.Fatalf("sure-keep branch consumed RNG draws: next %v, want %v", g, w)
+	}
+}

@@ -33,6 +33,18 @@ type Config struct {
 	// GOMAXPROCS). It only affects local kernel speed — communication word
 	// counts and protocol transcripts are identical at every width.
 	Parallelism int
+	// Shrink selects the FD shrink strategy for the fd-merge protocol: the
+	// rule every leaf's streaming sketch and every merge node applies (nil
+	// = fd.FastFD; see fd.ShrinkStrategy). Only mergeable strategies are
+	// legal here — fd.Vanilla, fd.FastFD, fd.AlphaFD(α) — and a variant
+	// without a mergeability proof (fd.ISVD, fd.Compensative) fails the
+	// run loudly at the first merge path rather than silently degrading
+	// the certificate. Protocols that use FD internally as a fixed
+	// analysis step (adaptive, streaming SVS) deliberately ignore this
+	// knob: their guarantees are proven against the default FD rule.
+	// Strategy choice never changes metered communication — every summary
+	// is still at most ℓ rows.
+	Shrink fd.ShrinkStrategy
 	// Obs is the observability sink for this run's protocol events (nil
 	// falls back to the process-wide obs.Default(), which is itself nil —
 	// the no-op observer — unless installed). Observation never changes
@@ -113,8 +125,11 @@ func ServerFDMerge(ctx context.Context, node Node, local workload.RowSource, eps
 // serverFDMergeTo is ServerFDMerge with an explicit uplink destination —
 // the coordinator in the star, the leaf's aggregator in a tree.
 func serverFDMergeTo(ctx context.Context, node Node, dest int, local workload.RowSource, eps float64, k int, cfg Config) error {
+	if err := fd.CheckMergeable(cfg.Shrink); err != nil {
+		return fmt.Errorf("server %d: %w", node.ID(), err)
+	}
 	_, d := local.Dims()
-	sk := fd.New(d, fd.SketchSize(eps, k), fd.Options{Obs: cfg.Obs})
+	sk := fd.New(d, fd.SketchSize(eps, k), fd.Options{Obs: cfg.Obs, Strategy: cfg.Shrink})
 	rows, sparse, err := streamRows(local, sk.Update, sk.UpdateSparse)
 	if err != nil {
 		return fmt.Errorf("server %d: %w", node.ID(), err)

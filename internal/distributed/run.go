@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/fd"
 	"repro/internal/matrix"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -47,6 +48,15 @@ func WithSeed(seed int64) RunOption {
 // (use comm.StepFor).
 func WithQuantization(step float64) RunOption {
 	return func(o *runOpts) { o.cfg.Quantize, o.cfg.QuantStep = true, step }
+}
+
+// WithShrink selects the FD shrink strategy for fd-merge runs (nil keeps
+// the FastFD default). Only mergeable strategies are legal — fd.Vanilla,
+// fd.FastFD, fd.AlphaFD(α); fd.ISVD and fd.Compensative fail the run with
+// a descriptive error (see Config.Shrink). The choice never changes
+// metered communication.
+func WithShrink(st fd.ShrinkStrategy) RunOption {
+	return func(o *runOpts) { o.cfg.Shrink = st }
 }
 
 // WithStragglers installs the coordinator's straggler policy: a per-server

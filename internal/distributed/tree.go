@@ -97,12 +97,18 @@ func fdSubtreeGather(ctx context.Context, node Node, plan *Plan, cfg Config, par
 // over consecutive power-of-two groups (see fd.MergeCanonical), the result
 // is bit-identical across star and every power-of-two fan-out.
 func coordFDGather(ctx context.Context, node Node, plan *Plan, d, ell int, cfg Config) (*matrix.Dense, []int, error) {
+	// Fail before gathering: a non-mergeable shrink strategy is a
+	// configuration error, not a data error, and must surface even when no
+	// summary ever arrives.
+	if err := fd.CheckMergeable(cfg.Shrink); err != nil {
+		return nil, nil, err
+	}
 	parts, missing, err := fdSubtreeGather(ctx, node, plan, cfg, true)
 	if err != nil {
 		return nil, nil, err
 	}
 	cfg.observer().TreeMerge(plan.Height(node.ID()), len(parts), len(missing))
-	sk, err := fd.MergeCanonical(d, ell, parts, fd.Options{Obs: cfg.Obs})
+	sk, err := fd.MergeCanonical(d, ell, parts, fd.Options{Obs: cfg.Obs, Strategy: cfg.Shrink})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -142,7 +148,7 @@ func (p FDMerge) Aggregate(ctx context.Context, node Node, plan *Plan) error {
 	}
 	level := plan.Height(node.ID())
 	cfg.observer().TreeMerge(level, len(parts), len(missing))
-	sk, err := fd.MergeCanonical(p.Env.Dim, ell, parts, fd.Options{Obs: cfg.Obs})
+	sk, err := fd.MergeCanonical(p.Env.Dim, ell, parts, fd.Options{Obs: cfg.Obs, Strategy: cfg.Shrink})
 	if err != nil {
 		return err
 	}

@@ -17,6 +17,14 @@
 // by δ = σ_{ℓ+1}² (squared (ℓ+1)-st singular value), zeroing all but at most
 // ℓ rows. Each shrink adds at most δ to the covariance error and removes at
 // least (ℓ+1)·δ of Frobenius mass, which gives the bound above.
+//
+// The shrink rule itself is pluggable (Options.Strategy): besides the
+// default FastFD (the 2ℓ doubling buffer above), the package ships
+// Liberty's original ℓ+1 schedule (Vanilla), truncation-only iSVD,
+// parameterized α-FD, and CompensativeFD — the practical frontier of
+// Desai–Ghashami–Phillips, each with its own per-shrink error charge so
+// TotalShrinkage/ErrorBound stay valid certificates per variant. See
+// ShrinkStrategy.
 package fd
 
 import (
@@ -36,10 +44,12 @@ type Sketch struct {
 	ell        int
 	bufferRows int
 	method     SVDMethod
+	strategy   ShrinkStrategy
 	seed       int64
 	rng        *rand.Rand
 	buf        *matrix.Dense
 	ws         linalg.SVDWorkspace // reused across shrinks (no per-shrink allocs)
+	sig2       []float64           // reused squared-spectrum scratch (no per-shrink allocs)
 	used       int
 	obs        *obs.Observer
 
@@ -84,14 +94,19 @@ func (m SVDMethod) String() string {
 
 // Options configures a Sketch beyond the required (d, ℓ).
 type Options struct {
-	// BufferRows sets the in-memory buffer size. 0 selects the default 2ℓ
-	// (at least ℓ+1); any other value must be at least ℓ+1 — a smaller
-	// positive value is a configuration error and panics, since a buffer
-	// below ℓ+1 cannot hold even one row beyond the sketch and would have
-	// to be silently reinterpreted. Larger buffers mean fewer, larger SVDs
-	// with identical guarantees; ℓ+1 reproduces Liberty's original
-	// one-row-at-a-time shrink schedule.
+	// BufferRows sets the in-memory buffer size. 0 selects the strategy's
+	// schedule (2ℓ for FastFD/α-FD/Compensative, ℓ+1 for Vanilla/iSVD, and
+	// at least ℓ+1 always); any other value must be at least ℓ+1 — a
+	// smaller positive value is a configuration error and panics, since a
+	// buffer below ℓ+1 cannot hold even one row beyond the sketch and
+	// would have to be silently reinterpreted. Larger buffers mean fewer,
+	// larger SVDs with identical guarantees; ℓ+1 reproduces Liberty's
+	// original one-row-at-a-time shrink schedule.
 	BufferRows int
+	// Strategy selects the shrink rule applied when the buffer fills (nil
+	// selects FastFD, the package's historical hard-coded behavior). See
+	// ShrinkStrategy and the package-level variants.
+	Strategy ShrinkStrategy
 	// SVD selects the shrink factorization (default SVDJacobi).
 	SVD SVDMethod
 	// Seed seeds SVDRandomized (ignored otherwise).
@@ -109,16 +124,17 @@ func New(d, ell int, opts Options) *Sketch {
 	if d <= 0 || ell <= 0 {
 		panic(fmt.Sprintf("fd: invalid dimensions d=%d ell=%d", d, ell))
 	}
+	st := resolveStrategy(opts.Strategy)
 	br := opts.BufferRows
 	if br == 0 {
-		br = 2 * ell
+		br = st.DefaultBufferRows(ell)
 		if br < ell+1 {
 			br = ell + 1
 		}
 	} else if br < ell+1 {
 		panic(fmt.Sprintf("fd: BufferRows=%d below minimum ℓ+1=%d", br, ell+1))
 	}
-	s := &Sketch{d: d, ell: ell, bufferRows: br, method: opts.SVD, seed: opts.Seed, buf: matrix.New(br, d), obs: opts.Obs}
+	s := &Sketch{d: d, ell: ell, bufferRows: br, method: opts.SVD, strategy: st, seed: opts.Seed, buf: matrix.New(br, d), obs: opts.Obs}
 	if opts.SVD == SVDRandomized {
 		s.rng = rand.New(rand.NewSource(opts.Seed + 0x5eed))
 	}
@@ -161,8 +177,14 @@ func (s *Sketch) WorkingSpaceRows() int { return s.bufferRows }
 // Shrinks returns how many SVD shrink steps have run.
 func (s *Sketch) Shrinks() int { return s.shrinks }
 
-// TotalShrinkage returns Σ δ_i, a deterministic upper bound on the
-// covariance error of the current sketch with respect to everything fed in.
+// Strategy returns the sketch's shrink strategy (never nil; the default is
+// FastFD).
+func (s *Sketch) Strategy() ShrinkStrategy { return s.strategy }
+
+// TotalShrinkage returns the accumulated per-shrink error charges Σ δ_i, a
+// deterministic upper bound on the covariance error of the current sketch
+// with respect to everything fed in — valid for every shrink strategy,
+// since each charge bounds that shrink's spectral-norm change.
 func (s *Sketch) TotalShrinkage() float64 { return s.totalDelta }
 
 // InputRows returns the number of rows fed in so far.
@@ -260,9 +282,10 @@ func (s *Sketch) UpdateMatrix(m *matrix.Dense) error {
 	return nil
 }
 
-// shrink runs one FD shrink step, reducing the buffer to at most ℓ rows.
-// The default Jacobi path factorizes through a workspace held by the sketch,
-// so steady-state shrinking allocates nothing.
+// shrink runs one shrink step, reducing the buffer to at most ℓ rows under
+// the sketch's strategy. The default Jacobi path factorizes through a
+// workspace held by the sketch and the squared spectrum lives in a reused
+// scratch slice, so steady-state shrinking allocates nothing.
 func (s *Sketch) shrink() error {
 	work := s.buf.SliceRows(0, s.used)
 	var svd *linalg.SVD
@@ -282,22 +305,38 @@ func (s *Sketch) shrink() error {
 		s.err = fmt.Errorf("fd: shrink SVD (%v): %w", s.method, err)
 		return s.err
 	}
-	delta := 0.0
-	if len(svd.Sigma) > s.ell {
-		delta = svd.Sigma[s.ell] * svd.Sigma[s.ell]
+	ns := len(svd.Sigma)
+	if cap(s.sig2) < ns {
+		s.sig2 = make([]float64, ns)
 	}
-	out := 0
+	sig2 := s.sig2[:ns]
 	for j, sig := range svd.Sigma {
-		s2 := sig*sig - delta
-		if s2 <= 0 {
-			break // sigma sorted: all later rows are zero too
+		sig2[j] = sig * sig
+	}
+	// σ²_{ℓ+1} before the strategy rewrites the spectrum: the randomized
+	// method charges it once more below, because the truncated range finder
+	// also discards directions beyond ℓ+1, each carrying at most this much
+	// spectral mass.
+	trunc := 0.0
+	if ns > s.ell {
+		trunc = sig2[s.ell]
+	}
+	charge := s.strategy.Apply(sig2, s.ell)
+	out := 0
+	for j := 0; j < ns; j++ {
+		if sig2[j] <= 0 {
+			break // non-increasing: all later entries are zero too
 		}
-		w := math.Sqrt(s2)
+		w := math.Sqrt(sig2[j])
 		row := s.buf.Row(out)
 		for l := 0; l < s.d; l++ {
 			row[l] = w * svd.V.At(l, j)
 		}
 		out++
+	}
+	if out > s.ell {
+		s.err = fmt.Errorf("fd: shrink strategy %s left %d positive directions (ℓ=%d)", s.strategy.Name(), out, s.ell)
+		return s.err
 	}
 	for i := out; i < s.used; i++ {
 		zero(s.buf.Row(i))
@@ -309,16 +348,14 @@ func (s *Sketch) shrink() error {
 	if ob == nil {
 		ob = obs.Default()
 	}
-	ob.FDShrink(shrunk, delta)
+	ob.FDShrink(shrunk, charge)
 	if s.method == SVDRandomized {
-		// The truncated factorization also discards directions beyond
-		// ℓ+1, each carrying at most δ of spectral mass: charge 2δ so the
-		// certificate stays an upper bound (up to the range finder's own
-		// approximation).
-		s.totalDelta += 2 * delta
-	} else {
-		s.totalDelta += delta
+		// Keep the certificate an upper bound under the approximate
+		// factorization (up to the range finder's own error): add the
+		// truncation mass on top of the strategy's charge.
+		charge += trunc
 	}
+	s.totalDelta += charge
 	return nil
 }
 
@@ -330,7 +367,10 @@ func zero(v []float64) {
 
 // Matrix returns the current sketch B with at most ℓ non-zero rows,
 // shrinking first if the buffer holds more than ℓ rows. The result is a
-// copy; the sketch remains usable for further updates.
+// copy; the sketch remains usable for further updates. Under the
+// Compensative strategy the returned matrix carries the query-time
+// compensation (σ² + Δ on every retained direction); the internal state
+// stays uncompensated so streaming continues correctly.
 func (s *Sketch) Matrix() (*matrix.Dense, error) {
 	if s.err != nil {
 		return nil, s.err
@@ -340,7 +380,45 @@ func (s *Sketch) Matrix() (*matrix.Dense, error) {
 			return nil, err
 		}
 	}
-	return s.buf.CopyRows(0, s.used), nil
+	return s.finish(s.buf.CopyRows(0, s.used))
+}
+
+// finish applies the strategy's query-time transform, if any, to an
+// at-most-ℓ-row sketch matrix about to be handed out.
+func (s *Sketch) finish(b *matrix.Dense) (*matrix.Dense, error) {
+	if !compensates(s.strategy) {
+		return b, nil
+	}
+	return s.compensate(b)
+}
+
+// compensate is CompensativeFD's query-time transform: factor the ≤ℓ-row
+// sketch and rebuild each retained direction with σ² + Δ, Δ = Σδ. FD
+// guarantees 0 ≼ AᵀA − BᵀB ≼ Δ·I, so adding Δ on the retained subspace
+// keeps ‖AᵀA − B̂ᵀB̂‖₂ ≤ Δ while roughly centering the error — the
+// certificate (ErrorBound) is unchanged.
+func (s *Sketch) compensate(b *matrix.Dense) (*matrix.Dense, error) {
+	if s.totalDelta <= 0 || b.Rows() == 0 {
+		return b, nil
+	}
+	svd, err := linalg.ComputeSVD(b)
+	if err != nil {
+		return nil, fmt.Errorf("fd: compensation SVD: %w", err)
+	}
+	out := matrix.New(b.Rows(), s.d)
+	n := 0
+	for j, sig := range svd.Sigma {
+		if sig <= 0 {
+			break
+		}
+		w := math.Sqrt(sig*sig + s.totalDelta)
+		row := out.Row(n)
+		for l := 0; l < s.d; l++ {
+			row[l] = w * svd.V.At(l, j)
+		}
+		n++
+	}
+	return out.CopyRows(0, n), nil
 }
 
 // Snapshot returns the current sketch matrix (at most ℓ non-zero rows)
@@ -354,12 +432,17 @@ func (s *Sketch) Snapshot() (*matrix.Dense, error) {
 		return nil, s.err
 	}
 	if s.used <= s.ell {
-		return s.buf.CopyRows(0, s.used), nil
+		return s.finish(s.buf.CopyRows(0, s.used))
 	}
+	// The private copy carries the strategy and the accumulated charge so a
+	// compensated snapshot matches what Matrix would return after the same
+	// shrink, bit for bit.
 	tmp := &Sketch{
 		d: s.d, ell: s.ell, bufferRows: s.bufferRows, method: s.method,
-		seed: s.seed, buf: s.buf.CopyRows(0, s.bufferRows), used: s.used,
-		obs: s.obs,
+		strategy: s.strategy, seed: s.seed,
+		buf: s.buf.CopyRows(0, s.bufferRows), used: s.used,
+		totalDelta: s.totalDelta,
+		obs:        s.obs,
 	}
 	if s.method == SVDRandomized {
 		tmp.rng = rand.New(rand.NewSource(s.seed + 0x5eed + int64(s.shrinks) + 1))
@@ -367,20 +450,28 @@ func (s *Sketch) Snapshot() (*matrix.Dense, error) {
 	if err := tmp.shrink(); err != nil {
 		return nil, err
 	}
-	return tmp.buf.CopyRows(0, tmp.used), nil
+	return tmp.finish(tmp.buf.CopyRows(0, tmp.used))
 }
 
 // Merge feeds the rows of other's current sketch into s (FD mergeability).
 // Both sketches must share the same dimension d. other is never mutated (a
 // pending shrink of its buffer runs on a private copy — see Snapshot), and
 // on error s's input accounting is rolled back to its pre-merge values, so
-// a failed merge never leaves the certificate counters corrupted.
+// a failed merge never leaves the certificate counters corrupted. Both
+// sketches must use mergeable shrink strategies (CheckMergeable): a
+// variant without a mergeability proof fails here loudly.
 func (s *Sketch) Merge(other *Sketch) error {
 	if other.d != s.d {
 		panic(fmt.Sprintf("fd: merge dimension mismatch %d vs %d", s.d, other.d))
 	}
 	if s.err != nil {
 		return s.err
+	}
+	if err := CheckMergeable(s.strategy); err != nil {
+		return err
+	}
+	if err := CheckMergeable(other.strategy); err != nil {
+		return err
 	}
 	m, err := other.Snapshot()
 	if err != nil {
@@ -412,9 +503,21 @@ func SketchEpsK(a *matrix.Dense, eps float64, k int) (*matrix.Dense, error) {
 	return SketchMatrix(a, SketchSize(eps, k))
 }
 
-// ErrorBound returns the proven deterministic bound on the covariance error
-// of the current sketch for a given k (< ℓ): min(Σδ_i, inputFrob2)/1 — the
-// tighter a-posteriori certificate is TotalShrinkage; the a-priori bound is
-// ‖A−[A]_k‖F²/(ℓ−k), which requires knowing the input's tail energy, so this
-// helper exposes the certificate.
-func (s *Sketch) ErrorBound() float64 { return s.totalDelta }
+// ErrorBound returns the a-posteriori certificate on the covariance error
+// of the current sketch: min(TotalShrinkage, InputFrob2). TotalShrinkage is
+// the sum of per-shrink charges, each bounding that shrink's spectral-norm
+// change, so their sum bounds ‖AᵀA − BᵀB‖₂ by the triangle inequality. On
+// adversarial streams Σδ can exceed the total input mass ‖A‖F², which is
+// itself always an upper bound for the shrink-only strategies (shrinks
+// never grow the covariance, so 0 ≼ AᵀA − BᵀB ≼ AᵀA ≼ ‖A‖F²·I); hence the
+// minimum of the two is the certificate. (Compensative's mass-drain
+// accounting keeps Σδ ≤ ‖A‖F²/(ℓ+1), so the clamp never mis-tightens its
+// query-time bound.) The a-priori bound ‖A−[A]_k‖F²/(ℓ−k) requires knowing
+// the input's tail energy; this helper exposes what the sketch can prove
+// about itself from the stream alone.
+func (s *Sketch) ErrorBound() float64 {
+	if s.inputFrob2 < s.totalDelta {
+		return s.inputFrob2
+	}
+	return s.totalDelta
+}

@@ -21,7 +21,19 @@ import (
 // any power-of-two fan-out. Non-power-of-two fan-outs still satisfy the
 // (ε,k) merge guarantee (mergeability holds for arbitrary merge trees) but
 // are not bitwise equal to the star.
+//
+// The reduction is strategy-aware: pair merges shrink under opts.Strategy,
+// and since every shrink anywhere in the tree still drains
+// MassDivisor·charge of the one global Frobenius budget, the merged sketch
+// satisfies ‖AᵀA − BᵀB‖₂ ≤ ‖A‖F²/MassDivisor(ℓ) for every mergeable
+// strategy (FD, FastFD, α-FD), A being the union of all leaves' input.
+// Both grouping-invariance statements above hold per strategy. Strategies
+// without a mergeability proof (iSVD, Compensative) are rejected with an
+// error before any work happens — see CheckMergeable.
 func MergeCanonical(d, ell int, parts []*matrix.Dense, opts Options) (*matrix.Dense, error) {
+	if err := CheckMergeable(opts.Strategy); err != nil {
+		return nil, err
+	}
 	if len(parts) == 0 {
 		return matrix.New(0, d), nil
 	}

@@ -1,0 +1,289 @@
+package fd
+
+import (
+	"fmt"
+	"math"
+)
+
+// ShrinkStrategy is the pluggable rule the shrink step applies to the
+// buffer's spectrum — the error-vs-time dial explored by "Improved
+// Practical Matrix Sketching with Guarantees" (Desai–Ghashami–Phillips).
+// A strategy decides three things:
+//
+//   - the buffer schedule (DefaultBufferRows): how many rows accumulate
+//     between SVDs, which sets how often the O(buffer·d·min(buffer,d))
+//     factorization runs;
+//   - the spectrum rewrite (Apply): how the squared singular values are
+//     reduced so that at most ℓ directions survive;
+//   - the per-shrink error charge (Apply's return): an upper bound on
+//     ‖B_preᵀB_pre − B_postᵀB_post‖₂ for that one shrink, so that by the
+//     triangle inequality the summed charges keep TotalShrinkage /
+//     ErrorBound a valid a-posteriori certificate of ‖AᵀA − BᵀB‖₂ for the
+//     whole stream, whatever rule produced the sketch.
+//
+// Strategies also declare whether they are mergeable (Mergeable /
+// MassDivisor): whether the mass-drain argument behind FD mergeability
+// (Theorem 2) extends to them, so their sketches may flow through
+// Merge/MergeCanonical and aggregation trees. Variants without such a
+// proof (ISVD, Compensative) are rejected loudly by every merge path —
+// see CheckMergeable — rather than silently degrading the guarantee.
+type ShrinkStrategy interface {
+	// Name identifies the strategy (stable, flag-friendly).
+	Name() string
+	// DefaultBufferRows is the buffer size the strategy's schedule wants
+	// when Options.BufferRows is 0. New still enforces the ℓ+1 floor.
+	DefaultBufferRows(ell int) int
+	// Apply rewrites the descending squared spectrum sig2 in place so that
+	// only entries j < ell may remain positive, keeping the sequence
+	// non-increasing, and returns the shrink's error charge (see above).
+	// Entries at or beyond the true rank are exactly zero on entry and
+	// must stay zero.
+	Apply(sig2 []float64, ell int) (charge float64)
+	// Mergeable reports whether sketches produced under this strategy may
+	// be combined with Merge/MergeCanonical while keeping a proven
+	// covariance bound.
+	Mergeable() bool
+	// MassDivisor returns c ≥ 1 such that every shrink provably removes at
+	// least c·charge of squared Frobenius mass from the buffer, giving the
+	// a-priori bound Σ charges ≤ ‖A‖F²/c — the quantity FD mergeability
+	// rests on (each shrink anywhere in a merge tree still drains c·charge
+	// of the one global mass budget). It returns 0 when no such bound
+	// exists (iSVD), in which case Mergeable must be false.
+	MassDivisor(ell int) int
+}
+
+// The built-in strategies. FastFD is the default (what a nil
+// Options.Strategy selects) and reproduces the package's historical
+// hard-coded behavior bit for bit.
+var (
+	// Vanilla is Liberty's original FD schedule: an (ℓ+1)-row buffer, so
+	// one SVD runs per inserted row once the sketch is warm, subtracting
+	// the full δ = σ²_{ℓ+1} from every direction. Slowest, smallest
+	// working space, the literal Algorithm of the paper's §2.
+	Vanilla ShrinkStrategy = vanillaStrategy{}
+
+	// FastFD is the same shrink rule on the 2ℓ doubling buffer: each SVD
+	// frees at least ℓ slots, amortizing one factorization over ℓ
+	// inserted rows — identical guarantees to Vanilla at ≈ℓ/2× fewer
+	// SVDs. This is the default strategy.
+	FastFD ShrinkStrategy = fastStrategy{}
+
+	// ISVD is iterative/incremental SVD: truncate to the top ℓ directions
+	// without subtracting anything. Fast and often accurate in practice,
+	// but it has no a-priori error bound and no mergeability proof — the
+	// certificate (Σ of the truncated σ²_{ℓ+1} charges) is the only
+	// guarantee, and merge paths reject it.
+	ISVD ShrinkStrategy = isvdStrategy{}
+
+	// Compensative is CompensativeFD: shrink exactly like FastFD, but at
+	// query time (Matrix/Snapshot) add the accumulated Δ = Σδ back onto
+	// every retained direction, replacing σ² with σ² + Δ. Since FD
+	// guarantees 0 ≼ AᵀA − BᵀB ≼ Δ·I on the retained subspace, the
+	// compensated sketch stays within Δ of AᵀA while roughly centering
+	// the error. The query-time transform does not commute with merging
+	// (Δ would be double-counted), so merge paths reject it.
+	Compensative ShrinkStrategy = compensativeStrategy{}
+)
+
+// AlphaFD returns the parameterized α-FD strategy: only the bottom
+// m = ⌈αℓ⌉ of the ℓ retained directions absorb the δ = σ²_{ℓ+1}
+// subtraction; the top ℓ−m directions pass through untouched. α = 1 is
+// exactly FastFD's rule; smaller α protects the dominant directions (less
+// error on the signal) while weakening the a-priori bound to
+// ‖A‖F²/(⌈αℓ⌉+1): each shrink still removes ≥ (m+1)·δ of Frobenius mass,
+// so α-FD keeps the mass-drain argument and stays mergeable. Panics when
+// alpha is outside (0, 1].
+func AlphaFD(alpha float64) ShrinkStrategy {
+	if math.IsNaN(alpha) || alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("fd: AlphaFD alpha %v outside (0,1]", alpha))
+	}
+	return alphaStrategy{alpha: alpha}
+}
+
+// subtractClamped applies the FD shrink rule sig2[j] ← max(sig2[j]−δ, 0)
+// to sig2[from:] in place. With δ = sig2[ell] this zeroes everything at or
+// beyond index ell, so at most ell entries stay positive.
+func subtractClamped(sig2 []float64, from int, delta float64) {
+	for j := from; j < len(sig2); j++ {
+		if s := sig2[j] - delta; s > 0 {
+			sig2[j] = s
+		} else {
+			sig2[j] = 0
+		}
+	}
+}
+
+type vanillaStrategy struct{}
+
+func (vanillaStrategy) Name() string                  { return "fd" }
+func (vanillaStrategy) DefaultBufferRows(ell int) int { return ell + 1 }
+func (vanillaStrategy) Mergeable() bool               { return true }
+func (vanillaStrategy) MassDivisor(ell int) int       { return ell + 1 }
+func (vanillaStrategy) Apply(sig2 []float64, ell int) float64 {
+	return fdApply(sig2, ell)
+}
+
+type fastStrategy struct{}
+
+func (fastStrategy) Name() string { return "fast-fd" }
+func (fastStrategy) DefaultBufferRows(ell int) int {
+	if 2*ell < ell+1 {
+		return ell + 1
+	}
+	return 2 * ell
+}
+func (fastStrategy) Mergeable() bool         { return true }
+func (fastStrategy) MassDivisor(ell int) int { return ell + 1 }
+func (fastStrategy) Apply(sig2 []float64, ell int) float64 {
+	return fdApply(sig2, ell)
+}
+
+// fdApply is the classic FD rewrite shared by Vanilla, FastFD and
+// Compensative: subtract δ = σ²_{ℓ+1} from the whole spectrum, clamped at
+// zero. Removes ≥ (ℓ+1)·δ of Frobenius mass, charges δ.
+func fdApply(sig2 []float64, ell int) float64 {
+	if len(sig2) <= ell {
+		return 0
+	}
+	delta := sig2[ell]
+	if delta <= 0 {
+		return 0
+	}
+	subtractClamped(sig2, 0, delta)
+	return delta
+}
+
+type isvdStrategy struct{}
+
+func (isvdStrategy) Name() string                  { return "isvd" }
+func (isvdStrategy) DefaultBufferRows(ell int) int { return ell + 1 }
+func (isvdStrategy) Mergeable() bool               { return false }
+func (isvdStrategy) MassDivisor(ell int) int       { return 0 }
+func (isvdStrategy) Apply(sig2 []float64, ell int) float64 {
+	if len(sig2) <= ell {
+		return 0
+	}
+	// Pure truncation: drop every direction beyond the top ℓ. One shrink
+	// changes the covariance by the discarded block Σ_{j>ℓ} σ²_j v_j v_jᵀ,
+	// whose spectral norm is its largest term σ²_{ℓ+1} — the charge.
+	delta := sig2[ell]
+	for j := ell; j < len(sig2); j++ {
+		sig2[j] = 0
+	}
+	return delta
+}
+
+type alphaStrategy struct{ alpha float64 }
+
+func (a alphaStrategy) Name() string { return fmt.Sprintf("alpha-fd(%g)", a.alpha) }
+func (a alphaStrategy) DefaultBufferRows(ell int) int {
+	if 2*ell < ell+1 {
+		return ell + 1
+	}
+	return 2 * ell
+}
+func (a alphaStrategy) Mergeable() bool { return true }
+
+// eligible is m = ⌈αℓ⌉ clamped to [1, ℓ]: how many of the retained
+// directions absorb the subtraction.
+func (a alphaStrategy) eligible(ell int) int {
+	m := int(math.Ceil(a.alpha * float64(ell)))
+	if m < 1 {
+		m = 1
+	}
+	if m > ell {
+		m = ell
+	}
+	return m
+}
+
+func (a alphaStrategy) MassDivisor(ell int) int { return a.eligible(ell) + 1 }
+
+func (a alphaStrategy) Apply(sig2 []float64, ell int) float64 {
+	if len(sig2) <= ell {
+		return 0
+	}
+	delta := sig2[ell]
+	if delta <= 0 {
+		return 0
+	}
+	// Subtract δ only from the bottom m retained directions and everything
+	// beyond ℓ. The change is still ≤ δ in spectral norm (each direction
+	// moves by at most δ), and the removed Frobenius mass is at least
+	// (m+1)·δ: positions ℓ−m .. ℓ each hold ≥ δ (the spectrum is
+	// non-increasing and sig2[ell] = δ) and each loses min(its value, δ)
+	// = δ, giving the ‖A‖F²/(m+1) a-priori budget.
+	subtractClamped(sig2, ell-a.eligible(ell), delta)
+	return delta
+}
+
+type compensativeStrategy struct{}
+
+func (compensativeStrategy) Name() string { return "compensative" }
+func (compensativeStrategy) DefaultBufferRows(ell int) int {
+	if 2*ell < ell+1 {
+		return ell + 1
+	}
+	return 2 * ell
+}
+func (compensativeStrategy) Mergeable() bool         { return false }
+func (compensativeStrategy) MassDivisor(ell int) int { return ell + 1 }
+func (compensativeStrategy) Apply(sig2 []float64, ell int) float64 {
+	return fdApply(sig2, ell)
+}
+
+// compensates marks the strategies whose Matrix/Snapshot output applies
+// the CompensativeFD query-time transform. Detection is by concrete type,
+// not an exported interface, so external ShrinkStrategy implementations
+// cannot accidentally opt into a transform whose analysis they don't
+// carry.
+func compensates(st ShrinkStrategy) bool {
+	_, ok := st.(compensativeStrategy)
+	return ok
+}
+
+// resolveStrategy maps a nil strategy to the FastFD default.
+func resolveStrategy(st ShrinkStrategy) ShrinkStrategy {
+	if st == nil {
+		return FastFD
+	}
+	return st
+}
+
+// CheckMergeable returns nil when sketches built under st (nil = the
+// FastFD default) may flow through Merge/MergeCanonical and aggregation
+// trees, and a descriptive error otherwise. Every merge path — sketch
+// merging, the canonical reduction, and the distributed FD protocol at
+// both leaves and interior nodes — calls this up front so a variant
+// without a mergeability proof fails loudly instead of silently shipping
+// an uncertified sketch.
+func CheckMergeable(st ShrinkStrategy) error {
+	st = resolveStrategy(st)
+	if !st.Mergeable() {
+		return fmt.Errorf("fd: shrink strategy %q has no mergeability proof and cannot be used in merges or aggregation trees (use fd, fast-fd, or alpha-fd)", st.Name())
+	}
+	return nil
+}
+
+// ParseStrategy converts a flag string to a ShrinkStrategy; alpha only
+// matters for the "alpha-fd" variant. The empty string selects the FastFD
+// default, mirroring a nil Options.Strategy.
+func ParseStrategy(name string, alpha float64) (ShrinkStrategy, error) {
+	switch name {
+	case "", "fast", "fast-fd", "fastfd":
+		return FastFD, nil
+	case "fd", "vanilla":
+		return Vanilla, nil
+	case "isvd":
+		return ISVD, nil
+	case "alpha", "alpha-fd", "alphafd":
+		if math.IsNaN(alpha) || alpha <= 0 || alpha > 1 {
+			return nil, fmt.Errorf("fd: alpha-fd needs -alpha in (0,1], got %v", alpha)
+		}
+		return AlphaFD(alpha), nil
+	case "compensative", "cfd":
+		return Compensative, nil
+	default:
+		return nil, fmt.Errorf("fd: unknown shrink strategy %q (want fd, fast-fd, alpha-fd, isvd, or compensative)", name)
+	}
+}

@@ -21,15 +21,38 @@ import (
 //	entries float64 × rows·cols, row-major, little-endian
 const matrixMagic uint32 = 0x44534b4d
 
+// MaxMatrixEntries is the format's documented size limit: rows·cols may not
+// exceed 2³⁰ entries (8 GiB of float64 payload). The same limit is enforced
+// on both sides — WriteMatrix refuses to produce a file the readers
+// (ReadMatrix and the streaming FileSource) would reject, where previously
+// a legally written file could be unreadable.
+const MaxMatrixEntries = 1 << 30
+
+// maxMatrixEntries is the enforced limit; a variable so tests can exercise
+// the boundary without allocating 8 GiB.
+var maxMatrixEntries uint64 = MaxMatrixEntries
+
+// checkMatrixEntries is the shared write/read-side guard.
+func checkMatrixEntries(rows, cols uint64) error {
+	if rows*cols > maxMatrixEntries {
+		return fmt.Errorf("workload: matrix %d×%d exceeds the format's %d-entry limit", rows, cols, maxMatrixEntries)
+	}
+	return nil
+}
+
 // WriteMatrix writes m to w in the binary matrix format. Dimensions beyond
 // the format's uint32 header fields are rejected up front — the old code
 // silently truncated them, producing a well-formed file describing a
-// different (smaller) matrix.
+// different (smaller) matrix — as are matrices beyond MaxMatrixEntries,
+// which the readers would refuse.
 func WriteMatrix(w io.Writer, m *matrix.Dense) error {
 	bw := bufio.NewWriter(w)
 	r, c := m.Dims()
 	if uint64(r) > math.MaxUint32 || uint64(c) > math.MaxUint32 {
 		return fmt.Errorf("workload: matrix %d×%d exceeds the format's uint32 dimensions", r, c)
+	}
+	if err := checkMatrixEntries(uint64(r), uint64(c)); err != nil {
+		return err
 	}
 	hdr := []uint32{matrixMagic, uint32(r), uint32(c)}
 	for _, h := range hdr {
@@ -59,9 +82,8 @@ func ReadMatrix(r io.Reader) (*matrix.Dense, error) {
 	if magic != matrixMagic {
 		return nil, fmt.Errorf("workload: bad magic %#x (want %#x)", magic, matrixMagic)
 	}
-	const maxEntries = 1 << 30
-	if uint64(rows)*uint64(cols) > maxEntries {
-		return nil, fmt.Errorf("workload: matrix %d×%d too large", rows, cols)
+	if err := checkMatrixEntries(uint64(rows), uint64(cols)); err != nil {
+		return nil, err
 	}
 	m := matrix.New(int(rows), int(cols))
 	data := m.Data()

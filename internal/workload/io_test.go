@@ -2,6 +2,9 @@ package workload
 
 import (
 	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -60,5 +63,66 @@ func TestReadCSVMatrixEmptyInput(t *testing.T) {
 		if got := m.Frob2(); got != 0 {
 			t.Fatalf("input %q: Frob2 = %v on empty matrix", in, got)
 		}
+	}
+}
+
+// TestMatrixEntryCapSymmetric: the MaxMatrixEntries limit is enforced by
+// both WriteMatrix and ReadMatrix (and the streaming FileSource), so every
+// file the writer produces is readable and every oversized matrix fails at
+// write time instead of producing an unreadable file. The limit is lowered
+// through the test hook so the boundary is exercised without 8 GiB of data.
+func TestMatrixEntryCapSymmetric(t *testing.T) {
+	defer func(old uint64) { maxMatrixEntries = old }(maxMatrixEntries)
+	maxMatrixEntries = 12
+
+	// Exactly at the cap: write, read back, stream back — bit-identical.
+	at := matrix.New(3, 4)
+	for i, v := range []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12} {
+		at.Data()[i] = v
+	}
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, at); err != nil {
+		t.Fatalf("write at the cap: %v", err)
+	}
+	written := buf.Bytes()
+	got, err := ReadMatrix(bytes.NewReader(written))
+	if err != nil {
+		t.Fatalf("read at the cap: %v", err)
+	}
+	if !got.Equal(at) {
+		t.Fatal("boundary round trip not bit-identical")
+	}
+	path := filepath.Join(t.TempDir(), "cap.dskm")
+	if err := os.WriteFile(path, written, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenFileSource(path)
+	if err != nil {
+		t.Fatalf("stream at the cap: %v", err)
+	}
+	src.Close()
+
+	// One entry over: the writer must refuse (no unreadable file exists).
+	over := matrix.New(13, 1)
+	buf.Reset()
+	if err := WriteMatrix(&buf, over); err == nil || !strings.Contains(err.Error(), "entry limit") {
+		t.Fatalf("write over the cap: err = %v, want entry-limit error", err)
+	}
+	// A foreign over-cap file is still rejected by both readers.
+	hdr := new(bytes.Buffer)
+	for _, h := range []uint32{0x44534b4d, 13, 1} {
+		if err := binary.Write(hdr, binary.LittleEndian, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ReadMatrix(bytes.NewReader(hdr.Bytes())); err == nil || !strings.Contains(err.Error(), "entry limit") {
+		t.Fatalf("read over the cap: err = %v, want entry-limit error", err)
+	}
+	overPath := filepath.Join(t.TempDir(), "over.dskm")
+	if err := os.WriteFile(overPath, hdr.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileSource(overPath); err == nil || !strings.Contains(err.Error(), "entry limit") {
+		t.Fatalf("stream over the cap: err = %v, want entry-limit error", err)
 	}
 }

@@ -190,10 +190,9 @@ func OpenFileSource(path string) (*FileSource, error) {
 		f.Close()
 		return nil, fmt.Errorf("workload: %s: bad magic %#x (want %#x)", path, magic, matrixMagic)
 	}
-	const maxEntries = 1 << 30
-	if uint64(rows)*uint64(cols) > maxEntries {
+	if err := checkMatrixEntries(uint64(rows), uint64(cols)); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("workload: %s: matrix %d×%d too large", path, rows, cols)
+		return nil, fmt.Errorf("workload: %s: %w", path, err)
 	}
 	return &FileSource{
 		path: path, f: f, br: br,
