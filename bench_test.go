@@ -333,3 +333,26 @@ func BenchmarkMergeability(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkKernels is K1: the blocked Gram/TMul kernels against the serial
+// reference loops, and the float64-vs-float32 wire comparison, at the
+// headline shape. Reports each leg's per-call milliseconds so the ≥2×
+// kernel speedup and the exactly-halved float32 words are visible straight
+// from `go test -bench=Kernels`.
+func BenchmarkKernels(b *testing.B) {
+	cfg := bench.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.KernelBench(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.ElapsedMS > 0 {
+					b.ReportMetric(r.ElapsedMS, "ms:"+sanitize(r.Algorithm))
+				}
+			}
+			reportRows(b, rows)
+		}
+	}
+}

@@ -75,6 +75,7 @@ type options struct {
 	sampling string
 	shrink   string
 	alpha    float64
+	wirePrec string
 	input    string
 	part     bool
 	d        int
@@ -102,6 +103,7 @@ func main() {
 	flag.StringVar(&o.sampling, "sampling", "quadratic", "SVS sampling function: quadratic or linear")
 	flag.StringVar(&o.shrink, "shrink", "", "FD shrink strategy: fd, fast-fd (default), alpha-fd (merge-legal; isvd and compensative are rejected by fd-merge)")
 	flag.Float64Var(&o.alpha, "alpha", 0.5, "alpha for -shrink alpha-fd, in (0,1]")
+	flag.StringVar(&o.wirePrec, "wire-precision", "", "matrix payload wire width: float64 (default, exact) or float32 (half the metered words; every role must agree)")
 	flag.StringVar(&o.input, "input", "", "matrix file, .dskm or .csv (server role)")
 	flag.BoolVar(&o.part, "part", false, "input file is already this server's partition")
 	flag.IntVar(&o.d, "d", 0, "column dimension (coordinator role)")
@@ -230,6 +232,13 @@ func (o options) buildProtocol(plan *distsketch.Plan) (distsketch.Protocol, erro
 		return nil, fmt.Errorf("protocol %q does not support -topology tree (only fd merges at interior nodes)", o.protocol)
 	}
 	cfg := distsketch.Config{Seed: o.seed, Parallelism: o.parallel}
+	if o.wirePrec != "" {
+		p, err := distsketch.ParseWirePrecision(o.wirePrec)
+		if err != nil {
+			return nil, err
+		}
+		cfg.WirePrecision = p
+	}
 	if o.shrink != "" {
 		st, err := distsketch.ParseShrinkStrategy(o.shrink, o.alpha)
 		if err != nil {

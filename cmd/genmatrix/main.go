@@ -12,7 +12,8 @@
 //
 // -format csv writes comma-separated text instead of the binary format
 // (values survive a round-trip bit-exactly); with -out ending in .csv the
-// format is inferred. -split s additionally writes the s contiguous
+// format is inferred. -precision float32 writes the half-size "DSKF" binary
+// variant (entries rounded to nearest float32; readers auto-detect it). -split s additionally writes the s contiguous
 // per-server shards next to -out as <base>.0<ext> … <base>.(s-1)<ext> — the
 // same row blocks distsketch servers stream with -part, matching what
 // Split(…, Contiguous, nil) would assign them.
@@ -31,11 +32,19 @@ import (
 )
 
 // save writes m to path in the requested format ("dskm" or "csv"; "" infers
-// from the path's extension, defaulting to the binary format).
-func save(path, format string, m *matrix.Dense) error {
+// from the path's extension, defaulting to the binary format). float32 selects
+// the half-size "DSKF" binary variant; it is rejected for CSV output, which is
+// defined as an exact float64 round-trip.
+func save(path, format string, m *matrix.Dense, float32Out bool) error {
 	csv := format == "csv" || (format == "" && strings.EqualFold(filepath.Ext(path), ".csv"))
 	if csv {
+		if float32Out {
+			return fmt.Errorf("%s: -precision float32 only applies to the binary format, not csv", path)
+		}
 		return workload.SaveCSVMatrix(path, m)
+	}
+	if float32Out {
+		return workload.SaveMatrix32(path, m)
 	}
 	return workload.SaveMatrix(path, m)
 }
@@ -60,9 +69,19 @@ func main() {
 		mag    = flag.Int("magnitude", 8, "integer magnitude (integer/exactrank)")
 		out    = flag.String("out", "matrix.dskm", "output file")
 		format = flag.String("format", "", "output format: dskm or csv (default: by -out extension)")
+		prec   = flag.String("precision", "float64", "binary entry precision: float64 or float32 (half the file, entries rounded to nearest float32)")
 		split  = flag.Int("split", 0, "also write this many contiguous per-server shard files")
 	)
 	flag.Parse()
+	var float32Out bool
+	switch *prec {
+	case "float64", "f64", "fp64", "":
+	case "float32", "f32", "fp32":
+		float32Out = true
+	default:
+		fmt.Fprintf(os.Stderr, "genmatrix: unknown -precision %q (want float64 or float32)\n", *prec)
+		os.Exit(1)
+	}
 	rng := rand.New(rand.NewSource(*seed))
 	var m *matrix.Dense
 	switch *kind {
@@ -88,7 +107,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "genmatrix: unknown -format %q (want dskm or csv)\n", *format)
 		os.Exit(1)
 	}
-	if err := save(*out, *format, m); err != nil {
+	if err := save(*out, *format, m, float32Out); err != nil {
 		fmt.Fprintln(os.Stderr, "genmatrix:", err)
 		os.Exit(1)
 	}
@@ -97,7 +116,7 @@ func main() {
 		parts := workload.Split(m, *split, workload.Contiguous, nil)
 		for i, p := range parts {
 			sp := shardPath(*out, i)
-			if err := save(sp, *format, p); err != nil {
+			if err := save(sp, *format, p, float32Out); err != nil {
 				fmt.Fprintln(os.Stderr, "genmatrix:", err)
 				os.Exit(1)
 			}

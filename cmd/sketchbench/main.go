@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: all, table1, table2, f1..f10, a1..a5, p1, m1, i1, t1, s1")
+		experiment = flag.String("experiment", "all", "which experiment to run: all, table1, table2, f1..f10, a1..a5, p1, m1, i1, t1, s1, k1")
 		seed       = flag.Int64("seed", 1, "random seed")
 		n          = flag.Int("n", 1<<13, "global row count")
 		d          = flag.Int("d", 64, "column dimension")
@@ -36,6 +36,7 @@ func main() {
 		baseline   = flag.String("baseline", "", "write a JSON timing/words baseline (table1+table2) to this file and exit")
 		baselineT  = flag.String("baseline-topology", "", "write a JSON fan-out sweep baseline (t1) to this file and exit")
 		baselineF  = flag.String("baseline-frontier", "", "write a JSON shrink-strategy frontier baseline (s1) to this file and exit")
+		baselineK  = flag.String("baseline-kernels", "", "write a JSON kernel/wire-precision baseline (timed table1 + k1) to this file and exit")
 		shrink     = flag.String("shrink", "", "FD shrink strategy for the FD-based experiments: fd, fast-fd (default), alpha-fd; isvd and compensative are single-node only and rejected by fd-merge")
 		alpha      = flag.Float64("alpha", 0.5, "alpha parameter for -shrink alpha-fd, in (0,1]")
 		trace      = flag.String("trace", "", "write a JSONL protocol trace of every run to this file")
@@ -59,6 +60,8 @@ func main() {
 		err = writeTopologyBaseline(*baselineT, cfg)
 	} else if *baselineF != "" {
 		err = writeFrontierBaseline(*baselineF, cfg)
+	} else if *baselineK != "" {
+		err = writeKernelBaseline(*baselineK, cfg)
 	} else {
 		err = run(strings.ToLower(*experiment), cfg)
 	}
@@ -162,6 +165,22 @@ func writeFrontierBaseline(path string, cfg bench.Config) error {
 	return nil
 }
 
+func writeKernelBaseline(path string, cfg bench.Config) error {
+	b, err := bench.CollectKernelBaseline(cfg)
+	if err != nil {
+		return err
+	}
+	out, err := b.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("kernel baseline written to %s (pool width %d)\n", path, b.PoolWorkers)
+	return nil
+}
+
 // sweepFanouts picks the fan-outs for the t1 sweep: powers of two up to s/2
 // (bit-identical to the star by the canonical-merge grouping invariance),
 // capped so the table stays readable at large s.
@@ -203,6 +222,7 @@ func run(experiment string, cfg bench.Config) error {
 		{"i1", i1},
 		{"t1", t1},
 		{"s1", s1},
+		{"k1", k1},
 	}
 	if experiment == "all" {
 		for _, r := range runners {
@@ -442,6 +462,16 @@ func i1(cfg bench.Config) error {
 func s1(cfg bench.Config) error {
 	header("S1: shrink-strategy frontier — covariance error vs ingest throughput")
 	rows, err := bench.ShrinkFrontier(cfg)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+	return nil
+}
+
+func k1(cfg bench.Config) error {
+	header("K1: blocked kernels vs reference loops, and float64 vs float32 wire")
+	rows, err := bench.KernelBench(cfg)
 	if err != nil {
 		return err
 	}

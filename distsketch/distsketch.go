@@ -59,6 +59,28 @@ var NewMeter = comm.NewMeter
 // eps; pass it to WithQuantization.
 var StepFor = comm.StepFor
 
+// WirePrecision is the wire width of matrix payloads: WireFloat64 (the
+// default, exact) or WireFloat32 (half the metered words per sketch; senders
+// pre-round, so transports stay bit-identical, at an additive covariance-
+// error cost bounded by Float32RoundTripError). Pass one via
+// Config.WirePrecision or WithWirePrecision; it cannot be combined with
+// quantization.
+type WirePrecision = comm.Precision
+
+const (
+	WireFloat64 = comm.Float64
+	WireFloat32 = comm.Float32
+)
+
+// ParseWirePrecision converts a -wire-precision flag string ("float64",
+// "float32", "f64", "f32", …; "" = float64) to a WirePrecision.
+var ParseWirePrecision = comm.ParsePrecision
+
+// Float32RoundTripError bounds the additive covariance-error cost of one
+// rows×cols matrix with entries in [-maxAbs, maxAbs] crossing a float32
+// wire — the certificate charge per rounded payload.
+var Float32RoundTripError = comm.Float32RoundTripError
+
 // CoordinatorID is the conventional endpoint ID of the coordinator.
 const CoordinatorID = distributed.CoordinatorID
 
@@ -205,6 +227,7 @@ var (
 	WithDeadline        = distributed.WithDeadline
 	WithSeed            = distributed.WithSeed
 	WithQuantization    = distributed.WithQuantization
+	WithWirePrecision   = distributed.WithWirePrecision
 	WithShrink          = distributed.WithShrink
 	WithStragglers      = distributed.WithStragglers
 	WithTopology        = distributed.WithTopology

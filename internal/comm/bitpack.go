@@ -36,14 +36,24 @@ func packBits(values []int64, bits int) ([]byte, error) {
 // unpackBits reverses packBits for n values of the given width,
 // sign-extending each.
 func unpackBits(data []byte, n, bits int) ([]int64, error) {
+	out := make([]int64, n)
+	if err := unpackBitsInto(out, data, bits); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// unpackBitsInto is unpackBits over a caller-provided destination (len(out)
+// values), so pooling decoders can reuse buffers across messages.
+func unpackBitsInto(out []int64, data []byte, bits int) error {
+	n := len(out)
 	if bits <= 0 || bits > 64 {
-		return nil, fmt.Errorf("comm: unpackBits width %d out of range", bits)
+		return fmt.Errorf("comm: unpackBits width %d out of range", bits)
 	}
 	need := (n*bits + 7) / 8
 	if len(data) < need {
-		return nil, fmt.Errorf("comm: packed data %d bytes, need %d", len(data), need)
+		return fmt.Errorf("comm: packed data %d bytes, need %d", len(data), need)
 	}
-	out := make([]int64, n)
 	bitPos := 0
 	for i := 0; i < n; i++ {
 		var u uint64
@@ -59,5 +69,5 @@ func unpackBits(data []byte, n, bits int) ([]int64, error) {
 		}
 		out[i] = int64(u)
 	}
-	return out, nil
+	return nil
 }

@@ -5,13 +5,13 @@
 //
 // Cost model (paper §1.2): communication is measured in machine words of
 // O(log(nd/ε)) bits; every entry of the input matrix fits in one word. We
-// count one float64 scalar or matrix entry as one word (64 bits) and a
-// quantized entry as its actual bit width, so quantized protocols report
-// fractional word savings exactly.
+// count one float64 scalar or matrix entry as one word (64 bits), a float32
+// matrix entry as half a word (32 bits), and a quantized entry as its
+// actual bit width, so narrow-precision protocols report fractional word
+// savings exactly.
 package comm
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -21,14 +21,21 @@ import (
 	"repro/internal/matrix"
 )
 
-// encodeBufs recycles the frame-assembly buffers of Encode: protocols send
-// one framed message per round per party, and without pooling every send
-// allocates (and grows) a fresh buffer the size of the sketch.
-var encodeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
-
-// frameBufs recycles Decode's frame slices; entries are *[]byte so the pool
-// stores a pointer-sized value.
-var frameBufs = sync.Pool{New: func() any { return new([]byte) }}
+// Codec pools. Encode stages each frame in a pooled byte slice; Decode
+// builds messages entirely from pooled parts — the Message struct, its
+// payload slices, and matrix headers all come from pools and go back via
+// Release — so a steady-state socket round performs zero per-message heap
+// allocations for payload buffers (see TestCodecAllocFlat). Kind strings
+// are interned: the protocol vocabulary is a handful of constant tags, so
+// each is allocated once per process instead of once per message.
+var (
+	frameBufs = sync.Pool{New: func() any { return new([]byte) }}
+	msgPool   = sync.Pool{New: func() any { return new(Message) }}
+	f64Bufs   = sync.Pool{New: func() any { return new([]float64) }}
+	i64Bufs   = sync.Pool{New: func() any { return new([]int64) }}
+	densePool = sync.Pool{New: func() any { return new(matrix.Dense) }}
+	quantPool = sync.Pool{New: func() any { return new(QuantizedMatrix) }}
+)
 
 // CoordinatorID is the conventional endpoint ID of the coordinator.
 const CoordinatorID = -1
@@ -47,10 +54,26 @@ type Message struct {
 	Scalars []float64
 	// Ints carries integer values (one word each).
 	Ints []int64
-	// Matrix carries a dense matrix (one word per entry).
+	// Matrix carries a dense matrix (one word per entry at Float64, half a
+	// word at Float32).
 	Matrix *matrix.Dense
+	// MatrixPrecision is the wire width of Matrix's entries. A Float32
+	// message still holds float64 values in Matrix — the sender rounds
+	// them to float32-representable values first (RoundFloat32), so the
+	// 32-bit encoding is exact and in-memory transports that share the
+	// message by pointer observe the identical payload.
+	MatrixPrecision Precision
 	// Quantized carries a quantized matrix (BitsPerEntry bits per entry).
 	Quantized *QuantizedMatrix
+
+	// Pool bookkeeping for messages produced by Decode. Release recycles
+	// these; messages built by senders have them all zero and Release is
+	// a no-op.
+	pooled    bool
+	scalarBuf *[]float64
+	intBuf    *[]int64
+	matBuf    *[]float64
+	quantBuf  *[]int64
 }
 
 // Bits returns the payload size of the message in bits under the paper's
@@ -60,7 +83,7 @@ func (m *Message) Bits() int64 {
 	bits := int64(len(m.Scalars)+len(m.Ints)) * WordBits
 	if m.Matrix != nil {
 		r, c := m.Matrix.Dims()
-		bits += int64(r) * int64(c) * WordBits
+		bits += int64(r) * int64(c) * int64(m.MatrixPrecision.Bits())
 	}
 	if m.Quantized != nil {
 		bits += m.Quantized.Bits()
@@ -69,7 +92,42 @@ func (m *Message) Bits() int64 {
 }
 
 // Words returns the payload size in (possibly fractional) machine words.
+// Fractions are exact: a float32 entry is 32 bits, so it meters as exactly
+// half a word.
 func (m *Message) Words() float64 { return float64(m.Bits()) / WordBits }
+
+// Release returns a decoded message's pooled buffers to the codec pools.
+// It is a no-op for messages not produced by Decode (in-memory transports
+// share sender-owned messages by pointer; those are never recycled). The
+// caller must be done with every payload field — including Matrix, whose
+// backing array is reused by a future Decode — before calling Release.
+func (m *Message) Release() {
+	if m == nil || !m.pooled {
+		return
+	}
+	if m.scalarBuf != nil {
+		f64Bufs.Put(m.scalarBuf)
+	}
+	if m.intBuf != nil {
+		i64Bufs.Put(m.intBuf)
+	}
+	if m.matBuf != nil {
+		f64Bufs.Put(m.matBuf)
+	}
+	if m.Matrix != nil {
+		m.Matrix.Reuse(0, 0, nil)
+		densePool.Put(m.Matrix)
+	}
+	if m.Quantized != nil {
+		if m.quantBuf != nil {
+			i64Bufs.Put(m.quantBuf)
+		}
+		*m.Quantized = QuantizedMatrix{}
+		quantPool.Put(m.Quantized)
+	}
+	*m = Message{}
+	msgPool.Put(m)
+}
 
 const (
 	msgMagic = uint32(0x444d5347) // "DMSG"
@@ -78,90 +136,273 @@ const (
 	fieldInts      = uint8(2)
 	fieldMatrix    = uint8(3)
 	fieldQuantized = uint8(4)
+	fieldMatrix32  = uint8(5)
 	fieldEnd       = uint8(0)
 )
 
-// Encode serializes the message to w (little-endian framing). Frame
-// assembly uses a pooled buffer, so steady-state encoding does not allocate
-// per message.
-func (m *Message) Encode(w io.Writer) error {
-	buf := encodeBufs.Get().(*bytes.Buffer)
-	buf.Reset()
-	defer encodeBufs.Put(buf)
-	write := func(v any) {
-		// bytes.Buffer writes never fail.
-		_ = binary.Write(buf, binary.LittleEndian, v)
-	}
-	write(msgMagic)
-	kind := []byte(m.Kind)
-	write(uint16(len(kind)))
-	buf.Write(kind)
-	write(int32(m.From))
-	write(int32(m.To))
+// maxFrameBytes bounds a single message frame (1 GiB).
+const maxFrameBytes = 1 << 30
+
+// frameSize returns the encoded frame length in bytes (excluding the
+// 4-byte length prefix), with the quantized payload's packed length given
+// by packedLen.
+func (m *Message) frameSize(packedLen int) int {
+	size := 4 + 2 + len(m.Kind) + 4 + 4 + 1 // magic, kind, from, to, end tag
 	if m.Scalars != nil {
-		write(fieldScalars)
-		write(uint32(len(m.Scalars)))
+		size += 1 + 4 + 8*len(m.Scalars)
+	}
+	if m.Ints != nil {
+		size += 1 + 4 + 8*len(m.Ints)
+	}
+	if m.Matrix != nil {
+		r, c := m.Matrix.Dims()
+		size += 1 + 4 + 4 + (m.MatrixPrecision.Bits()/8)*r*c
+	}
+	if m.Quantized != nil {
+		size += 1 + 4 + 4 + 8 + 1 + 4 + packedLen
+	}
+	return size
+}
+
+// Encode serializes the message to w (little-endian framing) as one write:
+// the length prefix and frame are assembled in a pooled buffer by manual
+// byte manipulation, so steady-state encoding does not allocate per
+// message (binary.Write would allocate an internal staging slice per
+// call). Float32-precision matrices are truncated entrywise to 32 bits on
+// the wire; senders that pre-round via RoundFloat32 lose nothing.
+func (m *Message) Encode(w io.Writer) error {
+	var packed []byte
+	if m.Quantized != nil {
+		var err error
+		packed, err = packBits(m.Quantized.Values, m.Quantized.BitsPerEntry)
+		if err != nil {
+			return fmt.Errorf("comm: pack quantized: %w", err)
+		}
+	}
+	if len(m.Kind) > (1<<16)-1 {
+		return fmt.Errorf("comm: kind tag of %d bytes", len(m.Kind))
+	}
+	size := m.frameSize(len(packed))
+	if size > maxFrameBytes {
+		return fmt.Errorf("comm: frame of %d bytes exceeds limit", size)
+	}
+	fp := frameBufs.Get().(*[]byte)
+	defer frameBufs.Put(fp)
+	if cap(*fp) < 4+size {
+		*fp = make([]byte, 4+size)
+	}
+	b := (*fp)[:4+size]
+	le := binary.LittleEndian
+	le.PutUint32(b, uint32(size))
+	off := 4
+	le.PutUint32(b[off:], msgMagic)
+	off += 4
+	le.PutUint16(b[off:], uint16(len(m.Kind)))
+	off += 2
+	off += copy(b[off:], m.Kind)
+	le.PutUint32(b[off:], uint32(int32(m.From)))
+	off += 4
+	le.PutUint32(b[off:], uint32(int32(m.To)))
+	off += 4
+	if m.Scalars != nil {
+		b[off] = fieldScalars
+		off++
+		le.PutUint32(b[off:], uint32(len(m.Scalars)))
+		off += 4
 		for _, v := range m.Scalars {
-			write(math.Float64bits(v))
+			le.PutUint64(b[off:], math.Float64bits(v))
+			off += 8
 		}
 	}
 	if m.Ints != nil {
-		write(fieldInts)
-		write(uint32(len(m.Ints)))
+		b[off] = fieldInts
+		off++
+		le.PutUint32(b[off:], uint32(len(m.Ints)))
+		off += 4
 		for _, v := range m.Ints {
-			write(v)
+			le.PutUint64(b[off:], uint64(v))
+			off += 8
 		}
 	}
 	if m.Matrix != nil {
-		write(fieldMatrix)
 		r, c := m.Matrix.Dims()
-		write(uint32(r))
-		write(uint32(c))
-		for _, v := range m.Matrix.Data() {
-			write(math.Float64bits(v))
+		if m.MatrixPrecision == Float32 {
+			b[off] = fieldMatrix32
+			off++
+			le.PutUint32(b[off:], uint32(r))
+			off += 4
+			le.PutUint32(b[off:], uint32(c))
+			off += 4
+			for _, v := range m.Matrix.Data() {
+				le.PutUint32(b[off:], math.Float32bits(float32(v)))
+				off += 4
+			}
+		} else {
+			b[off] = fieldMatrix
+			off++
+			le.PutUint32(b[off:], uint32(r))
+			off += 4
+			le.PutUint32(b[off:], uint32(c))
+			off += 4
+			for _, v := range m.Matrix.Data() {
+				le.PutUint64(b[off:], math.Float64bits(v))
+				off += 8
+			}
 		}
 	}
 	if m.Quantized != nil {
 		q := m.Quantized
-		packed, err := packBits(q.Values, q.BitsPerEntry)
-		if err != nil {
-			return fmt.Errorf("comm: pack quantized: %w", err)
-		}
-		write(fieldQuantized)
-		write(uint32(q.Rows))
-		write(uint32(q.Cols))
-		write(math.Float64bits(q.Step))
-		write(uint8(q.BitsPerEntry))
-		write(uint32(len(q.Values)))
-		buf.Write(packed)
+		b[off] = fieldQuantized
+		off++
+		le.PutUint32(b[off:], uint32(q.Rows))
+		off += 4
+		le.PutUint32(b[off:], uint32(q.Cols))
+		off += 4
+		le.PutUint64(b[off:], math.Float64bits(q.Step))
+		off += 8
+		b[off] = uint8(q.BitsPerEntry)
+		off++
+		le.PutUint32(b[off:], uint32(len(q.Values)))
+		off += 4
+		off += copy(b[off:], packed)
 	}
-	write(fieldEnd)
-	frame := buf.Bytes()
-	if err := binary.Write(w, binary.LittleEndian, uint32(len(frame))); err != nil {
-		return fmt.Errorf("comm: write frame length: %w", err)
-	}
-	if _, err := w.Write(frame); err != nil {
+	b[off] = fieldEnd
+	if _, err := w.Write(b); err != nil {
 		return fmt.Errorf("comm: write frame: %w", err)
 	}
 	return nil
 }
 
-// maxFrameBytes bounds a single message frame (1 GiB).
-const maxFrameBytes = 1 << 30
+// cursor is a bounds-checked little-endian reader over a decoded frame.
+type cursor struct {
+	b   []byte
+	off int
+}
+
+func (c *cursor) need(n int) error {
+	if n < 0 || len(c.b)-c.off < n {
+		return io.ErrUnexpectedEOF
+	}
+	return nil
+}
+
+func (c *cursor) u8() (uint8, error) {
+	if err := c.need(1); err != nil {
+		return 0, err
+	}
+	v := c.b[c.off]
+	c.off++
+	return v, nil
+}
+
+func (c *cursor) u16() (uint16, error) {
+	if err := c.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint16(c.b[c.off:])
+	c.off += 2
+	return v, nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	if err := c.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v, nil
+}
+
+func (c *cursor) u64() (uint64, error) {
+	if err := c.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v, nil
+}
+
+func (c *cursor) bytes(n int) ([]byte, error) {
+	if err := c.need(n); err != nil {
+		return nil, err
+	}
+	v := c.b[c.off : c.off+n]
+	c.off += n
+	return v, nil
+}
+
+// kind interning: protocol kinds are a small fixed vocabulary, so decoded
+// tags resolve to a shared string without allocating. The map lookup keyed
+// by string(bytes) does not allocate (the compiler recognizes the idiom).
+// The table is capped so a misbehaving peer cannot grow it without bound;
+// overflow tags fall back to a fresh allocation.
+const maxInternedKinds = 1024
+
+var (
+	kindMu sync.RWMutex
+	kinds  = make(map[string]string)
+)
+
+func internKind(b []byte) string {
+	kindMu.RLock()
+	s, ok := kinds[string(b)]
+	kindMu.RUnlock()
+	if ok {
+		return s
+	}
+	kindMu.Lock()
+	defer kindMu.Unlock()
+	if s, ok := kinds[string(b)]; ok {
+		return s
+	}
+	s = string(b)
+	if len(kinds) < maxInternedKinds {
+		kinds[s] = s
+	}
+	return s
+}
+
+// getF64 takes a float64 buffer of length n from the pool, recording the
+// pooled pointer in *slot for Release.
+func getF64(slot **[]float64, n int) []float64 {
+	bp := f64Bufs.Get().(*[]float64)
+	if cap(*bp) < n {
+		*bp = make([]float64, n)
+	}
+	*slot = bp
+	return (*bp)[:n]
+}
+
+func getI64(slot **[]int64, n int) []int64 {
+	bp := i64Bufs.Get().(*[]int64)
+	if cap(*bp) < n {
+		*bp = make([]int64, n)
+	}
+	*slot = bp
+	return (*bp)[:n]
+}
 
 // Decode reads one message from r. The frame is staged in a pooled buffer
-// (all decoded payloads are copied out of it), so steady-state decoding
-// allocates only the message's own payload slices.
+// and parsed by offset (no binary.Read staging allocations); the returned
+// message and all its payload buffers come from pools — call Release when
+// the payload has been fully consumed to recycle them. Messages a caller
+// never releases are simply collected by the GC.
 func Decode(r io.Reader) (*Message, error) {
-	var frameLen uint32
-	if err := binary.Read(r, binary.LittleEndian, &frameLen); err != nil {
+	fp := frameBufs.Get().(*[]byte)
+	defer frameBufs.Put(fp)
+	if cap(*fp) < 4 {
+		*fp = make([]byte, 64)
+	}
+	// The length prefix is staged in the pooled buffer too: a stack array
+	// would escape through the io.Reader interface and cost one allocation
+	// per message.
+	if _, err := io.ReadFull(r, (*fp)[:4]); err != nil {
 		return nil, err // io.EOF propagates cleanly for closed connections
 	}
+	frameLen := binary.LittleEndian.Uint32((*fp)[:4])
 	if frameLen > maxFrameBytes {
 		return nil, fmt.Errorf("comm: frame of %d bytes exceeds limit", frameLen)
 	}
-	fp := frameBufs.Get().(*[]byte)
-	defer frameBufs.Put(fp)
 	if cap(*fp) < int(frameLen) {
 		*fp = make([]byte, frameLen)
 	}
@@ -169,120 +410,150 @@ func Decode(r io.Reader) (*Message, error) {
 	if _, err := io.ReadFull(r, frame); err != nil {
 		return nil, fmt.Errorf("comm: read frame: %w", err)
 	}
-	buf := bytes.NewReader(frame)
-	read := func(v any) error { return binary.Read(buf, binary.LittleEndian, v) }
+	m, err := decodeFrame(frame)
+	if err != nil {
+		m.Release() // return partially-filled buffers to the pools
+		return nil, err
+	}
+	return m, nil
+}
 
-	var magic uint32
-	if err := read(&magic); err != nil {
+func decodeFrame(frame []byte) (*Message, error) {
+	c := cursor{b: frame}
+	magic, err := c.u32()
+	if err != nil {
 		return nil, err
 	}
 	if magic != msgMagic {
 		return nil, fmt.Errorf("comm: bad magic %#x", magic)
 	}
-	var kindLen uint16
-	if err := read(&kindLen); err != nil {
+	kindLen, err := c.u16()
+	if err != nil {
 		return nil, err
 	}
-	kind := make([]byte, kindLen)
-	if _, err := io.ReadFull(buf, kind); err != nil {
+	kindBytes, err := c.bytes(int(kindLen))
+	if err != nil {
 		return nil, err
 	}
-	var from, to int32
-	if err := read(&from); err != nil {
+	from, err := c.u32()
+	if err != nil {
 		return nil, err
 	}
-	if err := read(&to); err != nil {
+	to, err := c.u32()
+	if err != nil {
 		return nil, err
 	}
-	m := &Message{Kind: string(kind), From: int(from), To: int(to)}
+	m := msgPool.Get().(*Message)
+	*m = Message{Kind: internKind(kindBytes), From: int(int32(from)), To: int(int32(to)), pooled: true}
 	for {
-		var field uint8
-		if err := read(&field); err != nil {
-			return nil, err
+		field, err := c.u8()
+		if err != nil {
+			return m, err
 		}
 		switch field {
 		case fieldEnd:
 			return m, nil
 		case fieldScalars:
-			var n uint32
-			if err := read(&n); err != nil {
-				return nil, err
+			n, err := c.u32()
+			if err != nil {
+				return m, err
 			}
-			m.Scalars = make([]float64, n)
+			if err := c.need(8 * int(n)); err != nil {
+				return m, err
+			}
+			m.Scalars = getF64(&m.scalarBuf, int(n))
 			for i := range m.Scalars {
-				var b uint64
-				if err := read(&b); err != nil {
-					return nil, err
-				}
-				m.Scalars[i] = math.Float64frombits(b)
+				v, _ := c.u64()
+				m.Scalars[i] = math.Float64frombits(v)
 			}
 		case fieldInts:
-			var n uint32
-			if err := read(&n); err != nil {
-				return nil, err
+			n, err := c.u32()
+			if err != nil {
+				return m, err
 			}
-			m.Ints = make([]int64, n)
+			if err := c.need(8 * int(n)); err != nil {
+				return m, err
+			}
+			m.Ints = getI64(&m.intBuf, int(n))
 			for i := range m.Ints {
-				if err := read(&m.Ints[i]); err != nil {
-					return nil, err
+				v, _ := c.u64()
+				m.Ints[i] = int64(v)
+			}
+		case fieldMatrix, fieldMatrix32:
+			r32, err := c.u32()
+			if err != nil {
+				return m, err
+			}
+			c32, err := c.u32()
+			if err != nil {
+				return m, err
+			}
+			entryBytes := 8
+			if field == fieldMatrix32 {
+				entryBytes = 4
+			}
+			if uint64(r32)*uint64(c32) > maxFrameBytes/uint64(entryBytes) {
+				return m, fmt.Errorf("comm: matrix %d×%d too large", r32, c32)
+			}
+			n := int(r32) * int(c32)
+			if err := c.need(entryBytes * n); err != nil {
+				return m, err
+			}
+			data := getF64(&m.matBuf, n)
+			if field == fieldMatrix32 {
+				for i := range data {
+					v, _ := c.u32()
+					data[i] = float64(math.Float32frombits(v))
+				}
+				m.MatrixPrecision = Float32
+			} else {
+				for i := range data {
+					v, _ := c.u64()
+					data[i] = math.Float64frombits(v)
 				}
 			}
-		case fieldMatrix:
-			var r32, c32 uint32
-			if err := read(&r32); err != nil {
-				return nil, err
-			}
-			if err := read(&c32); err != nil {
-				return nil, err
-			}
-			if uint64(r32)*uint64(c32) > maxFrameBytes/8 {
-				return nil, fmt.Errorf("comm: matrix %d×%d too large", r32, c32)
-			}
-			mm := matrix.New(int(r32), int(c32))
-			data := mm.Data()
-			for i := range data {
-				var b uint64
-				if err := read(&b); err != nil {
-					return nil, err
-				}
-				data[i] = math.Float64frombits(b)
-			}
-			m.Matrix = mm
+			d := densePool.Get().(*matrix.Dense)
+			d.Reuse(int(r32), int(c32), data)
+			m.Matrix = d
 		case fieldQuantized:
-			q := &QuantizedMatrix{}
-			var r32, c32, n uint32
-			var stepBits uint64
-			var bpe uint8
-			if err := read(&r32); err != nil {
-				return nil, err
+			r32, err := c.u32()
+			if err != nil {
+				return m, err
 			}
-			if err := read(&c32); err != nil {
-				return nil, err
+			c32, err := c.u32()
+			if err != nil {
+				return m, err
 			}
-			if err := read(&stepBits); err != nil {
-				return nil, err
+			stepBits, err := c.u64()
+			if err != nil {
+				return m, err
 			}
-			if err := read(&bpe); err != nil {
-				return nil, err
+			bpe, err := c.u8()
+			if err != nil {
+				return m, err
 			}
-			if err := read(&n); err != nil {
-				return nil, err
+			n, err := c.u32()
+			if err != nil {
+				return m, err
 			}
+			if bpe == 0 || uint64(n)*uint64(bpe) > 8*maxFrameBytes {
+				return m, fmt.Errorf("comm: quantized payload %d×%d bits malformed", n, bpe)
+			}
+			packed, err := c.bytes((int(n)*int(bpe) + 7) / 8)
+			if err != nil {
+				return m, err
+			}
+			q := quantPool.Get().(*QuantizedMatrix)
 			q.Rows, q.Cols = int(r32), int(c32)
 			q.Step = math.Float64frombits(stepBits)
 			q.BitsPerEntry = int(bpe)
-			packed := make([]byte, (int(n)*q.BitsPerEntry+7)/8)
-			if _, err := io.ReadFull(buf, packed); err != nil {
-				return nil, err
-			}
-			vals, err := unpackBits(packed, int(n), q.BitsPerEntry)
-			if err != nil {
-				return nil, err
-			}
-			q.Values = vals
+			q.Values = getI64(&m.quantBuf, int(n))
 			m.Quantized = q
+			if err := unpackBitsInto(q.Values, packed, q.BitsPerEntry); err != nil {
+				return m, err
+			}
 		default:
-			return nil, fmt.Errorf("comm: unknown field tag %d", field)
+			return m, fmt.Errorf("comm: unknown field tag %d", field)
 		}
 	}
 }

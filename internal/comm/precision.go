@@ -1,0 +1,83 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// Precision selects the wire width of a message's matrix payload. Scalars
+// and integers always travel at full word width (64 bits); only matrix
+// entries narrow, because they dominate every protocol's word count.
+type Precision uint8
+
+const (
+	// Float64 ships matrix entries at full word width (the default).
+	Float64 Precision = iota
+	// Float32 ships matrix entries at 32 bits — half a word each — at a
+	// bounded additive error (Float32RoundTripError). The sender rounds
+	// entries to float32-representable values before the message is
+	// metered (RoundFloat32), so the narrow encoding is exact on the wire
+	// and in-memory transports that share messages by pointer observe
+	// byte-identical payloads and identical word counts.
+	Float32
+)
+
+// Bits returns the wire width of one matrix entry at this precision.
+func (p Precision) Bits() int {
+	if p == Float32 {
+		return 32
+	}
+	return 64
+}
+
+func (p Precision) String() string {
+	if p == Float32 {
+		return "float32"
+	}
+	return "float64"
+}
+
+// ParsePrecision maps CLI spellings to a Precision. The empty string is the
+// default (Float64).
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "float64", "f64", "fp64":
+		return Float64, nil
+	case "float32", "f32", "fp32":
+		return Float32, nil
+	}
+	return Float64, fmt.Errorf("comm: unknown precision %q (want float64 or float32)", s)
+}
+
+// RoundFloat32 returns a copy of m with every entry rounded to the nearest
+// float32 (IEEE round-to-nearest-even, exactly the conversion the wire
+// codec applies). Senders round before handing the matrix to the transport
+// so that the float32 wire encoding is lossless from that point on and the
+// in-memory transport — which shares the message by pointer without
+// encoding — carries the identical values.
+func RoundFloat32(m *matrix.Dense) *matrix.Dense {
+	r, c := m.Dims()
+	out := matrix.New(r, c)
+	dst, src := out.Data(), m.Data()
+	for i, v := range src {
+		dst[i] = float64(float32(v))
+	}
+	return out
+}
+
+// Float32RelStep is the worst-case relative rounding error of a
+// float64→float32 conversion for normal values: 2⁻²⁴ (half an ULP at 24
+// significand bits under round-to-nearest). An entry bounded by maxAbs
+// therefore moves by at most maxAbs·2⁻²⁴ — the effective quantizer step
+// used by Float32RoundTripError.
+const Float32RelStep = 1.0 / (1 << 24)
+
+// Float32RoundTripError bounds the Frobenius perturbation of BᵀB when an
+// r×c matrix B with entries bounded by maxAbs is rounded entrywise to
+// float32. It reuses the §3.3 quantizer accounting with an effective step
+// of maxAbs·2⁻²⁴ — the certificate charge for a float32 wire leg, exactly
+// as a quantized leg charges RoundTripError at its step.
+func Float32RoundTripError(rows, cols int, maxAbs float64) float64 {
+	return RoundTripError(rows, cols, maxAbs, maxAbs*Float32RelStep)
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package comm
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; its runtime allocates internally, which distorts AllocsPerRun.
+const raceEnabled = true

@@ -23,6 +23,15 @@ type Config struct {
 	// QuantStep is the additive rounding precision; required when Quantize
 	// is set (use comm.StepFor).
 	QuantStep float64
+	// WirePrecision selects the wire width of matrix payloads
+	// (comm.Float64 by default). comm.Float32 halves every sketch's word
+	// count: senders round entries to float32-representable values before
+	// transmission, so in-memory and socket transports carry identical
+	// payloads and meter identically, at an additive error bounded by
+	// comm.Float32RoundTripError (charge it against the certificate like a
+	// quantized leg's step). Mutually exclusive with Quantize, whose step
+	// accounting already covers the payload.
+	WirePrecision comm.Precision
 	// Seed seeds each server's private randomness (server i uses Seed+i).
 	Seed int64
 	// Stragglers bounds how long the coordinator waits for each server and
@@ -66,6 +75,15 @@ func (c Config) observer() *obs.Observer {
 // sendMatrix transmits m under the config's quantization policy.
 func (c Config) sendMatrix(ctx context.Context, node Node, to int, kind string, m *matrix.Dense) error {
 	if !c.Quantize {
+		if c.WirePrecision == comm.Float32 {
+			// Round before handing the payload to the transport: the
+			// in-memory network shares the message by pointer without
+			// encoding, so rounding here keeps it value- and
+			// word-identical with the socket wire format.
+			return node.Send(ctx, to, &comm.Message{
+				Kind: kind, Matrix: comm.RoundFloat32(m), MatrixPrecision: comm.Float32,
+			})
+		}
 		return node.Send(ctx, to, &comm.Message{Kind: kind, Matrix: m})
 	}
 	q, err := comm.NewQuantizer(c.QuantStep).Quantize(m)
@@ -189,6 +207,7 @@ func ServerSVS(ctx context.Context, node Node, src workload.RowSource, s int, al
 		return err
 	}
 	frob2 := msg.Scalars[0]
+	msg.Release()
 	g := sampling.Build(s, local.Cols(), alpha, delta, frob2)
 	b, err := core.SVS(local, g, cfg.rng(node.ID()))
 	if err != nil {
@@ -209,6 +228,7 @@ func CoordSVS(ctx context.Context, node Node, s int, cfg Config) (*matrix.Dense,
 	total := 0.0
 	for _, m := range masses {
 		total += m.Scalars[0]
+		m.Release()
 	}
 	if err := broadcast(ctx, node, s, &comm.Message{Kind: "frob2-total", Scalars: []float64{total}}, cfg.observer()); err != nil {
 		return nil, err
@@ -225,7 +245,11 @@ func CoordSVS(ctx context.Context, node Node, s int, cfg Config) (*matrix.Dense,
 		}
 		parts = append(parts, m)
 	}
-	return matrix.Stack(parts...), nil
+	stacked := matrix.Stack(parts...)
+	for _, msg := range sketches {
+		msg.Release() // Stack copied every part
+	}
+	return stacked, nil
 }
 
 // RunSVS runs the §3.1 randomized (α,0)-sketch protocol in-process.
@@ -264,7 +288,9 @@ func ServerSVSStreaming(ctx context.Context, node Node, rows workload.RowSource,
 	if err != nil {
 		return err
 	}
-	g := core.NewQuadraticSampling(s, d, alpha/2, delta, msg.Scalars[0])
+	globalFrob2 := msg.Scalars[0]
+	msg.Release()
+	g := core.NewQuadraticSampling(s, d, alpha/2, delta, globalFrob2)
 	w, err := core.SVS(b, g, cfg.rng(node.ID()))
 	if err != nil {
 		return fmt.Errorf("server %d SVS: %w", node.ID(), err)
@@ -312,6 +338,7 @@ func ServerRowSampling(ctx context.Context, node Node, local workload.RowSource,
 		return err
 	}
 	total, count, m := msg.Scalars[0], int(msg.Ints[0]), int(msg.Ints[1])
+	msg.Release()
 	out := matrix.New(0, d)
 	if count > 0 && frob2 > 0 {
 		if err := local.Reset(); err != nil {
@@ -347,6 +374,7 @@ func CoordRowSampling(ctx context.Context, node Node, s, m int, cfg Config) (*ma
 	for i, msg := range masses {
 		vals[i] = msg.Scalars[0]
 		total += vals[i]
+		msg.Release()
 	}
 	// The proportional split is the same multinomial walk the estimator
 	// uses locally; rowsample.MultinomialSplit handles the rounding and
@@ -377,7 +405,11 @@ func CoordRowSampling(ctx context.Context, node Node, s, m int, cfg Config) (*ma
 		}
 		parts = append(parts, mm)
 	}
-	return matrix.Stack(parts...), nil
+	stacked := matrix.Stack(parts...)
+	for _, msg := range rowsMsgs {
+		msg.Release() // Stack copied every part
+	}
+	return stacked, nil
 }
 
 // RunRowSampling runs the [10] baseline in-process with m = ⌈1/ε²⌉ samples.

@@ -50,6 +50,14 @@ func WithQuantization(step float64) RunOption {
 	return func(o *runOpts) { o.cfg.Quantize, o.cfg.QuantStep = true, step }
 }
 
+// WithWirePrecision sets the wire width of matrix payloads (see
+// Config.WirePrecision). comm.Float32 halves every sketch's metered words
+// at an additive error bounded by comm.Float32RoundTripError; it cannot be
+// combined with WithQuantization.
+func WithWirePrecision(p comm.Precision) RunOption {
+	return func(o *runOpts) { o.cfg.WirePrecision = p }
+}
+
 // WithShrink selects the FD shrink strategy for fd-merge runs (nil keeps
 // the FastFD default). Only mergeable strategies are legal — fd.Vanilla,
 // fd.FastFD, fd.AlphaFD(α); fd.ISVD and fd.Compensative fail the run with
@@ -149,6 +157,9 @@ func RunSources(ctx context.Context, proto Protocol, sources []RowSource, opts .
 	var o runOpts
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.cfg.Quantize && o.cfg.WirePrecision == comm.Float32 {
+		return nil, fmt.Errorf("distributed: Run(%s): quantization and float32 wire precision are mutually exclusive (the quantizer's step accounting already covers the payload)", proto.Name())
 	}
 	if o.cfg.Parallelism > 0 {
 		parallel.SetWorkers(o.cfg.Parallelism)

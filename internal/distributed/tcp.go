@@ -237,6 +237,7 @@ func (c *TCPCoordinator) Accept(ctx context.Context) error {
 			return fmt.Errorf("distributed: malformed hello %q", hello.Kind)
 		}
 		id := int(hello.Ints[0])
+		hello.Release()
 		if !c.expect[id] {
 			conn.Close()
 			return fmt.Errorf("distributed: hello from out-of-range server %d", id)

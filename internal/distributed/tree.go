@@ -38,7 +38,14 @@ func AggregateTree(ctx context.Context, proto Protocol, node Node, plan *Plan) e
 // and those leaves do not count toward this node's quorum either. The
 // returned parts are in child order (the determinism anchor: merge order
 // never depends on arrival order) and missing lists the absent leaf IDs.
-func fdSubtreeGather(ctx context.Context, node Node, plan *Plan, cfg Config, partialOK bool) (parts []*matrix.Dense, missing []int, err error) {
+//
+// The returned release recycles the gathered messages' pooled buffers (a
+// no-op off the socket transport). Callers may invoke it once every part
+// has been consumed: a canonical merge of two or more parts never aliases
+// them (mergePair always allocates), but a single part passes through
+// fd.MergeCanonical by reference, so callers must skip release in that
+// case and let the GC reclaim the message.
+func fdSubtreeGather(ctx context.Context, node Node, plan *Plan, cfg Config, partialOK bool) (parts []*matrix.Dense, missing []int, release func(), err error) {
 	self := node.ID()
 	children := plan.Children(self)
 	byChild := make(map[int]*comm.Message, len(children))
@@ -63,7 +70,7 @@ func fdSubtreeGather(ctx context.Context, node Node, plan *Plan, cfg Config, par
 		byChild[msg.From] = msg
 		return nil
 	}); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	for _, c := range children {
 		lo, hi := plan.LeafSpan(c)
@@ -77,18 +84,23 @@ func fdSubtreeGather(ctx context.Context, node Node, plan *Plan, cfg Config, par
 		}
 		for _, leaf := range msg.Ints {
 			if int(leaf) < lo || int(leaf) >= hi {
-				return nil, nil, fmt.Errorf("distributed: child %d reported missing leaf %d outside its span [%d,%d)", c, leaf, lo, hi)
+				return nil, nil, nil, fmt.Errorf("distributed: child %d reported missing leaf %d outside its span [%d,%d)", c, leaf, lo, hi)
 			}
 			missing = append(missing, int(leaf))
 		}
 		m, err := recvMatrix(msg)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		parts = append(parts, m)
 	}
 	sort.Ints(missing)
-	return parts, missing, nil
+	release = func() {
+		for _, msg := range byChild {
+			msg.Release()
+		}
+	}
+	return parts, missing, release, nil
 }
 
 // coordFDGather is the root side of the FD merge for any plan (the star is
@@ -103,7 +115,7 @@ func coordFDGather(ctx context.Context, node Node, plan *Plan, d, ell int, cfg C
 	if err := fd.CheckMergeable(cfg.Shrink); err != nil {
 		return nil, nil, err
 	}
-	parts, missing, err := fdSubtreeGather(ctx, node, plan, cfg, true)
+	parts, missing, release, err := fdSubtreeGather(ctx, node, plan, cfg, true)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -111,6 +123,9 @@ func coordFDGather(ctx context.Context, node Node, plan *Plan, d, ell int, cfg C
 	sk, err := fd.MergeCanonical(d, ell, parts, fd.Options{Obs: cfg.Obs, Strategy: cfg.Shrink})
 	if err != nil {
 		return nil, nil, err
+	}
+	if len(parts) >= 2 {
+		release() // sk is freshly merged; the gathered payloads are done
 	}
 	return sk, missing, nil
 }
@@ -126,6 +141,10 @@ func (c Config) sendSummary(ctx context.Context, node Node, to int, kind string,
 			return fmt.Errorf("distributed: quantize %s: %w", kind, err)
 		}
 		msg.Matrix, msg.Quantized = nil, q
+	} else if c.WirePrecision == comm.Float32 {
+		// Same pre-rounding as sendMatrix: mem and socket transports must
+		// observe identical payloads and word counts.
+		msg.Matrix, msg.MatrixPrecision = comm.RoundFloat32(m), comm.Float32
 	}
 	if len(missing) > 0 {
 		msg.Ints = make([]int64, len(missing))
@@ -142,7 +161,7 @@ func (c Config) sendSummary(ctx context.Context, node Node, to int, kind string,
 func (p FDMerge) Aggregate(ctx context.Context, node Node, plan *Plan) error {
 	cfg := p.Env.Config
 	ell := fd.SketchSize(p.Eps, p.K)
-	parts, missing, err := fdSubtreeGather(ctx, node, plan, cfg, true)
+	parts, missing, release, err := fdSubtreeGather(ctx, node, plan, cfg, true)
 	if err != nil {
 		return err
 	}
@@ -151,6 +170,9 @@ func (p FDMerge) Aggregate(ctx context.Context, node Node, plan *Plan) error {
 	sk, err := fd.MergeCanonical(p.Env.Dim, ell, parts, fd.Options{Obs: cfg.Obs, Strategy: cfg.Shrink})
 	if err != nil {
 		return err
+	}
+	if len(parts) >= 2 {
+		release() // sk is freshly merged; the gathered payloads are done
 	}
 	parent := plan.Parent(node.ID())
 	cfg.observer().TreeForward(level, node.ID(), parent)

@@ -1,0 +1,161 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() uint32
+TEXT ·xgetbv0(SB), NOSPLIT, $0-4
+	XORL CX, CX
+	XGETBV
+	MOVL AX, ret+0(FP)
+	RET
+
+// func axpy4AVX(dst, r0, r1, r2, r3 *float64, n int, v *[4]float64)
+//
+// dst[j] += v[0]*r0[j] + v[1]*r1[j] + v[2]*r2[j] + v[3]*r3[j], each lane a
+// fused-multiply-add chain in row order r0→r3 (matching axpy4Generic).
+// Main loop handles 8 doubles per iteration (two YMM accumulators), then a
+// 4-wide step, then a scalar FMA tail.
+TEXT ·axpy4AVX(SB), NOSPLIT, $0-56
+	MOVQ dst+0(FP), DI
+	MOVQ r0+8(FP), SI
+	MOVQ r1+16(FP), R8
+	MOVQ r2+24(FP), R9
+	MOVQ r3+32(FP), R10
+	MOVQ n+40(FP), CX
+	MOVQ v+48(FP), DX
+	VBROADCASTSD (DX), Y8
+	VBROADCASTSD 8(DX), Y9
+	VBROADCASTSD 16(DX), Y10
+	VBROADCASTSD 24(DX), Y11
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-8, BX
+	CMPQ AX, BX
+	JGE  tail4
+
+loop8:
+	VMOVUPD (DI)(AX*8), Y0
+	VMOVUPD 32(DI)(AX*8), Y1
+	VFMADD231PD (SI)(AX*8), Y8, Y0
+	VFMADD231PD 32(SI)(AX*8), Y8, Y1
+	VFMADD231PD (R8)(AX*8), Y9, Y0
+	VFMADD231PD 32(R8)(AX*8), Y9, Y1
+	VFMADD231PD (R9)(AX*8), Y10, Y0
+	VFMADD231PD 32(R9)(AX*8), Y10, Y1
+	VFMADD231PD (R10)(AX*8), Y11, Y0
+	VFMADD231PD 32(R10)(AX*8), Y11, Y1
+	VMOVUPD Y0, (DI)(AX*8)
+	VMOVUPD Y1, 32(DI)(AX*8)
+	ADDQ $8, AX
+	CMPQ AX, BX
+	JL   loop8
+
+tail4:
+	MOVQ CX, BX
+	ANDQ $-4, BX
+	CMPQ AX, BX
+	JGE  tail1
+	VMOVUPD (DI)(AX*8), Y0
+	VFMADD231PD (SI)(AX*8), Y8, Y0
+	VFMADD231PD (R8)(AX*8), Y9, Y0
+	VFMADD231PD (R9)(AX*8), Y10, Y0
+	VFMADD231PD (R10)(AX*8), Y11, Y0
+	VMOVUPD Y0, (DI)(AX*8)
+	ADDQ $4, AX
+
+tail1:
+	CMPQ AX, CX
+	JGE  done
+
+scalar:
+	VMOVSD (DI)(AX*8), X0
+	VFMADD231SD (SI)(AX*8), X8, X0
+	VFMADD231SD (R8)(AX*8), X9, X0
+	VFMADD231SD (R9)(AX*8), X10, X0
+	VFMADD231SD (R10)(AX*8), X11, X0
+	VMOVSD X0, (DI)(AX*8)
+	INCQ AX
+	CMPQ AX, CX
+	JL   scalar
+
+done:
+	VZEROUPPER
+	RET
+
+// func gramGroup4AVX(out, rows *float64, d, lo, hi int)
+//
+// Folds four contiguous input rows (rows[0:4d], row-major, stride d) into
+// the upper-triangle output rows i in [lo, hi):
+//   out[i*d+j] += Σ_t rows[t*d+i]·rows[t*d+j]   for j in [i, d)
+// per entry one FMA chain in row order t=0→3, identical to axpy4AVX. The
+// i-loop lives in assembly so one call covers a whole row group.
+TEXT ·gramGroup4AVX(SB), NOSPLIT, $0-40
+	MOVQ out+0(FP), DI
+	MOVQ rows+8(FP), SI
+	MOVQ d+16(FP), DX
+	MOVQ lo+24(FP), R11
+	MOVQ hi+32(FP), R12
+	MOVQ DX, R13
+	SHLQ $3, R13              // R13 = row stride in bytes
+	LEAQ (SI)(R13*1), R8      // rows[1]
+	LEAQ (R8)(R13*1), R9      // rows[2]
+	LEAQ (R9)(R13*1), R10     // rows[3]
+	MOVQ R11, BX              // BX = i
+	MOVQ R11, CX
+	IMULQ R13, CX
+	ADDQ DI, CX               // CX = &out[i*d]
+	MOVQ DX, R11
+	SUBQ $4, R11              // R11 = d-4 (4-wide loop bound)
+
+gramiloop:
+	CMPQ BX, R12
+	JGE  gramdone
+	VBROADCASTSD (SI)(BX*8), Y8
+	VBROADCASTSD (R8)(BX*8), Y9
+	VBROADCASTSD (R9)(BX*8), Y10
+	VBROADCASTSD (R10)(BX*8), Y11
+	MOVQ BX, AX               // AX = j, starts at the diagonal
+
+gramj4:
+	CMPQ AX, R11
+	JG   gramjtail
+	VMOVUPD (CX)(AX*8), Y0
+	VFMADD231PD (SI)(AX*8), Y8, Y0
+	VFMADD231PD (R8)(AX*8), Y9, Y0
+	VFMADD231PD (R9)(AX*8), Y10, Y0
+	VFMADD231PD (R10)(AX*8), Y11, Y0
+	VMOVUPD Y0, (CX)(AX*8)
+	ADDQ $4, AX
+	JMP  gramj4
+
+gramjtail:
+	CMPQ AX, DX
+	JGE  gramnexti
+	VMOVSD (CX)(AX*8), X0
+	VFMADD231SD (SI)(AX*8), X8, X0
+	VFMADD231SD (R8)(AX*8), X9, X0
+	VFMADD231SD (R9)(AX*8), X10, X0
+	VFMADD231SD (R10)(AX*8), X11, X0
+	VMOVSD X0, (CX)(AX*8)
+	INCQ AX
+	JMP  gramjtail
+
+gramnexti:
+	INCQ BX
+	ADDQ R13, CX
+	JMP  gramiloop
+
+gramdone:
+	VZEROUPPER
+	RET

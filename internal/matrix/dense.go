@@ -44,6 +44,18 @@ func NewFromData(r, c int, data []float64) *Dense {
 	return &Dense{rows: r, cols: c, data: data}
 }
 
+// Reuse repoints m to an r×c matrix over data (row-major, length r·c)
+// without allocating a new header. It exists for pooling codecs — comm's
+// zero-alloc Decode recycles Dense headers together with their backing
+// slices — and ordinary callers should use New or NewFromData instead.
+// The previous backing slice is abandoned.
+func (m *Dense) Reuse(r, c int, data []float64) {
+	if r < 0 || c < 0 || len(data) != r*c {
+		panic(fmt.Sprintf("matrix: Reuse %d×%d over %d values", r, c, len(data)))
+	}
+	m.rows, m.cols, m.data = r, c, data
+}
+
 // NewFromRows builds a matrix by copying the given rows, which must all have
 // equal length. An empty input yields a 0×0 matrix.
 func NewFromRows(rows [][]float64) *Dense {
@@ -222,9 +234,13 @@ func Stack(ms ...*Dense) *Dense {
 	return ms[0].Stack(ms[1:]...)
 }
 
-// AppendRow returns m extended by one row (copying; m is unchanged if its
-// backing array must grow, so always use the return value). An empty matrix
-// adopts the row's length.
+// AppendRow returns m extended by one row. The result NEVER shares backing
+// storage with m or v: it is always a fresh allocation, so mutating either
+// matrix afterwards cannot corrupt the other. (An earlier implementation
+// used a capacity-limited append, which still aliased m's array whenever
+// spare capacity had been pre-grown — e.g. on a SliceRows view of a larger
+// matrix.) m itself is unchanged; always use the return value. An empty
+// matrix adopts the row's length.
 func (m *Dense) AppendRow(v []float64) *Dense {
 	if m.rows == 0 && m.cols == 0 {
 		out := New(1, len(v))
@@ -234,96 +250,69 @@ func (m *Dense) AppendRow(v []float64) *Dense {
 	if len(v) != m.cols {
 		panic(fmt.Sprintf("matrix: AppendRow length %d != %d cols", len(v), m.cols))
 	}
-	data := append(m.data[:m.rows*m.cols:m.rows*m.cols], v...)
+	data := make([]float64, (m.rows+1)*m.cols)
+	copy(data, m.data[:m.rows*m.cols])
+	copy(data[m.rows*m.cols:], v)
 	return &Dense{rows: m.rows + 1, cols: m.cols, data: data}
 }
 
-// Mul returns the product m · b. Rows of the output are computed in
-// parallel on the shared worker pool; each row's accumulation order is
-// unchanged, so the result is bit-identical to a serial run.
+// Mul returns the product m · b, computed with the cache-blocked axpy4
+// kernel in kernels.go (b swept in fixed row panels, four rows folded per
+// pass). Rows of the output are computed in parallel on the shared worker
+// pool; every output entry is one ascending-k multiply-add chain with
+// fixed group boundaries regardless of sharding, so the result is
+// bit-identical to a serial run.
 func (m *Dense) Mul(b *Dense) *Dense {
 	if m.cols != b.rows {
 		panic(fmt.Sprintf("matrix: Mul dimension mismatch %d×%d · %d×%d", m.rows, m.cols, b.rows, b.cols))
 	}
 	out := New(m.rows, b.cols)
-	// ikj loop order: stream through b's rows for cache friendliness.
 	parallel.For(m.rows, parallel.Grain(2*m.cols*b.cols), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			oi := out.data[i*b.cols : (i+1)*b.cols]
-			mi := m.data[i*m.cols : (i+1)*m.cols]
-			for k := 0; k < m.cols; k++ {
-				a := mi[k]
-				if a == 0 {
-					continue
-				}
-				bk := b.data[k*b.cols : (k+1)*b.cols]
-				for j, bv := range bk {
-					oi[j] += a * bv
-				}
-			}
-		}
+		mulRange(out, m, b, lo, hi)
 	})
 	return out
 }
 
-// MulVec returns the matrix-vector product m · x. Output entries are
-// computed in parallel (bit-identical to serial).
+// MulVec returns the matrix-vector product m · x, four rows per pass over
+// the shared x (kernels.go). Each entry keeps Dot's ascending-k chain —
+// bit-identical to serial at every pool width.
 func (m *Dense) MulVec(x []float64) []float64 {
 	if len(x) != m.cols {
 		panic(fmt.Sprintf("matrix: MulVec length %d != %d cols", len(x), m.cols))
 	}
 	out := make([]float64, m.rows)
 	parallel.For(m.rows, parallel.Grain(2*m.cols), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = Dot(m.data[i*m.cols:(i+1)*m.cols], x)
-		}
+		mulVecRange(out, x, m, lo, hi)
 	})
 	return out
 }
 
 // TMulVec returns mᵀ · x. The output is split into column bands, each
-// accumulated over rows in ascending order — bit-identical to serial.
+// accumulated over rows in ascending order (four rows per load-store pass,
+// kernels.go) — bit-identical to serial at every pool width.
 func (m *Dense) TMulVec(x []float64) []float64 {
 	if len(x) != m.rows {
 		panic(fmt.Sprintf("matrix: TMulVec length %d != %d rows", len(x), m.rows))
 	}
 	out := make([]float64, m.cols)
 	parallel.For(m.cols, parallel.Grain(2*m.rows), func(lo, hi int) {
-		band := out[lo:hi]
-		for i := 0; i < m.rows; i++ {
-			xi := x[i]
-			if xi == 0 {
-				continue
-			}
-			mi := m.data[i*m.cols+lo : i*m.cols+hi]
-			for j, v := range mi {
-				band[j] += xi * v
-			}
-		}
+		tmulVecRange(out, x, m, lo, hi)
 	})
 	return out
 }
 
 // Gram returns mᵀ · m (the d×d covariance Gram matrix), exploiting symmetry.
-// Rows of the upper triangle are accumulated in parallel; each output entry
-// sums over input rows in ascending order, bit-identical to serial.
+// Rows of the upper triangle are computed in parallel, folding groups of
+// four input rows per pass with the axpy4 micro-kernel (kernels.go). The
+// group schedule starts at row 0 regardless of sharding — every entry is
+// one fixed ascending-row chain at every pool width, so results are
+// bit-identical across widths (grouping only changes rounding vs the
+// pre-blocking row-at-a-time chain; cross-kernel tests use tolerances).
 func (m *Dense) Gram() *Dense {
 	d := m.cols
 	out := New(d, d)
 	parallel.For(d, parallel.Grain(m.rows*(d+1)), func(lo, hi int) {
-		for r := 0; r < m.rows; r++ {
-			row := m.data[r*d : (r+1)*d]
-			for i := lo; i < hi; i++ {
-				vi := row[i]
-				if vi == 0 {
-					continue
-				}
-				oi := out.data[i*d:]
-				for j := i; j < d; j++ {
-					oi[j] += vi * row[j]
-				}
-			}
-		}
+		gramRange(out, m, lo, hi)
 	})
 	for i := 0; i < d; i++ {
 		for j := i + 1; j < d; j++ {
@@ -334,9 +323,10 @@ func (m *Dense) Gram() *Dense {
 }
 
 // TMul returns mᵀ · b. Row blocks accumulate into private partial products
-// merged in block order: deterministic for a fixed pool width, but the
-// chunked summation may differ from a serial run by rounding (the serial
-// fallback below the grain is exact).
+// (groups of four rows folded per pass by axpy4, kernels.go) merged in
+// block order: deterministic for a fixed pool width, but the chunked
+// summation may differ from a serial run by rounding (documented
+// 1e-12-grade tolerance).
 func (m *Dense) TMul(b *Dense) *Dense {
 	if m.rows != b.rows {
 		panic(fmt.Sprintf("matrix: TMul dimension mismatch (%d×%d)ᵀ · %d×%d", m.rows, m.cols, b.rows, b.cols))
@@ -345,19 +335,7 @@ func (m *Dense) TMul(b *Dense) *Dense {
 		if acc == nil {
 			acc = New(m.cols, b.cols)
 		}
-		for r := lo; r < hi; r++ {
-			mr := m.data[r*m.cols : (r+1)*m.cols]
-			br := b.data[r*b.cols : (r+1)*b.cols]
-			for i, a := range mr {
-				if a == 0 {
-					continue
-				}
-				oi := acc.data[i*b.cols : (i+1)*b.cols]
-				for j, bv := range br {
-					oi[j] += a * bv
-				}
-			}
-		}
+		tmulRange(acc, m, b, lo, hi)
 		return acc
 	}
 	out := parallel.Reduce(m.rows, parallel.Grain(2*m.cols*b.cols), (*Dense)(nil), accumulate,
@@ -378,21 +356,17 @@ func (m *Dense) TMul(b *Dense) *Dense {
 	return out
 }
 
-// MulT returns m · bᵀ. Output rows are computed in parallel (bit-identical
-// to serial).
+// MulT returns m · bᵀ: dot products of row pairs, four b-rows per pass
+// (kernels.go; dot-shaped, so it stays untiled — see mulTRange). Output
+// rows are computed in parallel; every entry is one ascending-k chain —
+// bit-identical to serial at every pool width.
 func (m *Dense) MulT(b *Dense) *Dense {
 	if m.cols != b.cols {
 		panic(fmt.Sprintf("matrix: MulT dimension mismatch %d×%d · (%d×%d)ᵀ", m.rows, m.cols, b.rows, b.cols))
 	}
 	out := New(m.rows, b.rows)
 	parallel.For(m.rows, parallel.Grain(2*m.cols*b.rows), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			mi := m.data[i*m.cols : (i+1)*m.cols]
-			oi := out.data[i*b.rows : (i+1)*b.rows]
-			for j := 0; j < b.rows; j++ {
-				oi[j] = Dot(mi, b.data[j*b.cols:(j+1)*b.cols])
-			}
-		}
+		mulTRange(out, m, b, lo, hi)
 	})
 	return out
 }

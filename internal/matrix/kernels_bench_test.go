@@ -1,0 +1,159 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// Kernel micro-benchmarks at the BENCH table-1 hot-path shape (n=8192,
+// d=64, pool width 1): blocked kernels vs the serial reference loops they
+// replaced. The Ref legs are what shipped before the blocked rewrite, so
+// the pair gives the kernel speedup directly. BenchmarkGram reports
+// allocations — CI fails the build if the steady path allocates beyond
+// the output (see .github/workflows/ci.yml).
+
+const (
+	benchRows = 8192
+	benchCols = 64
+)
+
+func benchMatrix(b *testing.B, rows, cols int, seed int64) *Dense {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := New(rows, cols)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func benchVec(b *testing.B, n int, seed int64) []float64 {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func serially(b *testing.B, f func()) {
+	b.Helper()
+	prev := parallel.Workers()
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	b.ResetTimer()
+	f()
+}
+
+func BenchmarkGram(b *testing.B) {
+	m := benchMatrix(b, benchRows, benchCols, 1)
+	b.ReportAllocs()
+	serially(b, func() {
+		for i := 0; i < b.N; i++ {
+			_ = m.Gram()
+		}
+	})
+}
+
+func BenchmarkGramRef(b *testing.B) {
+	m := benchMatrix(b, benchRows, benchCols, 1)
+	b.ReportAllocs()
+	serially(b, func() {
+		for i := 0; i < b.N; i++ {
+			_ = RefGram(m)
+		}
+	})
+}
+
+func BenchmarkTMul(b *testing.B) {
+	m := benchMatrix(b, benchRows, benchCols, 1)
+	x := benchMatrix(b, benchRows, benchCols, 2)
+	serially(b, func() {
+		for i := 0; i < b.N; i++ {
+			_ = m.TMul(x)
+		}
+	})
+}
+
+func BenchmarkTMulRef(b *testing.B) {
+	m := benchMatrix(b, benchRows, benchCols, 1)
+	x := benchMatrix(b, benchRows, benchCols, 2)
+	serially(b, func() {
+		for i := 0; i < b.N; i++ {
+			_ = RefTMul(m, x)
+		}
+	})
+}
+
+func BenchmarkMulSquare(b *testing.B) {
+	m := benchMatrix(b, 512, 512, 1)
+	x := benchMatrix(b, 512, 512, 2)
+	serially(b, func() {
+		for i := 0; i < b.N; i++ {
+			_ = m.Mul(x)
+		}
+	})
+}
+
+func BenchmarkMulSquareRef(b *testing.B) {
+	m := benchMatrix(b, 512, 512, 1)
+	x := benchMatrix(b, 512, 512, 2)
+	serially(b, func() {
+		for i := 0; i < b.N; i++ {
+			_ = RefMul(m, x)
+		}
+	})
+}
+
+func BenchmarkMulT(b *testing.B) {
+	m := benchMatrix(b, 1024, benchCols, 1)
+	x := benchMatrix(b, 1024, benchCols, 2)
+	serially(b, func() {
+		for i := 0; i < b.N; i++ {
+			_ = m.MulT(x)
+		}
+	})
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	m := benchMatrix(b, benchRows, benchCols, 1)
+	x := benchVec(b, benchCols, 3)
+	serially(b, func() {
+		for i := 0; i < b.N; i++ {
+			_ = m.MulVec(x)
+		}
+	})
+}
+
+func BenchmarkMulVecRef(b *testing.B) {
+	m := benchMatrix(b, benchRows, benchCols, 1)
+	x := benchVec(b, benchCols, 3)
+	serially(b, func() {
+		for i := 0; i < b.N; i++ {
+			_ = RefMulVec(m, x)
+		}
+	})
+}
+
+func BenchmarkTMulVec(b *testing.B) {
+	m := benchMatrix(b, benchRows, benchCols, 1)
+	x := benchVec(b, benchRows, 4)
+	serially(b, func() {
+		for i := 0; i < b.N; i++ {
+			_ = m.TMulVec(x)
+		}
+	})
+}
+
+func BenchmarkTMulVecRef(b *testing.B) {
+	m := benchMatrix(b, benchRows, benchCols, 1)
+	x := benchVec(b, benchRows, 4)
+	serially(b, func() {
+		for i := 0; i < b.N; i++ {
+			_ = RefTMulVec(m, x)
+		}
+	})
+}

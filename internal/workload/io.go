@@ -19,7 +19,15 @@ import (
 //	rows    uint32
 //	cols    uint32
 //	entries float64 × rows·cols, row-major, little-endian
-const matrixMagic uint32 = 0x44534b4d
+//
+// The float32 variant ("DSKF") has the identical header with float32
+// entries — half the bytes per entry, rounded to nearest on write. Readers
+// (ReadMatrix, FileSource) detect the variant from the magic, so every
+// consumer accepts both.
+const (
+	matrixMagic   uint32 = 0x44534b4d
+	matrixMagic32 uint32 = 0x44534b46
+)
 
 // MaxMatrixEntries is the format's documented size limit: rows·cols may not
 // exceed 2³⁰ entries (8 GiB of float64 payload). The same limit is enforced
@@ -46,6 +54,19 @@ func checkMatrixEntries(rows, cols uint64) error {
 // different (smaller) matrix — as are matrices beyond MaxMatrixEntries,
 // which the readers would refuse.
 func WriteMatrix(w io.Writer, m *matrix.Dense) error {
+	return writeMatrix(w, m, matrixMagic)
+}
+
+// WriteMatrix32 writes m in the float32 variant of the binary format: the
+// same header under the "DSKF" magic, with every entry rounded to the
+// nearest float32 — half the file size, at a bounded precision cost (see
+// the wire-precision analogue in internal/comm). Reading the file back
+// yields exactly the float32 rounding of each entry.
+func WriteMatrix32(w io.Writer, m *matrix.Dense) error {
+	return writeMatrix(w, m, matrixMagic32)
+}
+
+func writeMatrix(w io.Writer, m *matrix.Dense, magic uint32) error {
 	bw := bufio.NewWriter(w)
 	r, c := m.Dims()
 	if uint64(r) > math.MaxUint32 || uint64(c) > math.MaxUint32 {
@@ -54,7 +75,7 @@ func WriteMatrix(w io.Writer, m *matrix.Dense) error {
 	if err := checkMatrixEntries(uint64(r), uint64(c)); err != nil {
 		return err
 	}
-	hdr := []uint32{matrixMagic, uint32(r), uint32(c)}
+	hdr := []uint32{magic, uint32(r), uint32(c)}
 	for _, h := range hdr {
 		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
 			return fmt.Errorf("workload: write header: %w", err)
@@ -62,6 +83,13 @@ func WriteMatrix(w io.Writer, m *matrix.Dense) error {
 	}
 	buf := make([]byte, 8)
 	for _, v := range m.Data() {
+		if magic == matrixMagic32 {
+			binary.LittleEndian.PutUint32(buf, math.Float32bits(float32(v)))
+			if _, err := bw.Write(buf[:4]); err != nil {
+				return fmt.Errorf("workload: write entry: %w", err)
+			}
+			continue
+		}
 		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
 		if _, err := bw.Write(buf); err != nil {
 			return fmt.Errorf("workload: write entry: %w", err)
@@ -70,7 +98,20 @@ func WriteMatrix(w io.Writer, m *matrix.Dense) error {
 	return bw.Flush()
 }
 
-// ReadMatrix reads a matrix in the binary matrix format from r.
+// matrixElemBytes maps a header magic to the format's entry width, or 0
+// for an unknown magic.
+func matrixElemBytes(magic uint32) int {
+	switch magic {
+	case matrixMagic:
+		return 8
+	case matrixMagic32:
+		return 4
+	}
+	return 0
+}
+
+// ReadMatrix reads a matrix in the binary matrix format from r, accepting
+// both the float64 ("DSKM") and float32 ("DSKF") variants.
 func ReadMatrix(r io.Reader) (*matrix.Dense, error) {
 	br := bufio.NewReader(r)
 	var magic, rows, cols uint32
@@ -79,31 +120,45 @@ func ReadMatrix(r io.Reader) (*matrix.Dense, error) {
 			return nil, fmt.Errorf("workload: read header: %w", err)
 		}
 	}
-	if magic != matrixMagic {
-		return nil, fmt.Errorf("workload: bad magic %#x (want %#x)", magic, matrixMagic)
+	elem := matrixElemBytes(magic)
+	if elem == 0 {
+		return nil, fmt.Errorf("workload: bad magic %#x (want %#x or %#x)", magic, matrixMagic, matrixMagic32)
 	}
 	if err := checkMatrixEntries(uint64(rows), uint64(cols)); err != nil {
 		return nil, err
 	}
 	m := matrix.New(int(rows), int(cols))
 	data := m.Data()
-	buf := make([]byte, 8)
+	buf := make([]byte, elem)
 	for i := range data {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return nil, fmt.Errorf("workload: read entry %d: %w", i, err)
 		}
-		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		if elem == 4 {
+			data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf)))
+		} else {
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		}
 	}
 	return m, nil
 }
 
 // SaveMatrix writes m to the named file.
 func SaveMatrix(path string, m *matrix.Dense) error {
+	return saveMatrix(path, m, WriteMatrix)
+}
+
+// SaveMatrix32 writes m to the named file in the float32 variant.
+func SaveMatrix32(path string, m *matrix.Dense) error {
+	return saveMatrix(path, m, WriteMatrix32)
+}
+
+func saveMatrix(path string, m *matrix.Dense, write func(io.Writer, *matrix.Dense) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := WriteMatrix(f, m); err != nil {
+	if err := write(f, m); err != nil {
 		f.Close()
 		return err
 	}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+// Property: a float32 file round-trips every entry to exactly
+// float64(float32(v)) — the write-side rounding is the only loss, and the
+// read-side widening is exact.
+func TestPropMatrix32RoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := matrix.New(r, c)
+		for i := range m.Data() {
+			m.Data()[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(12)-6))
+		}
+		var buf bytes.Buffer
+		if err := WriteMatrix32(&buf, m); err != nil {
+			return false
+		}
+		// Exactly half the payload of the float64 format.
+		if buf.Len() != matrixHeaderBytes+4*r*c {
+			return false
+		}
+		got, err := ReadMatrix(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Rows() != r || got.Cols() != c {
+			return false
+		}
+		for i, v := range m.Data() {
+			if got.Data()[i] != float64(float32(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The float32 writer and both readers enforce the same entry cap and magic
+// validation as the float64 format: no crafted "DSKF" header can make a
+// reader allocate past MaxMatrixEntries.
+func TestMatrix32EntryCapAndCraftedHeaders(t *testing.T) {
+	defer func(old uint64) { maxMatrixEntries = old }(maxMatrixEntries)
+	maxMatrixEntries = 12
+
+	over := matrix.New(13, 1)
+	var buf bytes.Buffer
+	if err := WriteMatrix32(&buf, over); err == nil || !strings.Contains(err.Error(), "entry limit") {
+		t.Fatalf("WriteMatrix32 over the cap: err = %v, want entry-limit error", err)
+	}
+
+	craft := func(magic, rows, cols uint32) []byte {
+		b := make([]byte, 0, matrixHeaderBytes)
+		for _, h := range []uint32{magic, rows, cols} {
+			b = binary.LittleEndian.AppendUint32(b, h)
+		}
+		return b
+	}
+	// Over-cap DSKF header: rejected by the materializing reader and the
+	// streaming source alike.
+	overHdr := craft(matrixMagic32, 13, 1)
+	if _, err := ReadMatrix(bytes.NewReader(overHdr)); err == nil || !strings.Contains(err.Error(), "entry limit") {
+		t.Fatalf("ReadMatrix over-cap f32 header: err = %v, want entry-limit error", err)
+	}
+	overPath := filepath.Join(t.TempDir(), "over32.dskm")
+	if err := os.WriteFile(overPath, overHdr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileSource(overPath); err == nil || !strings.Contains(err.Error(), "entry limit") {
+		t.Fatalf("OpenFileSource over-cap f32 header: err = %v, want entry-limit error", err)
+	}
+	// Unknown magic near the real ones: both readers must name both accepted
+	// magics in the rejection.
+	badHdr := craft(0x44534b47, 2, 2)
+	if _, err := ReadMatrix(bytes.NewReader(badHdr)); err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("ReadMatrix unknown magic: err = %v, want bad-magic error", err)
+	}
+	badPath := filepath.Join(t.TempDir(), "bad.dskm")
+	if err := os.WriteFile(badPath, badHdr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileSource(badPath); err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("OpenFileSource unknown magic: err = %v, want bad-magic error", err)
+	}
+	// A truncated float32 payload fails the row read, not silently short.
+	shortPath := filepath.Join(t.TempDir(), "short32.dskm")
+	short := append(craft(matrixMagic32, 2, 2), 0, 0, 0, 0) // one of four entries
+	if err := os.WriteFile(shortPath, short, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenFileSource(shortPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if _, ok := src.Next(); ok {
+		t.Fatal("Next succeeded on a truncated float32 row")
+	}
+	if src.Err() == nil {
+		t.Fatal("truncated float32 file left Err() nil")
+	}
+}
+
+// The streaming FileSource must agree row-for-row with the materializing
+// ReadMatrix on a float32 file, and Reset must replay it identically — the
+// out-of-core path sees exactly the matrix the in-core path sees.
+func TestFileSource32MatchesReadMatrix(t *testing.T) {
+	m := Gaussian(rand.New(rand.NewSource(9)), 17, 5)
+	path := filepath.Join(t.TempDir(), "g32.dskm")
+	if err := SaveMatrix32(path, m); err != nil {
+		t.Fatal(err)
+	}
+	want, err := LoadMatrix(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OpenSource auto-detects the float32 variant from the magic, no new
+	// extension or flag required.
+	src, err := OpenSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for pass := 0; pass < 2; pass++ {
+		n, d := src.Dims()
+		if n != 17 || d != 5 {
+			t.Fatalf("pass %d: dims %d×%d", pass, n, d)
+		}
+		for i := 0; i < n; i++ {
+			row, ok := src.Next()
+			if !ok {
+				t.Fatalf("pass %d: source ended at row %d: %v", pass, i, src.Err())
+			}
+			for j, v := range row {
+				if v != want.At(i, j) {
+					t.Fatalf("pass %d: entry (%d,%d) = %v, ReadMatrix has %v", pass, i, j, v, want.At(i, j))
+				}
+				if v != float64(float32(m.At(i, j))) {
+					t.Fatalf("pass %d: entry (%d,%d) = %v, want float32 rounding of %v", pass, i, j, v, m.At(i, j))
+				}
+			}
+		}
+		if _, ok := src.Next(); ok {
+			t.Fatalf("pass %d: source yielded more than %d rows", pass, 17)
+		}
+		if err := src.(*FileSource).Reset(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

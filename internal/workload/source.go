@@ -155,17 +155,19 @@ func (s *SparseSource) Err() error { return nil }
 // ---------------------------------------------------------------------------
 
 // matrixHeaderBytes is the size of the binary format's magic+rows+cols
-// header preceding the row-major float64 payload.
+// header preceding the row-major payload (both precision variants).
 const matrixHeaderBytes = 12
 
 // FileSource streams rows from a binary matrix file (the .dskm format of
-// WriteMatrix) without ever holding more than one row in memory — the
-// out-of-core ingestion path. It is not safe for concurrent use.
+// WriteMatrix, float64 or float32 variant — detected from the magic)
+// without ever holding more than one row in memory — the out-of-core
+// ingestion path. It is not safe for concurrent use.
 type FileSource struct {
 	path string
 	f    *os.File
 	br   *bufio.Reader
 	n, d int
+	elem int // bytes per stored entry: 8 (float64) or 4 (float32)
 	at   int
 	err  error
 	buf  []byte
@@ -186,9 +188,10 @@ func OpenFileSource(path string) (*FileSource, error) {
 			return nil, fmt.Errorf("workload: %s: read header: %w", path, err)
 		}
 	}
-	if magic != matrixMagic {
+	elem := matrixElemBytes(magic)
+	if elem == 0 {
 		f.Close()
-		return nil, fmt.Errorf("workload: %s: bad magic %#x (want %#x)", path, magic, matrixMagic)
+		return nil, fmt.Errorf("workload: %s: bad magic %#x (want %#x or %#x)", path, magic, matrixMagic, matrixMagic32)
 	}
 	if err := checkMatrixEntries(uint64(rows), uint64(cols)); err != nil {
 		f.Close()
@@ -196,15 +199,15 @@ func OpenFileSource(path string) (*FileSource, error) {
 	}
 	return &FileSource{
 		path: path, f: f, br: br,
-		n: int(rows), d: int(cols),
-		buf: make([]byte, 8*int(cols)),
+		n: int(rows), d: int(cols), elem: elem,
+		buf: make([]byte, elem*int(cols)),
 	}, nil
 }
 
 // Dims implements RowSource.
 func (s *FileSource) Dims() (int, int) { return s.n, s.d }
 
-// Next implements RowSource, reading one row (8·d bytes) from the file.
+// Next implements RowSource, reading one row (elem·d bytes) from the file.
 func (s *FileSource) Next() ([]float64, bool) {
 	if s.err != nil || s.at >= s.n {
 		return nil, false
@@ -214,8 +217,14 @@ func (s *FileSource) Next() ([]float64, bool) {
 		return nil, false
 	}
 	row := make([]float64, s.d)
-	for j := range row {
-		row[j] = math.Float64frombits(binary.LittleEndian.Uint64(s.buf[8*j:]))
+	if s.elem == 4 {
+		for j := range row {
+			row[j] = float64(math.Float32frombits(binary.LittleEndian.Uint32(s.buf[4*j:])))
+		}
+	} else {
+		for j := range row {
+			row[j] = math.Float64frombits(binary.LittleEndian.Uint64(s.buf[8*j:]))
+		}
 	}
 	s.at++
 	return row, true
