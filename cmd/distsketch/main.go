@@ -51,6 +51,21 @@
 // A written trace can be schema-checked offline:
 //
 //	distsketch -role check-trace -trace run.jsonl
+//
+// Service mode (-serve) turns both roles into long-lived daemons: servers
+// ingest under the monitoring-model tracking protocol (optionally looping
+// their input with -loop or generating rows with -gen), checkpoint their
+// sketch state atomically (-checkpoint, -checkpoint-every,
+// -checkpoint-rows), and restore from the checkpoint on restart; the
+// coordinator answers /status, /sketch, /coverr, /topk?k=, and /window on
+// the -debug endpoint. SIGINT/SIGTERM stop a daemon gracefully (servers
+// write a final checkpoint first). See the README's "service mode"
+// section for a full walkthrough:
+//
+//	distsketch -serve -role coordinator -addr :9009 -servers 2 -d 32 \
+//	    -eps 0.2 -debug 127.0.0.1:8080
+//	distsketch -serve -role server -addr host:9009 -id 0 -servers 2 \
+//	    -input data.dskm -eps 0.2 -loop -checkpoint s0.dskm -checkpoint-every 5s
 package main
 
 import (
@@ -58,6 +73,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/distsketch"
@@ -88,6 +105,20 @@ type options struct {
 	trace    string
 	metrics  string
 	debug    string
+
+	// Service mode (-serve).
+	serve           bool
+	policy          string
+	window          int
+	windowBuckets   int
+	checkpoint      string
+	checkpointEvery time.Duration
+	checkpointRows  int
+	maxRows         int
+	loop            bool
+	gen             int
+	throttle        time.Duration
+	drainExit       bool
 }
 
 func main() {
@@ -116,6 +147,18 @@ func main() {
 	flag.StringVar(&o.trace, "trace", "", "write a JSONL protocol trace to this file (check-trace: file to validate)")
 	flag.StringVar(&o.metrics, "metrics", "", "write a metrics registry snapshot (JSON) to this file on exit, - for stdout")
 	flag.StringVar(&o.debug, "debug", "", "serve expvar and pprof on this address (e.g. 127.0.0.1:0)")
+	flag.BoolVar(&o.serve, "serve", false, "long-lived service mode: daemon servers + HTTP query coordinator")
+	flag.StringVar(&o.policy, "policy", "fd-delta", "service tracking policy: full-sketch, fd-delta, or svs-delta")
+	flag.IntVar(&o.window, "window", 0, "sliding-window size W in rows (0 = windowing off; service mode)")
+	flag.IntVar(&o.windowBuckets, "window-buckets", 4, "sub-sketch buckets per window (service mode)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file (.dskm) for the server's sketch state (service mode)")
+	flag.DurationVar(&o.checkpointEvery, "checkpoint-every", 0, "checkpoint on this timer (service mode; 0 = off)")
+	flag.IntVar(&o.checkpointRows, "checkpoint-rows", 0, "checkpoint every N ingested rows (service mode; 0 = off)")
+	flag.IntVar(&o.maxRows, "max-rows", 0, "stop ingesting after N rows total (service mode; 0 = unbounded)")
+	flag.BoolVar(&o.loop, "loop", false, "loop the input stream when it drains (service mode)")
+	flag.IntVar(&o.gen, "gen", 0, "generate an N-row synthetic low-rank stream instead of -input (service mode)")
+	flag.DurationVar(&o.throttle, "throttle", 0, "pause between ingested rows (service mode; 0 = full speed)")
+	flag.BoolVar(&o.drainExit, "exit-when-drained", false, "exit once the input drains instead of idling (service mode)")
 	flag.Parse()
 
 	if o.role == "check-trace" {
@@ -141,18 +184,31 @@ func main() {
 		os.Exit(1)
 	}
 	ctx := context.Background()
+	if o.serve {
+		// Daemons stop gracefully on SIGINT/SIGTERM: servers write a final
+		// checkpoint, the coordinator drains its query loop.
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stop()
+	}
 	if o.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, o.timeout)
 		defer cancel()
 	}
 
-	switch o.role {
-	case "coordinator":
+	switch {
+	case o.serve && o.role == "coordinator":
+		err = runServeCoordinator(ctx, o)
+	case o.serve && o.role == "server":
+		err = runServeServer(ctx, o)
+	case o.serve:
+		err = fmt.Errorf("-serve supports -role coordinator or server, not %q", o.role)
+	case o.role == "coordinator":
 		err = runCoordinator(ctx, o)
-	case "server":
+	case o.role == "server":
 		err = runServer(ctx, o)
-	case "aggregator":
+	case o.role == "aggregator":
 		err = runAggregator(ctx, o)
 	default:
 		err = fmt.Errorf("missing or unknown -role %q (want coordinator, server, aggregator or check-trace)", o.role)

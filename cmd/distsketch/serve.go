@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/distsketch"
+)
+
+// Service mode (-serve): long-lived daemons instead of one-shot protocol
+// runs. The coordinator absorbs monitoring-model uploads forever and
+// answers queries on the -debug HTTP endpoint; servers ingest their
+// RowSource (looping or generating indefinitely), checkpoint their sketch
+// state, and resume from the checkpoint after a restart.
+
+// serviceConfig materializes the -serve flags for column dimension d.
+func (o options) serviceConfig(d int) (distsketch.ServiceConfig, error) {
+	pol, err := distsketch.ParseTrackingPolicy(o.policy)
+	if err != nil {
+		return distsketch.ServiceConfig{}, err
+	}
+	return distsketch.ServiceConfig{
+		Monitoring: distsketch.TrackingConfig{
+			Eps: o.eps, S: o.servers, D: d, Policy: pol, Seed: o.seed,
+		},
+		Window:              o.window,
+		WindowBuckets:       o.windowBuckets,
+		CheckpointPath:      o.checkpoint,
+		CheckpointEvery:     o.checkpointEvery,
+		CheckpointEveryRows: o.checkpointRows,
+		CheckpointOnExit:    o.checkpoint != "",
+		Loop:                o.loop,
+		MaxRows:             o.maxRows,
+		ExitWhenDrained:     o.drainExit,
+		Throttle:            o.throttle,
+	}, nil
+}
+
+func runServeCoordinator(ctx context.Context, o options) error {
+	if o.d <= 0 {
+		return fmt.Errorf("service coordinator needs -d (column dimension)")
+	}
+	cfg, err := o.serviceConfig(o.d)
+	if err != nil {
+		return err
+	}
+	coord, err := distsketch.NewServiceCoordinator(cfg)
+	if err != nil {
+		return err
+	}
+	hub, err := distsketch.NewTCPCoordinatorOpts(o.addr, o.servers, nil, distsketch.TCPOptions{
+		DebugAddr:  o.debug,
+		DebugMount: coord.Mount,
+	})
+	if err != nil {
+		return err
+	}
+	defer hub.Close()
+	if dbg := hub.Debug(); dbg != nil {
+		fmt.Printf("service coordinator on %s (s=%d, policy %s); query API on http://%s\n",
+			hub.Addr(), o.servers, cfg.Monitoring.Policy, dbg.Addr())
+	} else {
+		fmt.Printf("service coordinator on %s (s=%d, policy %s); pass -debug to expose the HTTP query API\n",
+			hub.Addr(), o.servers, cfg.Monitoring.Policy)
+	}
+	return coord.Run(ctx, hub)
+}
+
+func runServeServer(ctx context.Context, o options) error {
+	if o.id < 0 || o.id >= o.servers {
+		return fmt.Errorf("server -id %d out of range 0..%d", o.id, o.servers-1)
+	}
+	var src distsketch.RowSource
+	switch {
+	case o.input != "":
+		fs, err := distsketch.OpenSource(o.input)
+		if err != nil {
+			return err
+		}
+		defer fs.Close()
+		src = fs
+		if !o.part {
+			n, _ := fs.Dims()
+			lo, hi := distsketch.ContiguousRange(n, o.servers, o.id)
+			src = distsketch.NewSectionSource(fs, lo, hi)
+		}
+	case o.gen > 0:
+		if o.d <= 0 {
+			return fmt.Errorf("-gen needs -d (column dimension)")
+		}
+		rng := rand.New(rand.NewSource(o.seed + int64(o.id)))
+		m := distsketch.LowRankPlusNoise(rng, o.gen, o.d, o.k, 15, 0.8, 0.3)
+		src = distsketch.NewDenseSource(m)
+	default:
+		return fmt.Errorf("service server needs -input or -gen")
+	}
+	_, d := src.Dims()
+	cfg, err := o.serviceConfig(d)
+	if err != nil {
+		return err
+	}
+	srv, err := distsketch.NewServiceServer(cfg, o.id, src)
+	if err != nil {
+		return err
+	}
+	if srv.Restored() {
+		fmt.Printf("server %d: restored from %s at row %d\n", o.id, o.checkpoint, srv.Consumed())
+	}
+	up, err := distsketch.DialTCPServerContext(ctx, o.addr, o.id, nil, distsketch.TCPOptions{})
+	if err != nil {
+		return err
+	}
+	defer up.Close()
+	fmt.Printf("server %d: serving (d=%d, window %d, checkpoint %q)\n", o.id, d, o.window, o.checkpoint)
+	if err := srv.Run(ctx, up); err != nil {
+		return err
+	}
+	fmt.Printf("server %d: stopped after %d rows, %.1f words\n", o.id, srv.Consumed(), srv.Words())
+	return nil
+}

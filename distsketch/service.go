@@ -1,0 +1,62 @@
+package distsketch
+
+import (
+	"repro/internal/monitoring"
+	"repro/internal/service"
+)
+
+// Service surface: the long-lived daemon runtime (internal/service) and
+// the monitoring-model tracking protocol underneath it
+// (internal/monitoring), re-exported so applications and cmd/distsketch
+// can run a sketch *service* — servers that ingest indefinitely, a
+// coordinator that answers /sketch, /coverr, /topk, /window, and /status
+// over the -debug endpoint, and atomic checkpoints that let a killed
+// server restore and resume without replaying its stream.
+
+// TrackingPolicy selects the monitoring-model upload compression scheme.
+type TrackingPolicy = monitoring.Policy
+
+const (
+	// PolicyFullSketch re-sends the full local sketch on every trigger.
+	PolicyFullSketch = monitoring.PolicyFullSketch
+	// PolicyDelta sends an FD sketch of only the unreported rows.
+	PolicyDelta = monitoring.PolicyDelta
+	// PolicySVSDelta sends an SVS sample of the unreported rows' sketch.
+	PolicySVSDelta = monitoring.PolicySVSDelta
+)
+
+// ParseTrackingPolicy converts a -policy flag string ("full-sketch",
+// "fd-delta", "svs-delta"; "" = fd-delta) to a TrackingPolicy.
+var ParseTrackingPolicy = monitoring.ParsePolicy
+
+// TrackingConfig parameterizes the continuous tracking protocol (ε, s, d,
+// policy, seed) inside a ServiceConfig.
+type TrackingConfig = monitoring.Config
+
+// ServiceConfig configures one service deployment: the tracking protocol,
+// the sliding window, checkpointing, and the ingestion lifecycle. The
+// same value drives both roles.
+type ServiceConfig = service.Config
+
+// ServiceServer is a long-lived sketch server; ServiceCoordinator is the
+// long-lived query side. See service.NewServer / service.NewCoordinator.
+type (
+	ServiceServer      = service.Server
+	ServiceCoordinator = service.Coordinator
+)
+
+// ServiceStatus is the coordinator's /status payload; ServiceWindowResult
+// answers a sliding-window query.
+type (
+	ServiceStatus       = service.Status
+	ServiceWindowResult = service.WindowResult
+)
+
+var (
+	// NewServiceServer builds a daemon server over a RowSource, restoring
+	// from the configured checkpoint when one exists.
+	NewServiceServer = service.NewServer
+	// NewServiceCoordinator builds the daemon coordinator; mount its HTTP
+	// API via TCPOptions.DebugMount and drive it with Run.
+	NewServiceCoordinator = service.NewCoordinator
+)

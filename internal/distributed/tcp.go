@@ -50,9 +50,15 @@ type TCPOptions struct {
 	Obs *obs.Observer
 	// DebugAddr, when non-empty on the coordinator, serves pprof and expvar
 	// on that address (e.g. "127.0.0.1:6060") for the lifetime of the
-	// coordinator; see obs.ServeDebug. Mount a registry with PublishExpvar
-	// to see live metrics under /debug/vars.
+	// coordinator; see obs.DebugServer. Mount a registry with PublishExpvar
+	// to see live metrics under /debug/vars. Closing the hub drains the
+	// debug server gracefully (in-flight scrapes finish).
 	DebugAddr string
+	// DebugMount, when non-nil, is called with the debug server after the
+	// standard routes are installed and before it starts serving — the hook
+	// the service layer uses to mount its query API (/sketch, /status, …)
+	// on the same -debug endpoint.
+	DebugMount func(*obs.DebugServer)
 }
 
 // observer resolves the options' observability sink (possibly nil: no-op).
@@ -132,9 +138,9 @@ type TCPCoordinator struct {
 	mu    sync.Mutex
 	conns map[int]net.Conn
 
-	inbox      chan recvResult
-	done       chan struct{}
-	debugClose func() error
+	inbox chan recvResult
+	done  chan struct{}
+	dbg   *obs.DebugServer
 }
 
 type recvResult struct {
@@ -191,19 +197,27 @@ func NewTCPNodeHub(addr string, self int, children []int, meter *comm.Meter, opt
 		meter.SetRecorder(c.ob)
 	}
 	if opts.DebugAddr != "" {
-		dbgAddr, closeFn, err := obs.ServeDebug(opts.DebugAddr)
+		dbg, err := obs.NewDebugServer(opts.DebugAddr)
 		if err != nil {
 			ln.Close()
 			return nil, fmt.Errorf("distributed: debug server: %w", err)
 		}
-		c.debugClose = closeFn
-		c.ob.Note("debug server on " + dbgAddr)
+		if opts.DebugMount != nil {
+			opts.DebugMount(dbg)
+		}
+		dbg.Start()
+		c.dbg = dbg
+		c.ob.Note("debug server on " + dbg.Addr())
 	}
 	return c, nil
 }
 
 // DebugServing reports whether the opt-in pprof/expvar server is running.
-func (c *TCPCoordinator) DebugServing() bool { return c.debugClose != nil }
+func (c *TCPCoordinator) DebugServing() bool { return c.dbg != nil }
+
+// Debug returns the hub's debug HTTP server, or nil when DebugAddr was not
+// set.
+func (c *TCPCoordinator) Debug() *obs.DebugServer { return c.dbg }
 
 // Addr returns the listening address for servers to dial.
 func (c *TCPCoordinator) Addr() string { return c.ln.Addr().String() }
@@ -217,30 +231,10 @@ func (c *TCPCoordinator) Accept(ctx context.Context) error {
 	stop := context.AfterFunc(ctx, func() { c.ln.Close() })
 	defer stop()
 	for len(c.conns) < len(c.expect) {
-		conn, err := c.ln.Accept()
+		// One-shot runs treat every handshake defect as fatal.
+		id, conn, _, err := c.acceptOne(ctx)
 		if err != nil {
-			if ctxErr := ctx.Err(); ctxErr != nil {
-				return fmt.Errorf("distributed: accept: %w", ctxErr)
-			}
-			return fmt.Errorf("distributed: accept: %w", err)
-		}
-		conn = countedConn(conn, c.ob)
-		release := ioDeadline(ctx, c.opts.ReadTimeout, conn.SetReadDeadline)
-		hello, err := comm.Decode(conn)
-		release()
-		if err != nil {
-			conn.Close()
-			return fmt.Errorf("distributed: bad hello: %w", wrapIOErr(ctx, err))
-		}
-		if hello.Kind != "hello" || len(hello.Ints) != 1 {
-			conn.Close()
-			return fmt.Errorf("distributed: malformed hello %q", hello.Kind)
-		}
-		id := int(hello.Ints[0])
-		hello.Release()
-		if !c.expect[id] {
-			conn.Close()
-			return fmt.Errorf("distributed: hello from out-of-range server %d", id)
+			return err
 		}
 		c.mu.Lock()
 		if _, dup := c.conns[id]; dup {
@@ -257,6 +251,73 @@ func (c *TCPCoordinator) Accept(ctx context.Context) error {
 	return nil
 }
 
+// acceptOne accepts a single child connection and runs the hello
+// handshake. fatal distinguishes a dead listener / cancelled context
+// (stop accepting) from a defect confined to one connection.
+func (c *TCPCoordinator) acceptOne(ctx context.Context) (id int, conn net.Conn, fatal bool, err error) {
+	raw, err := c.ln.Accept()
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return 0, nil, true, fmt.Errorf("distributed: accept: %w", ctxErr)
+		}
+		return 0, nil, true, fmt.Errorf("distributed: accept: %w", err)
+	}
+	conn = countedConn(raw, c.ob)
+	release := ioDeadline(ctx, c.opts.ReadTimeout, conn.SetReadDeadline)
+	hello, err := comm.Decode(conn)
+	release()
+	if err != nil {
+		conn.Close()
+		return 0, nil, false, fmt.Errorf("distributed: bad hello: %w", wrapIOErr(ctx, err))
+	}
+	if hello.Kind != "hello" || len(hello.Ints) != 1 {
+		conn.Close()
+		return 0, nil, false, fmt.Errorf("distributed: malformed hello %q", hello.Kind)
+	}
+	id = int(hello.Ints[0])
+	hello.Release()
+	if !c.expect[id] {
+		conn.Close()
+		return 0, nil, false, fmt.Errorf("distributed: hello from out-of-range server %d", id)
+	}
+	return id, conn, false, nil
+}
+
+// ServeAccepts keeps the listener accepting after the initial Accept — the
+// daemon-mode reconnect path. A restarted child re-dials and identifies
+// itself; its fresh connection replaces (and closes) the previous one, and
+// a new read loop starts. Handshake defects on individual connections are
+// noted on the observer and skipped rather than treated as fatal, since a
+// long-lived hub must outlive any one bad client. Returns when ctx is
+// cancelled or the hub is closed.
+func (c *TCPCoordinator) ServeAccepts(ctx context.Context) {
+	stop := context.AfterFunc(ctx, func() { c.ln.Close() })
+	defer stop()
+	for {
+		id, conn, fatal, err := c.acceptOne(ctx)
+		if err != nil {
+			if fatal {
+				return
+			}
+			select {
+			case <-c.done:
+				return
+			default:
+			}
+			c.ob.Note("serve-accept: " + err.Error())
+			continue
+		}
+		c.mu.Lock()
+		old := c.conns[id]
+		c.conns[id] = conn
+		c.mu.Unlock()
+		if old != nil {
+			old.Close() // unblocks the dead connection's read loop
+		}
+		go c.readLoop(id, conn)
+	}
+}
+
 func (c *TCPCoordinator) readLoop(id int, conn net.Conn) {
 	for {
 		msg, err := comm.Decode(conn)
@@ -264,6 +325,14 @@ func (c *TCPCoordinator) readLoop(id int, conn net.Conn) {
 			// A clean EOF means the server finished its protocol and closed;
 			// that is the normal end of a run, not an error to surface.
 			if errors.Is(err, io.EOF) {
+				return
+			}
+			// A replaced connection (ServeAccepts reconnect) dies silently:
+			// the child is alive and talking on its new connection.
+			c.mu.Lock()
+			replaced := c.conns[id] != conn
+			c.mu.Unlock()
+			if replaced {
 				return
 			}
 			select {
@@ -297,8 +366,10 @@ func (c *TCPCoordinator) Close() {
 		close(c.done)
 	}
 	c.ln.Close()
-	if c.debugClose != nil {
-		c.debugClose()
+	if c.dbg != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		c.dbg.Shutdown(ctx)
+		cancel()
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -25,6 +25,7 @@ package monitoring
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/fd"
@@ -55,6 +56,22 @@ func (p Policy) String() string {
 		return "svs-delta"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts a flag string to a Policy: "full-sketch" (or
+// "full"), "fd-delta" (or "delta"), "svs-delta" (or "svs"); "" defaults to
+// fd-delta.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "fd-delta", "delta":
+		return PolicyDelta, nil
+	case "full-sketch", "full":
+		return PolicyFullSketch, nil
+	case "svs-delta", "svs":
+		return PolicySVSDelta, nil
+	default:
+		return 0, fmt.Errorf("monitoring: unknown policy %q (want full-sketch, fd-delta, or svs-delta)", s)
 	}
 }
 
@@ -124,11 +141,22 @@ type Upload struct {
 	Announce bool
 	// Mass is the server's exact local mass at upload time (one word).
 	Mass float64
+	// Shrinkage is the accumulated FD shrink charge of the shipped block
+	// (one word): the full sketch's Σδ under PolicyFullSketch, the delta
+	// sketch's Σδ under the delta policies. Shipping it lets the
+	// coordinator maintain a live covariance-error certificate
+	// (Coordinator.ErrorBound) instead of only an empirical audit.
+	Shrinkage float64
 	// Words is the message cost.
 	Words float64
 }
 
 func sketchSize(eps float64) int { return fd.SketchSize(eps/4, 0) }
+
+// SketchRows returns the FD sketch size the tracking protocol uses at
+// accuracy eps — exported so the service layer can build compatible
+// sketches (e.g. to merge window snapshots shipped by the servers).
+func SketchRows(eps float64) int { return sketchSize(eps) }
 
 func newServer(cfg Config, id int) *Server {
 	return &Server{
@@ -138,6 +166,14 @@ func newServer(cfg Config, id int) *Server {
 		full:    fd.New(cfg.D, sketchSize(cfg.Eps), fd.Options{}),
 		rng:     rand.New(rand.NewSource(cfg.Seed + int64(id))),
 	}
+}
+
+// NewServer creates the per-site state for tracking server id — the
+// entry point for long-lived deployments that drive Offer directly
+// (Simulate constructs its servers internally).
+func NewServer(cfg Config, id int) *Server {
+	cfg.validate()
+	return newServer(cfg, id)
 }
 
 // Offer feeds one row; it returns a non-nil Upload when the server's
@@ -186,12 +222,14 @@ func (s *Server) flush() (*Upload, error) {
 			return nil, err
 		}
 		up.Rows, up.Replace = b, true
+		up.Shrinkage = s.full.TotalShrinkage()
 	case PolicyDelta:
 		b, err := s.pending.Matrix()
 		if err != nil {
 			return nil, err
 		}
 		up.Rows = b
+		up.Shrinkage = s.pending.TotalShrinkage()
 	case PolicySVSDelta:
 		b, err := s.pending.Matrix()
 		if err != nil {
@@ -206,13 +244,52 @@ func (s *Server) flush() (*Upload, error) {
 			return nil, err
 		}
 		up.Rows = w
+		up.Shrinkage = s.pending.TotalShrinkage()
 	default:
 		return nil, fmt.Errorf("monitoring: unknown policy %v", s.cfg.Policy)
 	}
-	up.Words = float64(up.Rows.Rows()*s.cfg.D) + 1 // +1 for the mass word
+	up.Words = float64(up.Rows.Rows()*s.cfg.D) + 2 // + mass and shrinkage words
 	s.pending = fd.New(s.cfg.D, sketchSize(s.cfg.Eps), fd.Options{})
 	s.unreportedMass = 0
 	return up, nil
+}
+
+// FlushPending ships the unreported state regardless of threshold — the
+// final report a draining or stopping server sends so the coordinator
+// converges to the exact union even when the remaining mass never crosses
+// the budget (or no threshold was ever installed, e.g. a stream that
+// drains before the bootstrap broadcast arrives). Returns nil when nothing
+// is unreported.
+func (s *Server) FlushPending() (*Upload, error) {
+	if s.unreportedMass == 0 {
+		return nil, nil
+	}
+	return s.flush()
+}
+
+// ResumeUpload builds the replace-everything block a restored server sends
+// before resuming ingestion: its full cumulative sketch, covering every
+// row ever ingested including rows that were pending at the crash. The
+// coordinator substitutes it for all of this server's prior contributions
+// (Upload.Replace), which makes recovery exact without replaying or
+// deduplicating the pre-crash upload schedule. The pending delta resets —
+// post-resume uploads cover new rows only.
+func (s *Server) ResumeUpload() (*Upload, error) {
+	b, err := s.full.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	s.pending = fd.New(s.cfg.D, sketchSize(s.cfg.Eps), fd.Options{})
+	s.unreportedMass = 0
+	s.announced = true
+	return &Upload{
+		From:      s.id,
+		Rows:      b,
+		Replace:   true,
+		Mass:      s.localMass,
+		Shrinkage: s.full.TotalShrinkage(),
+		Words:     float64(b.Rows()*s.cfg.D) + 2,
+	}, nil
 }
 
 // SetThreshold installs a new unreported-mass budget (coordinator
@@ -222,19 +299,44 @@ func (s *Server) SetThreshold(t float64) { s.threshold = t }
 // LocalMass returns ‖A_i(t)‖F².
 func (s *Server) LocalMass() float64 { return s.localMass }
 
+// UnreportedMass returns the Frobenius mass received since the last upload.
+func (s *Server) UnreportedMass() float64 { return s.unreportedMass }
+
+// Threshold returns the currently installed unreported-mass budget (0
+// before the first broadcast reaches this server).
+func (s *Server) Threshold() float64 { return s.threshold }
+
+// Full returns the server's cumulative local sketch — everything ever
+// received, the state behind PolicyFullSketch re-sends and the server's
+// local ErrorBound certificate. Callers must not mutate it.
+func (s *Server) Full() *fd.Sketch { return s.full }
+
 // Coordinator tracks the union continuously from the servers' uploads.
+//
+// Every policy keeps the coordinator's state per server: the latest
+// replace-block under PolicyFullSketch, a running per-server FD sketch of
+// the absorbed deltas under the delta policies. Per-server state is what
+// makes a Replace upload meaningful under any policy — it discards
+// exactly one server's prior contributions and substitutes the shipped
+// block. A restored server uses that to rebase after a crash: its full
+// cumulative sketch covers every row it ever ingested, so one replace
+// upload makes the coordinator's view of that server exact regardless of
+// which pre-crash deltas were or were not absorbed.
 type Coordinator struct {
 	cfg Config
 
-	replaced map[int]*matrix.Dense // PolicyFullSketch: latest block per server
-	additive *fd.Sketch            // delta policies: running merged sketch
+	replaced  map[int]*matrix.Dense // PolicyFullSketch: latest block per server
+	perServer map[int]*fd.Sketch    // delta policies: per-server absorbed deltas
 
 	reportedMass  map[int]float64
+	shrinkage     map[int]float64 // Σδ shipped inside absorbed blocks, per server
 	lastBroadcast float64
+	threshold     float64 // currently installed per-server budget
 	words         float64
 	uploads       int
 	announces     int
 	broadcasts    int
+	catchups      int
 }
 
 // NewCoordinator creates the tracking coordinator.
@@ -243,17 +345,35 @@ func NewCoordinator(cfg Config) *Coordinator {
 	return &Coordinator{
 		cfg:          cfg,
 		replaced:     make(map[int]*matrix.Dense),
-		additive:     fd.New(cfg.D, sketchSize(cfg.Eps), fd.Options{}),
+		perServer:    make(map[int]*fd.Sketch),
 		reportedMass: make(map[int]float64),
+		shrinkage:    make(map[int]float64),
 	}
 }
 
-// Absorb ingests one upload. It returns a positive new per-server threshold
-// when the coordinator decides to broadcast one (total reported mass grew by
-// 2× since the last broadcast), else 0.
-func (c *Coordinator) Absorb(up *Upload) (newThreshold float64, err error) {
+// Broadcast is the coordinator's reply to an absorbed upload: install
+// Threshold on exactly the servers listed in To. Either a full broadcast
+// to every server the coordinator has heard from (the reported mass
+// doubled), or a one-recipient catch-up delivering the current threshold
+// to a server that just announced after the last broadcast — without it,
+// a late joiner would sit at threshold zero, silently accumulating
+// unreported mass until the next doubling.
+type Broadcast struct {
+	Threshold float64
+	To        []int
+}
+
+// Absorb ingests one upload. A non-nil Broadcast instructs the caller to
+// install the threshold on the listed servers.
+//
+// Communication accounting: a broadcast costs one word per actual
+// recipient — the servers the coordinator has heard from — not a flat S
+// words. (The historical S-word charge over-billed the early stream, when
+// only a few servers had announced; the regression test pins the totals.)
+func (c *Coordinator) Absorb(up *Upload) (*Broadcast, error) {
 	c.words += up.Words
 	ob := c.cfg.observer()
+	_, heardBefore := c.reportedMass[up.From]
 	switch {
 	case up.Announce:
 		// Bootstrap mass report: no rows, just makes the server's mass
@@ -262,13 +382,30 @@ func (c *Coordinator) Absorb(up *Upload) (newThreshold float64, err error) {
 		ob.MonitoringUpload(up.From, 0, up.Words, true)
 	case up.Replace:
 		c.uploads++
-		c.replaced[up.From] = up.Rows
+		if c.cfg.Policy == PolicyFullSketch {
+			c.replaced[up.From] = up.Rows
+		} else {
+			// Rebase: the block supersedes every delta absorbed from this
+			// server so far (restored servers ship their full sketch once).
+			sk := fd.New(c.cfg.D, sketchSize(c.cfg.Eps), fd.Options{})
+			if err := sk.UpdateMatrix(up.Rows); err != nil {
+				return nil, err
+			}
+			c.perServer[up.From] = sk
+		}
+		c.shrinkage[up.From] = up.Shrinkage
 		ob.MonitoringUpload(up.From, up.Rows.Rows(), up.Words, false)
 	default:
 		c.uploads++
-		if err := c.additive.UpdateMatrix(up.Rows); err != nil {
-			return 0, err
+		sk := c.perServer[up.From]
+		if sk == nil {
+			sk = fd.New(c.cfg.D, sketchSize(c.cfg.Eps), fd.Options{})
+			c.perServer[up.From] = sk
 		}
+		if err := sk.UpdateMatrix(up.Rows); err != nil {
+			return nil, err
+		}
+		c.shrinkage[up.From] += up.Shrinkage
 		ob.MonitoringUpload(up.From, up.Rows.Rows(), up.Words, false)
 	}
 	c.reportedMass[up.From] = up.Mass
@@ -279,32 +416,60 @@ func (c *Coordinator) Absorb(up *Upload) (newThreshold float64, err error) {
 	if total > 2*c.lastBroadcast || c.lastBroadcast == 0 {
 		c.lastBroadcast = total
 		c.broadcasts++
-		c.words += float64(c.cfg.S) // one word to each server
 		// Budget split: each server may hold ε/2 · T/s unreported mass, so
 		// the total unreported (hence untracked) mass stays ≤ ε/2·T even as
 		// T doubles before the next broadcast.
-		t := c.cfg.Eps / 2 * total / float64(c.cfg.S)
-		ob.MonitoringBroadcast(t, c.cfg.S)
-		return t, nil
+		c.threshold = c.cfg.Eps / 2 * total / float64(c.cfg.S)
+		to := c.heard()
+		c.words += float64(len(to)) // one word per actual recipient
+		ob.MonitoringBroadcast(c.threshold, len(to))
+		return &Broadcast{Threshold: c.threshold, To: to}, nil
 	}
-	return 0, nil
+	if !heardBefore && c.broadcasts > 0 {
+		// Catch-up: a newly announced server must learn the standing
+		// threshold now, not at the next doubling.
+		c.catchups++
+		c.words++
+		ob.MonitoringBroadcast(c.threshold, 1)
+		return &Broadcast{Threshold: c.threshold, To: []int{up.From}}, nil
+	}
+	return nil, nil
 }
 
-// Sketch returns the coordinator's current covariance sketch of the union.
+// heard returns the sorted IDs of every server the coordinator has heard
+// from — the recipient set of a full threshold broadcast.
+func (c *Coordinator) heard() []int {
+	to := make([]int, 0, len(c.reportedMass))
+	for id := range c.reportedMass {
+		to = append(to, id)
+	}
+	sort.Ints(to)
+	return to
+}
+
+// Sketch returns the coordinator's current covariance sketch of the union:
+// the per-server blocks stacked. Stacking is itself a valid covariance
+// sketch of the union — coverr is sub-additive over a row partition — and
+// keeps Sketch non-mutating, so queries never perturb the tracked state.
 func (c *Coordinator) Sketch() (*matrix.Dense, error) {
-	if c.cfg.Policy == PolicyFullSketch {
-		parts := make([]*matrix.Dense, 0, len(c.replaced))
-		for i := 0; i < c.cfg.S; i++ {
+	parts := make([]*matrix.Dense, 0, c.cfg.S)
+	for i := 0; i < c.cfg.S; i++ {
+		if c.cfg.Policy == PolicyFullSketch {
 			if b, ok := c.replaced[i]; ok {
 				parts = append(parts, b)
 			}
+		} else if sk, ok := c.perServer[i]; ok {
+			b, err := sk.Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, b)
 		}
-		if len(parts) == 0 {
-			return matrix.New(0, c.cfg.D), nil
-		}
-		return matrix.Stack(parts...), nil
 	}
-	return c.additive.Matrix()
+	if len(parts) == 0 {
+		return matrix.New(0, c.cfg.D), nil
+	}
+	return matrix.Stack(parts...), nil
 }
 
 // Words returns the total communication so far.
@@ -317,5 +482,49 @@ func (c *Coordinator) Uploads() int { return c.uploads }
 // Announces returns the number of one-word bootstrap mass announcements.
 func (c *Coordinator) Announces() int { return c.announces }
 
-// Broadcasts returns the number of threshold broadcasts.
+// Broadcasts returns the number of full threshold broadcasts (catch-up
+// deliveries to late announcers are counted separately).
 func (c *Coordinator) Broadcasts() int { return c.broadcasts }
+
+// Catchups returns the number of one-recipient threshold catch-ups sent to
+// servers that announced between broadcasts.
+func (c *Coordinator) Catchups() int { return c.catchups }
+
+// Threshold returns the currently installed per-server unreported-mass
+// budget (0 before the first broadcast).
+func (c *Coordinator) Threshold() float64 { return c.threshold }
+
+// Heard returns how many servers the coordinator has heard from.
+func (c *Coordinator) Heard() int { return len(c.reportedMass) }
+
+// HeardIDs returns the sorted IDs of the servers the coordinator has heard
+// from.
+func (c *Coordinator) HeardIDs() []int { return c.heard() }
+
+// ReportedMass returns the total mass the servers have reported so far.
+func (c *Coordinator) ReportedMass() float64 {
+	total := 0.0
+	for _, m := range c.reportedMass {
+		total += m
+	}
+	return total
+}
+
+// ErrorBound returns the coordinator's live covariance-error certificate
+// with respect to the union of the streams, assuming every site honours
+// its threshold: the shrink charges of the coordinator's own merging, plus
+// the shrink charges the servers reported for their shipped blocks, plus
+// the unreported-mass allowance S·threshold the protocol grants the sites
+// between uploads. Under PolicySVSDelta the shipped-block term is the
+// delta sketches' charge only — the SVS compression adds a probabilistic
+// error the certificate does not see, so the bound holds in expectation.
+func (c *Coordinator) ErrorBound() float64 {
+	bound := float64(c.cfg.S) * c.threshold
+	for _, d := range c.shrinkage {
+		bound += d
+	}
+	for _, sk := range c.perServer {
+		bound += sk.TotalShrinkage()
+	}
+	return bound
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/linalg"
 	"repro/internal/matrix"
 	"repro/internal/workload"
 )
@@ -173,44 +174,226 @@ func TestNoUploadStormAtStreamStart(t *testing.T) {
 
 func TestAbsorbBroadcastCadence(t *testing.T) {
 	// The coordinator re-broadcasts exactly when the total reported mass
-	// doubles since the last broadcast (plus the initial bootstrap).
+	// doubles since the last broadcast (plus the initial bootstrap), and a
+	// full broadcast reaches exactly the heard-from servers. A server that
+	// announces between broadcasts receives a one-recipient catch-up.
 	cfg := Config{Eps: 0.2, S: 2, D: 4, Policy: PolicyDelta, Seed: 10}
 	coord := NewCoordinator(cfg)
-	absorb := func(from int, mass float64) float64 {
+	absorb := func(from int, mass float64) *Broadcast {
 		t.Helper()
-		thresh, err := coord.Absorb(&Upload{From: from, Announce: true, Mass: mass, Words: 1})
+		bc, err := coord.Absorb(&Upload{From: from, Announce: true, Mass: mass, Words: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		return thresh
+		return bc
 	}
-	if th := absorb(0, 1); th <= 0 {
+	bc := absorb(0, 1)
+	if bc == nil || bc.Threshold <= 0 {
 		t.Fatal("first absorb must broadcast a threshold")
 	}
+	if len(bc.To) != 1 || bc.To[0] != 0 {
+		t.Fatalf("bootstrap broadcast recipients %v, want [0]", bc.To)
+	}
 	// total 1 → broadcast at mass > 2.
-	if th := absorb(0, 1.5); th != 0 {
-		t.Fatalf("broadcast at total 1.5 ≤ 2: %v", th)
+	if bc := absorb(0, 1.5); bc != nil {
+		t.Fatalf("broadcast at total 1.5 ≤ 2: %+v", bc)
 	}
-	if th := absorb(1, 0.4); th != 0 {
-		t.Fatalf("broadcast at total 1.9 ≤ 2: %v", th)
+	// Server 1's first announce between broadcasts: a catch-up delivering
+	// the standing threshold to it alone, no re-broadcast.
+	bc = absorb(1, 0.4)
+	if bc == nil {
+		t.Fatal("late announcer got no catch-up threshold")
 	}
-	th := absorb(0, 2.1) // total 2.5 > 2 → broadcast
-	if th <= 0 {
+	if len(bc.To) != 1 || bc.To[0] != 1 {
+		t.Fatalf("catch-up recipients %v, want [1]", bc.To)
+	}
+	if want := cfg.Eps / 2 * 1 / float64(cfg.S); math.Abs(bc.Threshold-want) > 1e-12 {
+		t.Fatalf("catch-up threshold %v, want standing %v", bc.Threshold, want)
+	}
+	bc = absorb(0, 2.1) // total 2.5 > 2 → broadcast
+	if bc == nil {
 		t.Fatal("no broadcast after total mass doubled")
 	}
 	want := cfg.Eps / 2 * 2.5 / float64(cfg.S)
-	if math.Abs(th-want) > 1e-12 {
-		t.Fatalf("threshold %v, want ε/2·T/s = %v", th, want)
+	if math.Abs(bc.Threshold-want) > 1e-12 {
+		t.Fatalf("threshold %v, want ε/2·T/s = %v", bc.Threshold, want)
+	}
+	if len(bc.To) != 2 {
+		t.Fatalf("full broadcast recipients %v, want both servers", bc.To)
 	}
 	// total 2.5 → next broadcast strictly above 5 (server 0 holds 2.1).
-	if th := absorb(1, 2.9); th != 0 {
-		t.Fatalf("broadcast at total 5.0, needs > 5: %v", th)
+	if bc := absorb(1, 2.9); bc != nil {
+		t.Fatalf("broadcast at total 5.0, needs > 5: %+v", bc)
 	}
-	if th := absorb(1, 3.0); th <= 0 {
+	if bc := absorb(1, 3.0); bc == nil {
 		t.Fatal("no broadcast at total 5.1 > 5")
 	}
 	if got := coord.Broadcasts(); got != 3 {
 		t.Fatalf("broadcasts = %d, want 3", got)
+	}
+	if got := coord.Catchups(); got != 1 {
+		t.Fatalf("catchups = %d, want 1", got)
+	}
+}
+
+func TestBroadcastWordsChargeHeardServersOnly(t *testing.T) {
+	// Regression for the over-billing bug: a threshold broadcast used to be
+	// charged a flat S words even when only a few of the S servers had
+	// announced. The charge must be one word per actual recipient.
+	cfg := Config{Eps: 0.2, S: 8, D: 4, Policy: PolicyDelta, Seed: 12}
+	coord := NewCoordinator(cfg)
+	absorb := func(from int, mass float64) {
+		t.Helper()
+		if _, err := coord.Absorb(&Upload{From: from, Announce: true, Mass: mass, Words: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First announce: 1 upload word + a 1-recipient bootstrap broadcast.
+	// The old accounting charged 1 + S = 9 here.
+	absorb(0, 1)
+	if got := coord.Words(); got != 2 {
+		t.Fatalf("words after first announce = %v, want 2 (1 announce + 1 recipient)", got)
+	}
+	// Second announce doubles the total → full broadcast to the 2 heard
+	// servers: +1 announce word, +2 recipient words.
+	absorb(1, 10)
+	if got := coord.Words(); got != 5 {
+		t.Fatalf("words after doubling = %v, want 5", got)
+	}
+	// Third server announces a tiny mass: no doubling, but it must still be
+	// caught up — +1 announce word, +1 catch-up word.
+	absorb(2, 0.01)
+	if got := coord.Words(); got != 7 {
+		t.Fatalf("words after catch-up = %v, want 7", got)
+	}
+	if coord.Broadcasts() != 2 || coord.Catchups() != 1 {
+		t.Fatalf("broadcasts/catchups = %d/%d, want 2/1", coord.Broadcasts(), coord.Catchups())
+	}
+}
+
+func TestServerStateRoundTrip(t *testing.T) {
+	// A checkpointed server must restore bit-exactly: same sketches, same
+	// protocol counters, and identical behaviour on the rows that follow.
+	cfg := Config{Eps: 0.25, S: 2, D: 10, Policy: PolicyDelta, Seed: 13}
+	rows := workload.LowRankPlusNoise(rand.New(rand.NewSource(13)), 120, 10, 3, 15, 0.8, 0.3)
+	live := NewServer(cfg, 1)
+	live.SetThreshold(0.9)
+	for i := 0; i < 70; i++ {
+		if _, err := live.Offer(rows.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := live.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreServer(cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.LocalMass() != live.LocalMass() ||
+		restored.UnreportedMass() != live.UnreportedMass() ||
+		restored.Threshold() != live.Threshold() {
+		t.Fatalf("restored counters diverge: mass %v/%v unreported %v/%v threshold %v/%v",
+			restored.LocalMass(), live.LocalMass(),
+			restored.UnreportedMass(), live.UnreportedMass(),
+			restored.Threshold(), live.Threshold())
+	}
+	// Replay the tail through both; every emitted upload must match exactly.
+	for i := 70; i < 120; i++ {
+		a, err := live.Offer(rows.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.Offer(rows.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (a == nil) != (b == nil) {
+			t.Fatalf("row %d: upload presence diverged (live %v, restored %v)", i, a != nil, b != nil)
+		}
+		if a == nil {
+			continue
+		}
+		if a.Mass != b.Mass || a.Words != b.Words || a.Shrinkage != b.Shrinkage {
+			t.Fatalf("row %d: upload fields diverged: %+v vs %+v", i, a, b)
+		}
+		if a.Rows.Rows() != b.Rows.Rows() {
+			t.Fatalf("row %d: shipped block rows %d vs %d", i, a.Rows.Rows(), b.Rows.Rows())
+		}
+		for r := 0; r < a.Rows.Rows(); r++ {
+			for c := 0; c < a.Rows.Cols(); c++ {
+				if a.Rows.At(r, c) != b.Rows.At(r, c) {
+					t.Fatalf("row %d: shipped block differs at (%d,%d)", i, r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestRestoreServerRejectsBadState(t *testing.T) {
+	cfg := Config{Eps: 0.25, S: 2, D: 10, Policy: PolicyDelta, Seed: 14}
+	if _, err := RestoreServer(cfg, nil); err == nil {
+		t.Fatal("nil state accepted")
+	}
+	s := NewServer(cfg, 0)
+	st, err := s.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.LocalMass = -1
+	if _, err := RestoreServer(cfg, st); err == nil {
+		t.Fatal("negative mass accepted")
+	}
+}
+
+func TestCoordinatorErrorBound(t *testing.T) {
+	// The live certificate must dominate the realized covariance error at
+	// every audit point, for both the replacing and the additive policy.
+	for _, policy := range []Policy{PolicyFullSketch, PolicyDelta} {
+		cfg := Config{Eps: 0.25, S: 3, D: 10, Policy: policy, Seed: 15}
+		sts := streams(15, 3, 150, 10)
+		coord := NewCoordinator(cfg)
+		servers := make([]*Server, cfg.S)
+		for i := range servers {
+			servers[i] = NewServer(cfg, i)
+		}
+		seen := matrix.New(0, cfg.D)
+		for r := 0; r < 150; r++ {
+			for i, st := range sts {
+				row := st.Row(r)
+				up, err := servers[i].Offer(row)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if up != nil {
+					bc, err := coord.Absorb(up)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if bc != nil {
+						for _, id := range bc.To {
+							servers[id].SetThreshold(bc.Threshold)
+						}
+					}
+				}
+				seen = seen.AppendRow(row)
+			}
+			if r%25 != 24 {
+				continue
+			}
+			b, err := coord.Sketch()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ce, err := linalg.CovarianceError(seen, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bound := coord.ErrorBound(); ce > bound+1e-9 {
+				t.Fatalf("%v at t=%d: realized coverr %v exceeds certificate %v", policy, r, ce, bound)
+			}
+		}
 	}
 }
 

@@ -74,13 +74,13 @@ func Simulate(cfg Config, streams []*matrix.Dense, checkpointEvery int) (*Result
 				return nil, err
 			}
 			if up != nil {
-				thresh, err := coord.Absorb(up)
+				bc, err := coord.Absorb(up)
 				if err != nil {
 					return nil, err
 				}
-				if thresh > 0 {
-					for _, s := range servers {
-						s.SetThreshold(thresh)
+				if bc != nil {
+					for _, id := range bc.To {
+						servers[id].SetThreshold(bc.Threshold)
 					}
 				}
 			}

@@ -1,0 +1,75 @@
+package monitoring
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fd"
+)
+
+// ServerState is the checkpointable state of a tracking Server: both FD
+// sketches as raw-buffer snapshots (bit-exact; see fd.State) plus the
+// protocol counters. The SVS policy's sampling generator is not captured —
+// RestoreServer re-seeds it from (Config.Seed, ID), so a restored
+// PolicySVSDelta server draws a fresh (still valid, still independent)
+// sample sequence; the deterministic policies replay bit-identically.
+type ServerState struct {
+	ID             int
+	LocalMass      float64
+	UnreportedMass float64
+	Threshold      float64
+	Announced      bool
+	Pending        *fd.State
+	Full           *fd.State
+}
+
+// State snapshots the server without mutating it.
+func (s *Server) State() (*ServerState, error) {
+	pending, err := s.pending.State()
+	if err != nil {
+		return nil, fmt.Errorf("monitoring: server %d pending: %w", s.id, err)
+	}
+	full, err := s.full.State()
+	if err != nil {
+		return nil, fmt.Errorf("monitoring: server %d full: %w", s.id, err)
+	}
+	return &ServerState{
+		ID:             s.id,
+		LocalMass:      s.localMass,
+		UnreportedMass: s.unreportedMass,
+		Threshold:      s.threshold,
+		Announced:      s.announced,
+		Pending:        pending,
+		Full:           full,
+	}, nil
+}
+
+// RestoreServer reconstructs a tracking server from a checkpointed state.
+func RestoreServer(cfg Config, st *ServerState) (*Server, error) {
+	cfg.validate()
+	if st == nil {
+		return nil, fmt.Errorf("monitoring: nil server state")
+	}
+	if st.LocalMass < 0 || st.UnreportedMass < 0 || st.Threshold < 0 {
+		return nil, fmt.Errorf("monitoring: server %d state has negative masses", st.ID)
+	}
+	pending, err := fd.FromState(st.Pending, fd.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("monitoring: server %d pending: %w", st.ID, err)
+	}
+	full, err := fd.FromState(st.Full, fd.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("monitoring: server %d full: %w", st.ID, err)
+	}
+	return &Server{
+		cfg:            cfg,
+		id:             st.ID,
+		pending:        pending,
+		full:           full,
+		localMass:      st.LocalMass,
+		unreportedMass: st.UnreportedMass,
+		threshold:      st.Threshold,
+		announced:      st.Announced,
+		rng:            rand.New(rand.NewSource(cfg.Seed + int64(st.ID))),
+	}, nil
+}

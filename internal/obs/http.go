@@ -1,23 +1,42 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
-// ServeDebug starts an opt-in debug HTTP server on addr exposing the
-// standard pprof endpoints under /debug/pprof/ and a live expvar snapshot
-// (including any registry mounted via PublishExpvar) under /debug/vars. It
-// uses its own mux, so nothing leaks onto http.DefaultServeMux.
+// DebugServer is the opt-in debug/query HTTP endpoint: the standard pprof
+// handlers under /debug/pprof/ and a live expvar snapshot (including any
+// registry mounted via PublishExpvar) under /debug/vars, on a private mux
+// so nothing leaks onto http.DefaultServeMux. The service layer mounts its
+// query API (/sketch, /coverr, /topk, /status) on the same server via
+// Handle, so one -debug address serves both.
 //
-// The listener address actually bound (useful with ":0") and a shutdown
-// function are returned; the server itself runs until closed.
-func ServeDebug(addr string) (string, func() error, error) {
+// Lifecycle: NewDebugServer binds the listener (so Addr is known
+// immediately, useful with ":0"), Handle registers extra routes, Start
+// begins serving, and Shutdown drains gracefully — in-flight scrapes and
+// queries complete within the context's deadline instead of being severed,
+// and an asynchronous Serve failure (a dying listener) is surfaced rather
+// than dropped.
+type DebugServer struct {
+	ln       net.Listener
+	mux      *http.ServeMux
+	srv      *http.Server
+	serveErr chan error
+	started  bool
+}
+
+// NewDebugServer binds addr and prepares the debug mux without serving yet.
+func NewDebugServer(addr string) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", nil, err
+		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -26,7 +45,72 @@ func ServeDebug(addr string) (string, func() error, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
-	return ln.Addr().String(), srv.Close, nil
+	return &DebugServer{
+		ln:       ln,
+		mux:      mux,
+		srv:      &http.Server{Handler: mux},
+		serveErr: make(chan error, 1),
+	}, nil
+}
+
+// Addr returns the bound listener address.
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Handle registers an extra route on the debug mux. It must be called
+// before Start (http.ServeMux registration is not synchronized against
+// serving).
+func (s *DebugServer) Handle(pattern string, h http.Handler) {
+	if s.started {
+		panic("obs: DebugServer.Handle after Start")
+	}
+	s.mux.Handle(pattern, h)
+}
+
+// Start begins serving in a background goroutine.
+func (s *DebugServer) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	go func() {
+		s.serveErr <- s.srv.Serve(s.ln)
+	}()
+}
+
+// Shutdown gracefully drains the server: it stops accepting, waits (up to
+// ctx's deadline) for in-flight requests to finish, then reports any
+// asynchronous Serve failure. http.ErrServerClosed — Serve's normal return
+// after a shutdown — is not an error.
+func (s *DebugServer) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if !s.started {
+		// Never served: just release the listener (Shutdown above closed it).
+		return err
+	}
+	if serr := <-s.serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		if err == nil {
+			err = fmt.Errorf("obs: debug server: %w", serr)
+		}
+	}
+	return err
+}
+
+// ServeDebug starts a debug HTTP server on addr and returns the bound
+// address plus a close function. The close function shuts down gracefully
+// with a 5-second drain — the historical version severed in-flight scrapes
+// with srv.Close and dropped the Serve error on the floor. Callers that
+// want to mount their own routes or control the drain deadline use
+// NewDebugServer directly.
+func ServeDebug(addr string) (string, func() error, error) {
+	s, err := NewDebugServer(addr)
+	if err != nil {
+		return "", nil, err
+	}
+	s.Start()
+	closeFn := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return s.Shutdown(ctx)
+	}
+	return s.Addr(), closeFn, nil
 }

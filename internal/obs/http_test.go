@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDebugServerGracefulShutdown is the regression test for the severed-
+// scrape bug: ServeDebug used srv.Close, which killed in-flight requests
+// mid-body. Shutdown must let a slow handler finish (within the context's
+// deadline) and still return promptly.
+func TestDebugServerGracefulShutdown(t *testing.T) {
+	s, err := NewDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	s.Handle("/slow", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		io.WriteString(w, "done")
+	}))
+	s.Start()
+
+	var body string
+	var getErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get("http://" + s.Addr() + "/slow")
+		if err != nil {
+			getErr = err
+			return
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		body, getErr = string(b), err
+	}()
+	<-entered
+
+	// Shut down while the request is in flight, releasing the handler just
+	// after: a graceful drain must deliver the full body.
+	time.AfterFunc(50*time.Millisecond, func() { close(release) })
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+	if getErr != nil {
+		t.Fatalf("in-flight request severed by shutdown: %v", getErr)
+	}
+	if body != "done" {
+		t.Fatalf("in-flight request body = %q, want %q", body, "done")
+	}
+	// The listener is released: the same address can be rebound.
+	ln2, err := NewDebugServer(s.Addr())
+	if err != nil {
+		t.Fatalf("rebind after shutdown: %v", err)
+	}
+	ln2.Shutdown(context.Background())
+}
+
+func TestDebugServerHandleAfterStartPanics(t *testing.T) {
+	s, err := NewDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		if recover() == nil {
+			t.Error("Handle after Start must panic")
+		}
+	}()
+	s.Handle("/late", http.NotFoundHandler())
+}
+
+func TestDebugServerShutdownWithoutStart(t *testing.T) {
+	s, err := NewDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown before Start: %v", err)
+	}
+}

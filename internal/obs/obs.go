@@ -47,6 +47,8 @@ type Observer struct {
 	runsStarted  *Counter
 	runsOK       *Counter
 	runsErr      *Counter
+	checkpoints  *Counter
+	queries      *Counter
 
 	mu          sync.Mutex
 	byFrom      map[int]*Counter    // comm.bits.from.<endpoint>
@@ -90,6 +92,8 @@ func NewObserver(reg *Registry, tr *Tracer) *Observer {
 		runsStarted:  reg.Counter("runs.started"),
 		runsOK:       reg.Counter("runs.ok"),
 		runsErr:      reg.Counter("runs.err"),
+		checkpoints:  reg.Counter("service.checkpoints"),
+		queries:      reg.Counter("service.queries"),
 		byFrom:       make(map[int]*Counter),
 		byKind:       make(map[string]*Counter),
 		faults:       make(map[string]*Counter),
@@ -385,6 +389,31 @@ func (o *Observer) TreeForward(level, from, to int) {
 	if o.tr != nil {
 		f, t := from, to
 		o.tr.Emit(Event{Type: "forward", Level: level, From: &f, To: &t})
+	}
+}
+
+// CheckpointSaved records one durable service checkpoint written for
+// server `from` holding rows sketch rows at path.
+func (o *Observer) CheckpointSaved(from, rows int, path string) {
+	if o == nil {
+		return
+	}
+	o.checkpoints.Inc()
+	if o.tr != nil {
+		f := from
+		o.tr.Emit(Event{Type: "checkpoint", From: &f, N: int64(rows), Detail: path})
+	}
+}
+
+// QueryServed records one service query answered on the HTTP endpoint
+// (kind names the endpoint: sketch, coverr, topk, status, window).
+func (o *Observer) QueryServed(kind string) {
+	if o == nil {
+		return
+	}
+	o.queries.Inc()
+	if o.tr != nil {
+		o.tr.Emit(Event{Type: "query", Kind: kind})
 	}
 }
 

@@ -47,20 +47,22 @@ type Event struct {
 
 // EventTypes is the closed set of trace event types the runtime emits.
 var EventTypes = map[string]bool{
-	"run_start": true, // a protocol run began (proto, n = servers)
-	"run_end":   true, // a protocol run finished (proto, words, err)
-	"round":     true, // a synchronous communication round started (round)
-	"msg":       true, // a metered message (from, to, kind, bits)
-	"broadcast": true, // a coordinator broadcast (kind, n = servers)
-	"fault":     true, // an injected fault (kind = drop/delay/duplicate/reorder/partition)
-	"straggler": true, // a straggler timeout during a gather (kind)
-	"retry":     true, // a TCP dial retry (n = attempt)
-	"upload":    true, // a monitoring upload (from, n = rows, words)
-	"announce":  true, // a monitoring bootstrap mass report (from, words)
-	"threshold": true, // a monitoring threshold broadcast (words = new threshold)
-	"merge":     true, // a tree-node merge of child summaries (level, n = children)
-	"forward":   true, // a tree-node summary forwarded to its parent (level, from, to)
-	"note":      true, // free-form annotation (detail)
+	"run_start":  true, // a protocol run began (proto, n = servers)
+	"run_end":    true, // a protocol run finished (proto, words, err)
+	"round":      true, // a synchronous communication round started (round)
+	"msg":        true, // a metered message (from, to, kind, bits)
+	"broadcast":  true, // a coordinator broadcast (kind, n = servers)
+	"fault":      true, // an injected fault (kind = drop/delay/duplicate/reorder/partition)
+	"straggler":  true, // a straggler timeout during a gather (kind)
+	"retry":      true, // a TCP dial retry (n = attempt)
+	"upload":     true, // a monitoring upload (from, n = rows, words)
+	"announce":   true, // a monitoring bootstrap mass report (from, words)
+	"threshold":  true, // a monitoring threshold broadcast (words = new threshold)
+	"merge":      true, // a tree-node merge of child summaries (level, n = children)
+	"forward":    true, // a tree-node summary forwarded to its parent (level, from, to)
+	"checkpoint": true, // a service checkpoint written (from, n = sketch rows, detail = path)
+	"query":      true, // a service query answered (kind = endpoint)
+	"note":       true, // free-form annotation (detail)
 }
 
 // Tracer writes Events as JSONL. It is safe for concurrent use (protocol
@@ -197,6 +199,14 @@ func ValidateTrace(r io.Reader) (int, error) {
 		case "forward":
 			if e.Level < 1 || e.From == nil || e.To == nil {
 				return n, fmt.Errorf("obs: trace event %d: forward needs level/from/to", n)
+			}
+		case "checkpoint":
+			if e.From == nil || e.N < 0 {
+				return n, fmt.Errorf("obs: trace event %d: checkpoint needs from and n ≥ 0", n)
+			}
+		case "query":
+			if e.Kind == "" {
+				return n, fmt.Errorf("obs: trace event %d: query without kind", n)
 			}
 		}
 	}

@@ -1,0 +1,123 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/fd"
+	"repro/internal/matrix"
+	"repro/internal/monitoring"
+	"repro/internal/workload"
+)
+
+// A server checkpoint is one workload checkpoint pair: the pending and full
+// FD buffers stacked into a single .dskm matrix (pending rows first), and a
+// JSON sidecar carrying the row split, the sketch counters that make
+// ErrorBound survive a restart, and the stream position. The buffers are
+// raw and unshrunk (fd.State), so a restored server replays the rest of
+// its stream bit-identically to an uninterrupted one.
+
+// fdStateMeta is the sidecar form of an fd.State minus its buffer (which
+// lives in the stacked matrix).
+type fdStateMeta struct {
+	Ell        int     `json:"ell"`
+	BufferRows int     `json:"buffer_rows"`
+	Strategy   string  `json:"strategy"`
+	Rows       int     `json:"rows"` // used buffer rows in the stacked matrix
+	Shrinks    int     `json:"shrinks"`
+	TotalDelta float64 `json:"total_delta"`
+	InputRows  int     `json:"input_rows"`
+	InputFrob2 float64 `json:"input_frob2"`
+}
+
+func toFDMeta(st *fd.State) fdStateMeta {
+	return fdStateMeta{
+		Ell: st.Ell, BufferRows: st.BufferRows, Strategy: st.Strategy,
+		Rows: st.Buffer.Rows(), Shrinks: st.Shrinks, TotalDelta: st.TotalDelta,
+		InputRows: st.InputRows, InputFrob2: st.InputFrob2,
+	}
+}
+
+func (m fdStateMeta) toState(d int, buf *matrix.Dense) *fd.State {
+	return &fd.State{
+		D: d, Ell: m.Ell, BufferRows: m.BufferRows, Strategy: m.Strategy,
+		Buffer: buf, Shrinks: m.Shrinks, TotalDelta: m.TotalDelta,
+		InputRows: m.InputRows, InputFrob2: m.InputFrob2,
+	}
+}
+
+// serverMeta is the sidecar payload of a server checkpoint.
+type serverMeta struct {
+	Policy string  `json:"policy"`
+	Eps    float64 `json:"eps"`
+	S      int     `json:"s"`
+	D      int     `json:"d"`
+	ID     int     `json:"id"`
+
+	Consumed int     `json:"consumed"` // rows ingested from the source
+	Epoch    int64   `json:"epoch"`    // incarnation counter (restore bumps it)
+	Words    float64 `json:"words"`    // cumulative upload words sent
+
+	LocalMass      float64 `json:"local_mass"`
+	UnreportedMass float64 `json:"unreported_mass"`
+	Threshold      float64 `json:"threshold"`
+	Announced      bool    `json:"announced"`
+
+	Pending fdStateMeta `json:"pending"`
+	Full    fdStateMeta `json:"full"`
+}
+
+// saveServerCheckpoint persists the server's tracking state plus stream
+// position to cfg.CheckpointPath.
+func saveServerCheckpoint(cfg Config, id int, st *monitoring.ServerState, consumed int, epoch int64, words float64) error {
+	meta := serverMeta{
+		Policy: cfg.Monitoring.Policy.String(), Eps: cfg.Monitoring.Eps,
+		S: cfg.Monitoring.S, D: cfg.Monitoring.D, ID: id,
+		Consumed: consumed, Epoch: epoch, Words: words,
+		LocalMass: st.LocalMass, UnreportedMass: st.UnreportedMass,
+		Threshold: st.Threshold, Announced: st.Announced,
+		Pending: toFDMeta(st.Pending), Full: toFDMeta(st.Full),
+	}
+	stacked := matrix.Stack(st.Pending.Buffer, st.Full.Buffer)
+	return workload.SaveCheckpoint(cfg.CheckpointPath, stacked, meta)
+}
+
+// loadServerCheckpoint restores the tracking state from cfg.CheckpointPath,
+// validating that the checkpoint was written under the same deployment
+// parameters (a checkpoint from a different ε, policy, or shard must not be
+// silently resumed).
+func loadServerCheckpoint(cfg Config, id int) (st *monitoring.ServerState, consumed int, epoch int64, words float64, err error) {
+	var meta serverMeta
+	stacked, err := workload.LoadCheckpoint(cfg.CheckpointPath, &meta)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	path := cfg.CheckpointPath
+	if meta.Policy != cfg.Monitoring.Policy.String() || meta.Eps != cfg.Monitoring.Eps ||
+		meta.S != cfg.Monitoring.S || meta.D != cfg.Monitoring.D {
+		return nil, 0, 0, 0, fmt.Errorf(
+			"service: checkpoint %s: written for policy=%s eps=%v s=%d d=%d, running policy=%s eps=%v s=%d d=%d",
+			path, meta.Policy, meta.Eps, meta.S, meta.D,
+			cfg.Monitoring.Policy, cfg.Monitoring.Eps, cfg.Monitoring.S, cfg.Monitoring.D)
+	}
+	if meta.ID != id {
+		return nil, 0, 0, 0, fmt.Errorf("service: checkpoint %s: belongs to server %d, not %d", path, meta.ID, id)
+	}
+	if meta.Consumed < 0 || meta.Epoch < 0 || meta.Words < 0 {
+		return nil, 0, 0, 0, fmt.Errorf("service: checkpoint %s: negative counters", path)
+	}
+	if meta.Pending.Rows < 0 || meta.Full.Rows < 0 ||
+		meta.Pending.Rows+meta.Full.Rows != stacked.Rows() {
+		return nil, 0, 0, 0, fmt.Errorf("service: checkpoint %s: row split %d+%d does not match %d stored rows",
+			path, meta.Pending.Rows, meta.Full.Rows, stacked.Rows())
+	}
+	st = &monitoring.ServerState{
+		ID:             id,
+		LocalMass:      meta.LocalMass,
+		UnreportedMass: meta.UnreportedMass,
+		Threshold:      meta.Threshold,
+		Announced:      meta.Announced,
+		Pending:        meta.Pending.toState(cfg.Monitoring.D, stacked.CopyRows(0, meta.Pending.Rows)),
+		Full:           meta.Full.toState(cfg.Monitoring.D, stacked.CopyRows(meta.Pending.Rows, stacked.Rows())),
+	}
+	return st, meta.Consumed, meta.Epoch, meta.Words, nil
+}

@@ -1,0 +1,522 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/distributed"
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+	"repro/internal/monitoring"
+	"repro/internal/pca"
+	"repro/internal/workload"
+)
+
+func testConfig(s, d int) Config {
+	return Config{
+		Monitoring:   monitoring.Config{Eps: 0.2, S: s, D: d, Policy: monitoring.PolicyDelta, Seed: 42},
+		QueryTimeout: 10 * time.Second,
+	}
+}
+
+func writeStream(t *testing.T, dir, name string, m *matrix.Dense) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteMatrix(f, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runServer dials the hub and drives one server daemon to completion.
+func runServer(t *testing.T, ctx context.Context, cfg Config, id int, path, addr string) *Server {
+	t.Helper()
+	src, err := workload.OpenFileSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	srv, err := NewServer(cfg, id, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := distributed.DialTCPServerContext(ctx, addr, id, nil, distributed.TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer up.Close()
+	if err := srv.Run(ctx, up); err != nil {
+		t.Fatalf("server %d: %v", id, err)
+	}
+	return srv
+}
+
+// waitQuiesced polls the coordinator until its words meter stops moving —
+// the servers have drained and every in-flight message is absorbed.
+func waitQuiesced(t *testing.T, ctx context.Context, coord *Coordinator) *Status {
+	t.Helper()
+	var last *Status
+	stable := 0
+	for i := 0; i < 200; i++ {
+		st, err := coord.Status(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last != nil && st.Words == last.Words && st.Uploads == last.Uploads {
+			stable++
+			if stable >= 3 {
+				return st
+			}
+		} else {
+			stable = 0
+		}
+		last = st
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("coordinator never quiesced")
+	return nil
+}
+
+// TestKillRestoreBitExact is the tentpole's acceptance test: a server
+// killed mid-stream (its last durable state is a row-interval checkpoint,
+// not a graceful exit snapshot) and restarted from that checkpoint must
+// end with a cumulative sketch bit-identical to an uninterrupted server's
+// — no precision loss across the checkpoint — its words meter must resume
+// from the checkpointed value, and the coordinator's live certificate must
+// still dominate the realized covariance error: the restored incarnation's
+// rebase block supersedes whatever the dead incarnation had shipped, so no
+// row is lost or double-counted.
+func TestKillRestoreBitExact(t *testing.T) {
+	const n, d = 300, 8
+	dir := t.TempDir()
+	cfg := testConfig(2, d)
+	rng := rand.New(rand.NewSource(7))
+	m0 := workload.LowRankPlusNoise(rng, n, d, 3, 15, 0.8, 0.3)
+	m1 := workload.LowRankPlusNoise(rng, n, d, 3, 15, 0.8, 0.3)
+	p0 := writeStream(t, dir, "s0.dskm", m0)
+	p1 := writeStream(t, dir, "s1.dskm", m1)
+
+	hub, err := distributed.NewTCPCoordinatorOpts("127.0.0.1:0", 2, nil, distributed.TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go coord.Run(ctx, hub)
+
+	// Server 1 streams its whole shard uninterrupted.
+	cfg1 := cfg
+	cfg1.ExitWhenDrained = true
+	runServer(t, ctx, cfg1, 1, p1, hub.Addr())
+
+	// Server 0, first incarnation: checkpoint every 40 rows, die after 130
+	// without a final checkpoint — the durable state is the row-120
+	// checkpoint, and rows 120..130 will be replayed after restart.
+	ckpt := filepath.Join(dir, "server0.dskm")
+	cfg0 := cfg
+	cfg0.CheckpointPath = ckpt
+	cfg0.CheckpointEveryRows = 40
+	cfg0.MaxRows = 130
+	cfg0.ExitWhenDrained = true
+	first := runServer(t, ctx, cfg0, 0, p0, hub.Addr())
+	if first.Restored() {
+		t.Fatal("first incarnation claims to be restored")
+	}
+	if !workload.CheckpointExists(ckpt) {
+		t.Fatal("no checkpoint written")
+	}
+	var meta serverMeta
+	if _, err := workload.LoadCheckpoint(ckpt, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Consumed != 120 {
+		t.Fatalf("checkpoint at row %d, want 120", meta.Consumed)
+	}
+
+	// Second incarnation: restore and finish the shard.
+	cfg0b := cfg0
+	cfg0b.MaxRows = 0
+	cfg0b.CheckpointOnExit = true
+	second := runServer(t, ctx, cfg0b, 0, p0, hub.Addr())
+	if !second.Restored() {
+		t.Fatal("second incarnation did not restore")
+	}
+	if second.Consumed() != n {
+		t.Fatalf("restored server consumed %d rows, want %d", second.Consumed(), n)
+	}
+	if second.Words() < meta.Words {
+		t.Fatalf("words meter went backwards: %v after restoring %v", second.Words(), meta.Words)
+	}
+
+	// Bit-exactness: the restored server's cumulative sketch must equal an
+	// uninterrupted reference fed the identical stream (the full sketch
+	// depends only on the rows, never on threshold/flush timing under the
+	// delta policy, so the comparison is deterministic).
+	ref := monitoring.NewServer(cfg.Monitoring, 0)
+	for i := 0; i < n; i++ {
+		if _, err := ref.Offer(m0.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refSt, err := ref.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSt, err := second.Tracker().State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := gotSt.Full, refSt.Full; got.Shrinks != want.Shrinks ||
+		got.TotalDelta != want.TotalDelta || got.InputRows != want.InputRows ||
+		got.InputFrob2 != want.InputFrob2 {
+		t.Fatalf("restored full-sketch counters diverge: %+v vs %+v", got, want)
+	}
+	gb, wb := gotSt.Full.Buffer, refSt.Full.Buffer
+	if gb.Rows() != wb.Rows() || gb.Cols() != wb.Cols() {
+		t.Fatalf("restored full-sketch buffer %dx%d, want %dx%d", gb.Rows(), gb.Cols(), wb.Rows(), wb.Cols())
+	}
+	for i, v := range gb.Data() {
+		if v != wb.Data()[i] {
+			t.Fatalf("restored full-sketch buffer differs at flat index %d: %v vs %v", i, v, wb.Data()[i])
+		}
+	}
+	if second.Tracker().LocalMass() != ref.LocalMass() {
+		t.Fatalf("restored local mass %v, want %v", second.Tracker().LocalMass(), ref.LocalMass())
+	}
+
+	// The coordinator's certificate must hold over the true union even
+	// though it saw replayed (deduplicated) uploads.
+	st := waitQuiesced(t, ctx, coord)
+	if st.Heard != 2 {
+		t.Fatalf("coordinator heard %d servers, want 2", st.Heard)
+	}
+	sketch, bound, err := coord.SketchQuery(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	union := matrix.Stack(m0, m1)
+	ce, err := linalg.CovarianceError(union, sketch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce > bound+1e-9 {
+		t.Fatalf("realized coverr %v exceeds live certificate %v", ce, bound)
+	}
+	if rel := ce / union.Frob2(); rel > cfg.Monitoring.Eps {
+		t.Fatalf("relative error %v exceeded ε=%v", rel, cfg.Monitoring.Eps)
+	}
+}
+
+func TestRestoreRejectsMismatchedConfig(t *testing.T) {
+	const n, d = 60, 6
+	dir := t.TempDir()
+	cfg := testConfig(2, d)
+	cfg.CheckpointPath = filepath.Join(dir, "ck.dskm")
+	rng := rand.New(rand.NewSource(8))
+	m := workload.LowRankPlusNoise(rng, n, d, 2, 10, 0.8, 0.3)
+
+	// Write a checkpoint by hand through the server's own path.
+	track := monitoring.NewServer(cfg.Monitoring, 0)
+	for i := 0; i < n; i++ {
+		if _, err := track.Offer(m.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := track.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := saveServerCheckpoint(cfg, 0, st, n, 3, 17); err != nil {
+		t.Fatal(err)
+	}
+
+	src := workload.NewDenseSource(m)
+	if _, err := NewServer(cfg, 1, src); err == nil {
+		t.Fatal("checkpoint for server 0 accepted by server 1")
+	}
+	bad := cfg
+	bad.Monitoring.Eps = 0.3
+	src.Reset()
+	if _, err := NewServer(bad, 0, src); err == nil {
+		t.Fatal("checkpoint written at ε=0.2 accepted at ε=0.3")
+	}
+	src.Reset()
+	srv, err := NewServer(cfg, 0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Restored() || srv.Consumed() != n {
+		t.Fatalf("matching config failed to restore: restored=%v consumed=%d", srv.Restored(), srv.Consumed())
+	}
+}
+
+// TestHTTPEndpoints validates the query API against direct in-process
+// queries on the same state: /sketch must serialize exactly the sketch
+// SketchQuery returns, and /topk must match pca.SketchPCs on it.
+func TestHTTPEndpoints(t *testing.T) {
+	const n, d = 200, 8
+	dir := t.TempDir()
+	cfg := testConfig(2, d)
+	rng := rand.New(rand.NewSource(9))
+	m0 := workload.LowRankPlusNoise(rng, n, d, 3, 15, 0.8, 0.3)
+	m1 := workload.LowRankPlusNoise(rng, n, d, 3, 15, 0.8, 0.3)
+	p0 := writeStream(t, dir, "s0.dskm", m0)
+	p1 := writeStream(t, dir, "s1.dskm", m1)
+
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := distributed.NewTCPCoordinatorOpts("127.0.0.1:0", 2, nil, distributed.TCPOptions{
+		DebugAddr:  "127.0.0.1:0",
+		DebugMount: coord.Mount,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go coord.Run(ctx, hub)
+
+	cfgSrv := cfg
+	cfgSrv.ExitWhenDrained = true
+	runServer(t, ctx, cfgSrv, 0, p0, hub.Addr())
+	runServer(t, ctx, cfgSrv, 1, p1, hub.Addr())
+	waitQuiesced(t, ctx, coord)
+
+	base := "http://" + hub.Debug().Addr()
+	getJSON := func(path string, into any) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+	}
+
+	var st Status
+	getJSON("/status", &st)
+	if st.Heard != 2 || st.Uploads == 0 || st.Words <= 0 {
+		t.Fatalf("bad /status: %+v", st)
+	}
+
+	direct, directBound, err := coord.SketchQuery(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sk struct {
+		matrixPayload
+		ErrorBound float64 `json:"error_bound"`
+	}
+	getJSON("/sketch", &sk)
+	if sk.Rows != direct.Rows() || sk.Cols != direct.Cols() {
+		t.Fatalf("/sketch is %dx%d, direct query is %dx%d", sk.Rows, sk.Cols, direct.Rows(), direct.Cols())
+	}
+	for i := range sk.Data {
+		for j, v := range sk.Data[i] {
+			if v != direct.At(i, j) {
+				t.Fatalf("/sketch differs from direct query at (%d,%d): %v vs %v", i, j, v, direct.At(i, j))
+			}
+		}
+	}
+	if sk.ErrorBound != directBound {
+		t.Fatalf("/sketch bound %v, direct %v", sk.ErrorBound, directBound)
+	}
+
+	wantPCs, err := pca.SketchPCs(direct, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tk struct {
+		K int `json:"k"`
+		matrixPayload
+	}
+	getJSON("/topk?k=2", &tk)
+	if tk.K != 2 || tk.Rows != wantPCs.Rows() || tk.Cols != wantPCs.Cols() {
+		t.Fatalf("bad /topk shape: %+v vs %dx%d", tk, wantPCs.Rows(), wantPCs.Cols())
+	}
+	for i := range tk.Data {
+		for j, v := range tk.Data[i] {
+			if v != wantPCs.At(i, j) {
+				t.Fatalf("/topk differs from pca.SketchPCs at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	var ce struct {
+		ErrorBound   float64 `json:"error_bound"`
+		ReportedMass float64 `json:"reported_mass"`
+	}
+	getJSON("/coverr", &ce)
+	if ce.ErrorBound != st.ErrorBound || ce.ReportedMass <= 0 {
+		t.Fatalf("bad /coverr: %+v (status bound %v)", ce, st.ErrorBound)
+	}
+
+	// Malformed k is a client error surfaced as a non-200.
+	resp, err := http.Get(base + "/topk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("/topk without k succeeded")
+	}
+}
+
+// TestWindowQueryService exercises the sliding-window pull round: servers
+// keep a window sketch of their last W rows; /window fans out, merges, and
+// reports coverage within the bucketed-expiry slack.
+func TestWindowQueryService(t *testing.T) {
+	const n, d, w = 260, 8, 64
+	dir := t.TempDir()
+	cfg := testConfig(2, d)
+	cfg.Window = w
+	cfg.WindowBuckets = 4
+	rng := rand.New(rand.NewSource(10))
+	m0 := workload.LowRankPlusNoise(rng, n, d, 3, 15, 0.8, 0.3)
+	m1 := workload.LowRankPlusNoise(rng, n, d, 3, 15, 0.8, 0.3)
+	p0 := writeStream(t, dir, "s0.dskm", m0)
+	p1 := writeStream(t, dir, "s1.dskm", m1)
+
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := distributed.NewTCPCoordinatorOpts("127.0.0.1:0", 2, nil, distributed.TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go coord.Run(ctx, hub)
+
+	// Servers idle after draining (no ExitWhenDrained) so they can answer
+	// the window round.
+	done := make(chan error, 2)
+	for id, path := range map[int]string{0: p0, 1: p1} {
+		go func(id int, path string) {
+			src, err := workload.OpenFileSource(path)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer src.Close()
+			srv, err := NewServer(cfg, id, src)
+			if err != nil {
+				done <- err
+				return
+			}
+			up, err := distributed.DialTCPServerContext(ctx, hub.Addr(), id, nil, distributed.TCPOptions{})
+			if err != nil {
+				done <- err
+				return
+			}
+			defer up.Close()
+			done <- srv.Run(ctx, up)
+		}(id, path)
+	}
+	waitQuiesced(t, ctx, coord)
+
+	res, err := coord.WindowQuery(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Servers != 2 {
+		t.Fatalf("window round reached %d servers, want 2", res.Servers)
+	}
+	bucketRows := (w + cfg.WindowBuckets - 1) / cfg.WindowBuckets
+	lo, hi := 2*w, 2*(w+bucketRows)
+	if res.Covered < lo || res.Covered >= hi {
+		t.Fatalf("window covers %d rows, want in [%d, %d)", res.Covered, lo, hi)
+	}
+	if res.Matrix.Rows() == 0 || res.Matrix.Cols() != d {
+		t.Fatalf("empty window sketch: %dx%d", res.Matrix.Rows(), res.Matrix.Cols())
+	}
+	if res.Bound < 0 {
+		t.Fatalf("negative window certificate %v", res.Bound)
+	}
+	// The certificate must dominate the realized error on the union of the
+	// servers' window suffixes (each server's window holds its last Covered/2
+	// rows — coverage is per-server symmetric here: both drained n rows). A
+	// zero bound is legitimate — it asserts the merged window is exact, which
+	// holds when the bucketed rows fit the query sketch without shrinking —
+	// so the dominance check carries a small numerical slack for the SVD.
+	perServer := res.Covered / 2
+	suffix := matrix.Stack(
+		m0.CopyRows(n-perServer, n),
+		m1.CopyRows(n-perServer, n),
+	)
+	ce, err := linalg.CovarianceError(suffix, res.Matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol := 1e-9 * suffix.Frob2(); ce > res.Bound+tol {
+		t.Fatalf("window coverr %v exceeds certificate %v (+%v slack)", ce, res.Bound, tol)
+	}
+
+	cancel()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("server exited with %v", err)
+		}
+	}
+}
+
+// TestWindowDisabled pins the error path: /window without Window > 0.
+func TestWindowDisabled(t *testing.T) {
+	cfg := testConfig(1, 4)
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := distributed.NewTCPCoordinatorOpts("127.0.0.1:0", 1, nil, distributed.TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go coord.Run(ctx, hub)
+	if _, err := coord.WindowQuery(ctx); err == nil {
+		t.Fatal("window query succeeded with windowing disabled")
+	}
+}
+
+func TestConfigValidationService(t *testing.T) {
+	cfg := testConfig(1, 4)
+	cfg.CheckpointEveryRows = 10 // no path
+	if err := cfg.validate(); err == nil {
+		t.Fatal("checkpoint interval without path accepted")
+	}
+	cfg = testConfig(1, 4)
+	cfg.Window = -1
+	if err := cfg.validate(); err == nil {
+		t.Fatal("negative window accepted")
+	}
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/matrix"
+)
+
+// Checkpoint IO: the durable snapshot a long-running sketch server writes
+// on a timer and on SIGTERM, and restores from after a crash. A checkpoint
+// is a pair of files:
+//
+//   - <path>        — the sketch rows in the .dskm binary matrix format
+//     (float64, exact: a restored sketch is bit-identical to the saved one)
+//   - <path>.json   — a JSON sidecar carrying the caller's metadata
+//     (masses, shrinkage, stream position — whatever the caller marshals)
+//     plus the matrix shape and its squared Frobenius norm
+//
+// Both files are written via write-to-temp + rename, and the sidecar —
+// which records the matrix's exact frob² — is renamed last, making it the
+// commit record: LoadCheckpoint recomputes the norm from the matrix file
+// and rejects a pair where they disagree, so a crash between the two
+// renames (or a torn copy) surfaces as a detectable error instead of a
+// silently wrong certificate.
+
+// checkpointVersion is bumped on incompatible sidecar layout changes.
+const checkpointVersion = 1
+
+// checkpointSidecar is the envelope around the caller's metadata.
+type checkpointSidecar struct {
+	Version int             `json:"version"`
+	Rows    int             `json:"sketch_rows"`
+	Cols    int             `json:"sketch_cols"`
+	Frob2   float64         `json:"sketch_frob2"`
+	Meta    json.RawMessage `json:"meta"`
+}
+
+// frob2 is the exact squared Frobenius norm (plain summation: Load
+// recomputes it the same way, so the comparison is bit-deterministic).
+func frob2(m *matrix.Dense) float64 {
+	t := 0.0
+	for _, v := range m.Data() {
+		t += v * v
+	}
+	return t
+}
+
+// SaveCheckpoint atomically writes the (rows, meta) pair to path and
+// path+".json". meta is any JSON-marshalable value; LoadCheckpoint
+// unmarshals it back into the caller's struct.
+func SaveCheckpoint(path string, rows *matrix.Dense, meta any) error {
+	raw, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("workload: checkpoint %s: marshal meta: %w", path, err)
+	}
+	r, c := rows.Dims()
+	side, err := json.Marshal(checkpointSidecar{
+		Version: checkpointVersion,
+		Rows:    r, Cols: c, Frob2: frob2(rows),
+		Meta: raw,
+	})
+	if err != nil {
+		return fmt.Errorf("workload: checkpoint %s: marshal sidecar: %w", path, err)
+	}
+	if dir := filepath.Dir(path); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("workload: checkpoint %s: %w", path, err)
+		}
+	}
+	// Matrix first, sidecar last: the sidecar commits the pair.
+	if err := atomicWrite(path, func(f *os.File) error { return WriteMatrix(f, rows) }); err != nil {
+		return fmt.Errorf("workload: checkpoint %s: %w", path, err)
+	}
+	if err := atomicWrite(path+".json", func(f *os.File) error { _, err := f.Write(side); return err }); err != nil {
+		return fmt.Errorf("workload: checkpoint %s: %w", path, err)
+	}
+	return nil
+}
+
+// atomicWrite writes via a same-directory temp file, fsyncs, and renames
+// into place, so a crash mid-write never leaves a partial file at path.
+func atomicWrite(path string, fill func(*os.File) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer os.Remove(tmp) // no-op after a successful rename
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpoint reads the pair back, unmarshalling the sidecar's metadata
+// into meta (a pointer). It verifies the matrix file's shape and exact
+// squared Frobenius norm against the sidecar and fails on any mismatch —
+// the torn-pair / corruption check.
+func LoadCheckpoint(path string, meta any) (*matrix.Dense, error) {
+	raw, err := os.ReadFile(path + ".json")
+	if err != nil {
+		return nil, fmt.Errorf("workload: checkpoint %s: sidecar: %w", path, err)
+	}
+	var side checkpointSidecar
+	if err := json.Unmarshal(raw, &side); err != nil {
+		return nil, fmt.Errorf("workload: checkpoint %s: sidecar: %w", path, err)
+	}
+	if side.Version != checkpointVersion {
+		return nil, fmt.Errorf("workload: checkpoint %s: sidecar version %d, want %d", path, side.Version, checkpointVersion)
+	}
+	m, err := LoadMatrix(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: checkpoint %s: %w", path, err)
+	}
+	r, c := m.Dims()
+	if r != side.Rows || c != side.Cols {
+		return nil, fmt.Errorf("workload: checkpoint %s: torn pair: matrix is %dx%d, sidecar recorded %dx%d", path, r, c, side.Rows, side.Cols)
+	}
+	if got := frob2(m); got != side.Frob2 {
+		return nil, fmt.Errorf("workload: checkpoint %s: torn pair: matrix frob² %v, sidecar recorded %v", path, got, side.Frob2)
+	}
+	if meta != nil {
+		if err := json.Unmarshal(side.Meta, meta); err != nil {
+			return nil, fmt.Errorf("workload: checkpoint %s: meta: %w", path, err)
+		}
+	}
+	return m, nil
+}
+
+// CheckpointExists reports whether a committed checkpoint pair is present
+// at path (the sidecar is the commit record, so its presence decides).
+func CheckpointExists(path string) bool {
+	if _, err := os.Stat(path + ".json"); err != nil {
+		return false
+	}
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// SkipRows advances src past k rows — how a restored server fast-forwards
+// its stream to the checkpointed position. A FileSource seeks in O(1);
+// everything else replays and discards (generator sources must redraw
+// anyway to keep their RNG stream aligned). Ending early is an error.
+func SkipRows(src RowSource, k int) error {
+	if k < 0 {
+		return fmt.Errorf("workload: SkipRows(%d)", k)
+	}
+	if fs, ok := src.(*FileSource); ok {
+		return fs.SeekRow(k)
+	}
+	for i := 0; i < k; i++ {
+		if _, ok := src.Next(); !ok {
+			if err := src.Err(); err != nil {
+				return err
+			}
+			return fmt.Errorf("workload: cannot skip %d rows: source ended at %d", k, i)
+		}
+	}
+	return nil
+}

@@ -232,12 +232,25 @@ func (s *FileSource) Next() ([]float64, bool) {
 
 // Reset implements RowSource, seeking back to the first row.
 func (s *FileSource) Reset() error {
-	if _, err := s.f.Seek(matrixHeaderBytes, io.SeekStart); err != nil {
-		s.err = fmt.Errorf("workload: %s: reset: %w", s.path, err)
+	return s.SeekRow(0)
+}
+
+// SeekRow positions the source so the next Next delivers row i (0 ≤ i ≤ n;
+// i = n parks the source at end of data). Rows are fixed-width on disk, so
+// this is one O(1) seek — how a restored server resumes its shard at the
+// checkpointed position without replaying the stream. It also clears any
+// latched error.
+func (s *FileSource) SeekRow(i int) error {
+	if i < 0 || i > s.n {
+		return fmt.Errorf("workload: %s: seek to row %d of %d", s.path, i, s.n)
+	}
+	off := int64(matrixHeaderBytes) + int64(i)*int64(s.elem)*int64(s.d)
+	if _, err := s.f.Seek(off, io.SeekStart); err != nil {
+		s.err = fmt.Errorf("workload: %s: seek row %d: %w", s.path, i, err)
 		return s.err
 	}
 	s.br.Reset(s.f)
-	s.at, s.err = 0, nil
+	s.at, s.err = i, nil
 	return nil
 }
 
@@ -340,8 +353,18 @@ func (s *CSVSource) next(wantCols int) ([]float64, bool) {
 // Dims implements RowSource.
 func (s *CSVSource) Dims() (int, int) { return s.n, s.d }
 
-// Next implements RowSource.
-func (s *CSVSource) Next() ([]float64, bool) { return s.next(s.d) }
+// Next implements RowSource. A stream that ends before delivering the
+// pre-scanned n rows (the file was truncated between the validation pass
+// and this one) latches an error, mirroring FileSource's at >= n guard:
+// consumers trusting Dims() must not mistake a short stream for a clean
+// end of data.
+func (s *CSVSource) Next() ([]float64, bool) {
+	row, ok := s.next(s.d)
+	if !ok && s.err == nil && s.at < s.n {
+		s.err = fmt.Errorf("workload: %s: csv stream ended after %d of %d pre-scanned rows (file truncated?)", s.path, s.at, s.n)
+	}
+	return row, ok
+}
 
 // Reset implements RowSource, seeking back to the first row.
 func (s *CSVSource) Reset() error { s.rewind(); return s.err }

@@ -368,3 +368,86 @@ func TestSplitSparseContiguous(t *testing.T) {
 		}
 	}
 }
+
+// TestCSVTruncationBetweenPasses is the regression test for the silent
+// short-stream bug: CSVSource pre-scans Dims() on open, so a file truncated
+// between the validation pass and the streaming pass used to end Next with
+// ok=false and a nil Err — indistinguishable from a clean end of data. The
+// fix latches an error, mirroring FileSource's at >= n guard.
+func TestCSVTruncationBetweenPasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := Gaussian(rng, 10, 4)
+	path := filepath.Join(t.TempDir(), "m.csv")
+	if err := SaveCSVMatrix(path, m); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenCSVSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if n, _ := src.Dims(); n != 10 {
+		t.Fatalf("pre-scanned n = %d", n)
+	}
+	// Truncate the file to its first 3 lines after the pre-scan.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	cut := len(raw)
+	for i, b := range raw {
+		if b == '\n' {
+			if lines++; lines == 3 {
+				cut = i + 1
+				break
+			}
+		}
+	}
+	if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for {
+		_, ok := src.Next()
+		if !ok {
+			break
+		}
+		got++
+	}
+	if got != 3 {
+		t.Fatalf("delivered %d rows, want 3", got)
+	}
+	if src.Err() == nil {
+		t.Fatal("short CSV stream must latch an error, not end silently")
+	}
+	// FileSource behaves the same on a truncated binary file (the guard this
+	// fix mirrors): assert the two sources agree on the failure mode.
+	bin := filepath.Join(t.TempDir(), "m.dskm")
+	if err := SaveMatrix(bin, m); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(bin, info.Size()-4*8); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenFileSource(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	for {
+		if _, ok := fs.Next(); !ok {
+			break
+		}
+	}
+	if fs.Err() == nil {
+		t.Fatal("short binary stream must latch an error")
+	}
+}
