@@ -17,11 +17,26 @@
 // -part to stream a pre-split shard file whole.
 //
 // Protocols: fd (Theorem 2), svs (§3.1), adaptive (Theorem 7), sampling
-// ([10] baseline), lowrank (§3.3 Case 1), pca (Theorem 9 sketch+solve).
+// ([10] baseline), lowrank (§3.3 Case 1), pca (Theorem 9 sketch+solve),
+// coord-product (coordinated priority-sampling AᵀB estimation).
 // -sampling picks the SVS sampling function (quadratic or linear);
 // -shrink/-alpha pick the fd protocol's FD shrink strategy (fd, fast-fd,
 // alpha-fd; strategies without a mergeability proof are rejected);
 // -timeout bounds the whole run and the coordinator's per-server waits.
+//
+// coord-product estimates the product AᵀB of a row-aligned matrix pair
+// instead of a covariance: each server additionally loads -input-b (same
+// row count as -input), the coordinator takes -d-b (B's columns, default
+// -d) and -sample-size m, and the result is certified to
+// ‖Est−AᵀB‖F ≤ 2√(2/(m−1))·‖A‖F·‖B‖F with probability ≥ 3/4. With -part
+// each server must also pass -offset, the global index of its shard's
+// first row — the row alignment that makes the shared-seed samples
+// coordinate:
+//
+//	distsketch -role coordinator -addr :9009 -servers 2 -protocol coord-product \
+//	    -d 64 -d-b 8 -sample-size 256
+//	distsketch -role server -id 0 -servers 2 -addr host:9009 -protocol coord-product \
+//	    -input a.0.dskm -input-b b.0.dskm -part -offset 0 -sample-size 256
 //
 // Tree aggregation (-topology tree -fanout f, protocol fd only) interposes
 // aggregator processes between the leaves and the coordinator. Every
@@ -94,8 +109,12 @@ type options struct {
 	alpha    float64
 	wirePrec string
 	input    string
+	inputB   string
 	part     bool
+	offset   int
 	d        int
+	dB       int
+	sample   int
 	eps      float64
 	k        int
 	seed     int64
@@ -136,8 +155,12 @@ func main() {
 	flag.Float64Var(&o.alpha, "alpha", 0.5, "alpha for -shrink alpha-fd, in (0,1]")
 	flag.StringVar(&o.wirePrec, "wire-precision", "", "matrix payload wire width: float64 (default, exact) or float32 (half the metered words; every role must agree)")
 	flag.StringVar(&o.input, "input", "", "matrix file, .dskm or .csv (server role)")
+	flag.StringVar(&o.inputB, "input-b", "", "row-aligned second matrix file for -protocol coord-product (server role)")
 	flag.BoolVar(&o.part, "part", false, "input file is already this server's partition")
+	flag.IntVar(&o.offset, "offset", -1, "global index of this server's first row (-part mode, coord-product; derived from the contiguous partition otherwise)")
 	flag.IntVar(&o.d, "d", 0, "column dimension (coordinator role)")
+	flag.IntVar(&o.dB, "d-b", 0, "column dimension of B (coordinator role, coord-product; defaults to -d)")
+	flag.IntVar(&o.sample, "sample-size", 64, "coordinated-sampling target sample size s (coord-product)")
 	flag.Float64Var(&o.eps, "eps", 0.1, "accuracy epsilon")
 	flag.IntVar(&o.k, "k", 5, "rank parameter")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed")
@@ -305,7 +328,11 @@ func (o options) buildProtocol(plan *distsketch.Plan) (distsketch.Protocol, erro
 	if o.timeout > 0 {
 		cfg.Stragglers.Timeout = o.timeout
 	}
-	env := distsketch.Env{Servers: o.servers, Dim: o.d, Config: cfg, Topology: plan}
+	dB := o.dB
+	if dB <= 0 {
+		dB = o.d
+	}
+	env := distsketch.Env{Servers: o.servers, Dim: o.d, DimB: dB, Config: cfg, Topology: plan}
 	sampling, err := distsketch.ParseSamplingFn(o.sampling)
 	if err != nil {
 		return nil, err
@@ -329,6 +356,8 @@ func (o options) buildProtocol(plan *distsketch.Plan) (distsketch.Protocol, erro
 			PCAParams: distsketch.PCAParams{K: o.k, Eps: o.eps},
 			Env:       env,
 		}, nil
+	case "coord-product":
+		return distsketch.CoordinatedProduct{SampleSize: o.sample, Env: env}, nil
 	default:
 		return nil, fmt.Errorf("unknown protocol %q", o.protocol)
 	}
@@ -373,6 +402,12 @@ func runCoordinator(ctx context.Context, o options) error {
 		// %.17g round-trips float64 exactly, so CI can diff a tree run's
 		// sketch line against a star run's bit for bit.
 		fmt.Printf("sketch: %d×%d rows·cols, ‖B‖F² = %.17g\n", sketch.Rows(), sketch.Cols(), sketch.Frob2())
+	}
+	if res.Product != nil {
+		// Same exact formatting contract: two shard-set runs of the same
+		// seeded input must print identical estimate lines.
+		fmt.Printf("product estimate: %d×%d, ‖Est‖F² = %.17g, certified ‖Est−AᵀB‖F ≤ %.6g (w.p. ≥ 3/4)\n",
+			res.Product.Rows(), res.Product.Cols(), res.Product.Frob2(), res.Certificate)
 	}
 	if len(res.Missing) > 0 {
 		fmt.Printf("proceeded without stragglers: servers %v\n", res.Missing)
@@ -419,10 +454,33 @@ func runServer(ctx context.Context, o options) error {
 	defer src.Close()
 	var local distsketch.RowSource = src
 	n, d := src.Dims()
+	lo, hi := 0, n
 	if !o.part {
-		lo, hi := distsketch.ContiguousRange(n, o.servers, o.id)
+		lo, hi = distsketch.ContiguousRange(n, o.servers, o.id)
 		local = distsketch.NewSectionSource(src, lo, hi)
 		n = hi - lo
+	}
+	in := distsketch.CovarianceInput(local)
+	if proto.Estimand() == distsketch.EstimandProduct {
+		if o.inputB == "" {
+			return fmt.Errorf("protocol %s needs -input-b (the row-aligned B matrix)", proto.Name())
+		}
+		srcB, err := distsketch.OpenSource(o.inputB)
+		if err != nil {
+			return err
+		}
+		defer srcB.Close()
+		var localB distsketch.RowSource = srcB
+		offset := o.offset
+		if !o.part {
+			// Both files are sharded by the same contiguous partition, so the
+			// shard's global offset is the section's lower bound.
+			localB = distsketch.NewSectionSource(srcB, lo, hi)
+			offset = lo
+		} else if offset < 0 {
+			return fmt.Errorf("coord-product with -part needs -offset (the global index of this shard's first row)")
+		}
+		in = distsketch.ProductInput(local, localB, offset)
 	}
 	if o.debug != "" {
 		addr, closeDebug, err := distsketch.ServeDebug(o.debug)
@@ -441,7 +499,7 @@ func runServer(ctx context.Context, o options) error {
 	defer srv.Close()
 	ob := distsketch.DefaultObserver()
 	ob.RunStart(proto.Name(), o.servers)
-	err = proto.Server(ctx, srv.Node(), local)
+	err = proto.Server(ctx, srv.Node(), in)
 	ob.RunEnd(proto.Name(), srv.Meter().Words(), err)
 	if err != nil {
 		return err

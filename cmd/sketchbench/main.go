@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: all, table1, table2, f1..f10, a1..a5, p1, m1, i1, t1, s1, k1")
+		experiment = flag.String("experiment", "all", "which experiment to run: all, table1, table2, f1..f10, a1..a5, p1, m1, i1, t1, s1, k1, c1")
 		seed       = flag.Int64("seed", 1, "random seed")
 		n          = flag.Int("n", 1<<13, "global row count")
 		d          = flag.Int("d", 64, "column dimension")
@@ -37,6 +37,7 @@ func main() {
 		baselineT  = flag.String("baseline-topology", "", "write a JSON fan-out sweep baseline (t1) to this file and exit")
 		baselineF  = flag.String("baseline-frontier", "", "write a JSON shrink-strategy frontier baseline (s1) to this file and exit")
 		baselineK  = flag.String("baseline-kernels", "", "write a JSON kernel/wire-precision baseline (timed table1 + k1) to this file and exit")
+		baselineP  = flag.String("baseline-product", "", "write a JSON product-frontier baseline (c1) to this file and exit")
 		shrink     = flag.String("shrink", "", "FD shrink strategy for the FD-based experiments: fd, fast-fd (default), alpha-fd; isvd and compensative are single-node only and rejected by fd-merge")
 		alpha      = flag.Float64("alpha", 0.5, "alpha parameter for -shrink alpha-fd, in (0,1]")
 		trace      = flag.String("trace", "", "write a JSONL protocol trace of every run to this file")
@@ -62,6 +63,8 @@ func main() {
 		err = writeFrontierBaseline(*baselineF, cfg)
 	} else if *baselineK != "" {
 		err = writeKernelBaseline(*baselineK, cfg)
+	} else if *baselineP != "" {
+		err = writeProductBaseline(*baselineP, cfg)
 	} else {
 		err = run(strings.ToLower(*experiment), cfg)
 	}
@@ -181,6 +184,22 @@ func writeKernelBaseline(path string, cfg bench.Config) error {
 	return nil
 }
 
+func writeProductBaseline(path string, cfg bench.Config) error {
+	b, err := bench.CollectProductBaseline(cfg)
+	if err != nil {
+		return err
+	}
+	out, err := b.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("product baseline written to %s (pool width %d)\n", path, b.PoolWorkers)
+	return nil
+}
+
 // sweepFanouts picks the fan-outs for the t1 sweep: powers of two up to s/2
 // (bit-identical to the star by the canonical-merge grouping invariance),
 // capped so the table stays readable at large s.
@@ -223,6 +242,7 @@ func run(experiment string, cfg bench.Config) error {
 		{"t1", t1},
 		{"s1", s1},
 		{"k1", k1},
+		{"c1", c1},
 	}
 	if experiment == "all" {
 		for _, r := range runners {
@@ -476,6 +496,21 @@ func k1(cfg bench.Config) error {
 		return err
 	}
 	printRows(rows)
+	return nil
+}
+
+func c1(cfg bench.Config) error {
+	header("C1: product estimand — coord-product vs SVS [A|B], words vs relative error")
+	rows, err := bench.ProductFrontier(cfg)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+	if density, err := bench.CheckProductHeadline(rows); err != nil {
+		fmt.Printf("headline: %v\n", err)
+	} else {
+		fmt.Printf("headline: coordinated sampling beats svs [A|B] at density=%g\n", density)
+	}
 	return nil
 }
 

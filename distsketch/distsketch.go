@@ -100,6 +100,31 @@ type Result = distributed.Result
 // protocol (seed, quantization, straggler policy).
 type Config = distributed.Config
 
+// Estimand is what a protocol estimates — AᵀA of one matrix
+// (EstimandCovariance) or AᵀB of a row-aligned pair (EstimandProduct).
+// Every Protocol declares one; Run validates the per-server inputs
+// against it, so a workload/protocol mismatch fails loudly up front.
+type Estimand = distributed.Estimand
+
+const (
+	EstimandCovariance = distributed.EstimandCovariance
+	EstimandProduct    = distributed.EstimandProduct
+)
+
+// Input is one server's workload input: a single covariance shard
+// (CovarianceInput), or an aligned (A, B) shard pair with the global index
+// of its first row (ProductInput). RunWorkload consumes a slice of these;
+// ProductShards / ProductShardsDense build aligned slices under the
+// contiguous row partition.
+type Input = distributed.Input
+
+var (
+	CovarianceInput    = distributed.CovarianceInput
+	ProductInput       = distributed.ProductInput
+	ProductShards      = distributed.ProductShards
+	ProductShardsDense = distributed.ProductShardsDense
+)
+
 // The concrete protocols. Covariance sketches:
 type (
 	// FDMerge is the deterministic Theorem 2 protocol (FD sketches merged
@@ -115,6 +140,17 @@ type (
 	LowRankExact = distributed.LowRankExact
 	// FullTransfer ships every row — the trivial exact baseline.
 	FullTransfer = distributed.FullTransfer
+)
+
+// Product protocols (EstimandProduct — the output approximates AᵀB):
+type (
+	// CoordinatedProduct is the coordinated priority-sampling AᵀB
+	// protocol: servers hash global row indices with the shared seed, keep
+	// their top-priority rows of A and B, and the coordinator combines the
+	// samples into an unbiased estimate with an a-priori certificate. One
+	// round, words proportional to the samples' nonzeros — it beats
+	// sketch-based baselines when rows are sparse.
+	CoordinatedProduct = distributed.CoordinatedProduct
 )
 
 // PCA protocols (§4 / Theorem 9):
@@ -219,6 +255,12 @@ var Run = distributed.Run
 // NewSectionSource per shard) runs the whole protocol out of core.
 var RunSources = distributed.RunSources
 
+// RunWorkload is the estimand-general driver beneath Run and RunSources:
+// server i consumes inputs[i], which may be a covariance shard or an
+// aligned (A, B) product pair. Use it (with ProductShards /
+// ProductShardsDense) to run product protocols such as CoordinatedProduct.
+var RunWorkload = distributed.RunWorkload
+
 // RunOption configures a Run invocation.
 type RunOption = distributed.RunOption
 
@@ -254,6 +296,7 @@ var (
 	RunPCAFDMerge           = distributed.RunPCAFDMerge
 	RunPCAPowerIteration    = distributed.RunPCAPowerIteration
 	RunPCACombinedPowerIter = distributed.RunPCACombinedPowerIter
+	RunCoordinatedProduct   = distributed.RunCoordinatedProduct
 )
 
 // Quality metrics: IsEpsKSketch checks the Definition 3 guarantee, CovErr
@@ -265,4 +308,12 @@ var (
 	CovErr          = core.CovErr
 	PCAQualityRatio = pca.QualityRatio
 	SketchPCs       = pca.SketchPCs
+)
+
+// Product-workload metrics: ProductCertificate is the a-priori coordinated-
+// sampling error bound (‖Est−AᵀB‖F ≤ cert with probability ≥ 3/4 at sample
+// size s), ProductErr the realized Frobenius error ‖Est−AᵀB‖F.
+var (
+	ProductCertificate = core.ProductCertificate
+	ProductErr         = core.ProductErr
 )

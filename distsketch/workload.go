@@ -45,15 +45,19 @@ var NewRowStream = workload.NewRowStream
 // files out of core, window a source to a contiguous shard, or materialize a
 // source back into a dense matrix.
 var (
-	NewDenseSource   = workload.NewDenseSource
-	NewSparseSource  = workload.NewSparseSource
-	OpenSource       = workload.OpenSource
-	OpenFileSource   = workload.OpenFileSource
-	OpenCSVSource    = workload.OpenCSVSource
-	NewSectionSource = workload.NewSectionSource
-	Materialize      = workload.Materialize
-	DenseSources     = workload.DenseSources
-	ContiguousRange  = workload.ContiguousRange
+	NewDenseSource  = workload.NewDenseSource
+	NewSparseSource = workload.NewSparseSource
+	// NewSparseGaussianSource streams n×d rows whose cells are
+	// Bernoulli(density)·N(0,1), re-seeding on Reset so two-pass protocols
+	// replay identical rows without materializing the matrix.
+	NewSparseGaussianSource = workload.NewSparseGaussianSource
+	OpenSource              = workload.OpenSource
+	OpenFileSource          = workload.OpenFileSource
+	OpenCSVSource           = workload.OpenCSVSource
+	NewSectionSource        = workload.NewSectionSource
+	Materialize             = workload.Materialize
+	DenseSources            = workload.DenseSources
+	ContiguousRange         = workload.ContiguousRange
 )
 
 // Synthetic matrix generators covering the regimes the theory

@@ -56,7 +56,7 @@ func main() {
 			defer srv.Close()
 			sp := proto
 			sp.Env.Config.Seed = int64(id)
-			if err := sp.Server(ctx, srv.Node(), distsketch.NewDenseSource(parts[id])); err != nil {
+			if err := sp.Server(ctx, srv.Node(), distsketch.CovarianceInput(distsketch.NewDenseSource(parts[id]))); err != nil {
 				errCh <- err
 				return
 			}

@@ -29,12 +29,14 @@ import (
 // are interned: the protocol vocabulary is a handful of constant tags, so
 // each is allocated once per process instead of once per message.
 var (
-	frameBufs = sync.Pool{New: func() any { return new([]byte) }}
-	msgPool   = sync.Pool{New: func() any { return new(Message) }}
-	f64Bufs   = sync.Pool{New: func() any { return new([]float64) }}
-	i64Bufs   = sync.Pool{New: func() any { return new([]int64) }}
-	densePool = sync.Pool{New: func() any { return new(matrix.Dense) }}
-	quantPool = sync.Pool{New: func() any { return new(QuantizedMatrix) }}
+	frameBufs  = sync.Pool{New: func() any { return new([]byte) }}
+	msgPool    = sync.Pool{New: func() any { return new(Message) }}
+	f64Bufs    = sync.Pool{New: func() any { return new([]float64) }}
+	i64Bufs    = sync.Pool{New: func() any { return new([]int64) }}
+	i32Bufs    = sync.Pool{New: func() any { return new([]int32) }}
+	densePool  = sync.Pool{New: func() any { return new(matrix.Dense) }}
+	quantPool  = sync.Pool{New: func() any { return new(QuantizedMatrix) }}
+	samplePool = sync.Pool{New: func() any { return new(SampleRows) }}
 )
 
 // CoordinatorID is the conventional endpoint ID of the coordinator.
@@ -65,15 +67,22 @@ type Message struct {
 	MatrixPrecision Precision
 	// Quantized carries a quantized matrix (BitsPerEntry bits per entry).
 	Quantized *QuantizedMatrix
+	// Samples carries a batch of priority-sampled sparse rows (see
+	// SampleRows for the exact per-row/per-nonzero word accounting).
+	Samples *SampleRows
 
 	// Pool bookkeeping for messages produced by Decode. Release recycles
 	// these; messages built by senders have them all zero and Release is
 	// a no-op.
-	pooled    bool
-	scalarBuf *[]float64
-	intBuf    *[]int64
-	matBuf    *[]float64
-	quantBuf  *[]int64
+	pooled       bool
+	scalarBuf    *[]float64
+	intBuf       *[]int64
+	matBuf       *[]float64
+	quantBuf     *[]int64
+	sampleIDBuf  *[]int64
+	sampleIdxBuf *[]int32
+	sampleValBuf *[]float64
+	sampleOffBuf *[]int32
 }
 
 // Bits returns the payload size of the message in bits under the paper's
@@ -87,6 +96,9 @@ func (m *Message) Bits() int64 {
 	}
 	if m.Quantized != nil {
 		bits += m.Quantized.Bits()
+	}
+	if m.Samples != nil {
+		bits += m.Samples.Bits()
 	}
 	return bits
 }
@@ -125,6 +137,22 @@ func (m *Message) Release() {
 		*m.Quantized = QuantizedMatrix{}
 		quantPool.Put(m.Quantized)
 	}
+	if m.Samples != nil {
+		if m.sampleIDBuf != nil {
+			i64Bufs.Put(m.sampleIDBuf)
+		}
+		if m.sampleOffBuf != nil {
+			i32Bufs.Put(m.sampleOffBuf)
+		}
+		if m.sampleIdxBuf != nil {
+			i32Bufs.Put(m.sampleIdxBuf)
+		}
+		if m.sampleValBuf != nil {
+			f64Bufs.Put(m.sampleValBuf)
+		}
+		*m.Samples = SampleRows{}
+		samplePool.Put(m.Samples)
+	}
 	*m = Message{}
 	msgPool.Put(m)
 }
@@ -137,6 +165,7 @@ const (
 	fieldMatrix    = uint8(3)
 	fieldQuantized = uint8(4)
 	fieldMatrix32  = uint8(5)
+	fieldSamples   = uint8(6)
 	fieldEnd       = uint8(0)
 )
 
@@ -160,6 +189,10 @@ func (m *Message) frameSize(packedLen int) int {
 	}
 	if m.Quantized != nil {
 		size += 1 + 4 + 4 + 8 + 1 + 4 + packedLen
+	}
+	if m.Samples != nil {
+		// tag, cols, row count, per row id(8)+nnz(4), per nz idx(4)+val(8).
+		size += 1 + 4 + 4 + 12*len(m.Samples.IDs) + 12*len(m.Samples.Values)
 	}
 	return size
 }
@@ -265,6 +298,29 @@ func (m *Message) Encode(w io.Writer) error {
 		le.PutUint32(b[off:], uint32(len(q.Values)))
 		off += 4
 		off += copy(b[off:], packed)
+	}
+	if m.Samples != nil {
+		s := m.Samples
+		b[off] = fieldSamples
+		off++
+		le.PutUint32(b[off:], uint32(s.Cols))
+		off += 4
+		le.PutUint32(b[off:], uint32(len(s.IDs)))
+		off += 4
+		for i, id := range s.IDs {
+			le.PutUint64(b[off:], uint64(id))
+			off += 8
+			le.PutUint32(b[off:], uint32(s.Starts[i+1]-s.Starts[i]))
+			off += 4
+		}
+		for _, idx := range s.Indices {
+			le.PutUint32(b[off:], uint32(idx))
+			off += 4
+		}
+		for _, v := range s.Values {
+			le.PutUint64(b[off:], math.Float64bits(v))
+			off += 8
+		}
 	}
 	b[off] = fieldEnd
 	if _, err := w.Write(b); err != nil {
@@ -377,6 +433,15 @@ func getI64(slot **[]int64, n int) []int64 {
 	bp := i64Bufs.Get().(*[]int64)
 	if cap(*bp) < n {
 		*bp = make([]int64, n)
+	}
+	*slot = bp
+	return (*bp)[:n]
+}
+
+func getI32(slot **[]int32, n int) []int32 {
+	bp := i32Bufs.Get().(*[]int32)
+	if cap(*bp) < n {
+		*bp = make([]int32, n)
 	}
 	*slot = bp
 	return (*bp)[:n]
@@ -550,6 +615,51 @@ func decodeFrame(frame []byte) (*Message, error) {
 			q.Values = getI64(&m.quantBuf, int(n))
 			m.Quantized = q
 			if err := unpackBitsInto(q.Values, packed, q.BitsPerEntry); err != nil {
+				return m, err
+			}
+		case fieldSamples:
+			cols, err := c.u32()
+			if err != nil {
+				return m, err
+			}
+			rows, err := c.u32()
+			if err != nil {
+				return m, err
+			}
+			if err := c.need(12 * int(rows)); err != nil {
+				return m, err
+			}
+			s := samplePool.Get().(*SampleRows)
+			m.Samples = s
+			s.Cols = int(cols)
+			s.IDs = getI64(&m.sampleIDBuf, int(rows))
+			s.Starts = getI32(&m.sampleOffBuf, int(rows)+1)
+			s.Starts[0] = 0
+			nnz := 0
+			for i := 0; i < int(rows); i++ {
+				id, _ := c.u64()
+				cnt, _ := c.u32()
+				if uint64(nnz)+uint64(cnt) > maxFrameBytes/12 {
+					return m, fmt.Errorf("comm: sample rows with %d nonzeros malformed", uint64(nnz)+uint64(cnt))
+				}
+				s.IDs[i] = int64(id)
+				nnz += int(cnt)
+				s.Starts[i+1] = int32(nnz)
+			}
+			if err := c.need(12 * nnz); err != nil {
+				return m, err
+			}
+			s.Indices = getI32(&m.sampleIdxBuf, nnz)
+			for i := range s.Indices {
+				v, _ := c.u32()
+				s.Indices[i] = int32(v)
+			}
+			s.Values = getF64(&m.sampleValBuf, nnz)
+			for i := range s.Values {
+				v, _ := c.u64()
+				s.Values[i] = math.Float64frombits(v)
+			}
+			if err := s.check(); err != nil {
 				return m, err
 			}
 		default:

@@ -1,0 +1,118 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// SampleRows is the sparse wire payload of a coordinated-sampling message: a
+// batch of priority-sampled rows shipped as (global row ID, nonzeros)
+// records in CSR-style layout. It exists because a priority sample of a
+// sparse matrix is itself sparse — shipping it as a dense matrix would cost
+// rows·d words regardless of content, defeating the protocol's whole
+// advantage — and because its cost must still be metered exactly.
+//
+// Wire cost (see Bits): each row charges one word for its 64-bit global ID
+// plus half a word for its 32-bit nonzero count; each nonzero charges half a
+// word for its 32-bit column index plus one word for its 64-bit value. The
+// framing (field tag, column dimension) is control overhead and uncounted,
+// like a dense matrix's dimension header.
+type SampleRows struct {
+	// Cols is the column dimension d of the sampled matrix.
+	Cols int
+	// IDs are the rows' global indices, one per row.
+	IDs []int64
+	// Starts are the rows' prefix offsets into Indices/Values:
+	// row i occupies [Starts[i], Starts[i+1]). len(Starts) = len(IDs)+1.
+	Starts []int32
+	// Indices are the concatenated column indices of every row's nonzeros.
+	Indices []int32
+	// Values are the matching nonzero values.
+	Values []float64
+}
+
+// NewSampleRows returns an empty batch with the given column dimension.
+func NewSampleRows(cols int) *SampleRows {
+	if cols <= 0 {
+		panic(fmt.Sprintf("comm: SampleRows with cols=%d", cols))
+	}
+	return &SampleRows{Cols: cols, Starts: []int32{0}}
+}
+
+// Rows returns the number of sampled rows in the batch.
+func (s *SampleRows) Rows() int { return len(s.IDs) }
+
+// NNZ returns the total number of nonzeros in the batch.
+func (s *SampleRows) NNZ() int { return len(s.Values) }
+
+// AppendRow adds one sampled row (copied).
+func (s *SampleRows) AppendRow(id int64, v *matrix.SparseVector) {
+	if v.Len != s.Cols {
+		panic(fmt.Sprintf("comm: SampleRows.AppendRow length %d != cols %d", v.Len, s.Cols))
+	}
+	s.IDs = append(s.IDs, id)
+	for _, i := range v.Indices {
+		s.Indices = append(s.Indices, int32(i))
+	}
+	s.Values = append(s.Values, v.Values...)
+	s.Starts = append(s.Starts, int32(len(s.Values)))
+}
+
+// RowVec returns row i's global ID and a freshly allocated sparse vector —
+// safe to retain after the message is Released.
+func (s *SampleRows) RowVec(i int) (int64, *matrix.SparseVector) {
+	lo, hi := s.Starts[i], s.Starts[i+1]
+	v := &matrix.SparseVector{
+		Len:     s.Cols,
+		Indices: make([]int, hi-lo),
+		Values:  make([]float64, hi-lo),
+	}
+	for j, idx := range s.Indices[lo:hi] {
+		v.Indices[j] = int(idx)
+	}
+	copy(v.Values, s.Values[lo:hi])
+	return s.IDs[i], v
+}
+
+// Bits returns the payload's size under the cost model: 64+32 bits per row
+// (global ID + nonzero count) and 32+64 bits per nonzero (column index +
+// value). Exported so senders can compare this sparse encoding against the
+// dense alternative (64 bits per matrix entry) and pick the cheaper one
+// deterministically.
+func (s *SampleRows) Bits() int64 {
+	return int64(len(s.IDs))*(64+32) + int64(len(s.Values))*(64+32)
+}
+
+// SampleRowsBits is the Bits cost of a hypothetical batch with the given
+// row and nonzero counts — the planning form of (*SampleRows).Bits.
+func SampleRowsBits(rows, nnz int) int64 {
+	return int64(rows)*(64+32) + int64(nnz)*(64+32)
+}
+
+// check validates internal consistency after a Decode.
+func (s *SampleRows) check() error {
+	if s.Cols <= 0 {
+		return fmt.Errorf("comm: SampleRows with cols=%d", s.Cols)
+	}
+	if len(s.Starts) != len(s.IDs)+1 || (len(s.Starts) > 0 && s.Starts[0] != 0) {
+		return fmt.Errorf("comm: SampleRows with %d rows, %d starts", len(s.IDs), len(s.Starts))
+	}
+	if len(s.Indices) != len(s.Values) {
+		return fmt.Errorf("comm: SampleRows with %d indices, %d values", len(s.Indices), len(s.Values))
+	}
+	for i := 0; i < len(s.IDs); i++ {
+		if s.Starts[i] > s.Starts[i+1] {
+			return fmt.Errorf("comm: SampleRows row %d has negative extent", i)
+		}
+	}
+	if n := len(s.Starts); n > 0 && int(s.Starts[n-1]) != len(s.Values) {
+		return fmt.Errorf("comm: SampleRows extent %d != %d nonzeros", s.Starts[len(s.Starts)-1], len(s.Values))
+	}
+	for _, idx := range s.Indices {
+		if idx < 0 || int(idx) >= s.Cols {
+			return fmt.Errorf("comm: SampleRows column index %d out of range %d", idx, s.Cols)
+		}
+	}
+	return nil
+}

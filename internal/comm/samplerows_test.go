@@ -1,0 +1,186 @@
+package comm
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func randSample(rng *rand.Rand, rows, cols int, density float64) *SampleRows {
+	s := NewSampleRows(cols)
+	for i := 0; i < rows; i++ {
+		var idx []int
+		var vals []float64
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				idx = append(idx, j)
+				vals = append(vals, rng.NormFloat64())
+			}
+		}
+		s.AppendRow(int64(i*7+3), matrix.NewSparseVector(cols, idx, vals))
+	}
+	return s
+}
+
+func TestSampleRowsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, rows := range []int{0, 1, 5, 40} {
+		in := &Message{
+			Kind:    "ps-a",
+			From:    2,
+			To:      CoordinatorID,
+			Scalars: []float64{3.5},
+			Samples: randSample(rng, rows, 13, 0.3),
+		}
+		var buf bytes.Buffer
+		if err := in.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Samples == nil || out.Samples.Rows() != rows || out.Samples.Cols != 13 {
+			t.Fatalf("rows=%d: decoded shape %+v", rows, out.Samples)
+		}
+		if out.Bits() != in.Bits() {
+			t.Fatalf("rows=%d: bits %d != %d across the wire", rows, out.Bits(), in.Bits())
+		}
+		for i := 0; i < rows; i++ {
+			wantID, wantVec := in.Samples.RowVec(i)
+			gotID, gotVec := out.Samples.RowVec(i)
+			if gotID != wantID || gotVec.Len != wantVec.Len || len(gotVec.Values) != len(wantVec.Values) {
+				t.Fatalf("row %d: got (%d, %d nnz), want (%d, %d nnz)", i, gotID, len(gotVec.Values), wantID, len(wantVec.Values))
+			}
+			for j := range wantVec.Values {
+				if gotVec.Indices[j] != wantVec.Indices[j] || gotVec.Values[j] != wantVec.Values[j] {
+					t.Fatalf("row %d nonzero %d corrupted", i, j)
+				}
+			}
+		}
+		out.Release()
+	}
+}
+
+func TestSampleRowsRowVecSurvivesRelease(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	in := &Message{Kind: "ps-b", Samples: randSample(rng, 8, 9, 0.5)}
+	var buf bytes.Buffer
+	if err := in.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want := in.Samples.RowVec(3)
+	_, got := out.Samples.RowVec(3)
+	out.Release()
+	// Churn the pools so any aliased buffer would be overwritten.
+	for i := 0; i < 5; i++ {
+		m2 := &Message{Kind: "ps-b", Samples: randSample(rng, 8, 9, 0.5)}
+		var b2 bytes.Buffer
+		if err := m2.Encode(&b2); err != nil {
+			t.Fatal(err)
+		}
+		o2, err := Decode(&b2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2.Release()
+	}
+	for j := range want.Values {
+		if got.Indices[j] != want.Indices[j] || got.Values[j] != want.Values[j] {
+			t.Fatalf("RowVec aliased pooled storage: nonzero %d changed after Release", j)
+		}
+	}
+}
+
+// The cost model must make the sparse/dense break-even computable: a batch's
+// Bits charge is exactly 96 bits per row plus 96 bits per nonzero, and the
+// planning form agrees with the realized batch.
+func TestSampleRowsBitsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := randSample(rng, 20, 30, 0.2)
+	want := int64(20)*96 + int64(s.NNZ())*96
+	if got := s.Bits(); got != want {
+		t.Fatalf("Bits() = %d, want %d", got, want)
+	}
+	if got := SampleRowsBits(20, s.NNZ()); got != want {
+		t.Fatalf("SampleRowsBits = %d, want %d", got, want)
+	}
+	m := &Message{Kind: "ps-a", Samples: s, Scalars: []float64{1}}
+	if got := m.Bits(); got != want+64 {
+		t.Fatalf("message Bits() = %d, want %d", got, want+64)
+	}
+}
+
+func TestSampleRowsAppendRowCopies(t *testing.T) {
+	v := matrix.NewSparseVector(4, []int{1, 3}, []float64{2, 4})
+	s := NewSampleRows(4)
+	s.AppendRow(9, v)
+	v.Values[0] = -99
+	v.Indices[0] = 0
+	if _, got := s.RowVec(0); got.Values[0] != 2 || got.Indices[0] != 1 {
+		t.Fatalf("AppendRow aliased the caller's vector: got %+v", got)
+	}
+}
+
+func TestSampleRowsDecodeRejectsCorruptFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	in := &Message{Kind: "ps-a", Samples: randSample(rng, 4, 6, 0.5)}
+	var buf bytes.Buffer
+	if err := in.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Truncations anywhere inside the samples field must error, not panic.
+	for cut := len(full) - 1; cut > len(full)-30 && cut > 4; cut-- {
+		if _, err := Decode(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncated frame at %d/%d decoded cleanly", cut, len(full))
+		}
+	}
+}
+
+func TestSampleRowsCodecAllocFlat(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc counts only hold on plain builds")
+	}
+	rng := rand.New(rand.NewSource(15))
+	in := &Message{
+		Kind:    "ps-a",
+		From:    1,
+		To:      CoordinatorID,
+		Scalars: []float64{2.25},
+		Samples: randSample(rng, 16, 24, 0.25),
+	}
+	var buf bytes.Buffer
+	rd := bytes.NewReader(nil)
+	cycle := func() {
+		buf.Reset()
+		if err := in.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		rd.Reset(buf.Bytes())
+		out, err := Decode(rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Samples.Rows() != 16 {
+			t.Fatal("payload corrupted")
+		}
+		out.Release()
+	}
+	for i := 0; i < 10; i++ {
+		cycle()
+	}
+	prev := debug.SetGCPercent(-1)
+	allocs := testing.AllocsPerRun(50, cycle)
+	debug.SetGCPercent(prev)
+	if allocs != 0 {
+		t.Fatalf("%v allocs per encode/decode/release cycle, want 0", allocs)
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// Matrix-product estimation via coordinated priority sampling ("Matrix
+// Product Sketching via Coordinated Sampling", Daliri–Freire–Li–Musco 2025):
+// every party hashes global row indices with one shared seed to a uniform
+// u_i ∈ (0,1), assigns row i the priority ‖row_i‖²/u_i, and keeps its
+// top-priority rows. Because A's and B's samples reuse the same u_i, a row
+// that is heavy in both matrices is kept by both sides with probability
+// min(p_A, p_B) rather than p_A·p_B — that coordination is what makes the
+// sample intersection large enough to estimate AᵀB = Σ_i a_i b_iᵀ
+// unbiasedly, and it beats sketch-based methods when rows are sparse: the
+// sample ships only the kept rows' nonzeros.
+
+// productMix is the splitmix64 mixing function (shared with the
+// CountSketch machinery in internal/pca — the repo's pattern for
+// deterministic, seedable shared randomness).
+func productMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SharedUniform maps (seed, global row index) to a uniform value in (0,1) —
+// identical on every server, which is the whole point: this is the shared
+// randomness that coordinates A's and B's samples. The value is never 0, so
+// priorities ‖row‖²/u are finite.
+func SharedUniform(seed, index int64) float64 {
+	h := productMix(uint64(seed) ^ (uint64(index)*0x9e3779b97f4a7c15 + 0x85ebca6b))
+	// 53 high bits → (0,1): the +1 offset excludes 0 exactly.
+	return (float64(h>>11) + 1) / float64(1<<53)
+}
+
+// SampledRow is one priority-sampled row: its global index, squared norm,
+// shared-seed priority, and the row itself (sparse; zero entries dropped,
+// which is value-exact for products).
+type SampledRow struct {
+	Index    int64
+	Norm2    float64
+	Priority float64
+	Vec      *matrix.SparseVector
+}
+
+// rowHeap is a min-heap on Priority, so the smallest kept priority is
+// evicted first.
+type rowHeap []SampledRow
+
+func (h rowHeap) Len() int           { return len(h) }
+func (h rowHeap) Less(i, j int) bool { return h[i].Priority < h[j].Priority }
+func (h rowHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *rowHeap) Push(x any)        { *h = append(*h, x.(SampledRow)) }
+func (h *rowHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// PrioritySampler keeps the `keep` highest-priority rows seen so far in one
+// streaming pass, O(keep) memory. A server sampling for target size s keeps
+// s+1 rows: the union of per-server top-(s+1) sets provably contains the
+// global top-(s+1), so the coordinator recovers the exact global threshold
+// τ (the (s+1)-th largest priority) from the merged candidates.
+type PrioritySampler struct {
+	seed int64
+	keep int
+	h    rowHeap
+}
+
+// NewPrioritySampler returns a sampler keeping the top `keep` priorities
+// under the shared seed.
+func NewPrioritySampler(seed int64, keep int) *PrioritySampler {
+	if keep < 1 {
+		panic(fmt.Sprintf("core: PrioritySampler with keep=%d", keep))
+	}
+	return &PrioritySampler{seed: seed, keep: keep}
+}
+
+// Offer considers the row with the given global index. Zero rows are
+// skipped: their priority is 0, they can never enter a top set, and they
+// contribute nothing to AᵀB. The vector is retained by reference; callers
+// must pass rows the sampler may keep (copies, per the RowSource contract).
+func (ps *PrioritySampler) Offer(index int64, vec *matrix.SparseVector) {
+	n2 := vec.Norm2()
+	if n2 == 0 {
+		return
+	}
+	pr := n2 / SharedUniform(ps.seed, index)
+	if len(ps.h) == ps.keep {
+		if pr <= ps.h[0].Priority {
+			return
+		}
+		heap.Pop(&ps.h)
+	}
+	heap.Push(&ps.h, SampledRow{Index: index, Norm2: n2, Priority: pr, Vec: vec})
+}
+
+// Rows returns the kept rows sorted by ascending global index — the
+// deterministic wire order.
+func (ps *PrioritySampler) Rows() []SampledRow {
+	out := make([]SampledRow, len(ps.h))
+	copy(out, ps.h)
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// PriorityThreshold returns the global priority threshold τ for target
+// sample size s over the merged candidate rows: the (s+1)-th largest
+// priority, or 0 when at most s candidates exist (then every row is kept
+// and the estimate is exact). Candidates must be every server's local
+// top-(s+1) set, which guarantees the global (s+1)-th priority is present.
+func PriorityThreshold(cand []SampledRow, s int) float64 {
+	if len(cand) <= s {
+		return 0
+	}
+	pr := make([]float64, len(cand))
+	for i, c := range cand {
+		pr[i] = c.Priority
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(pr)))
+	return pr[s]
+}
+
+// CoordinatedEstimate combines the merged candidate samples of A and B into
+// the unbiased AᵀB estimate (d_A×d_B): compute each side's threshold τ for
+// sample size s, keep the rows with priority > τ, and accumulate
+// a_i·b_iᵀ/p_i over the samples' intersection with inclusion probability
+// p_i = min(1, ‖a_i‖²/τ_A, ‖b_i‖²/τ_B). Row i is in A's sample iff
+// u_i < ‖a_i‖²/τ_A and in B's iff u_i < ‖b_i‖²/τ_B — the same u_i, so
+// P(both) is the min, not the product, and E[estimate] = AᵀB.
+//
+// Duplicate global indices within one side mean misconfigured shard offsets
+// (rows double-counted) and are rejected.
+func CoordinatedEstimate(candA, candB []SampledRow, s, dA, dB int) (*matrix.Dense, error) {
+	if s < 2 {
+		return nil, fmt.Errorf("core: coordinated estimate needs sample size ≥ 2, got %d", s)
+	}
+	if err := checkDistinct(candA, "A"); err != nil {
+		return nil, err
+	}
+	if err := checkDistinct(candB, "B"); err != nil {
+		return nil, err
+	}
+	tauA := PriorityThreshold(candA, s)
+	tauB := PriorityThreshold(candB, s)
+	inA := make(map[int64]SampledRow, s)
+	for _, r := range candA {
+		if tauA == 0 || r.Priority > tauA {
+			inA[r.Index] = r
+		}
+	}
+	est := matrix.New(dA, dB)
+	for _, rb := range candB {
+		if tauB != 0 && rb.Priority <= tauB {
+			continue
+		}
+		ra, ok := inA[rb.Index]
+		if !ok {
+			continue
+		}
+		p := 1.0
+		if tauA != 0 && ra.Norm2 < tauA {
+			p = ra.Norm2 / tauA
+		}
+		if tauB != 0 && rb.Norm2 < tauB {
+			if pb := rb.Norm2 / tauB; pb < p {
+				p = pb
+			}
+		}
+		w := 1 / p
+		for j, ia := range ra.Vec.Indices {
+			rb.Vec.AddTo(est.Row(ia), w*ra.Vec.Values[j])
+		}
+	}
+	return est, nil
+}
+
+func checkDistinct(cand []SampledRow, side string) error {
+	seen := make(map[int64]struct{}, len(cand))
+	for _, r := range cand {
+		if _, dup := seen[r.Index]; dup {
+			return fmt.Errorf("core: coordinated estimate: duplicate global row %d in %s's candidates — shard offsets overlap", r.Index, side)
+		}
+		seen[r.Index] = struct{}{}
+	}
+	return nil
+}
+
+// ProductCertificate is the a-priori error bound of the coordinated
+// estimate at sample size s: E‖Est − AᵀB‖F² ≤ 2‖A‖F²·‖B‖F²/(s−1) (each
+// term's variance is at most (1/p_i−1)‖a_i‖²‖b_i‖² and the thresholds
+// satisfy E[τ] ≤ ‖·‖F²/(s−1)), so by Chebyshev
+//
+//	‖Est − AᵀB‖F ≤ 2·√(2/(s−1))·‖A‖F·‖B‖F
+//
+// with probability at least 3/4. The bound needs only the Frobenius norms,
+// which the servers ship exactly (one word each), so the coordinator
+// certifies its output without ever seeing the inputs.
+func ProductCertificate(s int, frobA, frobB float64) float64 {
+	if s < 2 {
+		return math.Inf(1)
+	}
+	return 2 * math.Sqrt(2/float64(s-1)) * frobA * frobB
+}
+
+// ProductErr is the realized Frobenius error ‖est − exact‖F of a product
+// estimate.
+func ProductErr(est, exact *matrix.Dense) float64 {
+	r1, c1 := est.Dims()
+	r2, c2 := exact.Dims()
+	if r1 != r2 || c1 != c2 {
+		panic(fmt.Sprintf("core: ProductErr dims %d×%d vs %d×%d", r1, c1, r2, c2))
+	}
+	e, x := est.Data(), exact.Data()
+	sum := 0.0
+	for i := range e {
+		dlt := e[i] - x[i]
+		sum += dlt * dlt
+	}
+	return math.Sqrt(sum)
+}

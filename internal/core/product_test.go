@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func sparseRows(rng *rand.Rand, n, d int, density float64) []*matrix.SparseVector {
+	rows := make([]*matrix.SparseVector, n)
+	for i := range rows {
+		var idx []int
+		var vals []float64
+		for j := 0; j < d; j++ {
+			if rng.Float64() < density {
+				idx = append(idx, j)
+				vals = append(vals, rng.NormFloat64())
+			}
+		}
+		rows[i] = matrix.NewSparseVector(d, idx, vals)
+	}
+	return rows
+}
+
+func exactProduct(a, b []*matrix.SparseVector, dA, dB int) *matrix.Dense {
+	out := matrix.New(dA, dB)
+	for i := range a {
+		for j, ia := range a[i].Indices {
+			b[i].AddTo(out.Row(ia), a[i].Values[j])
+		}
+	}
+	return out
+}
+
+func frob(rows []*matrix.SparseVector) float64 {
+	s := 0.0
+	for _, r := range rows {
+		s += r.Norm2()
+	}
+	return math.Sqrt(s)
+}
+
+// sample runs per-shard priority samplers exactly as the distributed
+// protocol does and returns the merged candidates.
+func sampleShards(rows []*matrix.SparseVector, seed int64, s, shards int) []SampledRow {
+	var cand []SampledRow
+	per := (len(rows) + shards - 1) / shards
+	for lo := 0; lo < len(rows); lo += per {
+		hi := lo + per
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		ps := NewPrioritySampler(seed, s+1)
+		for i := lo; i < hi; i++ {
+			ps.Offer(int64(i), rows[i])
+		}
+		cand = append(cand, ps.Rows()...)
+	}
+	return cand
+}
+
+func TestSharedUniformDeterministicAndInUnit(t *testing.T) {
+	seen := map[float64]bool{}
+	for i := int64(0); i < 1000; i++ {
+		u := SharedUniform(7, i)
+		if u <= 0 || u >= 1 {
+			t.Fatalf("SharedUniform(7,%d) = %v out of (0,1)", i, u)
+		}
+		if u != SharedUniform(7, i) {
+			t.Fatalf("SharedUniform not deterministic at %d", i)
+		}
+		seen[u] = true
+	}
+	if len(seen) < 990 {
+		t.Fatalf("only %d distinct values in 1000 draws", len(seen))
+	}
+	if SharedUniform(7, 3) == SharedUniform(8, 3) {
+		t.Fatalf("different seeds gave the same value")
+	}
+}
+
+func TestPrioritySamplerKeepsTopPriorities(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows := sparseRows(rng, 200, 16, 0.4)
+	const keep = 17
+	ps := NewPrioritySampler(42, keep)
+	type pr struct {
+		idx int64
+		p   float64
+	}
+	var all []pr
+	for i, r := range rows {
+		ps.Offer(int64(i), r)
+		if n2 := r.Norm2(); n2 > 0 {
+			all = append(all, pr{int64(i), n2 / SharedUniform(42, int64(i))})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].p > all[j].p })
+	want := map[int64]bool{}
+	for _, e := range all[:keep] {
+		want[e.idx] = true
+	}
+	got := ps.Rows()
+	if len(got) != keep {
+		t.Fatalf("kept %d rows, want %d", len(got), keep)
+	}
+	for _, r := range got {
+		if !want[r.Index] {
+			t.Errorf("kept row %d not in the true top-%d", r.Index, keep)
+		}
+	}
+}
+
+func TestCoordinatedEstimateExactWhenSampleCoversInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n, dA, dB = 60, 12, 8
+	a := sparseRows(rng, n, dA, 0.5)
+	b := sparseRows(rng, n, dB, 0.5)
+	exact := exactProduct(a, b, dA, dB)
+	candA := sampleShards(a, 9, n, 3) // s = n keeps everything
+	candB := sampleShards(b, 9, n, 3)
+	est, err := CoordinatedEstimate(candA, candB, n, dA, dB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := ProductErr(est, exact); e > 1e-12 {
+		t.Fatalf("full-coverage estimate should be exact, err = %v", e)
+	}
+}
+
+func TestCoordinatedEstimateUnbiasedAndCertified(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n, dA, dB, s = 600, 24, 16, 96
+	a := sparseRows(rng, n, dA, 0.08)
+	b := sparseRows(rng, n, dB, 0.08)
+	exact := exactProduct(a, b, dA, dB)
+	cert := ProductCertificate(s, frob(a), frob(b))
+
+	mean := matrix.New(dA, dB)
+	const trials = 40
+	for seed := int64(0); seed < trials; seed++ {
+		candA := sampleShards(a, seed, s, 4)
+		candB := sampleShards(b, seed, s, 4)
+		est, err := CoordinatedEstimate(candA, candB, s, dA, dB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := ProductErr(est, exact); e > cert {
+			t.Errorf("seed %d: err %v exceeds certificate %v", seed, e, cert)
+		}
+		md, ed := mean.Data(), est.Data()
+		for i := range md {
+			md[i] += ed[i] / trials
+		}
+	}
+	// The mean over independent seeds must be much closer to the exact
+	// product than any single estimate — the unbiasedness signature.
+	meanErr := ProductErr(mean, exact)
+	if meanErr > cert/3 {
+		t.Fatalf("mean of %d estimates has err %v (certificate %v) — estimator looks biased", trials, meanErr, cert)
+	}
+}
+
+func TestCoordinatedEstimateMatchesSingleShard(t *testing.T) {
+	// Sharding only changes who holds which rows; the merged candidate set
+	// determines the estimate, so 1-shard and 4-shard sampling of the same
+	// input must agree bit for bit.
+	rng := rand.New(rand.NewSource(4))
+	const n, dA, dB, s = 300, 10, 10, 48
+	a := sparseRows(rng, n, dA, 0.1)
+	b := sparseRows(rng, n, dB, 0.1)
+	e1, err := CoordinatedEstimate(sampleShards(a, 5, s, 1), sampleShards(b, 5, s, 1), s, dA, dB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e4, err := CoordinatedEstimate(sampleShards(a, 5, s, 4), sampleShards(b, 5, s, 4), s, dA, dB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := ProductErr(e1, e4); e != 0 {
+		t.Fatalf("shard-count changed the estimate by %v; want bit-identical", e)
+	}
+}
+
+func TestCoordinatedEstimateRejectsDuplicateIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := sparseRows(rng, 10, 4, 1)
+	cand := sampleShards(rows, 1, 10, 1)
+	dup := append(append([]SampledRow{}, cand...), cand[0])
+	if _, err := CoordinatedEstimate(dup, cand, 10, 4, 4); err == nil {
+		t.Fatalf("duplicate global index not rejected")
+	}
+}
+
+func TestProductCertificateShape(t *testing.T) {
+	if !math.IsInf(ProductCertificate(1, 1, 1), 1) {
+		t.Fatalf("s=1 certificate should be infinite")
+	}
+	c64 := ProductCertificate(65, 2, 3)
+	want := 2 * math.Sqrt(2.0/64) * 6
+	if math.Abs(c64-want) > 1e-15 {
+		t.Fatalf("certificate = %v, want %v", c64, want)
+	}
+}

@@ -91,8 +91,15 @@ func (p PCASketchSolve) adaptive() AdaptiveParams {
 	return AdaptiveParams{Eps: pp.Eps / 2, K: pp.K, Delta: pp.Delta}
 }
 
+// Estimand implements Protocol.
+func (p PCASketchSolve) Estimand() Estimand { return EstimandCovariance }
+
 // Server implements Protocol.
-func (p PCASketchSolve) Server(ctx context.Context, node Node, local RowSource) error {
+func (p PCASketchSolve) Server(ctx context.Context, node Node, in Input) error {
+	local, err := in.Covariance(p.Name())
+	if err != nil {
+		return err
+	}
 	if err := ServerAdaptive(ctx, node, local, p.Env.Servers, p.adaptive(), p.Env.Config); err != nil {
 		return err
 	}
@@ -344,8 +351,15 @@ func (p BWZ) rounds() int { return 2 }
 
 func (p BWZ) validate() { p.PCAParams.withDefaults() }
 
+// Estimand implements Protocol.
+func (p BWZ) Estimand() Estimand { return EstimandCovariance }
+
 // Server implements Protocol.
-func (p BWZ) Server(ctx context.Context, node Node, src RowSource) error {
+func (p BWZ) Server(ctx context.Context, node Node, in Input) error {
+	src, err := in.Covariance(p.Name())
+	if err != nil {
+		return err
+	}
 	local, err := materializeLocal(node, src)
 	if err != nil {
 		return err
@@ -390,8 +404,15 @@ func (p BWZArbitrary) rounds() int { return 1 }
 
 func (p BWZArbitrary) validate() { p.PCAParams.withDefaults() }
 
+// Estimand implements Protocol.
+func (p BWZArbitrary) Estimand() Estimand { return EstimandCovariance }
+
 // Server implements Protocol.
-func (p BWZArbitrary) Server(ctx context.Context, node Node, src RowSource) error {
+func (p BWZArbitrary) Server(ctx context.Context, node Node, in Input) error {
+	src, err := in.Covariance(p.Name())
+	if err != nil {
+		return err
+	}
 	local, err := materializeLocal(node, src)
 	if err != nil {
 		return err
@@ -456,8 +477,15 @@ func (p PCACombined) adaptive() AdaptiveParams {
 	return AdaptiveParams{Eps: pp.Eps / 2, K: pp.K, Delta: pp.Delta}
 }
 
+// Estimand implements Protocol.
+func (p PCACombined) Estimand() Estimand { return EstimandCovariance }
+
 // Server implements Protocol.
-func (p PCACombined) Server(ctx context.Context, node Node, local RowSource) error {
+func (p PCACombined) Server(ctx context.Context, node Node, in Input) error {
+	local, err := in.Covariance(p.Name())
+	if err != nil {
+		return err
+	}
 	pp := p.PCAParams.withDefaults()
 	q, err := ServerAdaptiveLocal(ctx, node, local, p.Env.Servers, p.adaptive(), p.Env.Config)
 	if err != nil {
@@ -507,8 +535,15 @@ func (p PCAFDMerge) rounds() int { return 1 }
 
 func (p PCAFDMerge) validate() { p.PCAParams.withDefaults() }
 
+// Estimand implements Protocol.
+func (p PCAFDMerge) Estimand() Estimand { return EstimandCovariance }
+
 // Server implements Protocol.
-func (p PCAFDMerge) Server(ctx context.Context, node Node, local RowSource) error {
+func (p PCAFDMerge) Server(ctx context.Context, node Node, in Input) error {
+	local, err := in.Covariance(p.Name())
+	if err != nil {
+		return err
+	}
 	pp := p.PCAParams.withDefaults()
 	if err := ServerFDMerge(ctx, node, local, pp.Eps/2, pp.K, p.Env.Config); err != nil {
 		return err

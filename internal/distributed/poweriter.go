@@ -136,8 +136,15 @@ func (p PowerIteration) rounds() int { return p.PowerIterParams.withDefaults().R
 
 func (p PowerIteration) validate() { p.PowerIterParams.withDefaults() }
 
+// Estimand implements Protocol.
+func (p PowerIteration) Estimand() Estimand { return EstimandCovariance }
+
 // Server implements Protocol.
-func (p PowerIteration) Server(ctx context.Context, node Node, src RowSource) error {
+func (p PowerIteration) Server(ctx context.Context, node Node, in Input) error {
+	src, err := in.Covariance(p.Name())
+	if err != nil {
+		return err
+	}
 	// The iterative solver multiplies the local block every round, so the
 	// source is materialized (documented O(n_i·d) server memory).
 	local, err := materializeLocal(node, src)
@@ -189,8 +196,15 @@ func (p PCACombinedPowerIter) rounds() int { return 0 }
 
 func (p PCACombinedPowerIter) validate() { p.PowerIterParams.withDefaults() }
 
+// Estimand implements Protocol.
+func (p PCACombinedPowerIter) Estimand() Estimand { return EstimandCovariance }
+
 // Server implements Protocol.
-func (p PCACombinedPowerIter) Server(ctx context.Context, node Node, local RowSource) error {
+func (p PCACombinedPowerIter) Server(ctx context.Context, node Node, in Input) error {
+	local, err := in.Covariance(p.Name())
+	if err != nil {
+		return err
+	}
 	ap := AdaptiveParams{Eps: p.Eps / 2, K: p.PowerIterParams.withDefaults().K}
 	q, err := ServerAdaptiveLocal(ctx, node, local, p.Env.Servers, ap, p.Env.Config)
 	if err != nil {

@@ -26,14 +26,21 @@ const CoordinatorID = comm.CoordinatorID
 type Protocol interface {
 	// Name identifies the protocol (stable, flag-friendly).
 	Name() string
-	// Server runs the server role over node, streaming the local row block
-	// from the source. Streaming protocols (FD merge, streaming SVS,
-	// adaptive, low-rank exact, full transfer) read it in one or two
-	// bounded-memory passes; batch protocols materialize it (documented
-	// O(n_i·d) memory). Wrap an in-memory partition with
-	// workload.NewDenseSource — or use the []*matrix.Dense Run entry
-	// points, which do it for you.
-	Server(ctx context.Context, node Node, local RowSource) error
+	// Estimand declares what the protocol estimates — AᵀA of one matrix
+	// (EstimandCovariance) or AᵀB of an aligned pair (EstimandProduct).
+	// The Run driver validates the per-server inputs against it, so a
+	// workload/protocol mismatch fails loudly before any goroutine spawns.
+	Estimand() Estimand
+	// Server runs the server role over node, streaming the local workload
+	// input — one row shard for covariance protocols (unwrap it with
+	// in.Covariance), an aligned (A, B) shard pair for product protocols
+	// (in.Product). Streaming protocols (FD merge, streaming SVS,
+	// adaptive, low-rank exact, full transfer, coordinated product) read
+	// their sources in one or two bounded-memory passes; batch protocols
+	// materialize them (documented O(n_i·d) memory). Wrap an in-memory
+	// partition with workload.NewDenseSource — or use the []*matrix.Dense
+	// Run entry points, which do it for you.
+	Server(ctx context.Context, node Node, in Input) error
 	// Coordinator runs the coordinator role over node and returns the
 	// protocol's output; communication totals are filled in by the driver.
 	Coordinator(ctx context.Context, node Node) (*Result, error)
@@ -46,8 +53,11 @@ type Protocol interface {
 type Env struct {
 	// Servers is the number of servers s.
 	Servers int
-	// Dim is the column dimension d (needed by some coordinators).
+	// Dim is the column dimension d of A (needed by some coordinators).
 	Dim int
+	// DimB is the column dimension of B for product workloads (0 for
+	// covariance protocols, which have no second matrix).
+	DimB int
 	// Config carries quantization, seeding, and straggler options.
 	Config Config
 	// Topology is the run's aggregation plan; nil means the star (the
@@ -132,13 +142,20 @@ type FDMerge struct {
 // Name implements Protocol.
 func (p FDMerge) Name() string { return "fd-merge" }
 
+// Estimand implements Protocol.
+func (p FDMerge) Estimand() Estimand { return EstimandCovariance }
+
 func (p FDMerge) withEnv(e Env) Protocol { p.Env = e; return p }
 
 func (p FDMerge) rounds() int { return 1 }
 
 // Server implements Protocol. Under a tree plan the leaf's summary goes to
 // its aggregator rather than the coordinator.
-func (p FDMerge) Server(ctx context.Context, node Node, local RowSource) error {
+func (p FDMerge) Server(ctx context.Context, node Node, in Input) error {
+	local, err := in.Covariance(p.Name())
+	if err != nil {
+		return err
+	}
 	return serverFDMergeTo(ctx, node, p.Env.parent(node.ID()), local, p.Eps, p.K, p.Env.Config)
 }
 
@@ -173,12 +190,19 @@ func (p SVS) Name() string {
 	return "svs"
 }
 
+// Estimand implements Protocol.
+func (p SVS) Estimand() Estimand { return EstimandCovariance }
+
 func (p SVS) withEnv(e Env) Protocol { p.Env = e; return p }
 
 func (p SVS) rounds() int { return 2 }
 
 // Server implements Protocol.
-func (p SVS) Server(ctx context.Context, node Node, local RowSource) error {
+func (p SVS) Server(ctx context.Context, node Node, in Input) error {
+	local, err := in.Covariance(p.Name())
+	if err != nil {
+		return err
+	}
 	if p.Streaming {
 		return ServerSVSStreaming(ctx, node, local, p.Env.Servers, p.Alpha, p.Delta, p.Env.Config)
 	}
@@ -204,12 +228,19 @@ type RowSampling struct {
 // Name implements Protocol.
 func (p RowSampling) Name() string { return "row-sampling" }
 
+// Estimand implements Protocol.
+func (p RowSampling) Estimand() Estimand { return EstimandCovariance }
+
 func (p RowSampling) withEnv(e Env) Protocol { p.Env = e; return p }
 
 func (p RowSampling) rounds() int { return 2 }
 
 // Server implements Protocol.
-func (p RowSampling) Server(ctx context.Context, node Node, local RowSource) error {
+func (p RowSampling) Server(ctx context.Context, node Node, in Input) error {
+	local, err := in.Covariance(p.Name())
+	if err != nil {
+		return err
+	}
 	return ServerRowSampling(ctx, node, local, p.Env.Config)
 }
 
@@ -231,12 +262,19 @@ type Adaptive struct {
 // Name implements Protocol.
 func (p Adaptive) Name() string { return "adaptive" }
 
+// Estimand implements Protocol.
+func (p Adaptive) Estimand() Estimand { return EstimandCovariance }
+
 func (p Adaptive) withEnv(e Env) Protocol { p.Env = e; return p }
 
 func (p Adaptive) rounds() int { return 2 }
 
 // Server implements Protocol.
-func (p Adaptive) Server(ctx context.Context, node Node, local RowSource) error {
+func (p Adaptive) Server(ctx context.Context, node Node, in Input) error {
+	local, err := in.Covariance(p.Name())
+	if err != nil {
+		return err
+	}
 	return ServerAdaptive(ctx, node, local, p.Env.Servers, p.AdaptiveParams, p.Env.Config)
 }
 
@@ -259,12 +297,19 @@ type LowRankExact struct {
 // Name implements Protocol.
 func (p LowRankExact) Name() string { return "lowrank-exact" }
 
+// Estimand implements Protocol.
+func (p LowRankExact) Estimand() Estimand { return EstimandCovariance }
+
 func (p LowRankExact) withEnv(e Env) Protocol { p.Env = e; return p }
 
 func (p LowRankExact) rounds() int { return 1 }
 
 // Server implements Protocol.
-func (p LowRankExact) Server(ctx context.Context, node Node, local RowSource) error {
+func (p LowRankExact) Server(ctx context.Context, node Node, in Input) error {
+	local, err := in.Covariance(p.Name())
+	if err != nil {
+		return err
+	}
 	return ServerLowRankExact(ctx, node, local, p.KBound, p.Env.Config)
 }
 
@@ -286,12 +331,19 @@ type FullTransfer struct {
 // Name implements Protocol.
 func (p FullTransfer) Name() string { return "full-transfer" }
 
+// Estimand implements Protocol.
+func (p FullTransfer) Estimand() Estimand { return EstimandCovariance }
+
 func (p FullTransfer) withEnv(e Env) Protocol { p.Env = e; return p }
 
 func (p FullTransfer) rounds() int { return 1 }
 
 // Server implements Protocol.
-func (p FullTransfer) Server(ctx context.Context, node Node, local RowSource) error {
+func (p FullTransfer) Server(ctx context.Context, node Node, in Input) error {
+	local, err := in.Covariance(p.Name())
+	if err != nil {
+		return err
+	}
 	return ServerFullTransfer(ctx, node, local, p.Env.Config)
 }
 

@@ -141,18 +141,32 @@ func Run(ctx context.Context, proto Protocol, parts []*matrix.Dense, opts ...Run
 }
 
 // RunSources executes proto in-process over len(sources) simulated servers
-// (server i streaming sources[i]) plus a coordinator, and returns the
-// coordinator's result with exact communication accounting. It is the
-// single driver Run and all RunFDMerge-style wrappers delegate to; handing
-// it file-backed sources runs the whole protocol out of core.
-//
-// RunSources derives the protocol's Env from the sources and the options,
-// spawns one goroutine per server, runs the coordinator on the calling
-// goroutine, and guarantees that any single party failure — or cancellation
-// of ctx, or an expired WithDeadline — unblocks every other party promptly.
+// (server i streaming sources[i]) plus a coordinator. It is the
+// single-matrix adapter over RunWorkload — each source becomes one
+// covariance Input — kept as the entry point for every covariance protocol;
+// handing it file-backed sources runs the whole protocol out of core.
 func RunSources(ctx context.Context, proto Protocol, sources []RowSource, opts ...RunOption) (*Result, error) {
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("distributed: Run(%s) with no sources", proto.Name())
+	}
+	return RunWorkload(ctx, proto, CovarianceInputs(sources), opts...)
+}
+
+// RunWorkload executes proto in-process over len(inputs) simulated servers
+// (server i consuming inputs[i]) plus a coordinator, and returns the
+// coordinator's result with exact communication accounting. It is the
+// single driver every Run entry point delegates to, generalized over the
+// protocol's estimand: covariance protocols take one-source inputs, product
+// protocols take aligned (A, B) shard pairs, and the inputs are validated
+// against the protocol's declared Estimand before any goroutine spawns.
+//
+// RunWorkload derives the protocol's Env from the inputs and the options,
+// spawns one goroutine per server, runs the coordinator on the calling
+// goroutine, and guarantees that any single party failure — or cancellation
+// of ctx, or an expired WithDeadline — unblocks every other party promptly.
+func RunWorkload(ctx context.Context, proto Protocol, inputs []Input, opts ...RunOption) (*Result, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("distributed: Run(%s) with no inputs", proto.Name())
 	}
 	var o runOpts
 	for _, opt := range opts {
@@ -169,8 +183,11 @@ func RunSources(ctx context.Context, proto Protocol, sources []RowSource, opts .
 		ctx, cancel = context.WithTimeout(ctx, o.deadline)
 		defer cancel()
 	}
-	s := len(sources)
-	_, d := sources[0].Dims()
+	s := len(inputs)
+	d, dB, err := checkInputs(proto, inputs)
+	if err != nil {
+		return nil, err
+	}
 	plan, err := o.topo.Plan(s)
 	if err != nil {
 		return nil, err
@@ -204,16 +221,16 @@ func RunSources(ctx context.Context, proto Protocol, sources []RowSource, opts .
 		net = fn
 	}
 	if es, ok := proto.(envSetter); ok {
-		proto = es.withEnv(Env{Servers: s, Dim: d, Config: o.cfg, Topology: plan})
+		proto = es.withEnv(Env{Servers: s, Dim: d, DimB: dB, Config: o.cfg, Topology: plan})
 	}
 	if v, ok := proto.(validator); ok {
 		v.validate()
 	}
 	serverFns := make([]func() error, s, s+len(plan.Aggregators()))
-	for i := range sources {
+	for i := range inputs {
 		i := i
 		serverFns[i] = func() error {
-			return proto.Server(ctx, net.Node(i), sources[i])
+			return proto.Server(ctx, net.Node(i), inputs[i])
 		}
 	}
 	if !plan.IsStar() {
@@ -247,6 +264,7 @@ func RunSources(ctx context.Context, proto Protocol, sources []RowSource, opts .
 			return err
 		}
 		*res = *out
+		res.Estimand = proto.Estimand()
 		return nil
 	})
 	if err != nil {

@@ -175,7 +175,7 @@ func TestTCPProtocolValueDrivesBothRoles(t *testing.T) {
 			defer srv.Close()
 			sp := proto
 			sp.Env.Config.Seed = int64(id)
-			if err := sp.Server(ctx, srv.Node(), workload.NewDenseSource(parts[id])); err != nil {
+			if err := sp.Server(ctx, srv.Node(), CovarianceInput(workload.NewDenseSource(parts[id]))); err != nil {
 				serverErrs <- err
 			}
 		}(i)

@@ -72,7 +72,7 @@ func TestTCPTreeFDMergeEndToEnd(t *testing.T) {
 				return
 			}
 			defer srv.Close()
-			errs <- proto.Server(ctx, srv.Node(), workload.NewDenseSource(parts[id]))
+			errs <- proto.Server(ctx, srv.Node(), CovarianceInput(workload.NewDenseSource(parts[id])))
 		}(i)
 	}
 

@@ -234,15 +234,29 @@ func (m *memNode) Recv(ctx context.Context) (*comm.Message, error) {
 	}
 }
 
-// Result is the outcome of a protocol run at the coordinator.
+// Result is the outcome of a protocol run at the coordinator. Which output
+// fields are set is keyed by Estimand: covariance protocols fill Sketch /
+// Gram / PCs, product protocols fill Product and Certificate. The
+// communication totals (Words, Bits, Rounds, Messages) are metered the same
+// way for every estimand.
 type Result struct {
+	// Estimand records what the run estimated (stamped by the driver from
+	// the protocol's declaration).
+	Estimand Estimand
 	// Sketch is the coordinator's output matrix (covariance sketch), nil for
-	// protocols that output something else (see Gram / PCs).
+	// protocols that output something else (see Gram / PCs / Product).
 	Sketch *matrix.Dense
 	// Gram is set by exact protocols that reconstruct AᵀA directly.
 	Gram *matrix.Dense
 	// PCs holds the top-k right singular vectors (d×k) for PCA protocols.
 	PCs *matrix.Dense
+	// Product is the d_A×d_B estimate of AᵀB for product protocols.
+	Product *matrix.Dense
+	// Certificate is the product protocols' a-priori error bound: with the
+	// run's sample size s, ‖Product − AᵀB‖F ≤ Certificate holds with
+	// probability ≥ 3/4 (see core.ProductCertificate). 0 for covariance
+	// protocols, whose guarantees are parameterized by ε instead.
+	Certificate float64
 	// Missing lists the servers that missed the straggler deadline when a
 	// quorum policy let the protocol proceed without them; empty on full
 	// participation.
@@ -376,17 +390,21 @@ func gatherFrom(ctx context.Context, node Node, cfg Config, spec gatherSpec, acc
 			}
 			return nil, err
 		}
-		n, expected := got[msg.From]
+		// Read the sender before handing the message to accept: callbacks
+		// that fully consume the payload may Release it, which zeroes a
+		// pooled (decoded) message.
+		from := msg.From
+		n, expected := got[from]
 		if !expected {
-			return nil, fmt.Errorf("distributed: message from unexpected endpoint %d", msg.From)
+			return nil, fmt.Errorf("distributed: message from unexpected endpoint %d", from)
 		}
 		if n == each {
-			return nil, fmt.Errorf("distributed: duplicate %q message from %d", spec.Label, msg.From)
+			return nil, fmt.Errorf("distributed: duplicate %q message from %d", spec.Label, from)
 		}
 		if err := accept(msg); err != nil {
 			return nil, err
 		}
-		got[msg.From] = n + 1
+		got[from] = n + 1
 		pending--
 	}
 	return nil, nil

@@ -135,12 +135,20 @@ func SparseFromDenseMatrix(m *Dense, tol float64) *Sparse {
 	return out
 }
 
-// AppendRow adds one sparse row (not copied).
+// AppendRow adds one sparse row. The stored row NEVER shares storage with
+// the argument — the same copy-on-append contract as Dense.AppendRow, so a
+// caller mutating (or reusing) its vector after the append can never corrupt
+// the matrix.
 func (s *Sparse) AppendRow(v *SparseVector) {
 	if v.Len != s.cols {
 		panic(fmt.Sprintf("matrix: sparse row length %d != cols %d", v.Len, s.cols))
 	}
-	s.rows = append(s.rows, v)
+	cp := &SparseVector{Len: v.Len}
+	if len(v.Indices) > 0 {
+		cp.Indices = append([]int(nil), v.Indices...)
+		cp.Values = append([]float64(nil), v.Values...)
+	}
+	s.rows = append(s.rows, cp)
 }
 
 // Dims returns rows and columns.

@@ -171,3 +171,30 @@ func TestSparseFromDenseMatrix(t *testing.T) {
 		t.Fatal("conversion round trip failed")
 	}
 }
+
+// TestSparseAppendRowNeverAliases is the regression test for the
+// Sparse.AppendRow aliasing hazard (the sparse counterpart of the dense
+// AppendRow fix): the stored row must not share Indices/Values storage with
+// the caller's vector, or a caller reusing its buffers silently corrupts the
+// matrix.
+func TestSparseAppendRowNeverAliases(t *testing.T) {
+	v := NewSparseVector(4, []int{1, 3}, []float64{2, 4})
+	s := NewSparse(4)
+	s.AppendRow(v)
+	v.Values[0] = -99
+	v.Indices[0] = 0
+	row := s.Row(0)
+	if row.Values[0] != 2 || row.Indices[0] != 1 {
+		t.Fatalf("stored row aliases the appended vector: %+v", row)
+	}
+	// Mutating the stored row must not reach back into the caller's vector.
+	row.Values[1] = 77
+	if v.Values[1] != 4 {
+		t.Fatal("caller's vector aliases the stored row")
+	}
+	// Empty rows append cleanly.
+	s.AppendRow(NewSparseVector(4, nil, nil))
+	if s.Row(1).NNZ() != 0 {
+		t.Fatal("empty row corrupted")
+	}
+}

@@ -571,8 +571,9 @@ func ContiguousRange(n, s, id int) (lo, hi int) {
 
 // SplitSparseContiguous partitions the rows of a sparse matrix into s
 // contiguous blocks (the sparse counterpart of Split's Contiguous scheme,
-// matching ContiguousRange). Row vectors are shared, not copied —
-// SparseSource's copy-on-next keeps consumers safe.
+// matching ContiguousRange). Each block owns copies of its rows
+// (Sparse.AppendRow is copy-on-append), so mutating the original matrix
+// afterwards cannot corrupt a partition.
 func SplitSparseContiguous(sp *matrix.Sparse, s int) []*matrix.Sparse {
 	if s <= 0 {
 		panic(fmt.Sprintf("workload: SplitSparseContiguous with s=%d", s))

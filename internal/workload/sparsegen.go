@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/matrix"
+)
+
+// SparseGaussianSource streams n rows of dimension d in which each
+// coordinate is independently nonzero with probability density and each
+// nonzero is standard Gaussian — the canonical sparse synthetic workload for
+// the product-estimand benchmarks, where communication should scale with
+// nonzeros rather than d. It is a SparseRowSource, so consumers with an
+// nnz-proportional path never materialize the zeros, and Reset re-seeds the
+// generator so every pass replays identical rows (the FuncSource contract).
+type SparseGaussianSource struct {
+	n, d    int
+	density float64
+	seed    int64
+	rng     *rand.Rand
+	at      int
+}
+
+// NewSparseGaussianSource returns a source of n sparse Gaussian rows of
+// dimension d with the given expected nonzero fraction in (0, 1].
+func NewSparseGaussianSource(n, d int, density float64, seed int64) *SparseGaussianSource {
+	if n < 0 || d <= 0 {
+		panic(fmt.Sprintf("workload: SparseGaussianSource with n=%d d=%d", n, d))
+	}
+	if density <= 0 || density > 1 {
+		panic(fmt.Sprintf("workload: SparseGaussianSource with density=%g", density))
+	}
+	return &SparseGaussianSource{n: n, d: d, density: density, seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Dims implements RowSource.
+func (s *SparseGaussianSource) Dims() (int, int) { return s.n, s.d }
+
+// SparseNext implements SparseRowSource; the returned vector is owned by the
+// caller.
+func (s *SparseGaussianSource) SparseNext() (*matrix.SparseVector, bool) {
+	if s.at >= s.n {
+		return nil, false
+	}
+	v := &matrix.SparseVector{Len: s.d}
+	for j := 0; j < s.d; j++ {
+		if s.rng.Float64() < s.density {
+			v.Indices = append(v.Indices, j)
+			v.Values = append(v.Values, s.rng.NormFloat64())
+		}
+	}
+	s.at++
+	return v, true
+}
+
+// Next implements RowSource, materializing the row densely. Next and
+// SparseNext advance the same cursor and draw the same randomness, so a
+// consumer sees identical rows whichever path it takes.
+func (s *SparseGaussianSource) Next() ([]float64, bool) {
+	v, ok := s.SparseNext()
+	if !ok {
+		return nil, false
+	}
+	return v.Dense(), true
+}
+
+// Reset implements RowSource, re-seeding the generator.
+func (s *SparseGaussianSource) Reset() error {
+	s.rng = rand.New(rand.NewSource(s.seed))
+	s.at = 0
+	return nil
+}
+
+// Err implements RowSource (always nil).
+func (s *SparseGaussianSource) Err() error { return nil }

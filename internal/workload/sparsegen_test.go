@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestSparseGaussianSourceReplaysOnReset(t *testing.T) {
+	src := NewSparseGaussianSource(50, 20, 0.2, 7)
+	var first [][]float64
+	for {
+		row, ok := src.Next()
+		if !ok {
+			break
+		}
+		first = append(first, row)
+	}
+	if len(first) != 50 {
+		t.Fatalf("delivered %d rows, want 50", len(first))
+	}
+	if err := src.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		row, ok := src.Next()
+		if !ok {
+			if i != 50 {
+				t.Fatalf("second pass delivered %d rows, want 50", i)
+			}
+			break
+		}
+		for j := range row {
+			if row[j] != first[i][j] {
+				t.Fatalf("row %d differs between passes at column %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSparseGaussianSourceSparseDensePathsAgree(t *testing.T) {
+	dense := NewSparseGaussianSource(30, 15, 0.3, 9)
+	sparse := NewSparseGaussianSource(30, 15, 0.3, 9)
+	for i := 0; ; i++ {
+		row, ok1 := dense.Next()
+		vec, ok2 := sparse.SparseNext()
+		if ok1 != ok2 {
+			t.Fatalf("paths disagree on length at row %d", i)
+		}
+		if !ok1 {
+			break
+		}
+		got := vec.Dense()
+		for j := range row {
+			if row[j] != got[j] {
+				t.Fatalf("row %d column %d: dense path %v, sparse path %v", i, j, row[j], got[j])
+			}
+		}
+	}
+}
+
+func TestSparseGaussianSourceDensity(t *testing.T) {
+	src := NewSparseGaussianSource(200, 50, 0.1, 3)
+	nnz := 0
+	for {
+		v, ok := src.SparseNext()
+		if !ok {
+			break
+		}
+		nnz += v.NNZ()
+	}
+	// 10000 Bernoulli(0.1) draws: the count concentrates near 1000.
+	if nnz < 700 || nnz > 1300 {
+		t.Fatalf("nnz = %d over 10000 cells at density 0.1", nnz)
+	}
+}
